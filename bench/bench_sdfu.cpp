@@ -1,0 +1,100 @@
+// Ablation (DESIGN.md §6): what pruning filters + Scheduler-Driven Filter
+// Updates buy during reservation-heavy scheduling.
+//
+// Workload: a quartz-like system scheduled with conservative backfilling —
+// every job is allocated or reserved, so each match probes candidate start
+// times. With filters, the root PlannerMulti fast-forwards over times
+// where the aggregate cannot fit and rack filters prune full subtrees;
+// without them, every probe walks the graph.
+//
+// Environment:
+//   FLUXION_SDFU_RACKS — rack count (default 10)
+//   FLUXION_SDFU_JOBS  — trace length (default 150)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/resource_query.hpp"
+#include "grug/recipes.hpp"
+#include "queue/job_queue.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+using namespace fluxion;
+
+struct Run {
+  double seconds = 0;
+  std::uint64_t visits = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t reserved = 0;
+};
+
+Run run_once(bool prune, int racks, const std::vector<sim::TraceJob>& trace) {
+  auto rq = core::ResourceQuery::create(grug::recipes::quartz(prune, racks));
+  if (!rq) std::exit(1);
+  queue::JobQueue q((*rq)->traverser(),
+                    queue::QueuePolicy::conservative_backfill);
+  for (const auto& tj : trace) {
+    auto js = sim::trace_jobspec(tj, 36);
+    if (!js) std::exit(1);
+    q.submit(*js);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  q.schedule();
+  const auto t1 = std::chrono::steady_clock::now();
+  Run r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.visits = (*rq)->traverser().stats().visits;
+  r.pruned = (*rq)->traverser().stats().pruned;
+  r.attempts = (*rq)->traverser().stats().match_attempts;
+  r.reserved = q.stats().reserved;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  int racks = 10;
+  int jobs = 150;
+  if (const char* env = std::getenv("FLUXION_SDFU_RACKS")) {
+    racks = std::max(1, std::atoi(env));
+  }
+  if (const char* env = std::getenv("FLUXION_SDFU_JOBS")) {
+    jobs = std::max(1, std::atoi(env));
+  }
+
+  sim::TraceConfig cfg;
+  cfg.job_count = static_cast<std::size_t>(jobs);
+  cfg.max_nodes = std::min<std::int64_t>(128, racks * 62);
+  util::Rng rng(99);
+  const auto trace = sim::generate_trace(cfg, rng);
+
+  std::printf("# SDFU / pruning ablation: %d nodes, %d jobs, conservative "
+              "backfilling\n",
+              racks * 62, jobs);
+  std::printf("%-10s %12s %14s %12s %12s %12s\n", "filters", "total[s]",
+              "visits", "pruned", "attempts", "reserved");
+  const Run off = run_once(false, racks, trace);
+  const Run on = run_once(true, racks, trace);
+  std::printf("%-10s %12.3f %14llu %12llu %12llu %12llu\n", "off",
+              off.seconds, static_cast<unsigned long long>(off.visits),
+              static_cast<unsigned long long>(off.pruned),
+              static_cast<unsigned long long>(off.attempts),
+              static_cast<unsigned long long>(off.reserved));
+  std::printf("%-10s %12.3f %14llu %12llu %12llu %12llu\n", "on", on.seconds,
+              static_cast<unsigned long long>(on.visits),
+              static_cast<unsigned long long>(on.pruned),
+              static_cast<unsigned long long>(on.attempts),
+              static_cast<unsigned long long>(on.reserved));
+  if (on.seconds > 0) {
+    std::printf("\n# speedup from pruning + SDFU: %.2fx (visits: %.2fx "
+                "fewer)\n",
+                off.seconds / on.seconds,
+                on.visits > 0 ? static_cast<double>(off.visits) /
+                                    static_cast<double>(on.visits)
+                              : 0.0);
+  }
+  return 0;
+}

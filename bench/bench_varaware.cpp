@@ -1,0 +1,166 @@
+// §6.3 reproduction: variation-aware scheduling case study.
+//   * Figure 7a — histogram of 2418 nodes over 5 performance classes.
+//   * Figure 7b — per-job scheduling time for a 200-job trace under three
+//     policies (HighestID, LowestID, Variation-aware) with conservative
+//     backfilling, plus queue totals and the immediate/reserved split.
+//   * Table 1 / Figure 8 — figure-of-merit histogram per policy.
+//
+// The quartz-like system: 39 racks x 62 nodes = 2418 nodes, 36 cores per
+// node. We do not have the paper's production queue snapshot; the trace is
+// a deterministic synthetic draw (see sim/workload.hpp).
+//
+// Environment:
+//   FLUXION_VA_RACKS — rack count (default 39)
+//   FLUXION_VA_JOBS  — trace length (default 200)
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/resource_query.hpp"
+#include "grug/recipes.hpp"
+#include "queue/job_queue.hpp"
+#include "sim/perf_classes.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace fluxion;
+
+struct PolicyRun {
+  std::string policy;
+  std::vector<double> per_job_seconds;
+  double total_seconds = 0;
+  std::uint64_t immediate = 0;
+  std::uint64_t reserved = 0;
+  std::vector<int> fom_histogram;  // index = fom value
+};
+
+PolicyRun run_policy(const std::string& policy_name, int racks,
+                     const std::vector<int>& classes,
+                     const std::vector<sim::TraceJob>& trace) {
+  core::Options opt;
+  opt.policy = policy_name;
+  auto rq = core::ResourceQuery::create(
+      grug::recipes::quartz(/*prune=*/true, racks), opt);
+  if (!rq) {
+    std::fprintf(stderr, "setup failed: %s\n", rq.error().message.c_str());
+    std::exit(1);
+  }
+  if (auto st = sim::apply_performance_classes((*rq)->graph(), classes);
+      !st) {
+    std::fprintf(stderr, "class stamp failed: %s\n",
+                 st.error().message.c_str());
+    std::exit(1);
+  }
+
+  queue::JobQueue q((*rq)->traverser(),
+                    queue::QueuePolicy::conservative_backfill);
+  std::vector<traverser::JobId> ids;
+  for (const auto& tj : trace) {
+    auto js = sim::trace_jobspec(tj, 36);
+    if (!js) std::exit(1);
+    ids.push_back(q.submit(*js));
+  }
+  q.schedule();  // one conservative pass places/reserves the whole queue
+
+  PolicyRun run;
+  run.policy = policy_name;
+  run.fom_histogram.assign(sim::kPerfClassCount, 0);
+  for (const auto id : ids) {
+    const queue::Job* job = q.find(id);
+    run.per_job_seconds.push_back(job->match_seconds);
+    run.total_seconds += job->match_seconds;
+    if (job->state == queue::JobState::running) ++run.immediate;
+    if (job->state == queue::JobState::reserved) ++run.reserved;
+    const int fom = sim::figure_of_merit((*rq)->graph(), job->resources);
+    if (fom >= 0 && fom < sim::kPerfClassCount) ++run.fom_histogram[fom];
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  int racks = 39;
+  int jobs = 200;
+  if (const char* env = std::getenv("FLUXION_VA_RACKS")) {
+    racks = std::max(1, std::atoi(env));
+  }
+  if (const char* env = std::getenv("FLUXION_VA_JOBS")) {
+    jobs = std::max(1, std::atoi(env));
+  }
+  const int nodes = racks * 62;
+
+  // --- Figure 7a -----------------------------------------------------------
+  util::Rng rng(20231112);
+  const auto classes = sim::classes_from_tnorm(
+      sim::synthesize_tnorm(static_cast<std::size_t>(nodes), rng));
+  const auto hist = sim::class_histogram(classes);
+  std::printf("# Figure 7a: performance classes (%d nodes, Eq. 1 bins)\n",
+              nodes);
+  std::printf("%-8s %8s\n", "class", "nodes");
+  for (int c = 1; c <= sim::kPerfClassCount; ++c) {
+    std::printf("%-8d %8lld\n", c,
+                static_cast<long long>(hist[static_cast<std::size_t>(c)]));
+  }
+
+  // --- trace ---------------------------------------------------------------
+  sim::TraceConfig cfg;
+  cfg.job_count = static_cast<std::size_t>(jobs);
+  cfg.max_nodes = std::min<std::int64_t>(256, nodes);
+  util::Rng trace_rng(467);
+  const auto trace = sim::generate_trace(cfg, trace_rng);
+
+  // --- Figure 7b + Table 1 ---------------------------------------------------
+  std::vector<PolicyRun> runs;
+  for (const char* p : {"high-id", "low-id", "variation-aware"}) {
+    runs.push_back(run_policy(p, racks, classes, trace));
+  }
+
+  std::printf("\n# Figure 7b: per-job scheduling time [ms], %d jobs, "
+              "conservative backfilling\n",
+              jobs);
+  std::printf("%-6s %14s %14s %18s\n", "job", "high-id", "low-id",
+              "variation-aware");
+  for (int j = 0; j < jobs; ++j) {
+    std::printf("%-6d %14.3f %14.3f %18.3f\n", j + 1,
+                runs[0].per_job_seconds[static_cast<std::size_t>(j)] * 1e3,
+                runs[1].per_job_seconds[static_cast<std::size_t>(j)] * 1e3,
+                runs[2].per_job_seconds[static_cast<std::size_t>(j)] * 1e3);
+  }
+  std::printf("\n%-20s %12s %12s %12s\n", "policy", "total[s]", "immediate",
+              "reserved");
+  for (const auto& r : runs) {
+    std::printf("%-20s %12.3f %12llu %12llu\n", r.policy.c_str(),
+                r.total_seconds, static_cast<unsigned long long>(r.immediate),
+                static_cast<unsigned long long>(r.reserved));
+  }
+
+  std::printf("\n# Table 1 / Figure 8: figure-of-merit histogram (Eq. 2)\n");
+  std::printf("%-20s", "policy");
+  for (int f = 0; f < sim::kPerfClassCount; ++f) std::printf("  fom=%d", f);
+  std::printf("\n");
+  for (const auto& r : runs) {
+    std::printf("%-20s", r.policy.c_str());
+    for (int f = 0; f < sim::kPerfClassCount; ++f) {
+      std::printf(" %6d", r.fom_histogram[static_cast<std::size_t>(f)]);
+    }
+    std::printf("\n");
+  }
+
+  const double va0 = runs[2].fom_histogram[0];
+  if (runs[0].fom_histogram[0] > 0 && runs[1].fom_histogram[0] > 0) {
+    std::printf(
+        "\n# fom=0 improvement: variation-aware vs high-id: %.1fx, vs "
+        "low-id: %.1fx\n",
+        va0 / runs[0].fom_histogram[0], va0 / runs[1].fom_histogram[0]);
+  }
+  std::printf(
+      "# Expected shape (paper): var-aware concentrates jobs at fom=0 "
+      "(2.8x/2.3x vs high/low id),\n"
+      "# with near-zero jobs at fom>=3; scheduling time totals are similar "
+      "across the policies.\n");
+  return 0;
+}

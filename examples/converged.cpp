@@ -1,0 +1,110 @@
+// Converged computing (paper §5.3): one resource graph, two schedulers.
+//
+// The Fluence work embeds Fluxion inside Kubernetes so MPI-style workloads
+// get HPC-grade placement while ordinary microservices keep the cloud
+// scheduling model. This example shows the mechanism that makes that
+// possible here: the same resource graph store serves
+//
+//   * a "cloud" scheduler — shares nodes freely, sees only the containment
+//     subsystem, packs pods by fractional cores/memory; and
+//   * an "HPC" scheduler — sees the network subsystem too and places a
+//     tightly-coupled job under a single leaf switch for locality.
+//
+// Separation of concerns (§3.5): neither scheduler knows how the other's
+// constraints are represented; they differ only in subsystem filter,
+// policy and jobspec shape.
+#include <cstdio>
+
+#include "graph/resource_graph.hpp"
+#include "jobspec/jobspec.hpp"
+#include "policy/policies.hpp"
+#include "traverser/traverser.hpp"
+
+using namespace fluxion;
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+
+int main() {
+  graph::ResourceGraph g(0, std::int64_t{1} << 31);
+  const auto cluster = g.add_vertex("cluster", "cluster", 0, 1);
+  const auto network = g.intern_subsystem("network");
+
+  // 2 leaf switches x 4 nodes x (8 cores, 32GB memory). Nodes hang off the
+  // cluster in containment AND off their switch in the network subsystem.
+  const auto core_sw = g.add_vertex("core-switch", "core-switch", 0, 1);
+  if (!g.add_edge(cluster, core_sw, network, g.contains_rel())) return 1;
+  int node_seq = 0;
+  for (int s = 0; s < 2; ++s) {
+    const auto leaf = g.add_vertex("switch", "switch", s, 1);
+    if (!g.add_edge(core_sw, leaf, network, g.contains_rel())) return 1;
+    for (int n = 0; n < 4; ++n) {
+      const auto node = g.add_vertex("node", "node", node_seq++, 1);
+      if (!g.add_containment(cluster, node)) return 1;
+      if (!g.add_edge(leaf, node, network, g.contains_rel())) return 1;
+      for (int c = 0; c < 8; ++c) {
+        if (!g.add_containment(node, g.add_vertex("core", "core", c, 1))) {
+          return 1;
+        }
+      }
+      if (!g.add_containment(node,
+                             g.add_vertex("memory", "memory", node_seq, 32))) {
+        return 1;
+      }
+    }
+  }
+  std::printf("converged system: %zu vertices; containment + network "
+              "subsystems\n\n",
+              g.live_vertex_count());
+
+  // --- cloud view: containment only, spread pods ----------------------------
+  g.set_subsystem_filter({g.containment()});
+  policy::LowIdPolicy cloud_policy;
+  traverser::Traverser cloud(g, cluster, cloud_policy);
+  auto pod = make({res("node", 1, {slot(1, {res("core", 2),
+                                            res("memory", 4)})})},
+                  3600);
+  if (!pod) return 1;
+  int pods = 0;
+  for (traverser::JobId id = 1; id <= 6; ++id) {
+    if (cloud.match(*pod, traverser::MatchOp::allocate, 0, id)) ++pods;
+  }
+  std::printf("[cloud] placed %d microservice pods (2 cores + 4GB each), "
+              "nodes shared\n",
+              pods);
+
+  // --- HPC view: network subsystem on, switch-local MPI job -----------------
+  g.set_subsystem_filter({g.containment(), network});
+  policy::LocalityPolicy hpc_policy;
+  traverser::Traverser hpc(g, cluster, hpc_policy);
+  // 3 exclusive nodes under ONE leaf switch: the switch level in the
+  // request pins all ranks behind the same ToR for MPI locality.
+  auto mpi = make(
+      {res("switch", 1, {slot(3, {xres("node", 1, {res("core", 8)})})})},
+      7200);
+  if (!mpi) return 1;
+  auto r = hpc.match(*mpi, traverser::MatchOp::allocate, 0, 100);
+  if (!r) {
+    // Pods (placed low-id) occupy switch0's nodes as shared users; the
+    // exclusive MPI job must land on switch1 — verify that's what failed
+    // or succeeded.
+    std::printf("[hpc]   MPI job failed: %s\n", r.error().message.c_str());
+    return 1;
+  }
+  // Nodes are named node0..node7; 0-3 sit under switch0, 4-7 under switch1.
+  int sw0 = 0, sw1 = 0;
+  for (const auto& ru : r->resources) {
+    const graph::Vertex& v = g.vertex(ru.vertex);
+    if (g.type_name(v.type) != "node") continue;
+    const int idx = std::stoi(v.name.substr(4));
+    (idx < 4 ? sw0 : sw1) += 1;
+  }
+  std::printf("[hpc]   MPI job: 3 exclusive nodes under one switch "
+              "(switch0: %d, switch1: %d)\n",
+              sw0, sw1);
+  const bool colocated = (sw0 == 3 && sw1 == 0) || (sw0 == 0 && sw1 == 3);
+  std::printf("\nranks co-located behind a single ToR: %s\n",
+              colocated ? "yes" : "NO");
+  return colocated ? 0 : 1;
+}

@@ -1,0 +1,108 @@
+// High-throughput ensemble workflow (paper §1's motivating workload).
+//
+// A coordinated scientific campaign: one long-running simulation holding
+// a big partition, a stream of short ensemble members exploring a
+// parameter space, and an in-situ analysis job that must share nodes with
+// the simulation it watches. The queue backfills the ensemble around the
+// simulation and prints campaign metrics at the end — the kind of mixed
+// workload node-centric schedulers struggle to express.
+#include <cstdio>
+
+#include "core/resource_query.hpp"
+#include "queue/job_queue.hpp"
+#include "util/rng.hpp"
+
+using namespace fluxion;
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+
+int main() {
+  auto rq = core::ResourceQuery::create_from_text(R"(
+filters node core memory
+filter-at cluster rack
+cluster count=1
+  rack count=4
+    node count=8
+      core count=16
+      memory count=4 size=16
+)");
+  if (!rq) return 1;
+  queue::JobQueue q((*rq)->traverser(),
+                    queue::QueuePolicy::conservative_backfill);
+
+  // 1. The hero simulation: 16 exclusive nodes for 8 hours.
+  auto hero = make({slot(16, {xres("node", 1, {res("core", 16)})})},
+                   8 * 3600);
+  if (!hero) return 1;
+  const auto hero_id = q.submit(*hero);
+
+  // 2. In-situ analysis: shares nodes with everything else — 4 cores and
+  //    32 GB on a non-exclusive node, running as long as the simulation.
+  auto insitu = make({res("node", 1, {slot(1, {res("core", 4),
+                                              res("memory", 32)})})},
+                     8 * 3600);
+  if (!insitu) return 1;
+  const auto insitu_id = q.submit(*insitu);
+
+  // 3. 300 ensemble members: 1-2 shared-node jobs of 2 cores, 15-45 min.
+  util::Rng rng(2023);
+  for (int i = 0; i < 300; ++i) {
+    auto member = make(
+        {res("node", static_cast<std::int64_t>(rng.uniform(1, 2)),
+             {slot(1, {res("core", 2), res("memory", 8)})})},
+        rng.uniform(900, 2700));
+    if (!member) return 1;
+    q.submit(*member);
+  }
+
+  // 4. Post-processing: runs only after BOTH the simulation and its
+  //    in-situ analysis finish (a workflow dependency, not a resource
+  //    constraint) — it gets a firm reservation at their end time.
+  auto post = make({slot(4, {xres("node", 1, {res("core", 16)})})}, 1800);
+  if (!post) return 1;
+  const auto post_id = q.submit(*post, 0, {hero_id, insitu_id});
+
+  q.run_to_completion();
+  const auto m = q.metrics();
+  const auto& s = q.stats();
+  std::printf("campaign finished:\n");
+  std::printf("  jobs completed      : %zu (rejected: %llu)\n", m.completed,
+              static_cast<unsigned long long>(s.rejected));
+  std::printf("  makespan            : %lld s\n",
+              static_cast<long long>(m.makespan));
+  std::printf("  avg ensemble wait   : %.0f s (max %lld)\n", m.avg_wait,
+              static_cast<long long>(m.max_wait));
+  std::printf("  immediate starts    : %llu, reservations: %llu\n",
+              static_cast<unsigned long long>(s.started_immediately),
+              static_cast<unsigned long long>(s.reserved));
+  std::printf("  scheduling overhead : %.3f s for %llu jobs\n",
+              s.total_match_seconds,
+              static_cast<unsigned long long>(s.submitted));
+
+  const queue::Job* hero_job = q.find(hero_id);
+  const queue::Job* insitu_job = q.find(insitu_id);
+  std::printf("  hero simulation     : [%lld, %lld)\n",
+              static_cast<long long>(hero_job->start_time),
+              static_cast<long long>(hero_job->end_time));
+  std::printf("  in-situ analysis    : [%lld, %lld) — co-scheduled with "
+              "the hero run\n",
+              static_cast<long long>(insitu_job->start_time),
+              static_cast<long long>(insitu_job->end_time));
+  const queue::Job* post_job = q.find(post_id);
+  std::printf("  post-processing     : [%lld, %lld) — gated on the "
+              "simulation + analysis\n",
+              static_cast<long long>(post_job->start_time),
+              static_cast<long long>(post_job->end_time));
+  // The whole point: the ensemble backfilled around the hero job, the
+  // post-processing waited for its inputs, and the makespan is dominated
+  // by the simulation, not the 300 small jobs.
+  const bool ok = m.completed == 303 && s.rejected == 0 &&
+                  hero_job->start_time == 0 &&
+                  post_job->start_time >= hero_job->end_time &&
+                  m.makespan < 12 * 3600;
+  std::printf("\nbackfilling kept the campaign inside the hero window: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+// Fully hierarchical scheduling, paper §5.6.
+//
+// Under the Flux model, any instance can spawn child instances and grant
+// each a subset of its jobs and resources. Here a parent Fluxion instance
+// owns a 2-rack system, allocates a partition to each of two child
+// instances, and each child — a complete ResourceQuery of its own, built
+// from the granted resources — schedules a high-throughput stream of small
+// jobs inside its grant. The parent stays oblivious to the children's
+// micro-scheduling: separation of concerns across instance levels.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/resource_query.hpp"
+#include "jobspec/jobspec.hpp"
+
+using namespace fluxion;
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+
+namespace {
+
+/// Build a child instance's recipe from the nodes a parent grant selected.
+std::string child_recipe(std::size_t nodes, int cores) {
+  std::string r = "cluster count=1\n  node count=" + std::to_string(nodes) +
+                  "\n    core count=" + std::to_string(cores) + "\n";
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  // Parent instance: 2 racks x 4 nodes x 16 cores.
+  auto parent = core::ResourceQuery::create_from_text(R"(
+filters node core
+filter-at cluster rack
+cluster count=1
+  rack count=2
+    node count=4
+      core count=16
+)");
+  if (!parent) return 1;
+
+  // The parent grants each child a 4-node partition (a long-lived
+  // exclusive allocation — exactly how Flux instances nest).
+  auto grant = make({slot(4, {xres("node", 1, {res("core", 16)})})},
+                    86400);
+  if (!grant) return 1;
+  std::vector<std::unique_ptr<core::ResourceQuery>> children;
+  for (int c = 0; c < 2; ++c) {
+    auto alloc = (*parent)->match_allocate(*grant);
+    if (!alloc) {
+      std::fprintf(stderr, "grant %d failed: %s\n", c,
+                   alloc.error().message.c_str());
+      return 1;
+    }
+    std::size_t granted_nodes = 0;
+    for (const auto& ru : alloc->resources) {
+      const auto& v = (*parent)->graph().vertex(ru.vertex);
+      if ((*parent)->graph().type_name(v.type) == "node") ++granted_nodes;
+    }
+    auto child =
+        core::ResourceQuery::create_from_text(child_recipe(granted_nodes, 16));
+    if (!child) return 1;
+    children.push_back(std::move(*child));
+    std::printf("child %d granted %zu nodes\n", c, granted_nodes);
+  }
+
+  // The parent's pool is now exhausted for exclusive node requests.
+  auto probe = make({slot(1, {xres("node", 1)})}, 60);
+  if (!probe) return 1;
+  auto denied = (*parent)->match_allocate(*probe);
+  std::printf("parent has %s spare nodes\n", denied ? "unexpected" : "no");
+  if (denied) return 1;
+
+  // Each child runs a high-throughput stream of 2-core jobs inside its
+  // grant, invisible to the parent.
+  auto tiny = make({res("node", 1, {slot(1, {res("core", 2)})})}, 60);
+  if (!tiny) return 1;
+  for (std::size_t c = 0; c < children.size(); ++c) {
+    int placed = 0;
+    while (children[c]->match_allocate(*tiny)) ++placed;
+    // 4 nodes x 16 cores / 2 = 32 simultaneous tiny jobs per child.
+    std::printf("child %zu packed %d concurrent 2-core jobs\n", c, placed);
+    if (placed != 32) return 1;
+  }
+
+  // Tear-down: a child releases its partition back to the parent.
+  if (!(*parent)->cancel(1)) return 1;
+  auto regained = (*parent)->match_allocate(*probe);
+  std::printf("child 0 released its grant; parent can allocate again: %s\n",
+              regained ? "yes" : "no");
+  return regained ? 0 : 1;
+}

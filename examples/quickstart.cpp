@@ -1,0 +1,90 @@
+// Quickstart: build a system from a GRUG recipe, submit a YAML jobspec,
+// print the selected resource set, reserve when busy, then free.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/resource_query.hpp"
+
+int main() {
+  using namespace fluxion;
+
+  // 1. Describe the system: 1 cluster, 2 racks, 4 nodes each, with cores,
+  //    gpus and memory pools. Pruning filters track cores at the cluster
+  //    and rack vertices.
+  constexpr const char* kRecipe = R"(
+filters core
+filter-at cluster rack
+cluster count=1
+  rack count=2
+    node count=4
+      core count=16
+      gpu count=2
+      memory count=8 size=16
+)";
+
+  auto rq = core::ResourceQuery::create_from_text(kRecipe);
+  if (!rq) {
+    std::fprintf(stderr, "setup failed: %s\n", rq.error().message.c_str());
+    return 1;
+  }
+  std::printf("resource graph: %zu vertices, %zu edges\n",
+              (*rq)->graph().live_vertex_count(),
+              (*rq)->graph().edge_count());
+
+  // 2. A canonical jobspec: one shared node hosting a slot of 4 cores,
+  //    1 gpu and 32 GB memory for one hour.
+  constexpr const char* kJobspec = R"(
+version: 1
+resources:
+  - type: node
+    count: 1
+    with:
+      - type: slot
+        count: 1
+        label: default
+        with:
+          - type: core
+            count: 4
+          - type: gpu
+            count: 1
+          - type: memory
+            count: 32
+attributes:
+  system:
+    duration: 3600
+)";
+
+  auto alloc = (*rq)->match_allocate_yaml(kJobspec);
+  if (!alloc) {
+    std::fprintf(stderr, "match failed: %s\n", alloc.error().message.c_str());
+    return 1;
+  }
+  std::printf("\nallocated:\n%s", (*rq)->render(*alloc).c_str());
+
+  // 3. Saturate the gpus, then watch a request turn into a reservation.
+  auto js = jobspec::Jobspec::from_yaml(kJobspec);
+  while (true) {
+    auto more = (*rq)->match_allocate(*js);
+    if (!more) break;
+  }
+  auto reserved = (*rq)->match_allocate_orelse_reserve(*js);
+  if (!reserved) {
+    std::fprintf(stderr, "reserve failed: %s\n",
+                 reserved.error().message.c_str());
+    return 1;
+  }
+  std::printf("\nsystem full; next job reserved for t=%lld:\n%s",
+              static_cast<long long>(reserved->at),
+              (*rq)->render(*reserved).c_str());
+
+  // 4. Cancel the first allocation; its resources are reusable at once.
+  if (auto st = (*rq)->cancel(alloc->job); !st) {
+    std::fprintf(stderr, "cancel failed: %s\n", st.error().message.c_str());
+    return 1;
+  }
+  auto retry = (*rq)->match_allocate(*js);
+  std::printf("\nafter cancel, a new job %s\n",
+              retry ? "starts immediately" : "still cannot start");
+  return retry ? 0 : 1;
+}

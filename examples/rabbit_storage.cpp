@@ -1,0 +1,124 @@
+// Near Node Flash ("rabbit") storage scheduling, paper §5.1.
+//
+// El Capitan-style chassis: each rack hosts compute nodes plus one rabbit
+// (a storage chassis with SSD capacity and a single Lustre-server IP).
+// Rabbits are modelled exactly as the paper describes: a vertex with edges
+// from BOTH the rack (containment subsystem) and the cluster (a "storage"
+// subsystem), so they can be scheduled as a rack-local or a cluster-global
+// resource. Three scenarios:
+//
+//   1. node-local storage  — a job asks for compute nodes plus SSD capacity
+//      on the *same rack's* rabbit;
+//   2. global storage      — a job asks for SSD capacity anywhere, reached
+//      through the cluster-level storage edges;
+//   3. storage-only        — an allocation with no compute at all (users
+//      keep a file system alive across jobs), plus the one-IP-per-rabbit
+//      constraint that stops two Lustre servers sharing a rabbit.
+#include <cstdio>
+
+#include "graph/resource_graph.hpp"
+#include "jobspec/jobspec.hpp"
+#include "policy/policies.hpp"
+#include "traverser/traverser.hpp"
+
+using namespace fluxion;
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+
+int main() {
+  graph::ResourceGraph g(0, std::int64_t{1} << 31);
+
+  // Build: cluster -> 2 racks, each with 4 nodes (8 cores) and 1 rabbit
+  // (1024 GB ssd + 1 lustre-ip).
+  const auto cluster = g.add_vertex("cluster", "cluster", 0, 1);
+  const auto storage = g.intern_subsystem("storage");
+  std::vector<graph::VertexId> rabbits;
+  int node_seq = 0;
+  for (int r = 0; r < 2; ++r) {
+    const auto rack = g.add_vertex("rack", "rack", r, 1);
+    if (!g.add_containment(cluster, rack)) return 1;
+    for (int n = 0; n < 4; ++n) {
+      const auto node = g.add_vertex("node", "node", node_seq++, 1);
+      if (!g.add_containment(rack, node)) return 1;
+      for (int c = 0; c < 8; ++c) {
+        if (!g.add_containment(node, g.add_vertex("core", "core", c, 1))) {
+          return 1;
+        }
+      }
+    }
+    const auto rabbit = g.add_vertex("rabbit", "rabbit", r, 1);
+    if (!g.add_containment(rack, rabbit)) return 1;
+    // The same rabbit is also a cluster-level storage resource.
+    if (!g.add_edge(cluster, rabbit, storage, g.contains_rel())) return 1;
+    if (!g.add_containment(rabbit, g.add_vertex("ssd", "ssd", r, 1024))) {
+      return 1;
+    }
+    if (!g.add_containment(rabbit,
+                           g.add_vertex("lustre-ip", "lustre-ip", r, 1))) {
+      return 1;
+    }
+    rabbits.push_back(rabbit);
+  }
+  // Expose both subsystems to the traverser.
+  g.set_subsystem_filter({g.containment(), storage});
+
+  policy::LowIdPolicy pol;
+  traverser::Traverser trav(g, cluster, pol);
+  std::printf("rabbit system: %zu vertices (%zu rabbits)\n",
+              g.live_vertex_count(), rabbits.size());
+
+  // --- 1. node-local storage ------------------------------------------------
+  // 2 nodes and 256 GB of rabbit SSD, all within one rack: the rack level
+  // in the request pins nodes and rabbit to the same chassis.
+  // The rack level pins both branches to one chassis; the rabbit itself
+  // stays shared (only its SSD units are claimed) so other jobs can use
+  // the remaining capacity.
+  auto local = make(
+      {res("rack", 1,
+           {slot(1, {xres("node", 2, {res("core", 8)})}),
+            res("rabbit", 1, {slot(1, {res("ssd", 256)}, "fs")})})},
+      3600);
+  if (!local) return 1;
+  auto r1 = trav.match(*local, traverser::MatchOp::allocate, 0, 1);
+  std::printf("\n[node-local] %s\n",
+              r1 ? "2 nodes + 256GB ssd co-located on one rack"
+                 : r1.error().message.c_str());
+  if (!r1) return 1;
+
+  // --- 2. storage-only allocations + the Lustre IP constraint ---------------
+  // A Lustre server needs the rabbit's unique IP; two file systems cannot
+  // share one rabbit, and the allocations carry no compute at all.
+  auto lustre = make(
+      {res("rabbit", 1,
+           {slot(1, {res("ssd", 128), res("lustre-ip", 1)}, "fs")})},
+      7200);
+  if (!lustre) return 1;
+  auto fs1 = trav.match(*lustre, traverser::MatchOp::allocate, 0, 3);
+  auto fs2 = trav.match(*lustre, traverser::MatchOp::allocate, 0, 4);
+  auto fs3 = trav.match(*lustre, traverser::MatchOp::allocate, 0, 5);
+  std::printf("[storage-only] fs1: %s, fs2: %s, fs3: %s\n",
+              fs1 ? "ok" : "FAIL", fs2 ? "ok" : "FAIL",
+              fs3 ? "unexpected!" : "rejected (both IPs taken)");
+  if (!fs1 || !fs2 || fs3) return 1;
+
+  // --- 3. global storage -----------------------------------------------------
+  // Everything that is left — 1536 GB spread across rabbits, reached via
+  // the cluster-level storage edges; no single rabbit has that much.
+  auto global = make({slot(1, {res("ssd", 1536)}, "stripe")}, 3600);
+  if (!global) return 1;
+  auto r2 = trav.match(*global, traverser::MatchOp::allocate, 0, 2);
+  std::printf("[global]     %s\n",
+              r2 ? "1536GB striped across both rabbits"
+                 : r2.error().message.c_str());
+  if (!r2) return 1;
+
+  // The file systems outlive compute jobs: cancel the compute allocation,
+  // storage stays.
+  if (!trav.cancel(1)) return 1;
+  std::printf("\ncompute job canceled; %zu allocations still active "
+              "(storage persists)\n",
+              trav.job_count());
+  return trav.job_count() == 3 ? 0 : 1;  // fs1, fs2, global stripe
+}

@@ -1,0 +1,91 @@
+// Variation-aware scheduling, paper §5.2 and §6.3 in miniature.
+//
+// Nodes are binned into five performance classes (Eq. 1); the
+// variation-aware policy packs each job into as few classes as possible,
+// minimising its rank-to-rank figure of merit (Eq. 2). Compare against the
+// id-ordered baseline used by most production schedulers.
+#include <cstdio>
+
+#include "core/resource_query.hpp"
+#include "grug/recipes.hpp"
+#include "queue/job_queue.hpp"
+#include "sim/perf_classes.hpp"
+#include "sim/workload.hpp"
+
+using namespace fluxion;
+
+namespace {
+
+struct Outcome {
+  std::vector<int> fom_hist = std::vector<int>(sim::kPerfClassCount, 0);
+};
+
+Outcome run(const std::string& policy, const std::vector<int>& classes,
+            const std::vector<sim::TraceJob>& trace) {
+  core::Options opt;
+  opt.policy = policy;
+  auto rq = core::ResourceQuery::create(
+      grug::recipes::quartz(/*prune=*/true, /*racks=*/4), opt);
+  if (!rq) std::exit(1);
+  if (!sim::apply_performance_classes((*rq)->graph(), classes)) std::exit(1);
+  queue::JobQueue q((*rq)->traverser(),
+                    queue::QueuePolicy::conservative_backfill);
+  std::vector<traverser::JobId> ids;
+  for (const auto& tj : trace) {
+    auto js = sim::trace_jobspec(tj, 36);
+    if (!js) std::exit(1);
+    ids.push_back(q.submit(*js));
+  }
+  q.schedule();
+  Outcome out;
+  for (auto id : ids) {
+    const int fom = sim::figure_of_merit((*rq)->graph(), q.find(id)->resources);
+    if (fom < sim::kPerfClassCount) ++out.fom_hist[static_cast<std::size_t>(fom)];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int nodes = 4 * 62;  // 4 racks of 62 nodes
+  util::Rng rng(42);
+  const auto classes = sim::classes_from_tnorm(
+      sim::synthesize_tnorm(static_cast<std::size_t>(nodes), rng));
+  const auto hist = sim::class_histogram(classes);
+  std::printf("node performance classes (Eq. 1 bins over %d nodes):\n",
+              nodes);
+  for (int c = 1; c <= sim::kPerfClassCount; ++c) {
+    std::printf("  class %d: %lld nodes\n", c,
+                static_cast<long long>(hist[static_cast<std::size_t>(c)]));
+  }
+
+  sim::TraceConfig cfg;
+  cfg.job_count = 60;
+  cfg.max_nodes = 64;
+  util::Rng trace_rng(7);
+  const auto trace = sim::generate_trace(cfg, trace_rng);
+
+  std::printf("\nfigure-of-merit histogram, %zu jobs (fom = class spread "
+              "within a job; 0 is best):\n",
+              trace.size());
+  std::printf("  %-18s", "policy");
+  for (int f = 0; f < sim::kPerfClassCount; ++f) std::printf(" fom=%d", f);
+  std::printf("\n");
+  int va_zero = 0, base_zero = 1;
+  for (const char* policy : {"low-id", "variation-aware"}) {
+    const Outcome out = run(policy, classes, trace);
+    std::printf("  %-18s", policy);
+    for (int v : out.fom_hist) std::printf(" %5d", v);
+    std::printf("\n");
+    if (std::string(policy) == "variation-aware") {
+      va_zero = out.fom_hist[0];
+    } else {
+      base_zero = std::max(1, out.fom_hist[0]);
+    }
+  }
+  std::printf("\nvariation-aware yields %.1fx more zero-variation jobs than "
+              "id-ordered placement\n",
+              static_cast<double>(va_zero) / base_zero);
+  return va_zero >= base_zero ? 0 : 1;
+}

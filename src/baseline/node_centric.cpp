@@ -1,0 +1,121 @@
+#include "baseline/node_centric.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace fluxion::baseline {
+
+using util::Errc;
+
+NodeCentricScheduler::NodeCentricScheduler(int node_count, Duration horizon)
+    : horizon_(horizon), busy_(static_cast<std::size_t>(node_count)) {}
+
+bool NodeCentricScheduler::node_free(int node, TimePoint at,
+                                     Duration d) const {
+  const util::TimeWindow probe{at, d};
+  for (const util::TimeWindow& w :
+       busy_[static_cast<std::size_t>(node)]) {
+    if (w.overlaps(probe)) return false;
+  }
+  return true;
+}
+
+int NodeCentricScheduler::free_nodes_during(TimePoint at, Duration d) const {
+  int count = 0;
+  for (int n = 0; n < node_count(); ++n) {
+    if (node_free(n, at, d)) ++count;
+  }
+  return count;
+}
+
+util::Expected<Alloc> NodeCentricScheduler::try_place(int nodes, Duration d,
+                                                      TimePoint at,
+                                                      TimePoint now,
+                                                      JobId id) {
+  Alloc alloc;
+  alloc.id = id;
+  alloc.start = at;
+  alloc.duration = d;
+  alloc.reserved = at > now;
+  for (int n = 0; n < node_count() &&
+                  static_cast<int>(alloc.nodes.size()) < nodes;
+       ++n) {
+    if (node_free(n, at, d)) alloc.nodes.push_back(n);
+  }
+  if (static_cast<int>(alloc.nodes.size()) < nodes) {
+    return util::Error{Errc::resource_busy, "not enough free nodes"};
+  }
+  for (int n : alloc.nodes) {
+    auto& list = busy_[static_cast<std::size_t>(n)];
+    list.insert(std::upper_bound(
+                    list.begin(), list.end(), at,
+                    [](TimePoint t, const util::TimeWindow& w) {
+                      return t < w.start;
+                    }),
+                util::TimeWindow{at, d});
+  }
+  jobs_.emplace(id, alloc);
+  return alloc;
+}
+
+util::Expected<Alloc> NodeCentricScheduler::allocate(int nodes, Duration d,
+                                                     TimePoint now,
+                                                     JobId id) {
+  if (nodes < 1 || d < 1 || jobs_.contains(id)) {
+    return util::Error{Errc::invalid_argument, "bad allocate arguments"};
+  }
+  if (nodes > node_count()) {
+    return util::Error{Errc::unsatisfiable, "more nodes than the machine"};
+  }
+  if (now + d > horizon_) {
+    return util::Error{Errc::out_of_range, "window leaves the horizon"};
+  }
+  return try_place(nodes, d, now, now, id);
+}
+
+util::Expected<Alloc> NodeCentricScheduler::allocate_orelse_reserve(
+    int nodes, Duration d, TimePoint now, JobId id) {
+  if (nodes < 1 || d < 1 || jobs_.contains(id)) {
+    return util::Error{Errc::invalid_argument, "bad allocate arguments"};
+  }
+  if (nodes > node_count()) {
+    return util::Error{Errc::unsatisfiable, "more nodes than the machine"};
+  }
+  // Candidate starts: now, then every busy-interval end after now —
+  // availability only improves when something finishes.
+  std::set<TimePoint> candidates{now};
+  for (const auto& list : busy_) {
+    for (const util::TimeWindow& w : list) {
+      if (w.end() > now) candidates.insert(w.end());
+    }
+  }
+  for (TimePoint t : candidates) {
+    if (t + d > horizon_) break;
+    if (free_nodes_during(t, d) >= nodes) {
+      return try_place(nodes, d, t, now, id);
+    }
+  }
+  return util::Error{Errc::resource_busy,
+                     "no feasible window within the horizon"};
+}
+
+util::Status NodeCentricScheduler::cancel(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return util::Error{Errc::not_found, "unknown job"};
+  }
+  const Alloc& alloc = it->second;
+  for (int n : alloc.nodes) {
+    auto& list = busy_[static_cast<std::size_t>(n)];
+    auto w = std::find_if(list.begin(), list.end(),
+                          [&](const util::TimeWindow& x) {
+                            return x.start == alloc.start &&
+                                   x.duration == alloc.duration;
+                          });
+    if (w != list.end()) list.erase(w);
+  }
+  jobs_.erase(it);
+  return util::Status::ok();
+}
+
+}  // namespace fluxion::baseline

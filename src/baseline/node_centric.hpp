@@ -1,0 +1,74 @@
+// A deliberately node-centric scheduler, in the style the paper's §2
+// critiques: the machine is a flat array of interchangeable nodes, each
+// with a busy-interval list; jobs are "N whole nodes for D seconds";
+// first-fit by lowest node index with conservative backfilling.
+//
+// It exists for two reasons:
+//   * cross-validation — for whole-node workloads under the low-id policy
+//     it must produce *exactly* the same schedule as the graph-based
+//     matcher (asserted in tests/baseline/), giving Fluxion an
+//     independent scheduling oracle;
+//   * the cost-of-generality ablation (bench_baseline) — the paper
+//     concedes node-centric designs are fast for traditional workloads;
+//     this quantifies the premium the graph model pays for being able to
+//     express everything else (relationships, pools, subsystems,
+//     exclusivity over shared hierarchies), which this baseline simply
+//     cannot represent.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/expected.hpp"
+#include "util/time.hpp"
+
+namespace fluxion::baseline {
+
+using util::Duration;
+using util::TimePoint;
+
+using JobId = std::int64_t;
+
+struct Alloc {
+  JobId id = -1;
+  TimePoint start = 0;
+  Duration duration = 0;
+  bool reserved = false;
+  std::vector<int> nodes;  // indices, ascending
+};
+
+class NodeCentricScheduler {
+ public:
+  NodeCentricScheduler(int node_count, Duration horizon);
+
+  int node_count() const noexcept {
+    return static_cast<int>(busy_.size());
+  }
+  std::size_t job_count() const noexcept { return jobs_.size(); }
+
+  /// N whole nodes at exactly `now`, or resource_busy.
+  util::Expected<Alloc> allocate(int nodes, Duration d, TimePoint now,
+                                 JobId id);
+
+  /// N whole nodes at the earliest feasible start >= now.
+  util::Expected<Alloc> allocate_orelse_reserve(int nodes, Duration d,
+                                                TimePoint now, JobId id);
+
+  util::Status cancel(JobId id);
+
+  /// Free nodes throughout [at, at + d).
+  int free_nodes_during(TimePoint at, Duration d) const;
+
+ private:
+  bool node_free(int node, TimePoint at, Duration d) const;
+  util::Expected<Alloc> try_place(int nodes, Duration d, TimePoint at,
+                                  TimePoint now, JobId id);
+
+  Duration horizon_;
+  // Per node: busy windows, kept sorted by start.
+  std::vector<std::vector<util::TimeWindow>> busy_;
+  std::unordered_map<JobId, Alloc> jobs_;
+};
+
+}  // namespace fluxion::baseline

@@ -1,0 +1,121 @@
+#include "capi/reapi.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "core/resource_query.hpp"
+#include "writers/rlite.hpp"
+
+struct reapi_ctx {
+  std::unique_ptr<fluxion::core::ResourceQuery> rq;
+};
+
+namespace {
+
+using fluxion::util::Errc;
+
+char* dup_string(const std::string& s) {
+  char* out = static_cast<char*>(std::malloc(s.size() + 1));
+  if (out != nullptr) std::memcpy(out, s.c_str(), s.size() + 1);
+  return out;
+}
+
+reapi_status_t to_status(Errc code) {
+  switch (code) {
+    case Errc::ok: return REAPI_OK;
+    case Errc::invalid_argument:
+    case Errc::parse_error:
+    case Errc::out_of_range:
+    case Errc::exists: return REAPI_EINVAL;
+    case Errc::not_found: return REAPI_ENOENT;
+    case Errc::resource_busy: return REAPI_EBUSY;
+    case Errc::unsatisfiable: return REAPI_ENOTSUP;
+    case Errc::internal: return REAPI_EINTERNAL;
+  }
+  return REAPI_EINTERNAL;
+}
+
+}  // namespace
+
+extern "C" {
+
+reapi_ctx_t* reapi_create(const char* grug_text, const char* policy,
+                          char** error_out) {
+  if (error_out != nullptr) *error_out = nullptr;
+  if (grug_text == nullptr) {
+    if (error_out != nullptr) *error_out = dup_string("grug_text is NULL");
+    return nullptr;
+  }
+  fluxion::core::Options opt;
+  if (policy != nullptr) opt.policy = policy;
+  auto rq = fluxion::core::ResourceQuery::create_from_text(grug_text, opt);
+  if (!rq) {
+    if (error_out != nullptr) *error_out = dup_string(rq.error().message);
+    return nullptr;
+  }
+  auto* ctx = new reapi_ctx;
+  ctx->rq = std::move(*rq);
+  return ctx;
+}
+
+void reapi_destroy(reapi_ctx_t* ctx) { delete ctx; }
+
+reapi_status_t reapi_match(reapi_ctx_t* ctx, reapi_match_op_t op,
+                           const char* jobspec_yaml, int64_t now,
+                           uint64_t* jobid_out, int64_t* at_out,
+                           int* reserved_out, char** rlite_out) {
+  if (ctx == nullptr || jobspec_yaml == nullptr) return REAPI_EINVAL;
+  auto js = fluxion::jobspec::Jobspec::from_yaml(jobspec_yaml);
+  if (!js) return to_status(js.error().code);
+  fluxion::traverser::MatchOp mop;
+  switch (op) {
+    case REAPI_MATCH_ALLOCATE:
+      mop = fluxion::traverser::MatchOp::allocate;
+      break;
+    case REAPI_MATCH_ALLOCATE_ORELSE_RESERVE:
+      mop = fluxion::traverser::MatchOp::allocate_orelse_reserve;
+      break;
+    case REAPI_MATCH_SATISFIABILITY:
+      mop = fluxion::traverser::MatchOp::satisfiability;
+      break;
+    default:
+      return REAPI_EINVAL;
+  }
+  auto r = ctx->rq->traverser().match(*js, mop, now, ctx->rq->next_job_id());
+  if (!r) return to_status(r.error().code);
+  if (jobid_out != nullptr) *jobid_out = static_cast<uint64_t>(r->job);
+  if (at_out != nullptr) *at_out = r->at;
+  if (reserved_out != nullptr) *reserved_out = r->reserved ? 1 : 0;
+  if (rlite_out != nullptr) {
+    *rlite_out = dup_string(
+        fluxion::writers::match_to_rlite(ctx->rq->graph(), *r).dump());
+  }
+  return REAPI_OK;
+}
+
+reapi_status_t reapi_cancel(reapi_ctx_t* ctx, uint64_t jobid) {
+  if (ctx == nullptr) return REAPI_EINVAL;
+  auto st = ctx->rq->cancel(static_cast<fluxion::traverser::JobId>(jobid));
+  return st ? REAPI_OK : to_status(st.error().code);
+}
+
+reapi_status_t reapi_info(reapi_ctx_t* ctx, uint64_t jobid, int64_t* at_out,
+                          int64_t* duration_out, int* reserved_out) {
+  if (ctx == nullptr) return REAPI_EINVAL;
+  const auto* job = ctx->rq->traverser().find_job(
+      static_cast<fluxion::traverser::JobId>(jobid));
+  if (job == nullptr) return REAPI_ENOENT;
+  if (at_out != nullptr) *at_out = job->at;
+  if (duration_out != nullptr) *duration_out = job->duration;
+  if (reserved_out != nullptr) *reserved_out = job->reserved ? 1 : 0;
+  return REAPI_OK;
+}
+
+uint64_t reapi_job_count(const reapi_ctx_t* ctx) {
+  return ctx == nullptr ? 0 : ctx->rq->traverser().job_count();
+}
+
+void reapi_free_string(char* s) { std::free(s); }
+
+}  // extern "C"

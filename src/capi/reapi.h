@@ -1,0 +1,74 @@
+/* REAPI: a C ABI for embedding Fluxion in foreign runtimes.
+ *
+ * flux-sched exposes its matcher through a resource API so schedulers
+ * written in other languages (the Fluence/KubeFlux Kubernetes plugin,
+ * paper §5.3) can drive it. This is the equivalent surface for this
+ * library: create a context from GRUG text, match YAML jobspecs, inspect
+ * and cancel, all over plain C types.
+ *
+ * Thread-safety: a context must be driven from one thread at a time.
+ * Strings returned through out-parameters are owned by the library and
+ * must be released with reapi_free_string.
+ */
+#ifndef FLUXION_CAPI_REAPI_H
+#define FLUXION_CAPI_REAPI_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct reapi_ctx reapi_ctx_t;
+
+typedef enum {
+  REAPI_OK = 0,
+  REAPI_EINVAL = 1,      /* malformed input */
+  REAPI_ENOENT = 2,      /* unknown id */
+  REAPI_EBUSY = 3,       /* resources busy at the requested time */
+  REAPI_ENOTSUP = 4,     /* request can never be satisfied */
+  REAPI_EINTERNAL = 5,   /* invariant violation (bug) */
+} reapi_status_t;
+
+/* Match operations (paper Figure 1c). */
+typedef enum {
+  REAPI_MATCH_ALLOCATE = 0,
+  REAPI_MATCH_ALLOCATE_ORELSE_RESERVE = 1,
+  REAPI_MATCH_SATISFIABILITY = 2,
+} reapi_match_op_t;
+
+/* Create a context from a GRUG recipe. policy: "low-id", "high-id",
+ * "locality" or "variation-aware". Returns NULL on failure and, when
+ * error_out is non-NULL, a malloc'd message the caller must free with
+ * reapi_free_string. */
+reapi_ctx_t* reapi_create(const char* grug_text, const char* policy,
+                          char** error_out);
+
+void reapi_destroy(reapi_ctx_t* ctx);
+
+/* Match a YAML jobspec at time `now`. On success fills jobid_out,
+ * at_out and reserved_out, and (if rlite_out is non-NULL) the R-lite
+ * JSON of the selected resource set. */
+reapi_status_t reapi_match(reapi_ctx_t* ctx, reapi_match_op_t op,
+                           const char* jobspec_yaml, int64_t now,
+                           uint64_t* jobid_out, int64_t* at_out,
+                           int* reserved_out, char** rlite_out);
+
+/* Release a job's resources. */
+reapi_status_t reapi_cancel(reapi_ctx_t* ctx, uint64_t jobid);
+
+/* Look up a live job; fills at_out/duration_out/reserved_out. */
+reapi_status_t reapi_info(reapi_ctx_t* ctx, uint64_t jobid, int64_t* at_out,
+                          int64_t* duration_out, int* reserved_out);
+
+/* Live (allocated or reserved) job count. */
+uint64_t reapi_job_count(const reapi_ctx_t* ctx);
+
+/* Free a string returned through an out-parameter. */
+void reapi_free_string(char* s);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* FLUXION_CAPI_REAPI_H */

@@ -1,0 +1,50 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+
+namespace fluxion::graph {
+
+namespace {
+void walk(const ResourceGraph& g, VertexId v, std::size_t depth,
+          GraphStats& stats) {
+  const Vertex& vx = g.vertex(v);
+  ++stats.vertices;
+  stats.depth = std::max(stats.depth, depth);
+  stats.type_vertices[g.type_name(vx.type)] += 1;
+  stats.type_units[g.type_name(vx.type)] += vx.size;
+  const auto children = g.containment_children(v);
+  if (children.empty()) {
+    ++stats.leaves;
+    return;
+  }
+  stats.edges += children.size();
+  for (VertexId c : children) walk(g, c, depth + 1, stats);
+}
+}  // namespace
+
+GraphStats compute_stats(const ResourceGraph& g, VertexId root) {
+  GraphStats stats;
+  if (root < g.vertex_count() && g.vertex(root).alive) {
+    walk(g, root, 1, stats);
+  }
+  return stats;
+}
+
+std::string render_stats(const GraphStats& stats) {
+  std::string out;
+  out += "vertices: " + std::to_string(stats.vertices) +
+         ", containment edges: " + std::to_string(stats.edges) +
+         ", depth: " + std::to_string(stats.depth) +
+         ", leaves: " + std::to_string(stats.leaves) + "\n";
+  for (const auto& [type, count] : stats.type_vertices) {
+    out += "  " + type + ": " + std::to_string(count) + " vertices";
+    const auto units = stats.type_units.at(type);
+    if (units != static_cast<std::int64_t>(count)) {
+      out += " (" + std::to_string(units) + " units)";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fluxion::graph

@@ -1,0 +1,31 @@
+// Structural statistics over a resource graph — what `resource-query`'s
+// `info` prints and what sizing/LOD studies compare (paper §6.1 discusses
+// exactly these trade-offs: vertex counts vs schedulable granularity).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "graph/resource_graph.hpp"
+
+namespace fluxion::graph {
+
+struct GraphStats {
+  std::size_t vertices = 0;        // live vertices in the subtree
+  std::size_t edges = 0;           // live containment edges
+  std::size_t depth = 0;           // containment depth (root = 1)
+  std::size_t leaves = 0;          // vertices without containment children
+  /// Live vertices per type name.
+  std::map<std::string, std::size_t> type_vertices;
+  /// Schedulable units per type name (pool sizes summed).
+  std::map<std::string, std::int64_t> type_units;
+};
+
+/// Collect stats over the containment subtree rooted at `root`.
+GraphStats compute_stats(const ResourceGraph& g, VertexId root);
+
+/// Human-readable rendering (one line per type, aligned).
+std::string render_stats(const GraphStats& stats);
+
+}  // namespace fluxion::graph

@@ -1,0 +1,276 @@
+#include "graph/resource_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fluxion::graph {
+
+using util::Errc;
+
+ResourceGraph::ResourceGraph(TimePoint plan_start, Duration horizon)
+    : plan_start_(plan_start), horizon_(horizon) {
+  containment_ = subsystems_.intern("containment");
+  contains_ = relations_.intern("contains");
+  in_ = relations_.intern("in");
+  subsystem_filter_.push_back(containment_);
+}
+
+VertexId ResourceGraph::add_vertex(std::string_view type,
+                                   std::string_view basename,
+                                   std::int64_t id_within_parent,
+                                   std::int64_t size) {
+  return add_vertex_named(
+      type, basename,
+      std::string(basename) + std::to_string(id_within_parent), size);
+}
+
+VertexId ResourceGraph::add_vertex_named(std::string_view type,
+                                         std::string_view basename,
+                                         std::string_view name,
+                                         std::int64_t size) {
+  assert(size >= 0);
+  const VertexId id = static_cast<VertexId>(vertices_.size());
+  Vertex v;
+  v.id = id;
+  v.type = types_.intern(type);
+  v.basename = std::string(basename);
+  v.name = std::string(name);
+  v.size = size;
+  v.uniq_id = next_uniq_id_++;
+  v.path = "/" + v.name;
+  v.schedule = std::make_unique<planner::Planner>(plan_start_, horizon_, size,
+                                                  type);
+  v.x_checker = std::make_unique<planner::Planner>(plan_start_, horizon_,
+                                                   kSharedUseMax, "shared-use");
+  vertices_.push_back(std::move(v));
+  out_.emplace_back();
+  if (by_type_.size() <= vertices_.back().type) {
+    by_type_.resize(vertices_.back().type + 1);
+  }
+  by_type_[vertices_.back().type].push_back(id);
+  by_path_[vertices_.back().path] = id;
+  ++live_count_;
+  return id;
+}
+
+util::Status ResourceGraph::add_edge(VertexId src, VertexId dst,
+                                     InternId subsystem, InternId relation) {
+  if (src >= vertices_.size() || dst >= vertices_.size()) {
+    return util::Error{Errc::not_found, "add_edge: unknown vertex"};
+  }
+  if (!vertices_[src].alive || !vertices_[dst].alive) {
+    return util::Error{Errc::invalid_argument, "add_edge: dead vertex"};
+  }
+  out_[src].push_back(Edge{dst, subsystem, relation});
+  ++edge_count_;
+  return util::Status::ok();
+}
+
+namespace {
+void repath(ResourceGraph& g, VertexId v,
+            std::unordered_map<std::string, VertexId>& by_path,
+            const std::string& parent_path) {
+  Vertex& vx = g.vertex(v);
+  // Only drop the registration if it is really ours: a sibling created
+  // later may have transiently reused the same pre-containment path.
+  if (auto it = by_path.find(vx.path);
+      it != by_path.end() && it->second == v) {
+    by_path.erase(it);
+  }
+  vx.path = parent_path + "/" + vx.name;
+  by_path[vx.path] = v;
+  for (VertexId c : g.containment_children(v)) {
+    repath(g, c, by_path, vx.path);
+  }
+}
+}  // namespace
+
+util::Status ResourceGraph::add_containment(VertexId parent, VertexId child) {
+  if (parent >= vertices_.size() || child >= vertices_.size()) {
+    return util::Error{Errc::not_found, "add_containment: unknown vertex"};
+  }
+  if (vertices_[child].containment_parent != kInvalidVertex) {
+    return util::Error{Errc::exists, "add_containment: child already placed"};
+  }
+  if (auto st = add_edge(parent, child, containment_, contains_); !st) {
+    return st;
+  }
+  if (auto st = add_edge(child, parent, containment_, in_); !st) return st;
+  vertices_[child].containment_parent = parent;
+  repath(*this, child, by_path_, vertices_[parent].path);
+  return util::Status::ok();
+}
+
+util::Status ResourceGraph::install_filter(VertexId v,
+                                           const std::vector<InternId>&
+                                               types) {
+  if (v >= vertices_.size()) {
+    return util::Error{Errc::not_found, "install_filter: unknown vertex"};
+  }
+  if (vertices_[v].filter != nullptr) {
+    return util::Error{Errc::exists, "install_filter: filter already set"};
+  }
+  auto counts = subtree_counts(v);
+  auto filter = std::make_unique<planner::PlannerMulti>(plan_start_, horizon_);
+  for (InternId t : types) {
+    const auto it = counts.find(t);
+    const std::int64_t total = it == counts.end() ? 0 : it->second;
+    if (auto r = filter->add_resource(types_.name(t), total); !r) {
+      return r.error();
+    }
+  }
+  vertices_[v].filter = std::move(filter);
+  return util::Status::ok();
+}
+
+std::vector<VertexId> ResourceGraph::children(VertexId v, InternId subsystem,
+                                              InternId relation) const {
+  std::vector<VertexId> out;
+  for (const Edge& e : out_[v]) {
+    if (e.subsystem == subsystem && e.relation == relation &&
+        vertices_[e.dst].alive) {
+      out.push_back(e.dst);
+    }
+  }
+  return out;
+}
+
+std::vector<VertexId> ResourceGraph::containment_children(VertexId v) const {
+  return children(v, containment_, contains_);
+}
+
+std::vector<VertexId> ResourceGraph::vertices_of_type(InternId type) const {
+  std::vector<VertexId> out;
+  if (type >= by_type_.size()) return out;
+  for (VertexId v : by_type_[type]) {
+    if (vertices_[v].alive) out.push_back(v);
+  }
+  return out;
+}
+
+std::optional<VertexId> ResourceGraph::find_by_path(
+    std::string_view path) const {
+  auto it = by_path_.find(std::string(path));
+  if (it == by_path_.end() || !vertices_[it->second].alive) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void ResourceGraph::collect_subtree(VertexId v,
+                                    std::vector<VertexId>& out) const {
+  out.push_back(v);
+  for (VertexId c : containment_children(v)) collect_subtree(c, out);
+}
+
+std::map<InternId, std::int64_t> ResourceGraph::subtree_counts(
+    VertexId v) const {
+  std::map<InternId, std::int64_t> counts;
+  std::vector<VertexId> subtree;
+  collect_subtree(v, subtree);
+  for (VertexId u : subtree) counts[vertices_[u].type] += vertices_[u].size;
+  return counts;
+}
+
+util::Status ResourceGraph::resize_ancestor_filters(
+    VertexId from, const std::map<InternId, std::int64_t>& delta, bool grow) {
+  for (VertexId a = from; a != kInvalidVertex;
+       a = vertices_[a].containment_parent) {
+    planner::PlannerMulti* filter = vertices_[a].filter.get();
+    if (filter == nullptr) continue;
+    for (const auto& [type, count] : delta) {
+      auto idx = filter->index_of(types_.name(type));
+      if (!idx) continue;
+      planner::Planner& p = filter->planner_at(*idx);
+      const std::int64_t next =
+          grow ? p.total() + count : p.total() - count;
+      if (auto st = p.resize_total(next); !st) return st;
+    }
+  }
+  return util::Status::ok();
+}
+
+util::Status ResourceGraph::detach_subtree(VertexId v) {
+  if (v >= vertices_.size() || !vertices_[v].alive) {
+    return util::Error{Errc::not_found, "detach_subtree: unknown vertex"};
+  }
+  std::vector<VertexId> subtree;
+  collect_subtree(v, subtree);
+  for (VertexId u : subtree) {
+    if (vertices_[u].schedule->span_count() != 0 ||
+        vertices_[u].x_checker->span_count() != 0) {
+      return util::Error{Errc::resource_busy,
+                         "detach_subtree: vertex has active allocations"};
+    }
+  }
+  const auto counts = subtree_counts(v);
+  const VertexId parent = vertices_[v].containment_parent;
+  if (parent != kInvalidVertex) {
+    if (auto st = resize_ancestor_filters(parent, counts, /*grow=*/false);
+        !st) {
+      return st;
+    }
+    auto& edges = out_[parent];
+    std::erase_if(edges, [&](const Edge& e) {
+      return e.dst == v && e.subsystem == containment_;
+    });
+  }
+  for (VertexId u : subtree) {
+    vertices_[u].alive = false;
+    by_path_.erase(vertices_[u].path);
+    --live_count_;
+  }
+  return util::Status::ok();
+}
+
+util::Status ResourceGraph::attach_subtree(VertexId parent,
+                                           VertexId subtree_root) {
+  if (parent >= vertices_.size() || subtree_root >= vertices_.size() ||
+      !vertices_[parent].alive || !vertices_[subtree_root].alive) {
+    return util::Error{Errc::not_found, "attach_subtree: unknown vertex"};
+  }
+  if (auto st = add_containment(parent, subtree_root); !st) return st;
+  const auto counts = subtree_counts(subtree_root);
+  return resize_ancestor_filters(parent, counts, /*grow=*/true);
+}
+
+void ResourceGraph::set_subsystem_filter(std::vector<InternId> subsystems) {
+  if (subsystems.empty()) subsystems.push_back(containment_);
+  subsystem_filter_ = std::move(subsystems);
+}
+
+bool ResourceGraph::subsystem_visible(InternId subsystem) const {
+  return std::find(subsystem_filter_.begin(), subsystem_filter_.end(),
+                   subsystem) != subsystem_filter_.end();
+}
+
+bool ResourceGraph::validate() const {
+  for (const Vertex& v : vertices_) {
+    if (!v.alive) continue;
+    if (v.schedule == nullptr || v.x_checker == nullptr) return false;
+    if (v.schedule->total() != v.size) return false;
+    // Path registration must round-trip.
+    auto it = by_path_.find(v.path);
+    if (it == by_path_.end() || it->second != v.id) return false;
+    if (v.containment_parent != kInvalidVertex) {
+      const Vertex& p = vertices_[v.containment_parent];
+      if (!p.alive) return false;
+      if (v.path != p.path + "/" + v.name) return false;
+    }
+    // Pruning filter totals must equal current subtree capacity.
+    if (v.filter != nullptr) {
+      const auto counts = subtree_counts(v.id);
+      for (std::size_t i = 0; i < v.filter->resource_count(); ++i) {
+        const planner::Planner& p = v.filter->planner_at(i);
+        const auto type = types_.find(p.resource_type());
+        if (!type) return false;
+        const auto it2 = counts.find(*type);
+        const std::int64_t want = it2 == counts.end() ? 0 : it2->second;
+        if (p.total() != want) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace fluxion::graph

@@ -1,0 +1,205 @@
+#include "grug/grug.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace fluxion::grug {
+
+using util::Errc;
+
+namespace {
+
+struct Line {
+  std::size_t indent;
+  std::string_view text;
+  int lineno;
+};
+
+util::Expected<LevelSpec> parse_level(std::string_view text, int lineno) {
+  LevelSpec spec;
+  bool first = true;
+  for (std::string_view tok : util::split(text, ' ')) {
+    tok = util::trim(tok);
+    if (tok.empty()) continue;
+    if (first) {
+      if (!util::is_identifier(tok)) {
+        return util::Error{Errc::parse_error,
+                           "grug:" + std::to_string(lineno) +
+                               ": bad type name '" + std::string(tok) + "'"};
+      }
+      spec.type = std::string(tok);
+      first = false;
+      continue;
+    }
+    const auto eq = tok.find('=');
+    if (eq == std::string_view::npos) {
+      return util::Error{Errc::parse_error,
+                         "grug:" + std::to_string(lineno) +
+                             ": expected key=value, got '" + std::string(tok) +
+                             "'"};
+    }
+    const auto key = tok.substr(0, eq);
+    const auto value = util::parse_i64(tok.substr(eq + 1));
+    if (!value || *value <= 0) {
+      return util::Error{Errc::parse_error,
+                         "grug:" + std::to_string(lineno) +
+                             ": value for '" + std::string(key) +
+                             "' must be a positive integer"};
+    }
+    if (key == "count") {
+      spec.count = *value;
+    } else if (key == "size") {
+      spec.size = *value;
+    } else {
+      return util::Error{Errc::parse_error,
+                         "grug:" + std::to_string(lineno) + ": unknown key '" +
+                             std::string(key) + "'"};
+    }
+  }
+  if (first) {
+    return util::Error{Errc::parse_error,
+                       "grug:" + std::to_string(lineno) + ": empty level"};
+  }
+  return spec;
+}
+
+/// Parse the children of `parent` — the consecutive run of lines more
+/// indented than `parent_indent`, all sharing the same indent.
+util::Status parse_children(const std::vector<Line>& lines, std::size_t& i,
+                            std::size_t parent_indent, LevelSpec& parent) {
+  if (i >= lines.size() || lines[i].indent <= parent_indent) {
+    return util::Status::ok();
+  }
+  const std::size_t child_indent = lines[i].indent;
+  while (i < lines.size() && lines[i].indent > parent_indent) {
+    if (lines[i].indent != child_indent) {
+      return util::Error{Errc::parse_error,
+                         "grug:" + std::to_string(lines[i].lineno) +
+                             ": inconsistent indentation"};
+    }
+    auto level = parse_level(lines[i].text, lines[i].lineno);
+    if (!level) return level.error();
+    ++i;
+    if (auto st = parse_children(lines, i, child_indent, *level); !st) {
+      return st;
+    }
+    parent.children.push_back(std::move(*level));
+  }
+  return util::Status::ok();
+}
+
+}  // namespace
+
+util::Expected<Recipe> parse(std::string_view text) {
+  Recipe recipe;
+  std::vector<Line> lines;
+  int lineno = 0;
+  for (std::string_view raw : util::split_lines(text)) {
+    ++lineno;
+    if (raw.find('\t') != std::string_view::npos) {
+      return util::Error{Errc::parse_error,
+                         "grug:" + std::to_string(lineno) + ": tab character"};
+    }
+    const std::size_t ind = util::indent_of(raw);
+    std::string_view content = util::trim(raw.substr(ind));
+    if (content.empty() || content.front() == '#') continue;
+    if (util::starts_with(content, "filters ") || content == "filters") {
+      for (auto t : util::split(content.substr(7), ' ')) {
+        if (!util::trim(t).empty()) {
+          recipe.filter_types.emplace_back(util::trim(t));
+        }
+      }
+      continue;
+    }
+    if (util::starts_with(content, "filter-at ") || content == "filter-at") {
+      for (auto t : util::split(content.substr(9), ' ')) {
+        if (!util::trim(t).empty()) {
+          recipe.filter_at.emplace_back(util::trim(t));
+        }
+      }
+      continue;
+    }
+    lines.push_back({ind, content, lineno});
+  }
+  if (lines.empty()) {
+    return util::Error{Errc::parse_error, "grug: no resource levels"};
+  }
+  auto root = parse_level(lines[0].text, lines[0].lineno);
+  if (!root) return root.error();
+  if (root->count != 1) {
+    return util::Error{Errc::parse_error,
+                       "grug: the root level must have count=1"};
+  }
+  std::size_t i = 1;
+  if (auto st = parse_children(lines, i, lines[0].indent, *root); !st) {
+    return st.error();
+  }
+  if (i != lines.size()) {
+    return util::Error{Errc::parse_error,
+                       "grug:" + std::to_string(lines[i].lineno) +
+                           ": content after the root subtree"};
+  }
+  recipe.root = std::move(*root);
+  return recipe;
+}
+
+namespace {
+
+struct BuildCtx {
+  graph::ResourceGraph* g;
+  const Recipe* recipe;
+  std::vector<util::InternId> filter_types;
+  // Global per-type instance counters give every vertex a distinct name
+  // component (node0..node1007 across the whole system).
+  std::unordered_map<std::string, std::int64_t> instance_counters;
+};
+
+util::Expected<graph::VertexId> build_level(BuildCtx& ctx,
+                                            const LevelSpec& spec) {
+  const std::int64_t seq = ctx.instance_counters[spec.type]++;
+  const graph::VertexId v =
+      ctx.g->add_vertex(spec.type, spec.type, seq, spec.size);
+  for (const LevelSpec& child : spec.children) {
+    for (std::int64_t i = 0; i < child.count; ++i) {
+      auto c = build_level(ctx, child);
+      if (!c) return c;
+      if (auto st = ctx.g->add_containment(v, *c); !st) return st.error();
+    }
+  }
+  const bool wants_filter =
+      !ctx.filter_types.empty() &&
+      std::find(ctx.recipe->filter_at.begin(), ctx.recipe->filter_at.end(),
+                spec.type) != ctx.recipe->filter_at.end();
+  if (wants_filter) {
+    if (auto st = ctx.g->install_filter(v, ctx.filter_types); !st) {
+      return st.error();
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+util::Expected<graph::VertexId> build(graph::ResourceGraph& g,
+                                      const Recipe& recipe) {
+  BuildCtx ctx{&g, &recipe, {}, {}};
+  for (const std::string& t : recipe.filter_types) {
+    ctx.filter_types.push_back(g.intern_type(t));
+  }
+  return build_level(ctx, recipe.root);
+}
+
+namespace {
+std::int64_t count_level(const LevelSpec& spec) {
+  std::int64_t n = 1;
+  for (const LevelSpec& c : spec.children) n += c.count * count_level(c);
+  return n;
+}
+}  // namespace
+
+std::int64_t vertex_count(const Recipe& recipe) {
+  return count_level(recipe.root);
+}
+
+}  // namespace fluxion::grug

@@ -1,0 +1,60 @@
+// GRUG: Generating Resources Using a Graph recipe (paper §6.1).
+//
+// The paper's resource-query utility reads a GraphML-based GRUG file that
+// describes a system as nested resource levels and populates the resource
+// graph store from it. This module keeps the same semantics — per-parent
+// instance counts, pool sizes, pruning-filter placement — behind a compact
+// indentation-based text format plus a programmatic builder:
+//
+//   # 1008-node system, High LOD
+//   filters core
+//   filter-at cluster rack
+//   cluster count=1
+//     rack count=56
+//       node count=18
+//         socket count=2
+//           core count=20
+//           gpu count=2
+//           memory count=8 size=16
+//           bb count=8 size=100
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/resource_graph.hpp"
+#include "util/expected.hpp"
+
+namespace fluxion::grug {
+
+/// One level of the containment hierarchy: `count` instances per parent,
+/// each a pool of `size` units.
+struct LevelSpec {
+  std::string type;
+  std::int64_t count = 1;
+  std::int64_t size = 1;
+  std::vector<LevelSpec> children;
+};
+
+struct Recipe {
+  LevelSpec root;
+  /// Resource types tracked by pruning filters (empty = no pruning).
+  std::vector<std::string> filter_types;
+  /// Vertex types at which filters are installed (e.g. cluster, rack).
+  std::vector<std::string> filter_at;
+};
+
+/// Parse the text format above. Errors carry 1-based line numbers.
+util::Expected<Recipe> parse(std::string_view text);
+
+/// Instantiate the recipe into `g`; returns the root vertex. Pruning
+/// filters are installed bottom-up once each subtree is complete.
+util::Expected<graph::VertexId> build(graph::ResourceGraph& g,
+                                      const Recipe& recipe);
+
+/// Total vertices the recipe would create (sanity/benchmark sizing).
+std::int64_t vertex_count(const Recipe& recipe);
+
+}  // namespace fluxion::grug

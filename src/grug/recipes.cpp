@@ -1,0 +1,83 @@
+#include "grug/recipes.hpp"
+
+namespace fluxion::grug::recipes {
+
+namespace {
+void set_pruning(Recipe& r, bool prune) {
+  if (!prune) return;
+  // The paper's §6.1 experiment configures the pruning filter with the
+  // core resource type at the higher-level vertices.
+  r.filter_types = {"core"};
+  r.filter_at = {"cluster", "rack"};
+}
+}  // namespace
+
+Recipe high_lod(bool prune, int racks, int nodes_per_rack) {
+  Recipe r;
+  LevelSpec socket{"socket", 2, 1, {
+                       LevelSpec{"core", 20, 1, {}},
+                       LevelSpec{"gpu", 2, 1, {}},
+                       LevelSpec{"memory", 8, 16, {}},
+                       LevelSpec{"bb", 8, 100, {}},
+                   }};
+  LevelSpec node{"node", nodes_per_rack, 1, {socket}};
+  LevelSpec rack{"rack", racks, 1, {node}};
+  r.root = LevelSpec{"cluster", 1, 1, {rack}};
+  set_pruning(r, prune);
+  return r;
+}
+
+Recipe med_lod(bool prune, int racks, int nodes_per_rack) {
+  Recipe r;
+  LevelSpec node{"node", nodes_per_rack, 1, {
+                     LevelSpec{"core", 40, 1, {}},
+                     LevelSpec{"gpu", 4, 1, {}},
+                     LevelSpec{"memory", 8, 32, {}},
+                     LevelSpec{"bb", 8, 200, {}},
+                 }};
+  LevelSpec rack{"rack", racks, 1, {node}};
+  r.root = LevelSpec{"cluster", 1, 1, {rack}};
+  set_pruning(r, prune);
+  return r;
+}
+
+namespace {
+LevelSpec low_node(int count) {
+  return LevelSpec{"node", count, 1, {
+                       LevelSpec{"core", 8, 5, {}},  // 8 pools of 5 cores
+                       LevelSpec{"gpu", 4, 1, {}},
+                       LevelSpec{"memory", 4, 64, {}},
+                       LevelSpec{"bb", 4, 400, {}},
+                   }};
+}
+}  // namespace
+
+Recipe low_lod(bool prune, int nodes) {
+  Recipe r;
+  r.root = LevelSpec{"cluster", 1, 1, {low_node(nodes)}};
+  if (prune) {
+    r.filter_types = {"core"};
+    r.filter_at = {"cluster"};  // no rack level to prune at
+  }
+  return r;
+}
+
+Recipe low2_lod(bool prune, int racks, int nodes_per_rack) {
+  Recipe r;
+  LevelSpec rack{"rack", racks, 1, {low_node(nodes_per_rack)}};
+  r.root = LevelSpec{"cluster", 1, 1, {rack}};
+  set_pruning(r, prune);
+  return r;
+}
+
+Recipe quartz(bool prune, int racks, int nodes_per_rack, int cores_per_node) {
+  Recipe r;
+  LevelSpec node{"node", nodes_per_rack, 1,
+                 {LevelSpec{"core", cores_per_node, 1, {}}}};
+  LevelSpec rack{"rack", racks, 1, {node}};
+  r.root = LevelSpec{"cluster", 1, 1, {rack}};
+  set_pruning(r, prune);
+  return r;
+}
+
+}  // namespace fluxion::grug::recipes

@@ -1,0 +1,27 @@
+// Canned recipes reproducing the paper's evaluation systems.
+#pragma once
+
+#include "grug/grug.hpp"
+
+namespace fluxion::grug::recipes {
+
+/// §6.1 High LOD: cluster -> 56 racks -> 18 nodes -> 2 sockets ->
+/// {20 cores, 2 gpus, 8x16GB memory, 8x100GB burst buffer}. 1008 nodes.
+Recipe high_lod(bool prune = false, int racks = 56, int nodes_per_rack = 18);
+
+/// §6.1 Med LOD: sockets removed; per node {40 cores, 4 gpus, 8x32GB
+/// memory, 8x200GB bb}.
+Recipe med_lod(bool prune = false, int racks = 56, int nodes_per_rack = 18);
+
+/// §6.1 Low LOD: racks removed; cores federated into pools of 5; per node
+/// {8x5-core pools, 4 gpus, 4x64GB memory, 4x400GB bb}.
+Recipe low_lod(bool prune = false, int nodes = 1008);
+
+/// §6.1 Low2 LOD: identical to Low but rack vertices kept.
+Recipe low2_lod(bool prune = false, int racks = 56, int nodes_per_rack = 18);
+
+/// §6.3 quartz-like system: 39 racks x 62 nodes, 36 cores per node.
+Recipe quartz(bool prune = true, int racks = 39, int nodes_per_rack = 62,
+              int cores_per_node = 36);
+
+}  // namespace fluxion::grug::recipes

@@ -1,0 +1,167 @@
+#include "hier/instance.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "writers/jgf.hpp"
+#include "writers/json.hpp"
+
+namespace fluxion::hier {
+
+using util::Errc;
+
+namespace {
+
+void emit_vertex(const graph::ResourceGraph& g, const graph::Vertex& v,
+                 std::int64_t units, writers::Json& nodes) {
+  writers::Json paths = writers::Json::object();
+  paths.set("containment", v.path);
+  writers::Json meta = writers::Json::object();
+  meta.set("type", g.type_name(v.type))
+      .set("basename", v.basename)
+      .set("name", v.name)
+      .set("uniq_id", v.uniq_id + 1)  // root reserves uniq_id 0
+      .set("size", units)
+      .set("paths", std::move(paths));
+  if (!v.properties.empty()) {
+    writers::Json props = writers::Json::object();
+    for (const auto& [k, val] : v.properties) props.set(k, val);
+    meta.set("properties", std::move(props));
+  }
+  writers::Json node = writers::Json::object();
+  node.set("id", std::to_string(v.id)).set("metadata", std::move(meta));
+  nodes.push(std::move(node));
+}
+
+void emit_edge(graph::VertexId src, graph::VertexId dst,
+               writers::Json& edges, const std::string& src_id = {}) {
+  writers::Json meta = writers::Json::object();
+  meta.set("subsystem", "containment").set("relation", "contains");
+  writers::Json edge = writers::Json::object();
+  edge.set("source", src_id.empty() ? std::to_string(src) : src_id)
+      .set("target", std::to_string(dst))
+      .set("metadata", std::move(meta));
+  edges.push(std::move(edge));
+}
+
+void emit_subtree(const graph::ResourceGraph& g, graph::VertexId v,
+                  writers::Json& nodes, writers::Json& edges) {
+  const graph::Vertex& vx = g.vertex(v);
+  emit_vertex(g, vx, vx.size, nodes);
+  for (graph::VertexId c : g.containment_children(v)) {
+    emit_edge(v, c, edges);
+    emit_subtree(g, c, nodes, edges);
+  }
+}
+
+}  // namespace
+
+std::string grant_to_jgf(const graph::ResourceGraph& g,
+                         const traverser::MatchResult& grant) {
+  writers::Json nodes = writers::Json::array();
+  writers::Json edges = writers::Json::array();
+
+  // Synthetic cluster root so the child has a single containment tree.
+  {
+    writers::Json paths = writers::Json::object();
+    paths.set("containment", "/cluster0");
+    writers::Json meta = writers::Json::object();
+    meta.set("type", "cluster")
+        .set("basename", "cluster")
+        .set("name", "cluster0")
+        .set("uniq_id", 0)
+        .set("size", 1)
+        .set("paths", std::move(paths));
+    writers::Json node = writers::Json::object();
+    node.set("id", "grant-root").set("metadata", std::move(meta));
+    nodes.push(std::move(node));
+  }
+
+  // Skip vertices whose selected ancestor already brings their subtree.
+  std::unordered_set<graph::VertexId> whole;
+  for (const auto& ru : grant.resources) {
+    if (ru.exclusive && ru.units == g.vertex(ru.vertex).size) {
+      whole.insert(ru.vertex);
+    }
+  }
+  auto covered = [&](graph::VertexId v) {
+    for (graph::VertexId a = g.vertex(v).containment_parent;
+         a != graph::kInvalidVertex; a = g.vertex(a).containment_parent) {
+      if (whole.contains(a)) return true;
+    }
+    return false;
+  };
+
+  for (const auto& ru : grant.resources) {
+    if (covered(ru.vertex)) continue;
+    if (whole.contains(ru.vertex)) {
+      emit_subtree(g, ru.vertex, nodes, edges);
+    } else {
+      // Quantity claim: the child sees a pool of exactly the granted units.
+      emit_vertex(g, g.vertex(ru.vertex), ru.units, nodes);
+    }
+    emit_edge(graph::kInvalidVertex, ru.vertex, edges, "grant-root");
+  }
+
+  writers::Json graph_obj = writers::Json::object();
+  graph_obj.set("nodes", std::move(nodes)).set("edges", std::move(edges));
+  writers::Json root = writers::Json::object();
+  root.set("graph", std::move(graph_obj));
+  return root.dump();
+}
+
+util::Expected<std::unique_ptr<Instance>> Instance::create_root(
+    const grug::Recipe& recipe, const core::Options& options) {
+  auto engine = core::ResourceQuery::create(recipe, options);
+  if (!engine) return engine.error();
+  auto inst = std::unique_ptr<Instance>(new Instance);
+  inst->engine_ = std::move(*engine);
+  return inst;
+}
+
+util::Expected<Instance*> Instance::spawn_child(
+    const jobspec::Jobspec& grant, const core::Options& child_options) {
+  auto alloc = engine_->match_allocate(grant);
+  if (!alloc) return alloc.error();
+  const std::string jgf = grant_to_jgf(engine_->graph(), *alloc);
+  // Children prune on the same types a quartz-style parent would.
+  auto child_engine = core::ResourceQuery::create_from_jgf(
+      jgf, child_options, {"node", "core"}, {"cluster"});
+  if (!child_engine) {
+    (void)engine_->cancel(alloc->job);
+    return child_engine.error();
+  }
+  auto child = std::unique_ptr<Instance>(new Instance);
+  child->engine_ = std::move(*child_engine);
+  child->parent_ = this;
+  child->grant_job_ = alloc->job;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+util::Status Instance::shutdown_child(Instance* child) {
+  auto it = std::find_if(children_.begin(), children_.end(),
+                         [&](const auto& c) { return c.get() == child; });
+  if (it == children_.end()) {
+    return util::Error{Errc::not_found, "shutdown_child: not my child"};
+  }
+  // Depth-first: grandchildren release their grants into the child, which
+  // is about to vanish anyway, but keeps every engine consistent.
+  while (!(*it)->children_.empty()) {
+    if (auto st = (*it)->shutdown_child((*it)->children_.back().get());
+        !st) {
+      return st;
+    }
+  }
+  if (auto st = engine_->cancel((*it)->grant_job_); !st) return st;
+  children_.erase(it);
+  return util::Status::ok();
+}
+
+std::size_t Instance::tree_size() const noexcept {
+  std::size_t n = 1;
+  for (const auto& c : children_) n += c->tree_size();
+  return n;
+}
+
+}  // namespace fluxion::hier

@@ -1,0 +1,321 @@
+#include "jobspec/jobspec.hpp"
+
+#include <map>
+
+#include "util/strings.hpp"
+#include "yaml/yaml.hpp"
+
+namespace fluxion::jobspec {
+
+using util::Errc;
+
+namespace {
+
+util::Expected<Resource> resource_from_node(const yaml::Node& n) {
+  if (!n.is_mapping()) {
+    return util::Error{Errc::invalid_argument,
+                       "jobspec: resource entry must be a mapping"};
+  }
+  Resource r;
+  const yaml::Node* type = n.get("type");
+  if (type == nullptr || !type->is_scalar()) {
+    return util::Error{Errc::invalid_argument,
+                       "jobspec: resource needs a scalar 'type'"};
+  }
+  r.type = type->scalar();
+  if (const yaml::Node* count = n.get("count")) {
+    // Accept a plain integer and the canonical {min: N [, max: M]} form.
+    if (auto i = count->as_i64()) {
+      r.count = *i;
+    } else if (const yaml::Node* min = count->get("min")) {
+      auto m = min->as_i64();
+      if (!m) {
+        return util::Error{Errc::invalid_argument,
+                           "jobspec: count.min must be an integer"};
+      }
+      r.count = *m;
+      if (const yaml::Node* max = count->get("max")) {
+        auto mx = max->as_i64();
+        if (!mx) {
+          return util::Error{Errc::invalid_argument,
+                             "jobspec: count.max must be an integer"};
+        }
+        r.count_max = *mx;
+      }
+    } else {
+      return util::Error{Errc::invalid_argument,
+                         "jobspec: count must be an integer or {min: N}"};
+    }
+  }
+  if (const yaml::Node* ex = n.get("exclusive")) {
+    auto b = ex->as_bool();
+    if (!b) {
+      return util::Error{Errc::invalid_argument,
+                         "jobspec: exclusive must be a boolean"};
+    }
+    r.exclusive = *b;
+  }
+  if (const yaml::Node* label = n.get("label")) {
+    r.label = label->scalar();
+  }
+  if (const yaml::Node* req = n.get("requires")) {
+    if (!req->is_sequence()) {
+      return util::Error{Errc::invalid_argument,
+                         "jobspec: 'requires' must be a sequence"};
+    }
+    for (const yaml::Node& c : req->items()) {
+      if (!c.is_scalar() || c.scalar().empty()) {
+        return util::Error{Errc::invalid_argument,
+                           "jobspec: 'requires' entries must be strings"};
+      }
+      r.requires_.push_back(c.scalar());
+    }
+  }
+  if (const yaml::Node* with = n.get("with")) {
+    if (!with->is_sequence()) {
+      return util::Error{Errc::invalid_argument,
+                         "jobspec: 'with' must be a sequence"};
+    }
+    for (const yaml::Node& c : with->items()) {
+      auto child = resource_from_node(c);
+      if (!child) return child.error();
+      r.with.push_back(std::move(*child));
+    }
+  }
+  return r;
+}
+
+/// Validates slot placement: returns the number of slots on every
+/// root-to-leaf path through r (must be uniform), or -1 on violation.
+int slot_depth(const Resource& r, util::Status& status) {
+  if (!status) return -1;
+  const int self = r.is_slot() ? 1 : 0;
+  if (r.is_slot() && r.with.empty()) {
+    status = util::Error{Errc::invalid_argument,
+                         "jobspec: slot must contain resources"};
+    return -1;
+  }
+  if (r.with.empty()) return self;
+  int depth = -2;
+  for (const Resource& c : r.with) {
+    const int d = slot_depth(c, status);
+    if (!status) return -1;
+    if (depth == -2) {
+      depth = d;
+    } else if (depth != d) {
+      status = util::Error{
+          Errc::invalid_argument,
+          "jobspec: inconsistent slot placement across branches"};
+      return -1;
+    }
+  }
+  if (self + depth > 1) {
+    status = util::Error{Errc::invalid_argument,
+                         "jobspec: nested slots are not allowed"};
+    return -1;
+  }
+  return self + depth;
+}
+
+void accumulate(const Resource& r, std::int64_t multiplier,
+                std::map<std::string, std::int64_t>& counts) {
+  const std::int64_t total = multiplier * r.count;
+  if (!r.is_slot()) counts[r.type] += total;
+  for (const Resource& c : r.with) accumulate(c, total, counts);
+}
+
+void emit_resource(const Resource& r, int indent, std::string& out) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  out += pad + "- type: " + r.type + "\n";
+  if (r.count_max > 0) {
+    out += pad + "  count: {min: " + std::to_string(r.count) +
+           ", max: " + std::to_string(r.count_max) + "}\n";
+  } else {
+    out += pad + "  count: " + std::to_string(r.count) + "\n";
+  }
+  if (r.exclusive) out += pad + "  exclusive: true\n";
+  if (!r.label.empty()) out += pad + "  label: " + r.label + "\n";
+  if (!r.requires_.empty()) {
+    out += pad + "  requires: [";
+    for (std::size_t i = 0; i < r.requires_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += r.requires_[i];
+    }
+    out += "]\n";
+  }
+  if (!r.with.empty()) {
+    out += pad + "  with:\n";
+    for (const Resource& c : r.with) emit_resource(c, indent + 4, out);
+  }
+}
+
+util::Status validate_resource(const Resource& r) {
+  if (r.count < 1) {
+    return util::Error{Errc::invalid_argument,
+                       "jobspec: count must be >= 1 for '" + r.type + "'"};
+  }
+  if (r.count_max != 0 && r.count_max < r.count) {
+    return util::Error{Errc::invalid_argument,
+                       "jobspec: count.max < count.min for '" + r.type +
+                           "'"};
+  }
+  if (!util::is_identifier(r.type)) {
+    return util::Error{Errc::invalid_argument,
+                       "jobspec: bad resource type '" + r.type + "'"};
+  }
+  for (const Resource& c : r.with) {
+    if (auto st = validate_resource(c); !st) return st;
+  }
+  return util::Status::ok();
+}
+
+}  // namespace
+
+util::Expected<Jobspec> Jobspec::from_yaml(std::string_view text) {
+  auto doc = yaml::parse(text);
+  if (!doc) return doc.error();
+  if (!doc->is_mapping()) {
+    return util::Error{Errc::invalid_argument,
+                       "jobspec: document must be a mapping"};
+  }
+  Jobspec js;
+  if (const yaml::Node* v = doc->get("version")) {
+    auto i = v->as_i64();
+    if (!i) {
+      return util::Error{Errc::invalid_argument,
+                         "jobspec: version must be an integer"};
+    }
+    js.version = static_cast<int>(*i);
+  }
+  const yaml::Node* resources = doc->get("resources");
+  if (resources == nullptr || !resources->is_sequence()) {
+    return util::Error{Errc::invalid_argument,
+                       "jobspec: missing 'resources' sequence"};
+  }
+  for (const yaml::Node& n : resources->items()) {
+    auto r = resource_from_node(n);
+    if (!r) return r.error();
+    js.resources.push_back(std::move(*r));
+  }
+  if (const yaml::Node* attrs = doc->get("attributes")) {
+    if (const yaml::Node* system = attrs->get("system")) {
+      if (const yaml::Node* d = system->get("duration")) {
+        auto i = d->as_i64();
+        if (!i || *i <= 0) {
+          return util::Error{Errc::invalid_argument,
+                             "jobspec: duration must be a positive integer"};
+        }
+        js.duration = *i;
+      }
+    }
+    if (const yaml::Node* user = attrs->get("user")) {
+      if (!user->is_mapping()) {
+        return util::Error{Errc::invalid_argument,
+                           "jobspec: attributes.user must be a mapping"};
+      }
+      for (const auto& [k, v] : user->entries()) {
+        if (!v.is_scalar()) {
+          return util::Error{Errc::invalid_argument,
+                             "jobspec: attributes.user values must be "
+                             "scalars"};
+        }
+        js.user_attributes[k] = v.scalar();
+      }
+    }
+  }
+  if (auto st = js.validate(); !st) return st.error();
+  return js;
+}
+
+std::string Jobspec::to_yaml() const {
+  std::string out = "version: " + std::to_string(version) + "\n";
+  out += "resources:\n";
+  for (const Resource& r : resources) emit_resource(r, 2, out);
+  out += "attributes:\n  system:\n    duration: " +
+         std::to_string(duration) + "\n";
+  if (!user_attributes.empty()) {
+    out += "  user:\n";
+    for (const auto& [k, v] : user_attributes) {
+      out += "    " + k + ": '" + v + "'\n";
+    }
+  }
+  return out;
+}
+
+util::Status Jobspec::validate() const {
+  if (resources.empty()) {
+    return util::Error{Errc::invalid_argument, "jobspec: no resources"};
+  }
+  if (duration <= 0) {
+    return util::Error{Errc::invalid_argument,
+                       "jobspec: duration must be positive"};
+  }
+  util::Status status = util::Status::ok();
+  for (const Resource& r : resources) {
+    if (auto st = validate_resource(r); !st) return st;
+    const int depth = slot_depth(r, status);
+    if (!status) return status;
+    if (depth != 1) {
+      return util::Error{
+          Errc::invalid_argument,
+          "jobspec: every branch must pass through exactly one slot"};
+    }
+  }
+  return util::Status::ok();
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Jobspec::aggregate_counts()
+    const {
+  std::map<std::string, std::int64_t> counts;
+  for (const Resource& r : resources) accumulate(r, 1, counts);
+  return {counts.begin(), counts.end()};
+}
+
+Resource res(std::string type, std::int64_t count,
+             std::vector<Resource> with) {
+  Resource r;
+  r.type = std::move(type);
+  r.count = count;
+  r.with = std::move(with);
+  return r;
+}
+
+Resource res_range(std::string type, std::int64_t min, std::int64_t max,
+                   std::vector<Resource> with) {
+  Resource r = res(std::move(type), min, std::move(with));
+  r.count_max = max;
+  return r;
+}
+
+Resource xres(std::string type, std::int64_t count,
+              std::vector<Resource> with) {
+  Resource r = res(std::move(type), count, std::move(with));
+  r.exclusive = true;
+  return r;
+}
+
+Resource slot(std::int64_t count, std::vector<Resource> with,
+              std::string label) {
+  Resource r;
+  r.type = std::string(kSlotType);
+  r.count = count;
+  r.label = std::move(label);
+  r.with = std::move(with);
+  return r;
+}
+
+Resource require(Resource r, std::vector<std::string> constraints) {
+  r.requires_ = std::move(constraints);
+  return r;
+}
+
+util::Expected<Jobspec> make(std::vector<Resource> resources,
+                             util::Duration duration) {
+  Jobspec js;
+  js.resources = std::move(resources);
+  js.duration = duration;
+  if (auto st = js.validate(); !st) return st.error();
+  return js;
+}
+
+}  // namespace fluxion::jobspec

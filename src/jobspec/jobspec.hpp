@@ -1,0 +1,113 @@
+// Flux canonical jobspec: the abstract resource request graph (paper §4.2).
+//
+// A jobspec's resource section is a tree of typed resource requests. The
+// virtual `slot` vertex marks the unit of program containment: everything
+// beneath a slot is exclusively allocated to the job, `count` times per
+// matched parent. Resources above the slot are shared unless explicitly
+// marked exclusive.
+//
+// Example (paper Figure 4a — node-local constraints):
+//
+//   version: 1
+//   resources:
+//     - type: node
+//       count: 1
+//       with:
+//         - type: slot
+//           count: 1
+//           label: default
+//           with:
+//             - type: socket
+//               count: 2
+//               with:
+//                 - type: core
+//                   count: 5
+//                 - type: gpu
+//                   count: 1
+//                 - type: memory
+//                   count: 16
+//   attributes:
+//     system:
+//       duration: 3600
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/expected.hpp"
+#include "util/time.hpp"
+
+namespace fluxion::jobspec {
+
+inline constexpr std::string_view kSlotType = "slot";
+
+/// One resource request vertex.
+struct Resource {
+  std::string type;
+  std::int64_t count = 1;      // required minimum
+  /// Moldability (paper §5.5): when > count, the matcher claims up to
+  /// this many if available (YAML `count: {min: N, max: M}`). 0 = exact.
+  std::int64_t count_max = 0;
+  bool exclusive = false;
+  std::string label;  // meaningful for slots
+  /// Property constraints: each entry is "key" (property must exist) or
+  /// "key=value" (must match exactly). E.g. requires: [perf_class=1].
+  std::vector<std::string> requires_;
+  std::vector<Resource> with;
+
+  bool is_slot() const noexcept { return type == kSlotType; }
+};
+
+struct Jobspec {
+  int version = 1;
+  std::vector<Resource> resources;
+  util::Duration duration = 3600;
+  /// Opaque user attributes (attributes.user.*), carried through
+  /// verbatim for the resource manager / tooling; scalars only.
+  std::map<std::string, std::string> user_attributes;
+
+  /// Parse + validate a YAML jobspec.
+  static util::Expected<Jobspec> from_yaml(std::string_view text);
+
+  /// Canonical YAML rendering (round-trips through from_yaml).
+  std::string to_yaml() const;
+
+  /// Structural rules: positive counts, identifier types, and exactly one
+  /// slot (with a non-empty body) on every root-to-leaf path.
+  util::Status validate() const;
+
+  /// Total demand per resource type for ONE instantiation of the request
+  /// tree (slot counts multiply through). Keyed by type name; slots are
+  /// not included.
+  std::vector<std::pair<std::string, std::int64_t>> aggregate_counts() const;
+};
+
+// --- programmatic builders -------------------------------------------------
+
+/// A typed, shareable resource request.
+Resource res(std::string type, std::int64_t count,
+             std::vector<Resource> with = {});
+
+/// A moldable request: at least `min`, up to `max` if available (§5.5).
+Resource res_range(std::string type, std::int64_t min, std::int64_t max,
+                   std::vector<Resource> with = {});
+
+/// A typed resource request demanding exclusive allocation.
+Resource xres(std::string type, std::int64_t count,
+              std::vector<Resource> with = {});
+
+/// A slot: `count` exclusively-allocated copies of `with` per parent.
+Resource slot(std::int64_t count, std::vector<Resource> with,
+              std::string label = "task");
+
+/// Attach property constraints ("key" or "key=value") to a request.
+Resource require(Resource r, std::vector<std::string> constraints);
+
+/// Assemble and validate a jobspec.
+util::Expected<Jobspec> make(std::vector<Resource> resources,
+                             util::Duration duration);
+
+}  // namespace fluxion::jobspec

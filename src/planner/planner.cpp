@@ -1,0 +1,339 @@
+#include "planner/planner.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fluxion::planner {
+
+using util::Errc;
+
+namespace {
+/// Three-way compare of a probe time against a point's time.
+int cmp_time(TimePoint t, const ScheduledPoint& p) noexcept {
+  if (t < p.at) return -1;
+  if (t > p.at) return 1;
+  return 0;
+}
+}  // namespace
+
+Planner::Planner(TimePoint base, Duration horizon, std::int64_t total,
+                 std::string_view resource_type)
+    : base_(base),
+      horizon_(horizon),
+      total_(total),
+      resource_type_(resource_type) {
+  assert(horizon > 0);
+  assert(total >= 0);
+  // Pinned base point: the planner state is defined from base_time on.
+  auto p = std::make_unique<ScheduledPoint>();
+  p->at = base_;
+  p->in_use = 0;
+  p->remaining = total_;
+  p->ref_count = 1;  // never collected
+  p->et.point = p.get();
+  sp_tree_.insert(p.get());
+  et_tree_.insert(&p->et);
+  points_.emplace(base_, std::move(p));
+}
+
+Planner::~Planner() = default;
+
+ScheduledPoint* Planner::floor_point(TimePoint t) const {
+  return sp_tree_.floor(t, cmp_time);
+}
+
+ScheduledPoint* Planner::get_or_create_point(TimePoint t) {
+  if (auto it = points_.find(t); it != points_.end()) return it->second.get();
+  ScheduledPoint* prev = floor_point(t);
+  assert(prev != nullptr);  // base point pinned and t >= base checked earlier
+  auto p = std::make_unique<ScheduledPoint>();
+  ScheduledPoint* raw = p.get();
+  raw->at = t;
+  raw->in_use = prev->in_use;  // state carries forward until changed
+  raw->remaining = total_ - raw->in_use;
+  raw->ref_count = 0;
+  raw->et.point = raw;
+  sp_tree_.insert(raw);
+  et_tree_.insert(&raw->et);
+  points_.emplace(t, std::move(p));
+  return raw;
+}
+
+void Planner::maybe_collect(ScheduledPoint* p) {
+  if (p->ref_count > 0 || p->at == base_) return;
+  // With no span anchored here the point no longer marks a state change.
+  assert([&] {
+    const ScheduledPoint* prev = SpTree::prev(p);
+    return prev != nullptr && prev->in_use == p->in_use;
+  }());
+  sp_tree_.erase(p);
+  et_tree_.erase(&p->et);
+  points_.erase(p->at);
+}
+
+void Planner::rekey(ScheduledPoint* p, std::int64_t new_in_use) {
+  et_tree_.erase(&p->et);
+  p->in_use = new_in_use;
+  p->remaining = total_ - new_in_use;
+  et_tree_.insert(&p->et);
+}
+
+util::Expected<SpanId> Planner::add_span(TimePoint start, Duration duration,
+                                         std::int64_t request) {
+  if (duration <= 0 || request <= 0) {
+    return util::Error{Errc::invalid_argument,
+                       "add_span: duration and request must be positive"};
+  }
+  if (request > total_) {
+    return util::Error{Errc::unsatisfiable,
+                       "add_span: request exceeds pool total"};
+  }
+  if (start < base_ || start + duration > plan_end()) {
+    return util::Error{Errc::out_of_range,
+                       "add_span: span leaves the planning horizon"};
+  }
+  if (!avail_during(start, duration, request)) {
+    return util::Error{Errc::resource_busy,
+                       "add_span: insufficient resources in window"};
+  }
+
+  ScheduledPoint* sp = get_or_create_point(start);
+  ScheduledPoint* ep = get_or_create_point(start + duration);
+  ++sp->ref_count;
+  ++ep->ref_count;
+  for (ScheduledPoint* q = sp; q != nullptr && q->at < start + duration;
+       q = SpTree::next(q)) {
+    rekey(q, q->in_use + request);
+  }
+
+  const SpanId id = next_span_id_++;
+  spans_.emplace(id, Span{id, start, start + duration, request, sp, ep});
+  return id;
+}
+
+util::Status Planner::rem_span(SpanId id) {
+  auto it = spans_.find(id);
+  if (it == spans_.end()) {
+    return util::Error{Errc::not_found, "rem_span: unknown span id"};
+  }
+  const Span span = it->second;
+  spans_.erase(it);
+
+  for (ScheduledPoint* q = span.start_point;
+       q != nullptr && q->at < span.last; q = SpTree::next(q)) {
+    rekey(q, q->in_use - span.planned);
+  }
+  --span.start_point->ref_count;
+  --span.last_point->ref_count;
+  maybe_collect(span.start_point);
+  maybe_collect(span.last_point);
+  return util::Status::ok();
+}
+
+util::Expected<std::int64_t> Planner::avail_at(TimePoint t) const {
+  if (t < base_ || t >= plan_end()) {
+    return util::Error{Errc::out_of_range, "avail_at: outside horizon"};
+  }
+  const ScheduledPoint* p = floor_point(t);
+  assert(p != nullptr);
+  return p->remaining;
+}
+
+bool Planner::avail_during(TimePoint at, Duration duration,
+                           std::int64_t request) const {
+  if (duration <= 0 || request < 0) return false;
+  if (at < base_ || at + duration > plan_end()) return false;
+  if (request > total_) return false;
+  const ScheduledPoint* p = floor_point(at);
+  assert(p != nullptr);
+  for (const ScheduledPoint* q = p; q != nullptr && q->at < at + duration;
+       q = SpTree::next(q)) {
+    if (q->remaining < request) return false;
+  }
+  return true;
+}
+
+util::Expected<std::int64_t> Planner::avail_resources_during(
+    TimePoint at, Duration duration) const {
+  if (duration <= 0) {
+    return util::Error{Errc::invalid_argument,
+                       "avail_resources_during: nonpositive duration"};
+  }
+  if (at < base_ || at + duration > plan_end()) {
+    return util::Error{Errc::out_of_range,
+                       "avail_resources_during: outside horizon"};
+  }
+  const ScheduledPoint* p = floor_point(at);
+  assert(p != nullptr);
+  std::int64_t min_remaining = p->remaining;
+  for (const ScheduledPoint* q = SpTree::next(p);
+       q != nullptr && q->at < at + duration; q = SpTree::next(q)) {
+    min_remaining = std::min(min_remaining, q->remaining);
+  }
+  return min_remaining;
+}
+
+bool Planner::span_ok(const ScheduledPoint* start, Duration duration,
+                      std::int64_t request) const {
+  for (const ScheduledPoint* q = start;
+       q != nullptr && q->at < start->at + duration; q = SpTree::next(q)) {
+    if (q->remaining < request) return false;
+  }
+  return true;
+}
+
+EtNode* Planner::find_earliest_at(std::int64_t request) const {
+  // Paper Algorithm 1 (FINDANCHOR + FINDETPOINT). When a node's key
+  // (remaining) satisfies the request, so does its whole right subtree, so
+  // min(node.at, right.subtree_min_time) is a candidate in O(1); the left
+  // subtree may still hold satisfying nodes with earlier times.
+  EtNode* anchor = nullptr;
+  TimePoint earliest = util::kMaxTime;
+  for (EtNode* n = et_tree_.root(); n != nullptr;) {
+    if (request <= n->point->remaining) {
+      TimePoint t = n->point->at;
+      if (auto* r = static_cast<EtNode*>(n->right)) {
+        t = std::min(t, r->subtree_min_time);
+      }
+      if (t < earliest) {
+        earliest = t;
+        anchor = n;
+      }
+      n = static_cast<EtNode*>(n->left);
+    } else {
+      n = static_cast<EtNode*>(n->right);
+    }
+  }
+  if (anchor == nullptr) return nullptr;
+  if (anchor->point->at == earliest) return anchor;
+  // The minimum lives in the anchor's right subtree; walk it down.
+  for (EtNode* n = static_cast<EtNode*>(anchor->right); n != nullptr;) {
+    auto* l = static_cast<EtNode*>(n->left);
+    if (l != nullptr && l->subtree_min_time == earliest) {
+      n = l;
+    } else if (n->point->at == earliest) {
+      return n;
+    } else {
+      n = static_cast<EtNode*>(n->right);
+    }
+  }
+  assert(false && "augmented minimum not found in anchor subtree");
+  return nullptr;
+}
+
+util::Expected<TimePoint> Planner::avail_time_first(TimePoint on_or_after,
+                                                    Duration duration,
+                                                    std::int64_t request) {
+  if (duration <= 0 || request < 0) {
+    return util::Error{Errc::invalid_argument,
+                       "avail_time_first: bad duration or request"};
+  }
+  if (request > total_) {
+    return util::Error{Errc::unsatisfiable,
+                       "avail_time_first: request exceeds pool total"};
+  }
+  on_or_after = std::max(on_or_after, base_);
+  if (on_or_after + duration > plan_end()) {
+    return util::Error{Errc::resource_busy,
+                       "avail_time_first: window leaves the horizon"};
+  }
+  // An earliest feasible start is either the query time itself or a
+  // scheduled point: moving the start later within a gap between points
+  // only widens the window end, so feasibility can begin only where the
+  // floor state changes.
+  if (avail_during(on_or_after, duration, request)) return on_or_after;
+
+  // Iterate satisfying points in increasing time order by repeatedly
+  // taking the ET minimum and setting rejected candidates aside (as
+  // flux-sched's planner does), then restoring them.
+  std::vector<EtNode*> rejected;
+  util::Expected<TimePoint> result =
+      util::Error{Errc::resource_busy,
+                  "avail_time_first: no feasible start within horizon"};
+  while (EtNode* e = find_earliest_at(request)) {
+    ScheduledPoint* pt = e->point;
+    if (pt->at + duration > plan_end()) break;  // later candidates only worsen
+    if (pt->at > on_or_after && span_ok(pt, duration, request)) {
+      result = pt->at;
+      break;
+    }
+    et_tree_.erase(e);
+    rejected.push_back(e);
+  }
+  for (EtNode* e : rejected) et_tree_.insert(e);
+  return result;
+}
+
+util::Status Planner::resize_total(std::int64_t new_total) {
+  if (new_total < 0) {
+    return util::Error{Errc::invalid_argument, "resize_total: negative total"};
+  }
+  for (const auto& [t, p] : points_) {
+    if (p->in_use > new_total) {
+      return util::Error{Errc::resource_busy,
+                         "resize_total: existing spans exceed new total"};
+    }
+  }
+  // Every point's remaining is re-keyed; rebuild the ET tree.
+  std::vector<EtNode*> nodes;
+  nodes.reserve(points_.size());
+  for (const auto& [t, p] : points_) nodes.push_back(&p->et);
+  for (EtNode* n : nodes) et_tree_.erase(n);
+  total_ = new_total;
+  for (EtNode* n : nodes) {
+    n->point->remaining = total_ - n->point->in_use;
+    et_tree_.insert(n);
+  }
+  return util::Status::ok();
+}
+
+const Span* Planner::find_span(SpanId id) const {
+  auto it = spans_.find(id);
+  return it == spans_.end() ? nullptr : &it->second;
+}
+
+bool Planner::validate() const {
+  if (sp_tree_.size() != points_.size()) return false;
+  if (et_tree_.size() != points_.size()) return false;
+  if (sp_tree_.validate() < 0 || et_tree_.validate() < 0) return false;
+
+  const ScheduledPoint* prev = nullptr;
+  for (const ScheduledPoint* p = sp_tree_.min(); p != nullptr;
+       p = SpTree::next(p)) {
+    if (p->in_use < 0 || p->remaining != total_ - p->in_use) return false;
+    if (p->et.point != p) return false;
+    if (prev != nullptr) {
+      if (prev->at >= p->at) return false;
+      // A point must mark a change or anchor a span endpoint.
+      if (prev->in_use == p->in_use && p->ref_count == 0) return false;
+    }
+    prev = p;
+  }
+
+  // Augmented minima must be exact.
+  struct Rec {
+    static TimePoint min_of(const EtNode* n) {
+      if (n == nullptr) return util::kMaxTime;
+      TimePoint m = n->point->at;
+      m = std::min(m, min_of(static_cast<const EtNode*>(n->left)));
+      m = std::min(m, min_of(static_cast<const EtNode*>(n->right)));
+      return m;
+    }
+    static bool check(const EtNode* n) {
+      if (n == nullptr) return true;
+      if (n->subtree_min_time != min_of(n)) return false;
+      return check(static_cast<const EtNode*>(n->left)) &&
+             check(static_cast<const EtNode*>(n->right));
+    }
+  };
+  if (!Rec::check(et_tree_.root())) return false;
+
+  for (const auto& [id, span] : spans_) {
+    if (span.start_point->at != span.start) return false;
+    if (span.last_point->at != span.last) return false;
+    if (span.planned <= 0 || span.start >= span.last) return false;
+  }
+  return true;
+}
+
+}  // namespace fluxion::planner

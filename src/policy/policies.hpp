@@ -1,0 +1,92 @@
+// Match policies (paper §3.2 step 4, §6.3).
+//
+// A policy ranks viable candidate vertices at each selection point of the
+// traversal; the resource model itself stays policy-free (separation of
+// concerns, §3.5). The paper's evaluation uses three: prefer-high-ID,
+// prefer-low-ID (how most production HPC clusters assign nodes today), and
+// the variation-aware policy built on per-node performance classes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "traverser/traverser.hpp"
+
+namespace fluxion::policy {
+
+/// Property key on node vertices holding the performance class (an
+/// integer; lower = faster nodes). See paper Eq. 1.
+inline constexpr std::string_view kPerfClassKey = "perf_class";
+
+/// Prefer lower vertex ids ("first fit"): the paper's LowestID baseline.
+class LowIdPolicy final : public traverser::MatchPolicy {
+ public:
+  std::string name() const override { return "low-id"; }
+  void order_candidates(const graph::ResourceGraph& g,
+                        std::vector<graph::VertexId>& candidates) const
+      override;
+};
+
+/// Prefer higher vertex ids: the paper's HighestID baseline.
+class HighIdPolicy final : public traverser::MatchPolicy {
+ public:
+  std::string name() const override { return "high-id"; }
+  void order_candidates(const graph::ResourceGraph& g,
+                        std::vector<graph::VertexId>& candidates) const
+      override;
+};
+
+/// Prefer candidates whose containment parent is already part of the
+/// current selection-in-progress or carries prior allocations — packs work
+/// onto fewer higher-level resources.
+class LocalityPolicy final : public traverser::MatchPolicy {
+ public:
+  std::string name() const override { return "locality"; }
+  void order_candidates(const graph::ResourceGraph& g,
+                        std::vector<graph::VertexId>& candidates) const
+      override;
+};
+
+/// Variation-aware (paper §5.2, §6.3): choose node sets spanning as few
+/// performance classes as possible, minimising the job's figure of merit
+/// (Eq. 2). Vertices without a perf_class property fall back to id order.
+class VariationAwarePolicy final : public traverser::MatchPolicy {
+ public:
+  std::string name() const override { return "variation-aware"; }
+  void order_candidates(const graph::ResourceGraph& g,
+                        std::vector<graph::VertexId>& candidates) const
+      override;
+  void plan_selection(const graph::ResourceGraph& g,
+                      std::vector<graph::VertexId>& candidates,
+                      std::int64_t needed) const override;
+};
+
+/// Site-specific policies without subclassing: order candidates by an
+/// arbitrary score (lower is better; ties break on uniq_id). This is the
+/// "user- or admin-specified scoring mechanism" of paper §3.2.
+class CustomPolicy final : public traverser::MatchPolicy {
+ public:
+  using Scorer = std::function<double(const graph::ResourceGraph&,
+                                      graph::VertexId)>;
+  CustomPolicy(std::string name, Scorer scorer)
+      : name_(std::move(name)), scorer_(std::move(scorer)) {}
+
+  std::string name() const override { return name_; }
+  void order_candidates(const graph::ResourceGraph& g,
+                        std::vector<graph::VertexId>& candidates) const
+      override;
+
+ private:
+  std::string name_;
+  Scorer scorer_;
+};
+
+/// Performance class of a vertex; -1 when unset/invalid.
+int perf_class_of(const graph::ResourceGraph& g, graph::VertexId v);
+
+/// Factory by name ("low-id" | "high-id" | "locality" | "variation-aware").
+util::Expected<std::unique_ptr<traverser::MatchPolicy>> create(
+    std::string_view name);
+
+}  // namespace fluxion::policy

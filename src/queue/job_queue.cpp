@@ -1,0 +1,411 @@
+#include "queue/job_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fluxion::queue {
+
+using traverser::MatchOp;
+using util::Errc;
+
+const char* job_state_name(JobState s) noexcept {
+  switch (s) {
+    case JobState::pending: return "pending";
+    case JobState::held: return "held";
+    case JobState::reserved: return "reserved";
+    case JobState::running: return "running";
+    case JobState::completed: return "completed";
+    case JobState::canceled: return "canceled";
+    case JobState::rejected: return "rejected";
+  }
+  return "unknown";
+}
+
+JobQueue::JobQueue(traverser::Traverser& traverser, QueuePolicy policy)
+    : traverser_(traverser), policy_(policy) {}
+
+JobId JobQueue::submit(jobspec::Jobspec spec, int priority,
+                       std::vector<JobId> depends_on) {
+  const JobId id = next_id_++;
+  Job job;
+  job.id = id;
+  job.spec = std::move(spec);
+  job.submit_time = now_;
+  job.priority = priority;
+  job.depends_on = std::move(depends_on);
+  jobs_.emplace(id, std::move(job));
+  order_.push_back(id);
+  // Keep pending_ ordered by (priority desc, submission order): insert
+  // before the first strictly-lower-priority entry.
+  auto pos = pending_.end();
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (jobs_.at(*it).priority < priority) {
+      pos = it;
+      break;
+    }
+  }
+  pending_.insert(pos, id);
+  ++stats_.submitted;
+  return id;
+}
+
+std::optional<TimePoint> JobQueue::dependency_gate(const Job& job) const {
+  TimePoint earliest = now_;
+  for (JobId dep_id : job.depends_on) {
+    auto it = jobs_.find(dep_id);
+    if (it == jobs_.end()) return std::nullopt;  // unknown = failed
+    const Job& dep = it->second;
+    switch (dep.state) {
+      case JobState::canceled:
+      case JobState::rejected:
+        return std::nullopt;
+      case JobState::completed:
+      case JobState::running:
+      case JobState::reserved:
+        earliest = std::max(earliest, dep.end_time);
+        break;
+      case JobState::pending:
+      case JobState::held:
+        return util::kMaxTime;  // end unknown yet; defer
+    }
+  }
+  return earliest;
+}
+
+void JobQueue::try_place(Job& job, bool allow_reserve) {
+  // Dependencies bound the earliest start: a reservation may target their
+  // (already committed) end times directly.
+  TimePoint anchor = now_;
+  if (!job.depends_on.empty()) {
+    const auto gate = dependency_gate(job);
+    assert(gate && *gate != util::kMaxTime);  // callers pre-check
+    anchor = *gate;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = traverser_.match(
+      job.spec,
+      allow_reserve ? MatchOp::allocate_orelse_reserve : MatchOp::allocate,
+      anchor, job.id);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  job.match_seconds += secs;
+  stats_.total_match_seconds += secs;
+
+  if (r) {
+    job.start_time = r->at;
+    job.end_time = r->at + r->duration;
+    job.resources = std::move(r->resources);
+    if (r->at > now_) {
+      job.state = JobState::reserved;
+      ++stats_.reserved;
+    } else {
+      job.state = JobState::running;
+      ++stats_.started_immediately;
+    }
+    return;
+  }
+  switch (r.error().code) {
+    case Errc::resource_busy:
+      break;  // stays pending
+    default:
+      job.state = JobState::rejected;
+      ++stats_.rejected;
+      break;
+  }
+}
+
+void JobQueue::schedule() {
+  if (pending_.empty()) return;
+  switch (policy_) {
+    case QueuePolicy::fcfs: {
+      while (!pending_.empty()) {
+        Job& job = jobs_.at(pending_.front());
+        const auto gate = dependency_gate(job);
+        if (!gate) {
+          job.state = JobState::rejected;
+          ++stats_.rejected;
+          pending_.pop_front();
+          continue;
+        }
+        if (*gate > now_) break;  // head waits on its dependencies
+        try_place(job, /*allow_reserve=*/false);
+        if (job.state == JobState::pending) break;  // strict order
+        pending_.pop_front();
+      }
+      break;
+    }
+    case QueuePolicy::conservative_backfill: {
+      // Every dependency-ready job gets an allocation or a firm
+      // reservation, in order; repeat until a pass makes no progress so
+      // freshly-placed dependencies unlock their dependents immediately.
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        std::deque<JobId> still;
+        while (!pending_.empty()) {
+          const JobId id = pending_.front();
+          pending_.pop_front();
+          Job& job = jobs_.at(id);
+          const auto gate = dependency_gate(job);
+          if (!gate) {
+            job.state = JobState::rejected;
+            ++stats_.rejected;
+            progress = true;
+            continue;
+          }
+          if (*gate == util::kMaxTime) {
+            still.push_back(id);  // a dependency has no end time yet
+            continue;
+          }
+          try_place(job, /*allow_reserve=*/true);
+          if (job.state == JobState::pending) {
+            still.push_back(id);
+          } else {
+            progress = true;
+          }
+        }
+        pending_ = std::move(still);
+        if (pending_.empty()) break;
+      }
+      break;
+    }
+    case QueuePolicy::easy_backfill: {
+      // One reservation for the head blocked job; the rest backfill.
+      bool have_reservation = false;
+      for (const auto& [id, job] : jobs_) {
+        if (job.state == JobState::reserved) {
+          have_reservation = true;
+          break;
+        }
+      }
+      std::deque<JobId> still_pending;
+      while (!pending_.empty()) {
+        const JobId id = pending_.front();
+        pending_.pop_front();
+        Job& job = jobs_.at(id);
+        const auto gate = dependency_gate(job);
+        if (!gate) {
+          job.state = JobState::rejected;
+          ++stats_.rejected;
+          continue;
+        }
+        if (*gate > now_) {
+          still_pending.push_back(id);  // dependencies not done yet
+          continue;
+        }
+        try_place(job, /*allow_reserve=*/false);
+        if (job.state == JobState::pending) {
+          if (!have_reservation) {
+            try_place(job, /*allow_reserve=*/true);
+            if (job.state == JobState::reserved) have_reservation = true;
+          }
+          if (job.state == JobState::pending) still_pending.push_back(id);
+        }
+      }
+      pending_ = std::move(still_pending);
+      break;
+    }
+  }
+}
+
+TimePoint JobQueue::next_event() const {
+  TimePoint t = util::kMaxTime;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::reserved && job.start_time > now_) {
+      t = std::min(t, job.start_time);
+    } else if (job.state == JobState::reserved) {
+      t = std::min(t, now_ + 1);  // start already due
+    }
+    if (job.state == JobState::running) t = std::min(t, job.end_time);
+  }
+  return t;
+}
+
+void JobQueue::fire_events_up_to(TimePoint t) {
+  // Fire starts and completions in time order up to and including t.
+  while (true) {
+    TimePoint et = util::kMaxTime;
+    for (const auto& [id, job] : jobs_) {
+      if (job.state == JobState::reserved) et = std::min(et, job.start_time);
+      if (job.state == JobState::running) et = std::min(et, job.end_time);
+    }
+    if (et > t) break;
+    for (auto& [id, job] : jobs_) {
+      if (job.state == JobState::reserved && job.start_time <= et) {
+        job.state = JobState::running;
+      }
+    }
+    for (auto& [id, job] : jobs_) {
+      if (job.state == JobState::running && job.end_time <= et) {
+        job.state = JobState::completed;
+        ++stats_.completed;
+        // Purge the traverser's bookkeeping; the spans are in the past.
+        auto st = traverser_.cancel(id);
+        assert(st);
+        (void)st;
+      }
+    }
+  }
+}
+
+void JobQueue::advance_to(TimePoint t) {
+  assert(t >= now_);
+  fire_events_up_to(t);
+  now_ = t;
+}
+
+TimePoint JobQueue::run_to_completion() {
+  while (true) {
+    schedule();
+    const TimePoint t = next_event();
+    if (t == util::kMaxTime) {
+      if (!pending_.empty()) {
+        // Idle system yet unplaceable: the head job can never run.
+        Job& job = jobs_.at(pending_.front());
+        job.state = JobState::rejected;
+        ++stats_.rejected;
+        pending_.pop_front();
+        continue;
+      }
+      break;
+    }
+    advance_to(t);
+  }
+  return now_;
+}
+
+util::Status JobQueue::hold(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return util::Error{Errc::not_found, "hold: unknown job"};
+  }
+  Job& job = it->second;
+  switch (job.state) {
+    case JobState::pending:
+      pending_.erase(std::find(pending_.begin(), pending_.end(), id));
+      break;
+    case JobState::reserved: {
+      auto st = traverser_.cancel(id);
+      assert(st);
+      (void)st;
+      // The reservation is gone; stats reflect a net un-reserve.
+      --stats_.reserved;
+      job.start_time = -1;
+      job.end_time = -1;
+      job.resources.clear();
+      break;
+    }
+    default:
+      return util::Error{Errc::invalid_argument,
+                         "hold: job not pending or reserved"};
+  }
+  job.state = JobState::held;
+  return util::Status::ok();
+}
+
+util::Status JobQueue::release(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return util::Error{Errc::not_found, "release: unknown job"};
+  }
+  Job& job = it->second;
+  if (job.state != JobState::held) {
+    return util::Error{Errc::invalid_argument, "release: job not held"};
+  }
+  job.state = JobState::pending;
+  auto pos = pending_.end();
+  for (auto p = pending_.begin(); p != pending_.end(); ++p) {
+    if (jobs_.at(*p).priority < job.priority) {
+      pos = p;
+      break;
+    }
+  }
+  pending_.insert(pos, id);
+  return util::Status::ok();
+}
+
+util::Status JobQueue::cancel(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return util::Error{Errc::not_found, "cancel: unknown job"};
+  }
+  Job& job = it->second;
+  switch (job.state) {
+    case JobState::pending:
+      pending_.erase(std::find(pending_.begin(), pending_.end(), id));
+      break;
+    case JobState::held:
+      break;  // not in pending_, nothing committed
+    case JobState::reserved:
+    case JobState::running: {
+      auto st = traverser_.cancel(id);
+      assert(st);
+      (void)st;
+      break;
+    }
+    default:
+      return util::Error{Errc::invalid_argument,
+                         "cancel: job already terminal"};
+  }
+  job.state = JobState::canceled;
+  // Cascade: dependents that have not started yet (pending or holding a
+  // future reservation) can no longer run — their input is gone.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [jid, j] : jobs_) {
+      if (j.state != JobState::pending && j.state != JobState::reserved) {
+        continue;
+      }
+      if (j.depends_on.empty()) continue;
+      if (dependency_gate(j)) continue;  // deps still fine
+      if (j.state == JobState::reserved) {
+        auto st = traverser_.cancel(jid);
+        assert(st);
+        (void)st;
+      } else {
+        pending_.erase(std::find(pending_.begin(), pending_.end(), jid));
+      }
+      j.state = JobState::rejected;
+      ++stats_.rejected;
+      changed = true;
+    }
+  }
+  return util::Status::ok();
+}
+
+const Job* JobQueue::find(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+QueueMetrics JobQueue::metrics() const {
+  QueueMetrics m;
+  const auto& g = traverser_.graph();
+  const auto node_type = g.find_type("node");
+  double wait_sum = 0;
+  double turnaround_sum = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state != JobState::completed) continue;
+    ++m.completed;
+    const TimePoint wait = job.start_time - job.submit_time;
+    wait_sum += static_cast<double>(wait);
+    m.max_wait = std::max(m.max_wait, wait);
+    turnaround_sum += static_cast<double>(job.end_time - job.submit_time);
+    m.makespan = std::max(m.makespan, job.end_time);
+    if (node_type) {
+      std::int64_t nodes = 0;
+      for (const auto& ru : job.resources) {
+        if (g.vertex(ru.vertex).type == *node_type) nodes += ru.units;
+      }
+      m.node_seconds += nodes * (job.end_time - job.start_time);
+    }
+  }
+  if (m.completed > 0) {
+    m.avg_wait = wait_sum / static_cast<double>(m.completed);
+    m.avg_turnaround = turnaround_sum / static_cast<double>(m.completed);
+  }
+  return m;
+}
+
+}  // namespace fluxion::queue

@@ -1,0 +1,156 @@
+// Job queue with a simulated clock and the queuing/backfilling policies
+// the resource model interoperates with (paper §3.2, §3.5, §6.2-§6.3).
+//
+// Queue policies:
+//   * fcfs                  — strict order; scheduling stops at the first
+//                             job that cannot start now.
+//   * conservative_backfill — every pending job is allocated or given a
+//                             firm future reservation (this is what the
+//                             paper's evaluation uses); later jobs backfill
+//                             around earlier reservations but can never
+//                             delay them, because the reservations hold
+//                             real planner spans.
+//   * easy_backfill         — only the head blocked job holds a
+//                             reservation; everything else allocates
+//                             opportunistically and is retried at each
+//                             completion event.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "jobspec/jobspec.hpp"
+#include "traverser/traverser.hpp"
+#include "util/expected.hpp"
+
+namespace fluxion::queue {
+
+using traverser::JobId;
+using util::Duration;
+using util::TimePoint;
+
+enum class QueuePolicy { fcfs, conservative_backfill, easy_backfill };
+
+enum class JobState {
+  pending,    // submitted, not yet placed
+  held,       // administratively excluded from scheduling
+  reserved,   // holds a future start reservation
+  running,    // started
+  completed,  // ran to its duration
+  canceled,
+  rejected,   // can never run (unsatisfiable)
+};
+
+const char* job_state_name(JobState s) noexcept;
+
+struct Job {
+  JobId id = -1;
+  jobspec::Jobspec spec;
+  TimePoint submit_time = 0;
+  int priority = 0;  // higher runs first; FIFO within a priority level
+  /// Workflow dependencies: this job may only start after every listed
+  /// job has completed. Conservative backfilling reserves it no earlier
+  /// than its dependencies' (known) end times; if a dependency is
+  /// canceled or rejected, the job is rejected too.
+  std::vector<JobId> depends_on;
+  JobState state = JobState::pending;
+  TimePoint start_time = -1;
+  TimePoint end_time = -1;
+  std::vector<traverser::ResourceUnit> resources;
+  /// Wall-clock cost of this job's match call(s), for overhead studies.
+  double match_seconds = 0.0;
+};
+
+struct QueueStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t started_immediately = 0;  // allocated at submit/schedule time
+  std::uint64_t reserved = 0;             // got a future reservation
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  double total_match_seconds = 0.0;
+};
+
+/// Derived schedule-quality metrics over terminal (completed) jobs.
+struct QueueMetrics {
+  std::size_t completed = 0;
+  double avg_wait = 0;        // start - submit
+  TimePoint max_wait = 0;
+  double avg_turnaround = 0;  // end - submit
+  TimePoint makespan = 0;     // latest end time
+  std::int64_t node_seconds = 0;  // sum of node-claims x duration
+};
+
+class JobQueue {
+ public:
+  /// The traverser (and its graph/policy) must outlive the queue.
+  JobQueue(traverser::Traverser& traverser, QueuePolicy policy);
+
+  QueuePolicy policy() const noexcept { return policy_; }
+  TimePoint now() const noexcept { return now_; }
+
+  /// Enqueue a job; placement happens on the next schedule() pass.
+  /// Scheduling order is (priority desc, submission order) — priority 0
+  /// jobs behave FIFO. `depends_on` entries must be already-submitted ids.
+  JobId submit(jobspec::Jobspec spec, int priority = 0,
+               std::vector<JobId> depends_on = {});
+
+  /// Run one scheduling pass at the current simulated time.
+  void schedule();
+
+  /// Earliest pending event (job start or completion) after now;
+  /// kMaxTime when idle.
+  TimePoint next_event() const;
+
+  /// Advance the simulated clock, firing starts/completions on the way.
+  void advance_to(TimePoint t);
+
+  /// Convenience driver: schedule + advance until every job reaches a
+  /// terminal state (or no further progress is possible). Returns the
+  /// final simulated time.
+  TimePoint run_to_completion();
+
+  /// Cancel a pending/held/reserved/running job.
+  util::Status cancel(JobId id);
+
+  /// Administrative hold: a pending job stops being considered by
+  /// schedule(); a reserved job's reservation is released. Running jobs
+  /// cannot be held.
+  util::Status hold(JobId id);
+
+  /// Release a held job back into the pending queue (priority order).
+  util::Status release(JobId id);
+
+  const Job* find(JobId id) const;
+  QueueMetrics metrics() const;
+  const traverser::Traverser& traverser() const noexcept {
+    return traverser_;
+  }
+  const std::vector<JobId>& all_jobs() const noexcept { return order_; }
+  std::size_t pending_count() const noexcept { return pending_.size(); }
+  const QueueStats& stats() const noexcept { return stats_; }
+
+ private:
+  void try_place(Job& job, bool allow_reserve);
+  void fire_events_up_to(TimePoint t);
+  /// Dependency gate: nullopt when a dependency failed (job must be
+  /// rejected); otherwise the earliest allowed start (kMaxTime while a
+  /// dependency has no known end yet).
+  std::optional<TimePoint> dependency_gate(const Job& job) const;
+
+  traverser::Traverser& traverser_;
+  QueuePolicy policy_;
+  TimePoint now_ = 0;
+  JobId next_id_ = 1;
+  std::unordered_map<JobId, Job> jobs_;
+  std::vector<JobId> order_;    // submission order
+  std::deque<JobId> pending_;   // not yet placed, submission order
+  QueueStats stats_;
+};
+
+}  // namespace fluxion::queue

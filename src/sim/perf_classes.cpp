@@ -1,0 +1,77 @@
+#include "sim/perf_classes.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <string>
+
+#include "policy/policies.hpp"
+
+namespace fluxion::sim {
+
+int perf_class_for_tnorm(double t_norm) noexcept {
+  if (t_norm <= 0.10) return 1;
+  if (t_norm <= 0.25) return 2;
+  if (t_norm <= 0.40) return 3;
+  if (t_norm <= 0.60) return 4;
+  return 5;
+}
+
+std::vector<double> synthesize_tnorm(std::size_t n, util::Rng& rng) {
+  std::vector<double> scores(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scores[i] = static_cast<double>(i + 1) / static_cast<double>(n);
+  }
+  rng.shuffle(scores);
+  return scores;
+}
+
+std::vector<int> classes_from_tnorm(const std::vector<double>& tnorm) {
+  std::vector<int> classes(tnorm.size());
+  std::transform(tnorm.begin(), tnorm.end(), classes.begin(),
+                 perf_class_for_tnorm);
+  return classes;
+}
+
+util::Status apply_performance_classes(graph::ResourceGraph& g,
+                                       const std::vector<int>& classes) {
+  const auto node_type = g.find_type("node");
+  if (!node_type) {
+    return util::Error{util::Errc::not_found, "graph has no node vertices"};
+  }
+  const auto nodes = g.vertices_of_type(*node_type);
+  if (nodes.size() != classes.size()) {
+    return util::Error{util::Errc::invalid_argument,
+                       "class vector size != node count"};
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    g.vertex(nodes[i]).properties[std::string(policy::kPerfClassKey)] =
+        std::to_string(classes[i]);
+  }
+  return util::Status::ok();
+}
+
+std::vector<std::int64_t> class_histogram(const std::vector<int>& classes) {
+  std::vector<std::int64_t> hist(kPerfClassCount + 1, 0);
+  for (int c : classes) {
+    if (c >= 1 && c <= kPerfClassCount) ++hist[static_cast<std::size_t>(c)];
+  }
+  return hist;
+}
+
+int figure_of_merit(const graph::ResourceGraph& g,
+                    const std::vector<traverser::ResourceUnit>& resources) {
+  int lo = INT_MAX;
+  int hi = INT_MIN;
+  for (const auto& ru : resources) {
+    const graph::Vertex& v = g.vertex(ru.vertex);
+    if (g.type_name(v.type) != "node") continue;
+    const int pc = policy::perf_class_of(g, ru.vertex);
+    if (pc < 0) continue;
+    lo = std::min(lo, pc);
+    hi = std::max(hi, pc);
+  }
+  if (lo > hi) return 0;
+  return hi - lo;
+}
+
+}  // namespace fluxion::sim

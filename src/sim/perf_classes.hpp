@@ -1,0 +1,56 @@
+// Performance-class modelling for variation-aware scheduling (paper §5.2,
+// §6.3).
+//
+// The paper profiles every node of the quartz cluster under a socket-level
+// power cap with NAS MG and LULESH, derives a combined normalised time
+// score t_norm per node, and bins nodes into five performance classes by
+// Eq. 1 quantiles:
+//
+//   class 1: t_norm in [0, .10]   (fastest 10%)
+//   class 2: (.10, .25]
+//   class 3: (.25, .40]
+//   class 4: (.40, .60]
+//   class 5: (.60, 1.0]
+//
+// We do not have the proprietary power-cap measurements, so we synthesise
+// t_norm as a node's normalised rank under a random benchmark-score
+// permutation (deterministic per seed). Eq. 1 bins on quantiles, so the
+// class histogram depends only on the bin edges — exactly reproducing the
+// paper's Figure 7(a) shape: 10% / 15% / 15% / 20% / 40%.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/resource_graph.hpp"
+#include "traverser/traverser.hpp"
+#include "util/rng.hpp"
+
+namespace fluxion::sim {
+
+inline constexpr int kPerfClassCount = 5;
+
+/// Eq. 1: class (1-based) for a normalised time score in [0, 1].
+int perf_class_for_tnorm(double t_norm) noexcept;
+
+/// Synthesise t_norm scores for n nodes (a random permutation of
+/// (rank + 1) / n, deterministic in rng).
+std::vector<double> synthesize_tnorm(std::size_t n, util::Rng& rng);
+
+/// Eq. 1 applied to a score vector.
+std::vector<int> classes_from_tnorm(const std::vector<double>& tnorm);
+
+/// Stamp perf_class properties onto all node-type vertices of g, in
+/// uniq_id order. classes must be sized to the node count.
+util::Status apply_performance_classes(graph::ResourceGraph& g,
+                                       const std::vector<int>& classes);
+
+/// Histogram of classes (index 0 unused; 1..5 are class counts).
+std::vector<std::int64_t> class_histogram(const std::vector<int>& classes);
+
+/// Eq. 2: figure of merit of an allocation — max minus min performance
+/// class over its node-type vertices; 0 when zero or one node.
+int figure_of_merit(const graph::ResourceGraph& g,
+                    const std::vector<traverser::ResourceUnit>& resources);
+
+}  // namespace fluxion::sim

@@ -1,0 +1,48 @@
+#include "sim/replay.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fluxion::sim {
+
+util::Expected<ReplayResult> replay_trace(queue::JobQueue& q,
+                                          const std::vector<TraceJob>& trace,
+                                          std::int64_t cores_per_node) {
+  if (q.now() != 0 || q.stats().submitted != 0) {
+    return util::Error{util::Errc::invalid_argument,
+                       "replay_trace: queue already used"};
+  }
+  // Arrival order; ties keep trace order (stable).
+  std::vector<std::size_t> order(trace.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return trace[a].arrival < trace[b].arrival;
+                   });
+
+  ReplayResult result;
+  result.ids.resize(trace.size(), -1);
+  for (std::size_t k = 0; k < order.size();) {
+    const util::TimePoint at = trace[order[k]].arrival;
+    // Fire events (and free resources) on the way to this arrival.
+    while (true) {
+      const util::TimePoint ev = q.next_event();
+      if (ev >= at) break;
+      q.advance_to(ev);
+      q.schedule();  // completions may unblock pending jobs
+    }
+    q.advance_to(std::max(q.now(), at));
+    while (k < order.size() && trace[order[k]].arrival <= q.now()) {
+      const std::size_t idx = order[k];
+      auto js = trace_jobspec(trace[idx], cores_per_node);
+      if (!js) return js.error();
+      result.ids[idx] = q.submit(*js);
+      ++k;
+    }
+    q.schedule();
+  }
+  result.end_time = q.run_to_completion();
+  return result;
+}
+
+}  // namespace fluxion::sim

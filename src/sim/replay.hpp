@@ -1,0 +1,27 @@
+// Trace replay with arrivals: drive a JobQueue on the simulated clock,
+// submitting each job at its arrival time — the online-scheduling setting,
+// as opposed to §6.3's submit-everything-then-schedule snapshot replay.
+#pragma once
+
+#include <vector>
+
+#include "queue/job_queue.hpp"
+#include "sim/workload.hpp"
+#include "util/expected.hpp"
+
+namespace fluxion::sim {
+
+struct ReplayResult {
+  /// Queue job ids, aligned with the input trace order.
+  std::vector<queue::JobId> ids;
+  util::TimePoint end_time = 0;
+};
+
+/// Submit every trace job at its arrival time (clock advances between
+/// arrivals, firing starts/completions and re-scheduling), then run the
+/// queue dry. The queue must be freshly constructed (clock at 0).
+util::Expected<ReplayResult> replay_trace(queue::JobQueue& q,
+                                          const std::vector<TraceJob>& trace,
+                                          std::int64_t cores_per_node);
+
+}  // namespace fluxion::sim

@@ -1,0 +1,66 @@
+#include "sim/utilization.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace fluxion::sim {
+
+std::vector<UtilizationPoint> utilization_timeline(const queue::JobQueue& q) {
+  const auto& g = q.traverser().graph();
+  const auto node_type = g.find_type("node");
+  std::map<util::TimePoint, std::int64_t> deltas;
+  for (const queue::JobId id : q.all_jobs()) {
+    const queue::Job* job = q.find(id);
+    if (job->start_time < 0) continue;
+    if (job->state != queue::JobState::completed &&
+        job->state != queue::JobState::running &&
+        job->state != queue::JobState::reserved) {
+      continue;
+    }
+    std::int64_t nodes = 0;
+    if (node_type) {
+      for (const auto& ru : job->resources) {
+        if (g.vertex(ru.vertex).type == *node_type) nodes += ru.units;
+      }
+    }
+    if (nodes == 0) continue;
+    deltas[job->start_time] += nodes;
+    deltas[job->end_time] -= nodes;
+  }
+  std::vector<UtilizationPoint> out;
+  std::int64_t busy = 0;
+  for (const auto& [t, d] : deltas) {
+    busy += d;
+    if (!out.empty() && out.back().at == t) {
+      out.back().busy_nodes = busy;
+    } else {
+      out.push_back({t, busy});
+    }
+  }
+  return out;
+}
+
+double mean_utilization(const std::vector<UtilizationPoint>& timeline,
+                        util::TimePoint makespan) {
+  if (timeline.empty() || makespan <= 0) return 0.0;
+  double area = 0.0;
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const util::TimePoint from = timeline[i].at;
+    const util::TimePoint to =
+        i + 1 < timeline.size() ? timeline[i + 1].at : makespan;
+    if (to <= from) continue;
+    area += static_cast<double>(timeline[i].busy_nodes) *
+            static_cast<double>(std::min(to, makespan) - from);
+  }
+  return area / static_cast<double>(makespan);
+}
+
+std::string utilization_csv(const std::vector<UtilizationPoint>& timeline) {
+  std::string out = "time,busy_nodes\n";
+  for (const auto& p : timeline) {
+    out += std::to_string(p.at) + "," + std::to_string(p.busy_nodes) + "\n";
+  }
+  return out;
+}
+
+}  // namespace fluxion::sim

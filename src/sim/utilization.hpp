@@ -1,0 +1,32 @@
+// Utilization timeline: the step function of busy node counts over time,
+// derived from a queue's completed schedule — the standard visual for
+// comparing backfilling policies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "queue/job_queue.hpp"
+#include "util/time.hpp"
+
+namespace fluxion::sim {
+
+struct UtilizationPoint {
+  util::TimePoint at = 0;
+  std::int64_t busy_nodes = 0;
+};
+
+/// Step function of node usage over time across all completed/running
+/// jobs. Points are emitted at every change, ascending; usage holds until
+/// the next point.
+std::vector<UtilizationPoint> utilization_timeline(const queue::JobQueue& q);
+
+/// Time-weighted mean busy nodes over [0, makespan); 0 for empty input.
+double mean_utilization(const std::vector<UtilizationPoint>& timeline,
+                        util::TimePoint makespan);
+
+/// CSV rendering: "time,busy_nodes" per line.
+std::string utilization_csv(const std::vector<UtilizationPoint>& timeline);
+
+}  // namespace fluxion::sim

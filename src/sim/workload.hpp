@@ -1,0 +1,58 @@
+// Synthetic workload generation (paper §6.3).
+//
+// The paper samples 200 jobs from a production quartz queue snapshot and
+// uses only each job's node count and duration. We do not have the
+// snapshot, so we draw from distributions typical of such queues:
+// log-uniform node counts (most jobs small, a heavy tail of large ones)
+// and log-uniform durations between a few minutes and the trace horizon.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jobspec/jobspec.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace fluxion::sim {
+
+struct TraceJob {
+  std::int64_t nodes = 1;
+  util::Duration duration = 3600;
+  /// Submission time; 0 = everything arrives up front (the paper's §6.3
+  /// snapshot-replay setup).
+  util::TimePoint arrival = 0;
+};
+
+/// Stamp Poisson arrivals (exponential inter-arrival times with the given
+/// mean) onto a trace, in place. Deterministic in rng.
+void stamp_poisson_arrivals(std::vector<TraceJob>& trace,
+                            double mean_interarrival, util::Rng& rng);
+
+struct TraceConfig {
+  std::size_t job_count = 200;
+  std::int64_t max_nodes = 256;       // largest single job
+  util::Duration min_duration = 600;  // 10 minutes
+  util::Duration max_duration = 12 * 3600;
+  /// Production queues are dominated by single-node jobs; this fraction is
+  /// forced to nodes == 1 before the log-uniform draw for the rest.
+  double single_node_fraction = 0.3;
+};
+
+/// Draw a trace (deterministic in rng).
+std::vector<TraceJob> generate_trace(const TraceConfig& config,
+                                     util::Rng& rng);
+
+/// Whole-node jobspec for a trace job:
+///   slot(nodes) { node:1 exclusive { core:cores_per_node } }
+util::Expected<jobspec::Jobspec> trace_jobspec(const TraceJob& job,
+                                               std::int64_t cores_per_node);
+
+/// Text trace format: one "<nodes> <duration>" pair per line; blank lines
+/// and '#' comments ignored.
+util::Expected<std::vector<TraceJob>> parse_trace(std::string_view text);
+
+/// Inverse of parse_trace.
+std::string format_trace(const std::vector<TraceJob>& trace);
+
+}  // namespace fluxion::sim

@@ -1,0 +1,889 @@
+#include "traverser/traverser.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fluxion::traverser {
+
+using util::Errc;
+
+namespace {
+/// Property constraints (jobspec `requires`): "key" demands the property
+/// exists; "key=value" demands an exact match.
+bool meets_requirements(const graph::Vertex& v,
+                        const std::vector<std::string>& reqs) {
+  for (const std::string& req : reqs) {
+    const auto eq = req.find('=');
+    if (eq == std::string::npos) {
+      if (!v.properties.contains(req)) return false;
+    } else {
+      auto it = v.properties.find(req.substr(0, eq));
+      if (it == v.properties.end() || it->second != req.substr(eq + 1)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+}  // namespace
+
+void Traverser::Selection::rollback(const Checkpoint& cp) {
+  while (claims.size() > cp.claims) {
+    const Claim& c = claims.back();
+    if (c.whole_instance) {
+      pending_excl.erase(c.vertex);
+    } else {
+      auto it = pending_units.find(c.vertex);
+      it->second -= c.units;
+      if (it->second == 0) pending_units.erase(it);
+    }
+    claims.pop_back();
+  }
+  while (shared_marks.size() > cp.shared) {
+    shared_set.erase(shared_marks.back());
+    shared_marks.pop_back();
+  }
+}
+
+void Traverser::Selection::push_claim(const Claim& c) {
+  claims.push_back(c);
+  if (c.whole_instance) {
+    pending_excl.insert(c.vertex);
+  } else {
+    pending_units[c.vertex] += c.units;
+  }
+}
+
+bool Traverser::Selection::mark_shared(VertexId v) {
+  if (!shared_set.insert(v).second) return false;
+  shared_marks.push_back(v);
+  return true;
+}
+
+Traverser::Traverser(graph::ResourceGraph& g, VertexId root,
+                     const MatchPolicy& policy)
+    : g_(g), root_(root), policy_(policy) {}
+
+bool Traverser::vertex_shareable(VertexId v, const util::TimeWindow& w,
+                                 const Selection& sel) const {
+  if (sel.pending_excl.contains(v)) return false;
+  const graph::Vertex& vx = g_.vertex(v);
+  // A vertex is walkable by a shared job iff no exclusive claim holds any
+  // of its units during the window.
+  return vx.schedule->avail_during(w.start, w.duration, vx.size);
+}
+
+bool Traverser::vertex_exclusively_claimable(VertexId v,
+                                             const util::TimeWindow& w,
+                                             const Selection& sel) const {
+  if (sel.pending_excl.contains(v) || sel.shared_set.contains(v)) {
+    return false;
+  }
+  if (auto it = sel.pending_units.find(v);
+      it != sel.pending_units.end() && it->second > 0) {
+    return false;
+  }
+  const graph::Vertex& vx = g_.vertex(v);
+  if (!vx.schedule->avail_during(w.start, w.duration, vx.size)) return false;
+  // No shared walker may overlap the window either.
+  return vx.x_checker->avail_during(w.start, w.duration,
+                                    graph::kSharedUseMax);
+}
+
+bool Traverser::filter_admits(
+    VertexId v, const util::TimeWindow& w,
+    const std::map<util::InternId, std::int64_t>& demand) const {
+  const planner::PlannerMulti* filter = g_.vertex(v).filter.get();
+  if (filter == nullptr) return true;
+  for (const auto& [type, amount] : demand) {
+    if (amount <= 0) continue;
+    const auto idx = filter->index_of(g_.type_name(type));
+    if (!idx) continue;  // type untracked by this filter
+    if (!filter->planner_at(*idx).avail_during(w.start, w.duration, amount)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Traverser::collect_candidates(
+    VertexId from, util::InternId type, const util::TimeWindow& w,
+    const Selection& sel,
+    const std::map<util::InternId, std::int64_t>& per_instance_demand,
+    std::vector<VertexId>& out,
+    std::unordered_map<VertexId, VertexId>& parent_of) {
+  ++stats_.visits;
+  ++stats_.last_visits;
+  const graph::Vertex& vx = g_.vertex(from);
+  if (vx.type == type) {
+    out.push_back(from);
+    return;  // do not search for a type nested inside itself
+  }
+  for (const graph::Edge& e : g_.out_edges(from)) {
+    if (e.relation != g_.contains_rel() ||
+        !g_.subsystem_visible(e.subsystem) || !g_.vertex(e.dst).alive) {
+      continue;
+    }
+    const VertexId child = e.dst;
+    // A vertex reachable through several visible subsystems (e.g. a
+    // rabbit contained by both its rack and the cluster, §5.1) must be
+    // considered once.
+    if (parent_of.contains(child)) continue;
+    const graph::Vertex& cx = g_.vertex(child);
+    if (cx.type != type) {
+      // Pass-through: the walk may continue only through vertices that a
+      // shared job could use, and only where the pruning filter admits at
+      // least one instance of the pending demand (paper §3.4).
+      if (!vertex_shareable(child, w, sel)) continue;
+      if (!filter_admits(child, w, per_instance_demand)) {
+        ++stats_.pruned;
+        continue;
+      }
+    }
+    parent_of[child] = from;
+    collect_candidates(child, type, w, sel, per_instance_demand, out,
+                       parent_of);
+  }
+}
+
+void Traverser::mark_chain(
+    VertexId candidate, VertexId stop_above,
+    const std::unordered_map<VertexId, VertexId>& parent_of, Selection& sel) {
+  auto it = parent_of.find(candidate);
+  while (it != parent_of.end() && it->second != stop_above) {
+    sel.mark_shared(it->second);
+    it = parent_of.find(it->second);
+  }
+}
+
+std::map<util::InternId, std::int64_t> Traverser::instance_demand(
+    const jobspec::Resource& req) {
+  std::map<util::InternId, std::int64_t> demand;
+  struct Rec {
+    graph::ResourceGraph& g;
+    std::map<util::InternId, std::int64_t>& demand;
+    void walk(const jobspec::Resource& r, std::int64_t mult) {
+      const std::int64_t total = mult * r.count;
+      if (!r.is_slot()) demand[g.intern_type(r.type)] += total;
+      for (const jobspec::Resource& c : r.with) walk(c, total);
+    }
+  } rec{g_, demand};
+  // One instance of req itself plus its multiplied children.
+  if (!req.is_slot()) demand[g_.intern_type(req.type)] += 1;
+  for (const jobspec::Resource& c : req.with) rec.walk(c, 1);
+  return demand;
+}
+
+bool Traverser::satisfy(const jobspec::Resource& req, VertexId under,
+                        std::int64_t needed, bool under_slot, bool under_excl,
+                        const util::TimeWindow& w, Selection& sel) {
+  // `needed` arrives as req.count x enclosing slot multipliers; recover
+  // the multiplier to scale a moldable max (paper §5.5).
+  const std::int64_t mult = req.count > 0 ? needed / req.count : 1;
+  const std::int64_t needed_max =
+      req.count_max > req.count ? mult * req.count_max : needed;
+
+  if (req.is_slot()) {
+    // A slot multiplies its children's demand; everything below is
+    // exclusively bound to the job (paper §4.2).
+    for (const jobspec::Resource& c : req.with) {
+      if (!satisfy(c, under, c.count * needed, /*under_slot=*/true,
+                   under_excl, w, sel)) {
+        return false;
+      }
+    }
+    // Moldable slot: claim whole extra task slots while they fit.
+    for (std::int64_t extra = needed; extra < needed_max; ++extra) {
+      const auto cp = sel.checkpoint();
+      bool ok = true;
+      for (const jobspec::Resource& c : req.with) {
+        if (!satisfy(c, under, c.count, /*under_slot=*/true, under_excl, w,
+                     sel)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) {
+        sel.rollback(cp);
+        break;
+      }
+    }
+    return true;
+  }
+  const bool claiming = under_slot || req.exclusive;
+  if (req.with.empty() && claiming) {
+    return satisfy_units(req, under, needed, needed_max, /*exclusive=*/true,
+                         under_excl, w, sel);
+  }
+  return satisfy_instances(req, under, needed, needed_max, claiming,
+                           under_excl, w, sel);
+}
+
+bool Traverser::satisfy_instances(const jobspec::Resource& req,
+                                  VertexId under, std::int64_t needed,
+                                  std::int64_t needed_max, bool exclusive,
+                                  bool under_excl, const util::TimeWindow& w,
+                                  Selection& sel) {
+  const auto type = g_.intern_type(req.type);
+  const auto demand = instance_demand(req);
+  std::vector<VertexId> candidates;
+  std::unordered_map<VertexId, VertexId> parent_of;
+  collect_candidates(under, type, w, sel, demand, candidates, parent_of);
+  if (static_cast<std::int64_t>(candidates.size()) < needed) return false;
+  policy_.plan_selection(g_, candidates, needed);
+
+  std::int64_t count = 0;
+  for (VertexId u : candidates) {
+    if (count == needed_max) break;
+    const auto cp = sel.checkpoint();
+    const graph::Vertex& ux = g_.vertex(u);
+    if (!meets_requirements(ux, req.requires_)) continue;
+    if (exclusive) {
+      if (!vertex_exclusively_claimable(u, w, sel)) continue;
+      if (!filter_admits(u, w, demand)) {
+        ++stats_.pruned;
+        continue;
+      }
+      sel.push_claim(Claim{u, ux.size, /*exclusive=*/true,
+                           /*whole_instance=*/true, under_excl});
+    } else {
+      if (!vertex_shareable(u, w, sel)) continue;
+      if (!filter_admits(u, w, demand)) {
+        ++stats_.pruned;
+        continue;
+      }
+      sel.mark_shared(u);
+    }
+    bool ok = true;
+    for (const jobspec::Resource& c : req.with) {
+      // Children inherit the exclusivity context: inside a slot (or an
+      // exclusive instance), everything below stays exclusive.
+      if (!satisfy(c, u, c.count, /*under_slot=*/exclusive,
+                   under_excl || exclusive, w, sel)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      sel.rollback(cp);
+      continue;
+    }
+    mark_chain(u, under, parent_of, sel);
+    ++count;
+  }
+  return count >= needed;
+}
+
+bool Traverser::satisfy_units(const jobspec::Resource& req, VertexId under,
+                              std::int64_t needed, std::int64_t needed_max,
+                              bool exclusive, bool under_excl,
+                              const util::TimeWindow& w, Selection& sel) {
+  const auto type = g_.intern_type(req.type);
+  std::map<util::InternId, std::int64_t> demand;
+  demand[type] = 1;
+  std::vector<VertexId> candidates;
+  std::unordered_map<VertexId, VertexId> parent_of;
+  collect_candidates(under, type, w, sel, demand, candidates, parent_of);
+  policy_.plan_selection(g_, candidates, needed);
+
+  std::int64_t remaining = needed_max;
+  for (VertexId u : candidates) {
+    if (remaining == 0) break;
+    if (sel.pending_excl.contains(u)) continue;
+    const graph::Vertex& ux = g_.vertex(u);
+    if (!meets_requirements(ux, req.requires_)) continue;
+    auto avail = ux.schedule->avail_resources_during(w.start, w.duration);
+    if (!avail) continue;
+    std::int64_t free = *avail;
+    if (auto it = sel.pending_units.find(u); it != sel.pending_units.end()) {
+      free -= it->second;
+    }
+    const std::int64_t take = std::min(free, remaining);
+    if (take <= 0) continue;
+    if (exclusive && take == ux.size) {
+      // Whole-vertex exclusive claim: no shared walker may overlap.
+      if (!vertex_exclusively_claimable(u, w, sel)) continue;
+      sel.push_claim(Claim{u, take, true, /*whole_instance=*/true,
+                           under_excl});
+    } else {
+      sel.push_claim(Claim{u, take, exclusive, /*whole_instance=*/false,
+                           under_excl});
+    }
+    mark_chain(u, under, parent_of, sel);
+    remaining -= take;
+  }
+  // Success once the required minimum is covered; anything beyond it was
+  // the moldable bonus.
+  return needed_max - remaining >= needed;
+}
+
+bool Traverser::select_all(const jobspec::Jobspec& js,
+                           const util::TimeWindow& w, Selection& sel) {
+  ++stats_.match_attempts;
+  for (const jobspec::Resource& r : js.resources) {
+    if (!satisfy(r, root_, r.count, /*under_slot=*/false,
+                 /*under_excl=*/false, w, sel)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Traverser::release_record(JobRecord& rec) {
+  for (auto& cc : rec.claims) {
+    auto st = g_.vertex(cc.claim.vertex).schedule->rem_span(cc.span);
+    assert(st);
+    (void)st;
+  }
+  for (auto& [v, id] : rec.shared_spans) {
+    auto st = g_.vertex(v).x_checker->rem_span(id);
+    assert(st);
+    (void)st;
+  }
+  for (auto& [v, id] : rec.filter_spans) {
+    auto st = g_.vertex(v).filter->rem_span(id);
+    assert(st);
+    (void)st;
+  }
+  rec.claims.clear();
+  rec.shared_spans.clear();
+  rec.filter_spans.clear();
+}
+
+util::Status Traverser::apply_selection(JobRecord& rec,
+                                        const util::TimeWindow& w,
+                                        const Selection& sel) {
+  const std::size_t claims_mark = rec.claims.size();
+  const std::size_t shared_mark = rec.shared_spans.size();
+  const std::size_t filter_mark = rec.filter_spans.size();
+  auto abort = [&](const char* what) -> util::Error {
+    while (rec.claims.size() > claims_mark) {
+      (void)g_.vertex(rec.claims.back().claim.vertex)
+          .schedule->rem_span(rec.claims.back().span);
+      rec.claims.pop_back();
+    }
+    while (rec.shared_spans.size() > shared_mark) {
+      auto& [v, id] = rec.shared_spans.back();
+      (void)g_.vertex(v).x_checker->rem_span(id);
+      rec.shared_spans.pop_back();
+    }
+    while (rec.filter_spans.size() > filter_mark) {
+      auto& [v, id] = rec.filter_spans.back();
+      (void)g_.vertex(v).filter->rem_span(id);
+      rec.filter_spans.pop_back();
+    }
+    return util::Error{Errc::internal,
+                       std::string("apply_selection failed: ") + what};
+  };
+
+  for (const Claim& c : sel.claims) {
+    auto span = g_.vertex(c.vertex).schedule->add_span(w.start, w.duration,
+                                                       c.units);
+    if (!span) return abort("schedule span rejected");
+    rec.claims.push_back({c, w, *span});
+  }
+  for (VertexId v : sel.shared_marks) {
+    auto span = g_.vertex(v).x_checker->add_span(w.start, w.duration, 1);
+    if (!span) return abort("shared-use span rejected");
+    rec.shared_spans.emplace_back(v, *span);
+  }
+
+  // Scheduler-Driven Filter Updates (paper §3.4): only the ancestors of
+  // selected vertices are touched, with the aggregate amounts the
+  // selection consumed beneath each of them.
+  std::map<VertexId, std::vector<std::int64_t>> filter_updates;
+  for (const Claim& c : sel.claims) {
+    if (c.under_exclusive) continue;  // covered by the enclosing instance
+    std::map<util::InternId, std::int64_t> contribution;
+    if (c.whole_instance) {
+      contribution = g_.subtree_counts(c.vertex);
+    } else {
+      contribution[g_.vertex(c.vertex).type] = c.units;
+    }
+    for (VertexId a = c.vertex; a != graph::kInvalidVertex;
+         a = g_.vertex(a).containment_parent) {
+      const planner::PlannerMulti* filter = g_.vertex(a).filter.get();
+      if (filter == nullptr) continue;
+      auto& counts = filter_updates[a];
+      counts.resize(filter->resource_count(), 0);
+      for (const auto& [type, amount] : contribution) {
+        if (auto idx = filter->index_of(g_.type_name(type))) {
+          counts[*idx] += amount;
+        }
+      }
+    }
+  }
+  for (auto& [v, counts] : filter_updates) {
+    if (std::all_of(counts.begin(), counts.end(),
+                    [](std::int64_t c) { return c == 0; })) {
+      continue;
+    }
+    auto span = g_.vertex(v).filter->add_span(w.start, w.duration, counts);
+    if (!span) return abort("pruning filter span rejected");
+    rec.filter_spans.emplace_back(v, *span);
+  }
+  return util::Status::ok();
+}
+
+void Traverser::refresh_resources(JobRecord& rec) const {
+  std::map<VertexId, ResourceUnit> merged;
+  for (const CommittedClaim& cc : rec.claims) {
+    ResourceUnit& ru = merged[cc.claim.vertex];
+    ru.vertex = cc.claim.vertex;
+    ru.units += cc.claim.units;
+    ru.exclusive = ru.exclusive || cc.claim.exclusive;
+  }
+  rec.result.resources.clear();
+  for (auto& [v, ru] : merged) rec.result.resources.push_back(ru);
+}
+
+util::Expected<MatchResult> Traverser::commit(JobId job,
+                                              const util::TimeWindow& w,
+                                              TimePoint now, Selection& sel) {
+  JobRecord rec;
+  rec.result.job = job;
+  rec.result.at = w.start;
+  rec.result.duration = w.duration;
+  rec.result.reserved = w.start > now;
+  if (auto st = apply_selection(rec, w, sel); !st) return st.error();
+  refresh_resources(rec);
+  const MatchResult result = rec.result;
+  jobs_.emplace(job, std::move(rec));
+  release_times_[w.end()] += 1;
+  return result;
+}
+
+util::Expected<MatchResult> Traverser::grow(JobId job,
+                                            const jobspec::Jobspec& extra,
+                                            TimePoint now) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    return util::Error{Errc::not_found, "grow: unknown job"};
+  }
+  JobRecord& rec = it->second;
+  const TimePoint end = rec.result.at + rec.result.duration;
+  const TimePoint start = std::max(now, rec.result.at);
+  if (start >= end) {
+    return util::Error{Errc::out_of_range, "grow: job window already over"};
+  }
+  const util::TimeWindow w{start, end - start};
+  stats_.last_visits = 0;
+  ++stats_.match_attempts;
+  Selection sel;
+  for (const jobspec::Resource& r : extra.resources) {
+    if (!satisfy(r, root_, r.count, /*under_slot=*/false,
+                 /*under_excl=*/false, w, sel)) {
+      return util::Error{Errc::resource_busy,
+                         "grow: extra resources unavailable for the "
+                         "remaining window"};
+    }
+  }
+  if (auto st = apply_selection(rec, w, sel); !st) return st.error();
+  refresh_resources(rec);
+  return rec.result;
+}
+
+util::Status Traverser::shrink(JobId job, VertexId vertex) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    return util::Error{Errc::not_found, "shrink: unknown job"};
+  }
+  if (vertex >= g_.vertex_count()) {
+    return util::Error{Errc::not_found, "shrink: unknown vertex"};
+  }
+  JobRecord& rec = it->second;
+  const std::string& prefix = g_.vertex(vertex).path;
+  auto within = [&](VertexId v) {
+    const std::string& p = g_.vertex(v).path;
+    return p == prefix || (p.size() > prefix.size() &&
+                           p.compare(0, prefix.size(), prefix) == 0 &&
+                           p[prefix.size()] == '/');
+  };
+  std::vector<CommittedClaim> keep;
+  bool removed = false;
+  for (CommittedClaim& cc : rec.claims) {
+    if (within(cc.claim.vertex)) {
+      auto st = g_.vertex(cc.claim.vertex).schedule->rem_span(cc.span);
+      assert(st);
+      (void)st;
+      removed = true;
+    } else {
+      keep.push_back(cc);
+    }
+  }
+  if (!removed) {
+    return util::Error{Errc::not_found, "shrink: job holds nothing there"};
+  }
+  rec.claims = std::move(keep);
+  // Shared-use marks under the released subtree stay in place: they cost
+  // nothing and conservatively keep the walked chain non-exclusive until
+  // the job ends.
+  if (auto st = rebuild_filter_spans(rec); !st) return st;
+  refresh_resources(rec);
+  return util::Status::ok();
+}
+
+util::Status Traverser::extend(JobId job, Duration extra) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    return util::Error{Errc::not_found, "extend: unknown job"};
+  }
+  if (extra <= 0) {
+    return util::Error{Errc::invalid_argument, "extend: bad duration"};
+  }
+  JobRecord& rec = it->second;
+  const TimePoint old_end = rec.result.at + rec.result.duration;
+  if (old_end + extra > g_.plan_start() + g_.horizon()) {
+    return util::Error{Errc::out_of_range,
+                       "extend: window leaves the planning horizon"};
+  }
+  // Feasibility: per vertex, the summed units of the claims reaching the
+  // job's end must be free throughout the extension tail.
+  std::map<VertexId, std::int64_t> tail_units;
+  for (const CommittedClaim& cc : rec.claims) {
+    if (cc.window.end() == old_end) tail_units[cc.claim.vertex] += cc.claim.units;
+  }
+  for (const auto& [v, units] : tail_units) {
+    if (!g_.vertex(v).schedule->avail_during(old_end, extra, units)) {
+      return util::Error{Errc::resource_busy,
+                         "extend: " + g_.vertex(v).path +
+                             " is committed elsewhere after the job ends"};
+    }
+  }
+  // Commit: replace each end-reaching span with a longer one (nothing can
+  // grab the vacated window in between — the engine is single-threaded).
+  for (CommittedClaim& cc : rec.claims) {
+    if (cc.window.end() != old_end) continue;
+    auto st = g_.vertex(cc.claim.vertex).schedule->rem_span(cc.span);
+    assert(st);
+    (void)st;
+    cc.window.duration += extra;
+    auto span = g_.vertex(cc.claim.vertex)
+                    .schedule->add_span(cc.window.start, cc.window.duration,
+                                        cc.claim.units);
+    assert(span);
+    cc.span = *span;
+  }
+  for (auto& [v, id] : rec.shared_spans) {
+    planner::Planner& x = *g_.vertex(v).x_checker;
+    const planner::Span* s = x.find_span(id);
+    assert(s != nullptr);
+    if (s->last != old_end) continue;
+    const TimePoint start = s->start;
+    const Duration d = s->last - s->start + extra;
+    auto st = x.rem_span(id);
+    assert(st);
+    (void)st;
+    auto span = x.add_span(start, d, 1);
+    assert(span);
+    id = *span;
+  }
+  rec.result.duration += extra;
+  if (auto rt = release_times_.find(old_end); rt != release_times_.end()) {
+    if (--rt->second == 0) release_times_.erase(rt);
+  }
+  release_times_[old_end + extra] += 1;
+  return rebuild_filter_spans(rec);
+}
+
+util::Status Traverser::rebuild_filter_spans(JobRecord& rec) {
+  for (auto& [v, id] : rec.filter_spans) {
+    auto st = g_.vertex(v).filter->rem_span(id);
+    assert(st);
+    (void)st;
+  }
+  rec.filter_spans.clear();
+  // Re-derive per (ancestor, window) — grow extensions may have distinct
+  // windows, so aggregate per pair.
+  std::map<std::pair<VertexId, TimePoint>,
+           std::pair<util::TimeWindow, std::vector<std::int64_t>>>
+      updates;
+  for (const CommittedClaim& cc : rec.claims) {
+    if (cc.claim.under_exclusive) continue;
+    std::map<util::InternId, std::int64_t> contribution;
+    if (cc.claim.whole_instance) {
+      contribution = g_.subtree_counts(cc.claim.vertex);
+    } else {
+      contribution[g_.vertex(cc.claim.vertex).type] = cc.claim.units;
+    }
+    for (VertexId a = cc.claim.vertex; a != graph::kInvalidVertex;
+         a = g_.vertex(a).containment_parent) {
+      const planner::PlannerMulti* filter = g_.vertex(a).filter.get();
+      if (filter == nullptr) continue;
+      auto& entry = updates[{a, cc.window.start}];
+      entry.first = cc.window;
+      entry.second.resize(filter->resource_count(), 0);
+      for (const auto& [type, amount] : contribution) {
+        if (auto idx = filter->index_of(g_.type_name(type))) {
+          entry.second[*idx] += amount;
+        }
+      }
+    }
+  }
+  for (auto& [key, entry] : updates) {
+    if (std::all_of(entry.second.begin(), entry.second.end(),
+                    [](std::int64_t c) { return c == 0; })) {
+      continue;
+    }
+    auto span = g_.vertex(key.first).filter->add_span(
+        entry.first.start, entry.first.duration, entry.second);
+    if (!span) {
+      return util::Error{Errc::internal,
+                         "rebuild_filter_spans: filter span rejected"};
+    }
+    rec.filter_spans.emplace_back(key.first, *span);
+  }
+  return util::Status::ok();
+}
+
+util::Expected<TimePoint> Traverser::next_candidate_time(
+    TimePoint after, Duration duration, const jobspec::Jobspec& js) {
+  // Fast-forward with the root pruning filter when available: the earliest
+  // time the *aggregate* demand fits is a lower bound for a full match.
+  planner::PlannerMulti* filter = g_.vertex(root_).filter.get();
+  if (filter == nullptr) return after;
+  std::vector<std::int64_t> counts(filter->resource_count(), 0);
+  bool any = false;
+  for (const auto& [type, amount] : js.aggregate_counts()) {
+    if (auto idx = filter->index_of(type)) {
+      counts[*idx] = amount;
+      any = true;
+    }
+  }
+  if (!any) return after;
+  return filter->avail_time_first(after, duration, counts);
+}
+
+util::Expected<MatchResult> Traverser::match(const jobspec::Jobspec& js,
+                                             MatchOp op, TimePoint now,
+                                             JobId job) {
+  if (auto st = js.validate(); !st) return st.error();
+  if (jobs_.contains(job) && op != MatchOp::satisfiability) {
+    return util::Error{Errc::exists, "match: job id already active"};
+  }
+  stats_.last_visits = 0;
+  const Duration d = js.duration;
+
+  if (op == MatchOp::satisfiability) {
+    // Probe an idle instant: after every committed span has ended.
+    TimePoint t = now;
+    if (!release_times_.empty()) {
+      t = std::max(t, release_times_.rbegin()->first);
+    }
+    if (t + d > g_.plan_start() + g_.horizon()) {
+      return util::Error{Errc::out_of_range,
+                         "satisfiability: probe window leaves the horizon"};
+    }
+    Selection sel;
+    if (!select_all(js, {t, d}, sel)) {
+      return util::Error{Errc::unsatisfiable,
+                         "satisfiability: request can never be matched"};
+    }
+    MatchResult r;
+    r.job = job;
+    r.at = t;
+    r.duration = d;
+    return r;  // nothing committed
+  }
+
+  const TimePoint plan_end = g_.plan_start() + g_.horizon();
+  if (op == MatchOp::allocate || op == MatchOp::allocate_with_satisfiability) {
+    if (now + d > plan_end) {
+      return util::Error{Errc::out_of_range,
+                         "match: window leaves the planning horizon"};
+    }
+    Selection sel;
+    if (select_all(js, {now, d}, sel)) return commit(job, {now, d}, now, sel);
+    if (op == MatchOp::allocate_with_satisfiability) {
+      // Distinguish "busy now" from "can never run": probe an idle
+      // instant (what flux-sched's allocate_with_satisfiability reports).
+      TimePoint idle = now;
+      if (!release_times_.empty()) {
+        idle = std::max(idle, release_times_.rbegin()->first);
+      }
+      Selection probe;
+      if (idle + d > plan_end || !select_all(js, {idle, d}, probe)) {
+        return util::Error{Errc::unsatisfiable,
+                           "match: request can never be satisfied"};
+      }
+    }
+    return util::Error{Errc::resource_busy,
+                       "match: resources busy at the requested time"};
+  }
+
+  // ALLOCATE_ORELSE_RESERVE: resources only free up when a span ends, so
+  // feasible starts are `now` or a future release time; the root pruning
+  // filter fast-forwards over times where even the aggregate cannot fit.
+  TimePoint t = now;
+  while (true) {
+    auto jumped = next_candidate_time(t, d, js);
+    if (!jumped) {
+      // Aggregate demand can never fit; distinguish unsatisfiable.
+      return jumped.error();
+    }
+    t = *jumped;
+    if (t + d > plan_end) {
+      return util::Error{Errc::resource_busy,
+                         "match: no feasible window within the horizon"};
+    }
+    Selection sel;
+    if (select_all(js, {t, d}, sel)) return commit(job, {t, d}, now, sel);
+    auto it = release_times_.upper_bound(t);
+    if (it == release_times_.end()) {
+      return util::Error{Errc::unsatisfiable,
+                         "match: request cannot be satisfied even on an "
+                         "idle system"};
+    }
+    t = it->first;
+  }
+}
+
+util::Expected<MatchResult> Traverser::restore(const MatchResult& allocation) {
+  if (jobs_.contains(allocation.job)) {
+    return util::Error{Errc::exists, "restore: job id already active"};
+  }
+  if (allocation.duration <= 0) {
+    return util::Error{Errc::invalid_argument, "restore: bad duration"};
+  }
+  const util::TimeWindow w{allocation.at, allocation.duration};
+  // Rebuild a Selection equivalent to the original commit: exclusive
+  // whole-vertex claims keep their SDFU subtree semantics; everything
+  // else is a quantity claim. Claims under a restored exclusive ancestor
+  // are skipped for filter updates exactly like a fresh match.
+  Selection sel;
+  std::vector<VertexId> exclusive_roots;
+  for (const ResourceUnit& ru : allocation.resources) {
+    if (ru.vertex >= g_.vertex_count() || !g_.vertex(ru.vertex).alive) {
+      return util::Error{Errc::not_found, "restore: unknown vertex"};
+    }
+    if (ru.units <= 0 || ru.units > g_.vertex(ru.vertex).size) {
+      return util::Error{Errc::invalid_argument, "restore: bad unit count"};
+    }
+    if (ru.exclusive && ru.units == g_.vertex(ru.vertex).size) {
+      exclusive_roots.push_back(ru.vertex);
+    }
+  }
+  auto under_exclusive_root = [&](VertexId v) {
+    for (VertexId a = g_.vertex(v).containment_parent;
+         a != graph::kInvalidVertex; a = g_.vertex(a).containment_parent) {
+      for (VertexId r : exclusive_roots) {
+        if (a == r) return true;
+      }
+    }
+    return false;
+  };
+  for (const ResourceUnit& ru : allocation.resources) {
+    const graph::Vertex& vx = g_.vertex(ru.vertex);
+    const bool whole = ru.exclusive && ru.units == vx.size;
+    if (!vx.schedule->avail_during(w.start, w.duration, ru.units)) {
+      return util::Error{Errc::resource_busy,
+                         "restore: claim no longer fits on " + vx.path};
+    }
+    const bool covered = under_exclusive_root(ru.vertex);
+    sel.push_claim(Claim{ru.vertex, ru.units, ru.exclusive, whole, covered});
+    // Recreate the shared-use marks of the original walk: every
+    // containment ancestor outside the job's own exclusive subtrees was
+    // traversed shared, and must again repel other jobs' exclusive
+    // claims. (A conservative superset of the original pass-through
+    // chain for multi-subsystem matches.)
+    if (!covered) {
+      for (VertexId a = vx.containment_parent; a != graph::kInvalidVertex;
+           a = g_.vertex(a).containment_parent) {
+        sel.mark_shared(a);
+      }
+    }
+  }
+
+  JobRecord rec;
+  rec.result = allocation;
+  rec.result.reserved = false;
+  if (auto st = apply_selection(rec, w, sel); !st) return st.error();
+  refresh_resources(rec);
+  const MatchResult result = rec.result;
+  jobs_.emplace(allocation.job, std::move(rec));
+  release_times_[w.end()] += 1;
+  return result;
+}
+
+util::Status Traverser::cancel(JobId job) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    return util::Error{Errc::not_found, "cancel: unknown job"};
+  }
+  JobRecord& rec = it->second;
+  release_record(rec);
+  const TimePoint end = rec.result.at + rec.result.duration;
+  if (auto rt = release_times_.find(end); rt != release_times_.end()) {
+    if (--rt->second == 0) release_times_.erase(rt);
+  }
+  jobs_.erase(it);
+  return util::Status::ok();
+}
+
+const MatchResult* Traverser::find_job(JobId job) const {
+  auto it = jobs_.find(job);
+  return it == jobs_.end() ? nullptr : &it->second.result;
+}
+
+bool Traverser::verify_filters() const {
+  // Recount every filter's expected usage from job claims, then compare
+  // availability at each claim boundary instant.
+  std::vector<TimePoint> probes;
+  for (const auto& [id, rec] : jobs_) {
+    probes.push_back(rec.result.at);
+    probes.push_back(rec.result.at + rec.result.duration - 1);
+    for (const CommittedClaim& cc : rec.claims) {
+      probes.push_back(cc.window.start);
+      probes.push_back(cc.window.end() - 1);
+    }
+  }
+  for (const auto& [fid, fv] : [this] {
+         std::vector<std::pair<VertexId, const planner::PlannerMulti*>> fs;
+         for (VertexId v = 0; v < g_.vertex_count(); ++v) {
+           if (g_.vertex(v).alive && g_.vertex(v).filter != nullptr) {
+             fs.emplace_back(v, g_.vertex(v).filter.get());
+           }
+         }
+         return fs;
+       }()) {
+    for (std::size_t i = 0; i < fv->resource_count(); ++i) {
+      const planner::Planner& p = fv->planner_at(i);
+      const auto type = g_.find_type(p.resource_type());
+      if (!type) return false;
+      for (TimePoint t : probes) {
+        if (t < p.base_time() || t >= p.plan_end()) continue;
+        std::int64_t used = 0;
+        for (const auto& [id, rec] : jobs_) {
+          for (const CommittedClaim& cc : rec.claims) {
+            if (!cc.window.contains(t)) continue;
+            const Claim& c = cc.claim;
+            if (c.under_exclusive) continue;
+            // Is c.vertex inside fid's subtree?
+            bool inside = false;
+            for (VertexId a = c.vertex; a != graph::kInvalidVertex;
+                 a = g_.vertex(a).containment_parent) {
+              if (a == fid) {
+                inside = true;
+                break;
+              }
+            }
+            if (!inside) continue;
+            if (c.whole_instance) {
+              const auto counts = g_.subtree_counts(c.vertex);
+              if (auto it2 = counts.find(*type); it2 != counts.end()) {
+                used += it2->second;
+              }
+            } else if (g_.vertex(c.vertex).type == *type) {
+              used += c.units;
+            }
+          }
+        }
+        auto avail = p.avail_at(t);
+        if (!avail || *avail != p.total() - used) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace fluxion::traverser

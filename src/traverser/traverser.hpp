@@ -1,0 +1,261 @@
+// Depth-first traverser: matches an abstract resource request graph
+// (jobspec) against the resource graph store (paper §3.2, §3.4, Figure 1c).
+//
+// Responsibilities:
+//   * walk the containment subsystem depth-first from the root, matching
+//     request vertices to resource vertices (levels not named in the
+//     request are passed through);
+//   * honour exclusivity: everything under a slot — and anything flagged
+//     exclusive — is claimed whole; shared walks are recorded in each
+//     vertex's x_checker so later exclusive claims can detect overlap;
+//   * consult pruning filters before descending (a subtree whose aggregate
+//     availability cannot cover even one instance of the pending request
+//     is skipped) — paper §3.4;
+//   * on success, commit planner spans and perform Scheduler-Driven
+//     Filter Updates (SDFU) along the selected vertices' ancestor paths;
+//   * for ALLOCATE_ORELSE_RESERVE, find the earliest feasible start by
+//     probing `now` and then each future release time, fast-forwarded by
+//     the root pruning filter's PlannerMultiAvailTimeFirst when present.
+//
+// The match *policy* — which of several viable candidates to prefer — is a
+// callback object (paper §3.5); implementations live in policy/.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/resource_graph.hpp"
+#include "jobspec/jobspec.hpp"
+#include "util/expected.hpp"
+#include "util/time.hpp"
+
+namespace fluxion::traverser {
+
+using graph::VertexId;
+using util::Duration;
+using util::TimePoint;
+
+using JobId = std::int64_t;
+
+enum class MatchOp {
+  allocate,                  // at `now` or fail
+  allocate_orelse_reserve,   // earliest feasible start, possibly future
+  satisfiability,            // could this ever run on an idle system?
+  allocate_with_satisfiability,  // allocate at `now`; on failure, report
+                                 // resource_busy vs unsatisfiable precisely
+};
+
+/// One selected resource: `units` of vertex v for the job's window.
+/// `exclusive` marks slot-contained or explicitly exclusive claims.
+struct ResourceUnit {
+  VertexId vertex = graph::kInvalidVertex;
+  std::int64_t units = 0;
+  bool exclusive = false;
+};
+
+struct MatchResult {
+  JobId job = -1;
+  TimePoint at = 0;
+  Duration duration = 0;
+  bool reserved = false;  // true when the start is in the future
+  std::vector<ResourceUnit> resources;
+};
+
+/// Policy callback: ranks candidate vertices at each selection point.
+class MatchPolicy {
+ public:
+  virtual ~MatchPolicy() = default;
+  virtual std::string name() const = 0;
+
+  /// Order `candidates` best-first. Called for every typed selection.
+  virtual void order_candidates(const graph::ResourceGraph& g,
+                                std::vector<VertexId>& candidates) const = 0;
+
+  /// Set-level hook invoked when `needed` instances will be drawn from
+  /// `candidates`; the default just orders them. Variation-aware
+  /// scheduling overrides this to minimise performance-class spread.
+  virtual void plan_selection(const graph::ResourceGraph& g,
+                              std::vector<VertexId>& candidates,
+                              std::int64_t needed) const {
+    (void)needed;
+    order_candidates(g, candidates);
+  }
+};
+
+struct TraverserStats {
+  std::uint64_t visits = 0;          // vertex visits, lifetime
+  std::uint64_t last_visits = 0;     // vertex visits, last match call
+  std::uint64_t pruned = 0;          // subtrees skipped by filters, lifetime
+  std::uint64_t match_attempts = 0;  // full selection attempts, lifetime
+};
+
+class Traverser {
+ public:
+  /// The policy must outlive the traverser; the graph is mutated by
+  /// match/cancel (planner spans, filter spans).
+  Traverser(graph::ResourceGraph& g, VertexId root, const MatchPolicy& policy);
+
+  /// Match a jobspec at time `now` per `op`. On success the resources are
+  /// committed under `job` until cancel(job).
+  util::Expected<MatchResult> match(const jobspec::Jobspec& js, MatchOp op,
+                                    TimePoint now, JobId job);
+
+  /// Release everything held by `job`.
+  util::Status cancel(JobId job);
+
+  /// Re-establish a previously-emitted allocation verbatim — the restart
+  /// path: a resource manager replays its R documents after a crash so
+  /// the new scheduler instance starts with the true cluster state.
+  /// Claims are committed exactly as recorded (no matching); fails with
+  /// resource_busy if any claim no longer fits, exists for duplicate ids.
+  util::Expected<MatchResult> restore(const MatchResult& allocation);
+
+  // --- elastic jobs (paper §5.5: malleability) ------------------------------
+  /// Add `extra` resources to a live job for the remainder of its window
+  /// ([max(now, start), end)). On success the job's recorded resource set
+  /// is extended; the window itself never changes. Fails with
+  /// resource_busy when the extra resources cannot be matched.
+  util::Expected<MatchResult> grow(JobId job, const jobspec::Jobspec& extra,
+                                   TimePoint now);
+
+  /// Release the job's claims on `vertex` and everything beneath it
+  /// (containment), keeping the rest of the allocation. Pruning filters
+  /// are re-derived from the remaining claims. Fails with not_found when
+  /// the job holds nothing there.
+  util::Status shrink(JobId job, VertexId vertex);
+
+  /// Walltime extension: lengthen the job's window by `extra`. Succeeds
+  /// only if every held resource is still free for [old_end, old_end +
+  /// extra) — i.e. no later reservation collides. All spans (claims,
+  /// shared marks, filters) are extended atomically.
+  util::Status extend(JobId job, Duration extra);
+
+  /// Active (allocated or reserved) job count.
+  std::size_t job_count() const noexcept { return jobs_.size(); }
+
+  /// Look up a job's committed window; nullptr when unknown.
+  const MatchResult* find_job(JobId job) const;
+
+  const TraverserStats& stats() const noexcept { return stats_; }
+
+  const graph::ResourceGraph& graph() const noexcept { return g_; }
+
+  /// Verify all pruning filters against a from-scratch recount of the
+  /// planner spans below them (test hook, O(V * jobs)).
+  bool verify_filters() const;
+
+ private:
+  struct Claim {
+    VertexId vertex;
+    std::int64_t units;
+    bool exclusive;       // claimed under a slot / exclusive request
+    bool whole_instance;  // full-vertex claim: SDFU uses subtree counts
+    bool under_exclusive; // an ancestor claim already covers it for SDFU
+  };
+
+  struct Selection {
+    std::vector<Claim> claims;
+    std::vector<VertexId> shared_marks;  // deduplicated, ordered
+    std::unordered_map<VertexId, std::int64_t> pending_units;
+    std::unordered_set<VertexId> pending_excl;
+    std::unordered_set<VertexId> shared_set;
+
+    struct Checkpoint {
+      std::size_t claims;
+      std::size_t shared;
+    };
+    Checkpoint checkpoint() const {
+      return {claims.size(), shared_marks.size()};
+    }
+    void rollback(const Checkpoint& cp);
+    void push_claim(const Claim& c);
+    bool mark_shared(VertexId v);  // false if already marked
+  };
+
+  /// One committed claim: which vertex, how much, over which window (grow
+  /// extensions may cover a suffix of the job window), and the schedule
+  /// span backing it.
+  struct CommittedClaim {
+    Claim claim;
+    util::TimeWindow window;
+    planner::SpanId span;
+  };
+
+  struct JobRecord {
+    MatchResult result;
+    std::vector<CommittedClaim> claims;
+    // (vertex, span) pairs to undo on cancel.
+    std::vector<std::pair<VertexId, planner::SpanId>> shared_spans;
+    std::vector<std::pair<VertexId, planner::SpanId>> filter_spans;
+  };
+
+  // --- selection ----------------------------------------------------------
+  bool select_all(const jobspec::Jobspec& js, const util::TimeWindow& w,
+                  Selection& sel);
+  bool satisfy(const jobspec::Resource& req, VertexId under,
+               std::int64_t multiplier, bool under_slot, bool under_excl,
+               const util::TimeWindow& w, Selection& sel);
+  bool satisfy_instances(const jobspec::Resource& req, VertexId under,
+                         std::int64_t needed, std::int64_t needed_max,
+                         bool exclusive, bool under_excl,
+                         const util::TimeWindow& w, Selection& sel);
+  bool satisfy_units(const jobspec::Resource& req, VertexId under,
+                     std::int64_t needed, std::int64_t needed_max,
+                     bool exclusive, bool under_excl,
+                     const util::TimeWindow& w, Selection& sel);
+
+  /// Vertices of `type` reachable from `from` (inclusive) by descending
+  /// shareable, unpruned containment edges; records the pass-through
+  /// chain so shared marks can be applied on selection.
+  void collect_candidates(VertexId from, util::InternId type,
+                          const util::TimeWindow& w, const Selection& sel,
+                          const std::map<util::InternId, std::int64_t>&
+                              per_instance_demand,
+                          std::vector<VertexId>& out,
+                          std::unordered_map<VertexId, VertexId>& parent_of);
+
+  bool vertex_shareable(VertexId v, const util::TimeWindow& w,
+                        const Selection& sel) const;
+  bool vertex_exclusively_claimable(VertexId v, const util::TimeWindow& w,
+                                    const Selection& sel) const;
+  bool filter_admits(VertexId v, const util::TimeWindow& w,
+                     const std::map<util::InternId, std::int64_t>& demand)
+      const;
+  void mark_chain(VertexId candidate, VertexId stop_above,
+                  const std::unordered_map<VertexId, VertexId>& parent_of,
+                  Selection& sel);
+
+  /// Aggregate per-type demand of one instance of req's subtree.
+  std::map<util::InternId, std::int64_t> instance_demand(
+      const jobspec::Resource& req);
+
+  // --- commit / time search -------------------------------------------------
+  util::Expected<MatchResult> commit(JobId job, const util::TimeWindow& w,
+                                     TimePoint now, Selection& sel);
+  /// Turn a selection into committed spans appended to `rec` (schedule,
+  /// shared-use and pruning-filter spans). Rolls `rec` back to its prior
+  /// length on failure.
+  util::Status apply_selection(JobRecord& rec, const util::TimeWindow& w,
+                               const Selection& sel);
+  /// Drop and re-derive every pruning-filter span from rec.claims.
+  util::Status rebuild_filter_spans(JobRecord& rec);
+  /// Recompute rec.result.resources from rec.claims.
+  void refresh_resources(JobRecord& rec) const;
+  void release_record(JobRecord& rec);
+  util::Expected<TimePoint> next_candidate_time(TimePoint after,
+                                                Duration duration,
+                                                const jobspec::Jobspec& js);
+
+  graph::ResourceGraph& g_;
+  VertexId root_;
+  const MatchPolicy& policy_;
+  std::unordered_map<JobId, JobRecord> jobs_;
+  std::map<TimePoint, int> release_times_;
+  TraverserStats stats_;
+};
+
+}  // namespace fluxion::traverser

@@ -1,0 +1,20 @@
+#include "util/expected.hpp"
+
+namespace fluxion::util {
+
+const char* errc_name(Errc c) noexcept {
+  switch (c) {
+    case Errc::ok: return "ok";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::out_of_range: return "out_of_range";
+    case Errc::not_found: return "not_found";
+    case Errc::exists: return "exists";
+    case Errc::unsatisfiable: return "unsatisfiable";
+    case Errc::resource_busy: return "resource_busy";
+    case Errc::parse_error: return "parse_error";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace fluxion::util

@@ -1,0 +1,104 @@
+// Minimal expected<T, E> substitute for toolchains without std::expected.
+//
+// Fluxion APIs that can fail return util::Expected<T> carrying either the
+// value or a util::Error {code, message}. Error codes mirror the categories
+// flux-sched reports through errno + error strings.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fluxion::util {
+
+enum class Errc {
+  ok = 0,
+  invalid_argument,   // malformed input (jobspec, recipe, query args)
+  out_of_range,       // time or amount outside the planner horizon
+  not_found,          // unknown id (span, job, vertex, subsystem)
+  exists,             // duplicate id on insert
+  unsatisfiable,      // request can never be satisfied by this graph
+  resource_busy,      // request satisfiable but not at the requested time
+  parse_error,        // YAML / GRUG syntax error
+  internal,           // invariant violation; indicates a bug
+};
+
+/// Human-readable name of an error code (stable, for logs and tests).
+const char* errc_name(Errc c) noexcept;
+
+struct Error {
+  Errc code = Errc::internal;
+  std::string message;
+
+  Error() = default;
+  Error(Errc c, std::string msg) : code(c), message(std::move(msg)) {}
+};
+
+/// Either a T or an Error. Deliberately tiny: only what the library needs.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Error err) : storage_(std::in_place_index<1>, std::move(err)) {}
+  Expected(Errc code, std::string msg)
+      : storage_(std::in_place_index<1>, Error{code, std::move(msg)}) {}
+
+  bool has_value() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  T& value() & {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  const T& value() const& {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(storage_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  const Error& error() const& {
+    assert(!has_value());
+    return std::get<1>(storage_);
+  }
+
+  T value_or(T fallback) const& {
+    return has_value() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Expected<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error err) : error_(std::move(err)), failed_(true) {}
+  Status(Errc code, std::string msg)
+      : error_(code, std::move(msg)), failed_(true) {}
+
+  static Status ok() { return Status{}; }
+
+  bool has_value() const noexcept { return !failed_; }
+  explicit operator bool() const noexcept { return !failed_; }
+
+  const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  Error error_{Errc::ok, ""};
+  bool failed_ = false;
+};
+
+}  // namespace fluxion::util

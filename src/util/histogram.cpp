@@ -1,0 +1,83 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace fluxion::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(bins)),
+      bins_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((value - lo_) / width_);
+  if (idx >= bins_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++bins_[idx];
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cum + static_cast<double>(bins_[i]);
+    if (target <= next && bins_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(bins_[i]);
+      // Clamp to the observed range: interpolation may overshoot the true
+      // maximum within the last occupied bin.
+      return std::clamp(bin_lo(i) + frac * width_, min_, max_);
+    }
+    cum = next;
+  }
+  return max_;
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::uint64_t peak = 1;
+  for (auto b : bins_) peak = std::max(peak, b);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(bins_[i]) * bar_width /
+                     static_cast<double>(peak)));
+    std::snprintf(line, sizeof line, "%12.2f..%-12.2f %8llu ", bin_lo(i),
+                  bin_lo(i + 1),
+                  static_cast<unsigned long long>(bins_[i]));
+    out += line;
+    out.append(std::max<std::size_t>(bar, 1), '#');
+    out += "\n";
+  }
+  if (underflow_ > 0) {
+    out += "  underflow: " + std::to_string(underflow_) + "\n";
+  }
+  if (overflow_ > 0) {
+    out += "  overflow: " + std::to_string(overflow_) + "\n";
+  }
+  return out;
+}
+
+}  // namespace fluxion::util

@@ -1,0 +1,50 @@
+// Small fixed-bin histogram used by the analysis tooling and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fluxion::util {
+
+/// Histogram over [lo, hi) with `bins` equal-width buckets plus underflow
+/// and overflow counters. Also tracks count/min/max/mean exactly.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  std::size_t count() const noexcept { return count_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  const std::vector<std::uint64_t>& bins() const noexcept { return bins_; }
+  double bin_lo(std::size_t i) const noexcept {
+    return lo_ + width_ * static_cast<double>(i);
+  }
+
+  /// Approximate quantile (q in [0,1]) from the binned counts; exact at
+  /// bin boundaries, linear within a bin.
+  double quantile(double q) const;
+
+  /// ASCII rendering: one row per non-empty bin with a proportional bar.
+  std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::size_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace fluxion::util

@@ -1,0 +1,27 @@
+#include "util/interner.hpp"
+
+#include <cassert>
+
+namespace fluxion::util {
+
+InternId Interner::intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  const InternId id = static_cast<InternId>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<InternId> Interner::find(std::string_view s) const {
+  auto it = ids_.find(std::string(s));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Interner::name(InternId id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace fluxion::util

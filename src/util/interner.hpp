@@ -1,0 +1,37 @@
+// String interner: maps identifiers (resource type names, subsystem names,
+// relation names) to small dense integer ids so hot paths compare ints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace fluxion::util {
+
+/// Dense id handed out by an Interner. Id 0 is always valid once any string
+/// has been interned; callers use kInvalidIntern for "no id".
+using InternId = std::uint32_t;
+inline constexpr InternId kInvalidIntern = UINT32_MAX;
+
+class Interner {
+ public:
+  /// Intern s, returning its dense id (existing or freshly assigned).
+  InternId intern(std::string_view s);
+
+  /// Look up an already-interned string; nullopt if unseen.
+  std::optional<InternId> find(std::string_view s) const;
+
+  /// The string for an id. Precondition: id < size().
+  const std::string& name(InternId id) const;
+
+  std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, InternId> ids_;
+};
+
+}  // namespace fluxion::util

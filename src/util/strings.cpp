@@ -1,0 +1,103 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace fluxion::util {
+
+namespace {
+bool is_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+         c == '\v';
+}
+}  // namespace
+
+std::string_view trim(std::string_view s) noexcept {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      std::size_t end = i;
+      if (end > start && text[end - 1] == '\r') --end;
+      out.push_back(text.substr(start, end - start));
+      start = i + 1;
+    }
+  }
+  if (start < text.size()) {
+    std::size_t end = text.size();
+    if (end > start && text[end - 1] == '\r') --end;
+    out.push_back(text.substr(start, end - start));
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view s) noexcept {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view s) noexcept {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  // std::from_chars for double is available in libstdc++ 11+.
+  double value = 0.0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::size_t indent_of(std::string_view line) noexcept {
+  std::size_t n = 0;
+  while (n < line.size() && line[n] == ' ') ++n;
+  return n;
+}
+
+bool is_identifier(std::string_view s) noexcept {
+  if (s.empty()) return false;
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace fluxion::util

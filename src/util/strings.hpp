@@ -1,0 +1,38 @@
+// Small string helpers shared by the YAML, GRUG and jobspec parsers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fluxion::util {
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Split on a delimiter character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Split into lines; handles both "\n" and "\r\n", no trailing empty line
+/// for a final newline.
+std::vector<std::string_view> split_lines(std::string_view text);
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Parse a signed 64-bit integer; rejects trailing garbage.
+std::optional<std::int64_t> parse_i64(std::string_view s) noexcept;
+
+/// Parse a double; rejects trailing garbage.
+std::optional<double> parse_double(std::string_view s) noexcept;
+
+/// Number of leading spaces (tabs are rejected by callers before this).
+std::size_t indent_of(std::string_view line) noexcept;
+
+/// True if s consists only of [A-Za-z0-9_-] and is non-empty; used to
+/// validate resource type and subsystem identifiers.
+bool is_identifier(std::string_view s) noexcept;
+
+}  // namespace fluxion::util

@@ -1,0 +1,35 @@
+// Scheduler time model.
+//
+// Fluxion plans in integral "time units" (the paper uses seconds). All
+// planner and queue APIs speak TimePoint / Duration; the simulated clock in
+// queue/ advances TimePoint values, never wall time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fluxion::util {
+
+using TimePoint = std::int64_t;
+using Duration = std::int64_t;
+
+inline constexpr TimePoint kMaxTime = std::numeric_limits<TimePoint>::max();
+
+/// 12 hours in seconds — the planner horizon the paper's §6.2 setup uses.
+inline constexpr Duration kTwelveHours = 12 * 60 * 60;
+
+/// A half-open time window [start, start + duration).
+struct TimeWindow {
+  TimePoint start = 0;
+  Duration duration = 0;
+
+  TimePoint end() const noexcept { return start + duration; }
+  bool contains(TimePoint t) const noexcept {
+    return t >= start && t < end();
+  }
+  bool overlaps(const TimeWindow& other) const noexcept {
+    return start < other.end() && other.start < end();
+  }
+};
+
+}  // namespace fluxion::util

@@ -1,0 +1,63 @@
+#include "writers/dot.hpp"
+
+#include <map>
+
+#include "writers/json.hpp"  // escape()
+
+namespace fluxion::writers {
+
+namespace {
+
+std::string emit(const graph::ResourceGraph& g,
+                 const std::map<graph::VertexId,
+                                const traverser::ResourceUnit*>& selected) {
+  std::string out = "digraph fluxion {\n  rankdir=TB;\n"
+                    "  node [shape=box, fontname=\"monospace\"];\n";
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+    const graph::Vertex& vx = g.vertex(v);
+    if (!vx.alive) continue;
+    // Escape the name first; the DOT line break "\n" must stay literal.
+    std::string label = escape(vx.name);
+    if (vx.size != 1) label += "\\n[" + std::to_string(vx.size) + "]";
+    std::string attrs = "label=\"" + label + "\"";
+    if (auto it = selected.find(v); it != selected.end()) {
+      attrs += ", style=filled, fillcolor=lightblue";
+      if (it->second->exclusive) attrs += ", peripheries=2";
+      if (it->second->units != vx.size) {
+        attrs += ", xlabel=\"" + std::to_string(it->second->units) + "\"";
+      }
+    }
+    out += "  v" + std::to_string(v) + " [" + attrs + "];\n";
+  }
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (!g.vertex(v).alive) continue;
+    for (const graph::Edge& e : g.out_edges(v)) {
+      if (!g.vertex(e.dst).alive) continue;
+      if (e.relation == g.in_rel()) continue;  // skip reverse edges
+      std::string attrs;
+      if (e.subsystem != g.containment()) {
+        attrs = " [style=dashed, label=\"" +
+                escape(g.subsystem_name(e.subsystem)) + "\"]";
+      }
+      out += "  v" + std::to_string(v) + " -> v" + std::to_string(e.dst) +
+             attrs + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
+
+std::string graph_to_dot(const graph::ResourceGraph& g) {
+  return emit(g, {});
+}
+
+std::string match_to_dot(const graph::ResourceGraph& g,
+                         const traverser::MatchResult& result) {
+  std::map<graph::VertexId, const traverser::ResourceUnit*> selected;
+  for (const auto& ru : result.resources) selected[ru.vertex] = &ru;
+  return emit(g, selected);
+}
+
+}  // namespace fluxion::writers

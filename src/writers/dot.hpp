@@ -1,0 +1,22 @@
+// Graphviz DOT writer: visualise a resource graph (all subsystems) or a
+// match. `dot -Tsvg` the output to see the paper's Figure 1/5-style
+// diagrams for your own systems.
+#pragma once
+
+#include <string>
+
+#include "graph/resource_graph.hpp"
+#include "traverser/traverser.hpp"
+
+namespace fluxion::writers {
+
+/// The whole live graph; containment edges solid, other subsystems dashed
+/// and labelled.
+std::string graph_to_dot(const graph::ResourceGraph& g);
+
+/// As graph_to_dot, with the match's claimed vertices highlighted
+/// (filled; doubled border for exclusive claims).
+std::string match_to_dot(const graph::ResourceGraph& g,
+                         const traverser::MatchResult& result);
+
+}  // namespace fluxion::writers

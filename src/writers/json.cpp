@@ -1,0 +1,130 @@
+#include "writers/json.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace fluxion::writers {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Json& Json::set(std::string key, Json value) {
+  assert(is_object());
+  std::get<Members>(value_).emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  assert(is_array());
+  std::get<Items>(value_).push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  if (is_object()) return std::get<Members>(value_).size();
+  if (is_array()) return std::get<Items>(value_).size();
+  return 0;
+}
+
+void Json::emit(std::string& out, int indent, bool pretty) const {
+  const std::string pad =
+      pretty ? std::string(static_cast<std::size_t>(indent) * 2, ' ') : "";
+  const std::string child_pad =
+      pretty ? std::string((static_cast<std::size_t>(indent) + 1) * 2, ' ')
+             : "";
+  const char* nl = pretty ? "\n" : "";
+  struct Visitor {
+    std::string& out;
+    int indent;
+    bool pretty;
+    const std::string& pad;
+    const std::string& child_pad;
+    const char* nl;
+
+    void operator()(std::nullptr_t) const { out += "null"; }
+    void operator()(bool b) const { out += b ? "true" : "false"; }
+    void operator()(std::int64_t i) const { out += std::to_string(i); }
+    void operator()(double d) const {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      out += buf;
+    }
+    void operator()(const std::string& s) const {
+      out += '"';
+      out += escape(s);
+      out += '"';
+    }
+    void operator()(const Items& items) const {
+      if (items.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        out += child_pad;
+        items[i].emit(out, indent + 1, pretty);
+        if (i + 1 < items.size()) out += ',';
+        out += nl;
+      }
+      out += pad;
+      out += ']';
+    }
+    void operator()(const Members& members) const {
+      if (members.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        out += child_pad;
+        out += '"';
+        out += escape(members[i].first);
+        out += pretty ? "\": " : "\":";
+        members[i].second.emit(out, indent + 1, pretty);
+        if (i + 1 < members.size()) out += ',';
+        out += nl;
+      }
+      out += pad;
+      out += '}';
+    }
+  };
+  std::visit(Visitor{out, indent, pretty, pad, child_pad, nl}, value_);
+}
+
+std::string Json::dump() const {
+  std::string out;
+  emit(out, 0, false);
+  return out;
+}
+
+std::string Json::pretty() const {
+  std::string out;
+  emit(out, 0, true);
+  return out;
+}
+
+}  // namespace fluxion::writers

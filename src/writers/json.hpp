@@ -1,0 +1,78 @@
+// Minimal JSON value model + emitter for the match writers.
+//
+// Only what JGF and R-lite emission need: objects (ordered), arrays,
+// strings, integers, doubles, booleans, null. Emits compact or
+// pretty-printed UTF-8 with correct string escaping.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace fluxion::writers {
+
+class Json;
+using JsonMember = std::pair<std::string, Json>;
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(std::int64_t i) : value_(i) {}
+  Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(std::uint32_t i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(double d) : value_(d) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+
+  static Json object() {
+    Json j;
+    j.value_ = Members{};
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.value_ = Items{};
+    return j;
+  }
+
+  bool is_object() const {
+    return std::holds_alternative<Members>(value_);
+  }
+  bool is_array() const { return std::holds_alternative<Items>(value_); }
+
+  /// Append a member (objects keep insertion order; duplicate keys are the
+  /// caller's bug). Returns *this for chaining.
+  Json& set(std::string key, Json value);
+
+  /// Append an array element.
+  Json& push(Json value);
+
+  std::size_t size() const;
+
+  /// Compact rendering.
+  std::string dump() const;
+
+  /// Indented rendering (2 spaces).
+  std::string pretty() const;
+
+ private:
+  using Members = std::vector<JsonMember>;
+  using Items = std::vector<Json>;
+  void emit(std::string& out, int indent, bool pretty) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               Items, Members>
+      value_;
+};
+
+/// JSON string escaping (control chars, quotes, backslash).
+std::string escape(std::string_view s);
+
+}  // namespace fluxion::writers

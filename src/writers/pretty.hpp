@@ -1,0 +1,23 @@
+// Pretty writer: render a match as an indented containment tree, the way
+// the paper's resource-query prints selections for humans:
+//
+//   cluster0
+//     rack0
+//       node3*
+//         core[22]*
+//         memory[8]
+//
+// '*' marks exclusive claims; [n] shows claimed units for pools.
+#pragma once
+
+#include <string>
+
+#include "graph/resource_graph.hpp"
+#include "traverser/traverser.hpp"
+
+namespace fluxion::writers {
+
+std::string match_to_pretty(const graph::ResourceGraph& g,
+                            const traverser::MatchResult& result);
+
+}  // namespace fluxion::writers

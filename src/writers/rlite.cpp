@@ -1,0 +1,65 @@
+#include "writers/rlite.hpp"
+
+#include <map>
+
+namespace fluxion::writers {
+
+namespace {
+
+/// Nearest ancestor (or self) of node type; kInvalidVertex when none.
+graph::VertexId owning_node(const graph::ResourceGraph& g,
+                            graph::VertexId v) {
+  const auto node_type = g.find_type("node");
+  if (!node_type) return graph::kInvalidVertex;
+  for (graph::VertexId a = v; a != graph::kInvalidVertex;
+       a = g.vertex(a).containment_parent) {
+    if (g.vertex(a).type == *node_type) return a;
+  }
+  return graph::kInvalidVertex;
+}
+
+}  // namespace
+
+Json match_to_rlite(const graph::ResourceGraph& g,
+                    const traverser::MatchResult& result) {
+  // node vertex -> (child type -> units); node units themselves tracked
+  // separately so exclusive whole-node claims still list the node.
+  std::map<std::string, std::map<std::string, std::int64_t>> groups;
+  for (const auto& ru : result.resources) {
+    const graph::VertexId node = owning_node(g, ru.vertex);
+    const std::string group =
+        node == graph::kInvalidVertex ? "global" : g.vertex(node).path;
+    const graph::Vertex& vx = g.vertex(ru.vertex);
+    if (ru.vertex == node) continue;  // the node row itself is implied
+    groups[group][g.type_name(vx.type)] += ru.units;
+  }
+  // Ensure whole-node claims with no child claims still show up.
+  for (const auto& ru : result.resources) {
+    const graph::VertexId node = owning_node(g, ru.vertex);
+    if (node == ru.vertex) groups.try_emplace(g.vertex(node).path);
+  }
+
+  Json rlite = Json::array();
+  for (const auto& [group, children] : groups) {
+    Json kids = Json::object();
+    for (const auto& [type, units] : children) kids.set(type, units);
+    Json row = Json::object();
+    row.set(group == "global" ? "group" : "node", group)
+        .set("children", std::move(kids));
+    rlite.push(std::move(row));
+  }
+  Json execution = Json::object();
+  execution.set("R_lite", std::move(rlite))
+      .set("starttime", result.at)
+      .set("expiration", result.at + result.duration);
+  Json root = Json::object();
+  root.set("version", 1).set("execution", std::move(execution));
+  return root;
+}
+
+std::string match_rlite_string(const graph::ResourceGraph& g,
+                               const traverser::MatchResult& result) {
+  return match_to_rlite(g, result).pretty();
+}
+
+}  // namespace fluxion::writers

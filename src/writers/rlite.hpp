@@ -1,0 +1,32 @@
+// R-lite writer: the compact resource-set format (RV1) a resource manager
+// consumes to contain, bind and execute processes (paper Figure 1c step 7).
+//
+// Shape (a simplified RV1):
+//   {
+//     "version": 1,
+//     "execution": {
+//       "R_lite": [ {"node": "/cluster0/rack0/node3",
+//                    "children": {"core": 10, "memory": 8}} , ...],
+//       "starttime": 0, "expiration": 3600
+//     }
+//   }
+//
+// Claims are grouped under their owning node vertex; claims outside any
+// node (e.g. cluster-level storage) appear in a top-level "global" group.
+#pragma once
+
+#include <string>
+
+#include "graph/resource_graph.hpp"
+#include "traverser/traverser.hpp"
+#include "writers/json.hpp"
+
+namespace fluxion::writers {
+
+Json match_to_rlite(const graph::ResourceGraph& g,
+                    const traverser::MatchResult& result);
+
+std::string match_rlite_string(const graph::ResourceGraph& g,
+                               const traverser::MatchResult& result);
+
+}  // namespace fluxion::writers

@@ -1,0 +1,151 @@
+// Node-centric baseline: unit tests + the cross-validation property —
+// for whole-node workloads under low-id, the graph matcher and the
+// baseline must produce byte-identical schedules.
+#include "baseline/node_centric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grug/grug.hpp"
+#include "jobspec/jobspec.hpp"
+#include "policy/policies.hpp"
+#include "traverser/traverser.hpp"
+#include "util/rng.hpp"
+
+namespace fluxion::baseline {
+namespace {
+
+using util::Errc;
+
+TEST(NodeCentric, AllocateFirstFitLowestIndex) {
+  NodeCentricScheduler s(4, 1000);
+  auto a = s.allocate(2, 100, 0, 1);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->nodes, (std::vector<int>{0, 1}));
+  auto b = s.allocate(2, 100, 0, 2);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->nodes, (std::vector<int>{2, 3}));
+  EXPECT_FALSE(s.allocate(1, 100, 0, 3));
+  EXPECT_EQ(s.free_nodes_during(0, 100), 0);
+  EXPECT_EQ(s.free_nodes_during(100, 100), 4);
+}
+
+TEST(NodeCentric, ReserveFindsEarliestEnd) {
+  NodeCentricScheduler s(4, 10000);
+  ASSERT_TRUE(s.allocate(4, 100, 0, 1));
+  auto r = s.allocate_orelse_reserve(2, 50, 0, 2);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->start, 100);
+  EXPECT_TRUE(r->reserved);
+}
+
+TEST(NodeCentric, CancelFrees) {
+  NodeCentricScheduler s(2, 1000);
+  auto a = s.allocate(2, 100, 0, 1);
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(s.cancel(1));
+  EXPECT_TRUE(s.allocate(2, 100, 0, 2));
+  EXPECT_FALSE(s.cancel(1));
+}
+
+TEST(NodeCentric, ErrorCases) {
+  NodeCentricScheduler s(2, 100);
+  EXPECT_EQ(s.allocate(3, 10, 0, 1).error().code, Errc::unsatisfiable);
+  EXPECT_EQ(s.allocate(0, 10, 0, 1).error().code, Errc::invalid_argument);
+  EXPECT_EQ(s.allocate(1, 200, 0, 1).error().code, Errc::out_of_range);
+  ASSERT_TRUE(s.allocate(1, 10, 0, 1));
+  EXPECT_EQ(s.allocate(1, 10, 0, 1).error().code, Errc::invalid_argument);
+}
+
+// --- cross-validation against the graph matcher -----------------------------
+
+class CrossValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossValidation, GraphMatcherEqualsNodeCentricOnWholeNodeJobs) {
+  constexpr int kNodes = 12;
+  constexpr util::Duration kHorizon = 1 << 16;
+  graph::ResourceGraph g(0, kHorizon);
+  auto recipe = grug::parse(
+      "filters node core\nfilter-at cluster\n"
+      "cluster count=1\n  node count=" + std::to_string(kNodes) +
+      "\n    core count=4\n");
+  ASSERT_TRUE(recipe);
+  auto root = grug::build(g, *recipe);
+  ASSERT_TRUE(root);
+  policy::LowIdPolicy pol;
+  traverser::Traverser trav(g, *root, pol);
+  NodeCentricScheduler base(kNodes, kHorizon);
+  const auto nodes = g.vertices_of_type(*g.find_type("node"));
+
+  util::Rng rng(GetParam());
+  std::vector<traverser::JobId> live;
+  traverser::JobId next = 1;
+  util::TimePoint now = 0;
+  for (int step = 0; step < 400; ++step) {
+    const double dice = rng.uniform01();
+    if (dice < 0.55 || live.empty()) {
+      const int want = static_cast<int>(rng.uniform(1, kNodes + 1));
+      const util::Duration d = rng.uniform(1, 100);
+      const bool reserve = rng.chance(0.5);
+      auto js = jobspec::make(
+          {jobspec::slot(want, {jobspec::xres("node", 1,
+                                              {jobspec::res("core", 4)})})},
+          d);
+      ASSERT_TRUE(js);
+      auto rg = trav.match(*js,
+                           reserve
+                               ? traverser::MatchOp::allocate_orelse_reserve
+                               : traverser::MatchOp::allocate,
+                           now, next);
+      auto rb = reserve ? base.allocate_orelse_reserve(want, d, now, next)
+                        : base.allocate(want, d, now, next);
+      ASSERT_EQ(static_cast<bool>(rg), static_cast<bool>(rb))
+          << "step " << step << " want=" << want << " d=" << d
+          << " now=" << now << " reserve=" << reserve
+          << (rg ? "" : (" graph: " + rg.error().message))
+          << (rb ? "" : (" base: " + rb.error().message));
+      if (rg) {
+        ASSERT_EQ(rg->at, rb->start) << "step " << step;
+        // Same node sets: map baseline indices onto graph vertices.
+        std::vector<int> picked;
+        for (const auto& ru : rg->resources) {
+          if (g.type_name(g.vertex(ru.vertex).type) != "node") continue;
+          for (int i = 0; i < kNodes; ++i) {
+            if (nodes[static_cast<std::size_t>(i)] == ru.vertex) {
+              picked.push_back(i);
+            }
+          }
+        }
+        std::sort(picked.begin(), picked.end());
+        ASSERT_EQ(picked, rb->nodes) << "step " << step;
+        live.push_back(next);
+      }
+      ++next;
+    } else if (dice < 0.8) {
+      const auto i = rng.index(live.size());
+      ASSERT_TRUE(trav.cancel(live[i]));
+      ASSERT_TRUE(base.cancel(live[i]));
+      live[i] = live.back();
+      live.pop_back();
+    } else {
+      now += rng.uniform(1, 40);
+      std::vector<traverser::JobId> still;
+      for (auto id : live) {
+        const auto* r = trav.find_job(id);
+        if (r->at + r->duration <= now) {
+          ASSERT_TRUE(trav.cancel(id));
+          ASSERT_TRUE(base.cancel(id));
+        } else {
+          still.push_back(id);
+        }
+      }
+      live = std::move(still);
+    }
+  }
+  EXPECT_EQ(trav.job_count(), base.job_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossValidation,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace fluxion::baseline

@@ -1,0 +1,130 @@
+// C ABI tests: drive the REAPI exactly as a foreign embedder would.
+#include "capi/reapi.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+constexpr const char* kGrug =
+    "filters core\nfilter-at cluster\n"
+    "cluster count=1\n  node count=2\n    core count=4\n";
+
+constexpr const char* kJobspec =
+    "resources:\n"
+    "  - type: node\n"
+    "    count: 1\n"
+    "    with:\n"
+    "      - type: slot\n"
+    "        count: 1\n"
+    "        with:\n"
+    "          - type: core\n"
+    "            count: 4\n"
+    "attributes:\n"
+    "  system:\n"
+    "    duration: 100\n";
+
+class ReapiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char* err = nullptr;
+    ctx = reapi_create(kGrug, "low-id", &err);
+    ASSERT_NE(ctx, nullptr) << (err != nullptr ? err : "?");
+    reapi_free_string(err);
+  }
+  void TearDown() override { reapi_destroy(ctx); }
+  reapi_ctx_t* ctx = nullptr;
+};
+
+TEST_F(ReapiTest, CreateRejectsBadInputs) {
+  char* err = nullptr;
+  EXPECT_EQ(reapi_create(nullptr, nullptr, &err), nullptr);
+  reapi_free_string(err);
+  err = nullptr;
+  EXPECT_EQ(reapi_create("bogus ###", nullptr, &err), nullptr);
+  ASSERT_NE(err, nullptr);
+  EXPECT_NE(std::string(err).find("grug"), std::string::npos);
+  reapi_free_string(err);
+  err = nullptr;
+  EXPECT_EQ(reapi_create(kGrug, "no-such-policy", &err), nullptr);
+  reapi_free_string(err);
+}
+
+TEST_F(ReapiTest, MatchAllocateAndCancel) {
+  uint64_t job = 0;
+  int64_t at = -1;
+  int reserved = -1;
+  char* rlite = nullptr;
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &job, &at,
+                        &reserved, &rlite),
+            REAPI_OK);
+  EXPECT_EQ(at, 0);
+  EXPECT_EQ(reserved, 0);
+  ASSERT_NE(rlite, nullptr);
+  EXPECT_NE(std::string(rlite).find("\"core\":4"), std::string::npos);
+  reapi_free_string(rlite);
+  EXPECT_EQ(reapi_job_count(ctx), 1u);
+  EXPECT_EQ(reapi_cancel(ctx, job), REAPI_OK);
+  EXPECT_EQ(reapi_job_count(ctx), 0u);
+  EXPECT_EQ(reapi_cancel(ctx, job), REAPI_ENOENT);
+}
+
+TEST_F(ReapiTest, BusyThenReserve) {
+  uint64_t a = 0, b = 0, c = 0;
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &a, nullptr,
+                        nullptr, nullptr),
+            REAPI_OK);
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &b, nullptr,
+                        nullptr, nullptr),
+            REAPI_OK);
+  EXPECT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &c, nullptr,
+                        nullptr, nullptr),
+            REAPI_EBUSY);
+  int64_t at = -1;
+  int reserved = -1;
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE_ORELSE_RESERVE, kJobspec,
+                        0, &c, &at, &reserved, nullptr),
+            REAPI_OK);
+  EXPECT_EQ(at, 100);
+  EXPECT_EQ(reserved, 1);
+}
+
+TEST_F(ReapiTest, InfoRoundTrip) {
+  uint64_t job = 0;
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &job,
+                        nullptr, nullptr, nullptr),
+            REAPI_OK);
+  int64_t at = -1, duration = -1;
+  int reserved = -1;
+  ASSERT_EQ(reapi_info(ctx, job, &at, &duration, &reserved), REAPI_OK);
+  EXPECT_EQ(at, 0);
+  EXPECT_EQ(duration, 100);
+  EXPECT_EQ(reserved, 0);
+  EXPECT_EQ(reapi_info(ctx, job + 5, nullptr, nullptr, nullptr),
+            REAPI_ENOENT);
+}
+
+TEST_F(ReapiTest, SatisfiabilityAndErrors) {
+  EXPECT_EQ(reapi_match(ctx, REAPI_MATCH_SATISFIABILITY, kJobspec, 0,
+                        nullptr, nullptr, nullptr, nullptr),
+            REAPI_OK);
+  const char* too_big =
+      "resources:\n"
+      "  - type: slot\n"
+      "    with:\n"
+      "      - type: node\n"
+      "        count: 3\n"
+      "        exclusive: true\n";
+  EXPECT_EQ(reapi_match(ctx, REAPI_MATCH_SATISFIABILITY, too_big, 0, nullptr,
+                        nullptr, nullptr, nullptr),
+            REAPI_ENOTSUP);
+  EXPECT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, "not yaml: [", 0, nullptr,
+                        nullptr, nullptr, nullptr),
+            REAPI_EINVAL);
+  EXPECT_EQ(reapi_match(nullptr, REAPI_MATCH_ALLOCATE, kJobspec, 0, nullptr,
+                        nullptr, nullptr, nullptr),
+            REAPI_EINVAL);
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// ResourceQuery facade + end-to-end integration tests across all modules.
+#include "core/resource_query.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grug/recipes.hpp"
+#include "queue/job_queue.hpp"
+#include "sim/perf_classes.hpp"
+#include "sim/workload.hpp"
+
+namespace fluxion::core {
+namespace {
+
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+using util::Errc;
+
+constexpr const char* kRecipe = R"(
+filters core memory
+filter-at cluster rack
+cluster count=1
+  rack count=2
+    node count=4
+      core count=8
+      memory count=4 size=16
+)";
+
+TEST(ResourceQuery, CreateFromText) {
+  auto rq = ResourceQuery::create_from_text(kRecipe);
+  ASSERT_TRUE(rq) << rq.error().message;
+  EXPECT_EQ((*rq)->graph().live_vertex_count(), 1u + 2 + 8 + 8 * 12);
+  EXPECT_EQ((*rq)->policy().name(), "low-id");
+}
+
+TEST(ResourceQuery, CreateRejectsBadRecipeAndPolicy) {
+  EXPECT_FALSE(ResourceQuery::create_from_text("nonsense recipe ##"));
+  Options opt;
+  opt.policy = "does-not-exist";
+  EXPECT_FALSE(ResourceQuery::create_from_text(kRecipe, opt));
+}
+
+TEST(ResourceQuery, MatchAllocateFromYaml) {
+  auto rq = ResourceQuery::create_from_text(kRecipe);
+  ASSERT_TRUE(rq);
+  const char* yaml =
+      "version: 1\n"
+      "resources:\n"
+      "  - type: node\n"
+      "    count: 1\n"
+      "    with:\n"
+      "      - type: slot\n"
+      "        count: 1\n"
+      "        with:\n"
+      "          - type: core\n"
+      "            count: 4\n"
+      "          - type: memory\n"
+      "            count: 32\n"
+      "attributes:\n"
+      "  system:\n"
+      "    duration: 600\n";
+  auto r = (*rq)->match_allocate_yaml(yaml);
+  ASSERT_TRUE(r) << r.error().message;
+  EXPECT_FALSE(r->reserved);
+  const std::string rendered = (*rq)->render(*r);
+  EXPECT_NE(rendered.find("core"), std::string::npos);
+  EXPECT_NE(rendered.find("/cluster0/rack0/node0"), std::string::npos);
+}
+
+TEST(ResourceQuery, RenderMarksExclusiveAndReserved) {
+  auto rq = ResourceQuery::create_from_text(kRecipe);
+  ASSERT_TRUE(rq);
+  auto fill = make({slot(1, {xres("node", 8)})}, 100);
+  ASSERT_TRUE(fill);
+  auto r1 = (*rq)->match_allocate(*fill);
+  ASSERT_TRUE(r1);
+  auto r2 = (*rq)->match_allocate_orelse_reserve(*fill);
+  ASSERT_TRUE(r2);
+  EXPECT_TRUE(r2->reserved);
+  const std::string s = (*rq)->render(*r2);
+  EXPECT_NE(s.find("(reserved)"), std::string::npos);
+  EXPECT_NE(s.find("]*"), std::string::npos);
+}
+
+TEST(ResourceQuery, CancelFreesResources) {
+  auto rq = ResourceQuery::create_from_text(kRecipe);
+  ASSERT_TRUE(rq);
+  auto fill = make({slot(1, {xres("node", 8)})}, 100);
+  ASSERT_TRUE(fill);
+  auto r = (*rq)->match_allocate(*fill);
+  ASSERT_TRUE(r);
+  EXPECT_FALSE((*rq)->match_allocate(*fill));
+  ASSERT_TRUE((*rq)->cancel(r->job));
+  EXPECT_TRUE((*rq)->match_allocate(*fill));
+}
+
+TEST(ResourceQuery, SatisfiabilityDoesNotCommit) {
+  auto rq = ResourceQuery::create_from_text(kRecipe);
+  ASSERT_TRUE(rq);
+  auto js = make({slot(1, {xres("node", 8)})}, 100);
+  ASSERT_TRUE(js);
+  EXPECT_TRUE((*rq)->satisfiability(*js));
+  auto too_big = make({slot(1, {xres("node", 9)})}, 100);
+  ASSERT_TRUE(too_big);
+  auto sat = (*rq)->satisfiability(*too_big);
+  ASSERT_FALSE(sat);
+  EXPECT_EQ(sat.error().code, Errc::unsatisfiable);
+  EXPECT_EQ((*rq)->traverser().job_count(), 0u);
+}
+
+TEST(Integration, LodRecipesMatchUntilFull) {
+  // Miniature §6.1: allocate "10 cores + 8 memory per node" jobs until the
+  // system is full; every LOD variant must admit the same number of jobs
+  // because capacity is LOD-invariant.
+  const int racks = 2, nodes = 3;
+  std::vector<grug::Recipe> variants = {
+      grug::recipes::high_lod(true, racks, nodes),
+      grug::recipes::med_lod(true, racks, nodes),
+      grug::recipes::low2_lod(true, racks, nodes),
+      grug::recipes::low_lod(true, racks * nodes),
+  };
+  auto js = make({res("node", 1, {slot(1, {res("core", 10),
+                                           res("memory", 8)})})},
+                 1000);
+  ASSERT_TRUE(js);
+  std::vector<int> admitted;
+  for (const auto& recipe : variants) {
+    auto rq = ResourceQuery::create(recipe);
+    ASSERT_TRUE(rq);
+    int count = 0;
+    while ((*rq)->match_allocate(*js)) ++count;
+    admitted.push_back(count);
+    EXPECT_TRUE((*rq)->traverser().verify_filters());
+  }
+  // 40 cores/node -> 4 jobs per node -> 24 jobs, at every LOD.
+  for (int count : admitted) EXPECT_EQ(count, 4 * racks * nodes);
+}
+
+TEST(Integration, VariationAwareEndToEnd) {
+  // Quartz-mini with classes; variation-aware jobs should have fom == 0
+  // wherever a single class can host them.
+  Options opt;
+  opt.policy = "variation-aware";
+  auto rq = ResourceQuery::create(grug::recipes::quartz(true, 2, 10, 4), opt);
+  ASSERT_TRUE(rq) << rq.error().message;
+  util::Rng rng(5);
+  const auto classes =
+      sim::classes_from_tnorm(sim::synthesize_tnorm(20, rng));
+  ASSERT_TRUE(sim::apply_performance_classes((*rq)->graph(), classes));
+  auto js = sim::trace_jobspec({3, 100}, 4);
+  ASSERT_TRUE(js);
+  auto r = (*rq)->match_allocate(*js);
+  ASSERT_TRUE(r) << r.error().message;
+  EXPECT_EQ(sim::figure_of_merit((*rq)->graph(), r->resources), 0);
+}
+
+TEST(Integration, QueueOnTopOfResourceQuery) {
+  auto rq = ResourceQuery::create_from_text(kRecipe);
+  ASSERT_TRUE(rq);
+  queue::JobQueue q((*rq)->traverser(),
+                    queue::QueuePolicy::conservative_backfill);
+  util::Rng rng(17);
+  sim::TraceConfig cfg;
+  cfg.job_count = 30;
+  cfg.max_nodes = 8;
+  cfg.min_duration = 10;
+  cfg.max_duration = 100;
+  for (const auto& tj : sim::generate_trace(cfg, rng)) {
+    auto js = sim::trace_jobspec(tj, 8);
+    ASSERT_TRUE(js);
+    q.submit(*js);
+  }
+  q.run_to_completion();
+  EXPECT_EQ(q.stats().completed + q.stats().rejected, 30u);
+  EXPECT_EQ(q.stats().rejected, 0u);  // max 8 nodes requested, 8 exist
+  EXPECT_TRUE((*rq)->traverser().verify_filters());
+}
+
+TEST(Integration, ElasticGrowThenSchedule) {
+  // §5.5: attach a new rack at runtime and schedule onto it.
+  auto rq = ResourceQuery::create_from_text(kRecipe);
+  ASSERT_TRUE(rq);
+  auto& g = (*rq)->graph();
+  auto fill = make({slot(1, {xres("node", 8)})}, 1000);
+  ASSERT_TRUE(fill);
+  ASSERT_TRUE((*rq)->match_allocate(*fill));
+  auto one = make({slot(1, {xres("node", 1)})}, 10);
+  ASSERT_TRUE(one);
+  EXPECT_FALSE((*rq)->match_allocate(*one));
+  // Grow: new rack with 2 nodes x 8 cores.
+  const auto rack = g.add_vertex("rack", "rack", 2, 1);
+  for (int n = 0; n < 2; ++n) {
+    const auto node = g.add_vertex("node", "node", 8 + n, 1);
+    ASSERT_TRUE(g.add_containment(rack, node));
+    for (int c = 0; c < 8; ++c) {
+      ASSERT_TRUE(g.add_containment(node,
+                                    g.add_vertex("core", "core", c, 1)));
+    }
+  }
+  ASSERT_TRUE(g.attach_subtree((*rq)->root(), rack));
+  EXPECT_TRUE((*rq)->match_allocate(*one));
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Integration, ElasticShrinkBlocksWhenBusy) {
+  auto rq = ResourceQuery::create_from_text(kRecipe);
+  ASSERT_TRUE(rq);
+  auto& g = (*rq)->graph();
+  auto js = make({res("node", 1, {slot(1, {res("core", 1)})})}, 100);
+  ASSERT_TRUE(js);
+  auto r = (*rq)->match_allocate(*js);
+  ASSERT_TRUE(r);
+  const auto racks = g.vertices_of_type(*g.find_type("rack"));
+  // rack0 hosts the job (low-id): busy. rack1 detaches fine.
+  EXPECT_EQ(g.detach_subtree(racks[0]).error().code, Errc::resource_busy);
+  ASSERT_TRUE(g.detach_subtree(racks[1]));
+  EXPECT_TRUE(g.validate());
+  // Capacity halved: an 8-node job is now unsatisfiable.
+  auto big = make({slot(1, {xres("node", 8)})}, 10);
+  ASSERT_TRUE(big);
+  auto sat = (*rq)->satisfiability(*big);
+  EXPECT_FALSE(sat);
+}
+
+}  // namespace
+}  // namespace fluxion::core

@@ -1,0 +1,145 @@
+// Robustness: every parser must reject (never crash, hang or leak
+// invariants on) mutated and adversarial inputs. Deterministic mutation
+// fuzzing — byte flips, truncations, duplications — over valid seeds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "grug/grug.hpp"
+#include "jobspec/jobspec.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+#include "yaml/json.hpp"
+#include "yaml/yaml.hpp"
+
+namespace fluxion {
+namespace {
+
+const std::vector<std::string>& yaml_seeds() {
+  static const std::vector<std::string> seeds = {
+      "version: 1\nresources:\n  - type: slot\n    count: 2\n    with:\n"
+      "      - type: core\n        count: 10\n",
+      "a: [1, {b: c}, 'd']\ne:\n  - f\n  - g: h\n",
+      "k: {x: 1, y: [2, 3]}\n# comment\nz: ~\n",
+  };
+  return seeds;
+}
+
+std::string mutate(const std::string& seed, util::Rng& rng) {
+  std::string s = seed;
+  switch (rng.uniform(0, 4)) {
+    case 0:  // flip a byte
+      if (!s.empty()) {
+        s[rng.index(s.size())] =
+            static_cast<char>(rng.uniform(1, 126));
+      }
+      break;
+    case 1:  // truncate
+      if (!s.empty()) s.resize(rng.index(s.size()));
+      break;
+    case 2:  // duplicate a slice
+      if (s.size() > 2) {
+        const auto from = rng.index(s.size() - 1);
+        const auto len = rng.index(s.size() - from) + 1;
+        s.insert(rng.index(s.size()), s.substr(from, len));
+      }
+      break;
+    case 3:  // inject structural characters
+      s.insert(rng.index(s.size() + 1),
+               std::string(1, "{}[]:-#'\"\n "[rng.index(12)]));
+      break;
+    default:  // delete a slice
+      if (s.size() > 2) {
+        const auto from = rng.index(s.size() - 1);
+        s.erase(from, rng.index(s.size() - from) + 1);
+      }
+      break;
+  }
+  return s;
+}
+
+TEST(ParserRobustness, YamlNeverCrashes) {
+  util::Rng rng(1);
+  for (int i = 0; i < 3000; ++i) {
+    const auto& seed = yaml_seeds()[rng.index(yaml_seeds().size())];
+    const std::string input = mutate(seed, rng);
+    auto r = yaml::parse(input);  // success or error; just no crash
+    if (r && r->is_mapping()) {
+      (void)r->get("resources");
+    }
+  }
+}
+
+TEST(ParserRobustness, JobspecNeverCrashes) {
+  util::Rng rng(2);
+  for (int i = 0; i < 3000; ++i) {
+    const std::string input = mutate(yaml_seeds()[0], rng);
+    auto js = jobspec::Jobspec::from_yaml(input);
+    if (js) {
+      // Anything accepted must satisfy the structural rules.
+      EXPECT_TRUE(js->validate());
+      (void)js->aggregate_counts();
+      (void)js->to_yaml();
+    }
+  }
+}
+
+TEST(ParserRobustness, GrugNeverCrashes) {
+  const std::string seed =
+      "filters core\nfilter-at cluster\n"
+      "cluster count=1\n  rack count=2\n    node count=3 size=1\n";
+  util::Rng rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    const std::string input = mutate(seed, rng);
+    auto r = grug::parse(input);
+    if (r) {
+      EXPECT_GE(grug::vertex_count(*r), 1);
+    }
+  }
+}
+
+TEST(ParserRobustness, JsonNeverCrashes) {
+  const std::string seed =
+      R"({"graph":{"nodes":[{"id":"0","metadata":{"type":"node"}}],)"
+      R"("edges":[]}})";
+  util::Rng rng(4);
+  for (int i = 0; i < 3000; ++i) {
+    const std::string input = mutate(seed, rng);
+    (void)yaml::parse_json(input);
+  }
+}
+
+TEST(ParserRobustness, TraceNeverCrashes) {
+  const std::string seed = "# t\n4 100\n1 50\n256 43200\n";
+  util::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string input = mutate(seed, rng);
+    auto r = sim::parse_trace(input);
+    if (r) {
+      for (const auto& j : *r) {
+        EXPECT_GE(j.nodes, 1);
+        EXPECT_GE(j.duration, 1);
+      }
+    }
+  }
+}
+
+TEST(ParserRobustness, JobspecRoundTripStability) {
+  // Whatever from_yaml accepts, to_yaml must re-parse to the same shape.
+  util::Rng rng(6);
+  int accepted = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string input = mutate(yaml_seeds()[0], rng);
+    auto js = jobspec::Jobspec::from_yaml(input);
+    if (!js) continue;
+    ++accepted;
+    auto again = jobspec::Jobspec::from_yaml(js->to_yaml());
+    ASSERT_TRUE(again) << js->to_yaml();
+    EXPECT_EQ(again->to_yaml(), js->to_yaml());
+  }
+  EXPECT_GT(accepted, 0);
+}
+
+}  // namespace
+}  // namespace fluxion

@@ -1,0 +1,78 @@
+#include "graph/graph_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grug/grug.hpp"
+
+namespace fluxion::graph {
+namespace {
+
+TEST(GraphStats, CountsSmallSystem) {
+  ResourceGraph g(0, 1000);
+  auto recipe = grug::parse(
+      "cluster count=1\n  rack count=2\n    node count=3\n"
+      "      core count=4\n      memory count=2 size=16\n");
+  ASSERT_TRUE(recipe);
+  auto root = grug::build(g, *recipe);
+  ASSERT_TRUE(root);
+  const GraphStats s = compute_stats(g, *root);
+  EXPECT_EQ(s.vertices, 1u + 2 + 6 + 24 + 12);
+  EXPECT_EQ(s.edges, s.vertices - 1);  // a tree
+  EXPECT_EQ(s.depth, 4u);
+  EXPECT_EQ(s.leaves, 24u + 12u);
+  EXPECT_EQ(s.type_vertices.at("core"), 24u);
+  EXPECT_EQ(s.type_units.at("core"), 24);
+  EXPECT_EQ(s.type_vertices.at("memory"), 12u);
+  EXPECT_EQ(s.type_units.at("memory"), 12 * 16);
+}
+
+TEST(GraphStats, SubtreeScoped) {
+  ResourceGraph g(0, 1000);
+  auto recipe = grug::parse(
+      "cluster count=1\n  rack count=2\n    node count=3\n"
+      "      core count=4\n");
+  ASSERT_TRUE(recipe);
+  ASSERT_TRUE(grug::build(g, *recipe));
+  const auto racks = g.vertices_of_type(*g.find_type("rack"));
+  const GraphStats s = compute_stats(g, racks[0]);
+  EXPECT_EQ(s.vertices, 1u + 3 + 12);
+  EXPECT_EQ(s.depth, 3u);
+  EXPECT_EQ(s.type_vertices.count("cluster"), 0u);
+}
+
+TEST(GraphStats, IgnoresDetachedSubtrees) {
+  ResourceGraph g(0, 1000);
+  auto recipe = grug::parse(
+      "cluster count=1\n  rack count=2\n    node count=3\n");
+  ASSERT_TRUE(recipe);
+  auto root = grug::build(g, *recipe);
+  ASSERT_TRUE(root);
+  const auto racks = g.vertices_of_type(*g.find_type("rack"));
+  ASSERT_TRUE(g.detach_subtree(racks[1]));
+  const GraphStats s = compute_stats(g, *root);
+  EXPECT_EQ(s.vertices, 1u + 1 + 3);
+  EXPECT_EQ(s.type_vertices.at("node"), 3u);
+}
+
+TEST(GraphStats, RenderShowsUnitsWhenPooled) {
+  ResourceGraph g(0, 1000);
+  auto recipe = grug::parse("cluster count=1\n  memory count=2 size=64\n");
+  ASSERT_TRUE(recipe);
+  auto root = grug::build(g, *recipe);
+  ASSERT_TRUE(root);
+  const std::string out = render_stats(compute_stats(g, *root));
+  EXPECT_NE(out.find("memory: 2 vertices (128 units)"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("cluster: 1 vertices\n"), std::string::npos) << out;
+}
+
+TEST(GraphStats, DeadRootYieldsEmptyStats) {
+  ResourceGraph g(0, 1000);
+  const auto v = g.add_vertex("cluster", "cluster", 0, 1);
+  ASSERT_TRUE(g.detach_subtree(v));
+  const GraphStats s = compute_stats(g, v);
+  EXPECT_EQ(s.vertices, 0u);
+}
+
+}  // namespace
+}  // namespace fluxion::graph

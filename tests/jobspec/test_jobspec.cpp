@@ -1,0 +1,242 @@
+#include "jobspec/jobspec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxion::jobspec {
+namespace {
+
+using util::Errc;
+
+// Paper Figure 4a: shared node, 1 slot with 2 sockets of
+// {5 cores, 1 gpu, 16 memory}.
+constexpr const char* kFig5a = R"(
+version: 1
+resources:
+  - type: node
+    count: 1
+    with:
+      - type: slot
+        count: 1
+        label: default
+        with:
+          - type: socket
+            count: 2
+            with:
+              - type: core
+                count: 5
+              - type: gpu
+                count: 1
+              - type: memory
+                count: 16
+attributes:
+  system:
+    duration: 3600
+)";
+
+TEST(JobspecParse, Figure5aShape) {
+  auto js = Jobspec::from_yaml(kFig5a);
+  ASSERT_TRUE(js) << js.error().message;
+  ASSERT_EQ(js->resources.size(), 1u);
+  const Resource& node = js->resources[0];
+  EXPECT_EQ(node.type, "node");
+  EXPECT_FALSE(node.exclusive);
+  ASSERT_EQ(node.with.size(), 1u);
+  const Resource& s = node.with[0];
+  EXPECT_TRUE(s.is_slot());
+  EXPECT_EQ(s.label, "default");
+  const Resource& socket = s.with[0];
+  EXPECT_EQ(socket.count, 2);
+  ASSERT_EQ(socket.with.size(), 3u);
+  EXPECT_EQ(socket.with[2].type, "memory");
+  EXPECT_EQ(socket.with[2].count, 16);
+  EXPECT_EQ(js->duration, 3600);
+}
+
+TEST(JobspecParse, CountMinForm) {
+  auto js = Jobspec::from_yaml(
+      "resources:\n"
+      "  - type: slot\n"
+      "    count: {min: 4}\n"
+      "    with:\n"
+      "      - type: core\n"
+      "        count: 2\n");
+  ASSERT_TRUE(js) << js.error().message;
+  EXPECT_EQ(js->resources[0].count, 4);
+}
+
+TEST(JobspecParse, ExclusiveFlag) {
+  auto js = Jobspec::from_yaml(
+      "resources:\n"
+      "  - type: slot\n"
+      "    count: 1\n"
+      "    with:\n"
+      "      - type: node\n"
+      "        count: 2\n"
+      "        exclusive: true\n");
+  ASSERT_TRUE(js);
+  EXPECT_TRUE(js->resources[0].with[0].exclusive);
+}
+
+TEST(JobspecParse, DefaultDuration) {
+  auto js = Jobspec::from_yaml(
+      "resources:\n"
+      "  - type: slot\n"
+      "    with:\n"
+      "      - type: core\n");
+  ASSERT_TRUE(js);
+  EXPECT_EQ(js->duration, 3600);
+  EXPECT_EQ(js->resources[0].count, 1);
+}
+
+TEST(JobspecParseErrors, MissingResources) {
+  EXPECT_EQ(Jobspec::from_yaml("version: 1\n").error().code,
+            Errc::invalid_argument);
+}
+
+TEST(JobspecParseErrors, MissingType) {
+  auto r = Jobspec::from_yaml("resources:\n  - count: 1\n");
+  EXPECT_FALSE(r);
+}
+
+TEST(JobspecParseErrors, BadCount) {
+  EXPECT_FALSE(Jobspec::from_yaml(
+      "resources:\n  - type: slot\n    count: x\n    with:\n"
+      "      - type: core\n"));
+  EXPECT_FALSE(Jobspec::from_yaml(
+      "resources:\n  - type: slot\n    count: 0\n    with:\n"
+      "      - type: core\n"));
+}
+
+TEST(JobspecParseErrors, BadDuration) {
+  EXPECT_FALSE(Jobspec::from_yaml(
+      "resources:\n  - type: slot\n    with:\n      - type: core\n"
+      "attributes:\n  system:\n    duration: -5\n"));
+}
+
+TEST(JobspecValidate, RequiresSlotOnEveryPath) {
+  // No slot at all.
+  auto no_slot = make({res("node", 1, {res("core", 4)})}, 60);
+  ASSERT_FALSE(no_slot);
+  EXPECT_NE(no_slot.error().message.find("slot"), std::string::npos);
+  // One branch with, one without.
+  auto partial = make(
+      {res("node", 1, {slot(1, {res("core", 2)}), res("gpu", 1)})}, 60);
+  EXPECT_FALSE(partial);
+}
+
+TEST(JobspecValidate, RejectsNestedSlots) {
+  auto nested = make({slot(1, {slot(1, {res("core", 1)})})}, 60);
+  ASSERT_FALSE(nested);
+  EXPECT_NE(nested.error().message.find("slot"), std::string::npos);
+}
+
+TEST(JobspecValidate, RejectsEmptySlot) {
+  Jobspec js;
+  Resource s;
+  s.type = "slot";
+  js.resources.push_back(s);
+  EXPECT_FALSE(js.validate());
+}
+
+TEST(JobspecValidate, RejectsBadTypeName) {
+  EXPECT_FALSE(make({slot(1, {res("co re", 1)})}, 60));
+}
+
+TEST(JobspecBuilders, ComposeFigure5b) {
+  // Paper Figure 4b: 2 racks, each with 2 slots of 2 exclusive nodes with
+  // >= 22 cores and 2 gpus.
+  auto js = make(
+      {res("rack", 2,
+           {slot(2, {xres("node", 2, {res("core", 22), res("gpu", 2)})})})},
+      7200);
+  ASSERT_TRUE(js) << js.error().message;
+  const auto counts = js->aggregate_counts();
+  // rack:2 * slot:2 * node:2 -> 8 nodes, 176 cores, 16 gpus.
+  std::map<std::string, std::int64_t> m(counts.begin(), counts.end());
+  EXPECT_EQ(m.at("rack"), 2);
+  EXPECT_EQ(m.at("node"), 8);
+  EXPECT_EQ(m.at("core"), 176);
+  EXPECT_EQ(m.at("gpu"), 16);
+  EXPECT_EQ(m.count("slot"), 0u);
+}
+
+TEST(JobspecBuilders, StorageOnlyRequest) {
+  // Paper Figure 4c: 128 I/O bandwidth units within a shared pfs.
+  auto js = make({res("pfs", 1, {slot(1, {res("io-bw", 128)})})}, 600);
+  ASSERT_TRUE(js) << js.error().message;
+  std::map<std::string, std::int64_t> m;
+  for (auto& [k, v] : js->aggregate_counts()) m[k] = v;
+  EXPECT_EQ(m.at("io-bw"), 128);
+}
+
+TEST(JobspecRoundTrip, YamlEmitParseIdentity) {
+  auto js = make(
+      {res("rack", 2,
+           {slot(2, {xres("node", 2, {res("core", 22), res("gpu", 2)})})})},
+      7200);
+  ASSERT_TRUE(js);
+  const std::string yaml = js->to_yaml();
+  auto js2 = Jobspec::from_yaml(yaml);
+  ASSERT_TRUE(js2) << js2.error().message << "\n" << yaml;
+  EXPECT_EQ(js2->duration, js->duration);
+  ASSERT_EQ(js2->resources.size(), 1u);
+  const Resource& rack = js2->resources[0];
+  EXPECT_EQ(rack.count, 2);
+  const Resource& s = rack.with[0];
+  EXPECT_TRUE(s.is_slot());
+  EXPECT_TRUE(s.with[0].exclusive);
+  EXPECT_EQ(s.with[0].with[0].count, 22);
+  // And a second round-trip is byte-identical.
+  EXPECT_EQ(js2->to_yaml(), yaml);
+}
+
+TEST(JobspecRoundTrip, Figure5aRoundTrips) {
+  auto js = Jobspec::from_yaml(kFig5a);
+  ASSERT_TRUE(js);
+  auto js2 = Jobspec::from_yaml(js->to_yaml());
+  ASSERT_TRUE(js2) << js2.error().message;
+  EXPECT_EQ(js2->to_yaml(), js->to_yaml());
+}
+
+TEST(JobspecAttributes, UserAttributesRoundTrip) {
+  const char* doc =
+      "resources:\n"
+      "  - type: slot\n"
+      "    count: 1\n"
+      "    with:\n"
+      "      - type: core\n"
+      "        count: 2\n"
+      "attributes:\n"
+      "  system:\n"
+      "    duration: 120\n"
+      "  user:\n"
+      "    project: hydro-17\n"
+      "    queue: 'debug'\n";
+  auto js = Jobspec::from_yaml(doc);
+  ASSERT_TRUE(js) << js.error().message;
+  EXPECT_EQ(js->user_attributes.at("project"), "hydro-17");
+  EXPECT_EQ(js->user_attributes.at("queue"), "debug");
+  auto again = Jobspec::from_yaml(js->to_yaml());
+  ASSERT_TRUE(again) << js->to_yaml();
+  EXPECT_EQ(again->user_attributes, js->user_attributes);
+  EXPECT_EQ(again->to_yaml(), js->to_yaml());
+}
+
+TEST(JobspecAttributes, NonScalarUserAttributeRejected) {
+  EXPECT_FALSE(Jobspec::from_yaml(
+      "resources:\n  - type: slot\n    count: 1\n    with:\n"
+      "      - type: core\n        count: 1\n"
+      "attributes:\n  user:\n    nested:\n      a: 1\n"));
+}
+
+TEST(JobspecAggregate, MultipliersCompose) {
+  auto js = make({slot(3, {res("core", 10), res("memory", 8)})}, 60);
+  ASSERT_TRUE(js);
+  std::map<std::string, std::int64_t> m;
+  for (auto& [k, v] : js->aggregate_counts()) m[k] = v;
+  EXPECT_EQ(m.at("core"), 30);
+  EXPECT_EQ(m.at("memory"), 24);
+}
+
+}  // namespace
+}  // namespace fluxion::jobspec

@@ -1,0 +1,140 @@
+// PlannerMulti vs a multi-type brute-force timeline oracle.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "planner/planner_multi.hpp"
+#include "util/rng.hpp"
+
+namespace fluxion::planner {
+namespace {
+
+constexpr std::size_t kTypes = 3;
+
+class MultiOracle {
+ public:
+  MultiOracle(Duration horizon, std::array<std::int64_t, kTypes> totals)
+      : totals_(totals) {
+    for (auto& u : used_) u.assign(static_cast<std::size_t>(horizon), 0);
+  }
+
+  bool avail_during(TimePoint at, Duration d,
+                    std::array<std::int64_t, kTypes> counts) const {
+    if (at < 0 || at + d > static_cast<Duration>(used_[0].size()) || d <= 0) {
+      return false;
+    }
+    for (std::size_t k = 0; k < kTypes; ++k) {
+      if (counts[k] == 0) continue;
+      for (TimePoint t = at; t < at + d; ++t) {
+        if (totals_[k] - used_[k][static_cast<std::size_t>(t)] < counts[k]) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  TimePoint earliest(TimePoint at, Duration d,
+                     std::array<std::int64_t, kTypes> counts) const {
+    const TimePoint end = static_cast<TimePoint>(used_[0].size());
+    for (TimePoint t = std::max<TimePoint>(at, 0); t + d <= end; ++t) {
+      if (avail_during(t, d, counts)) return t;
+    }
+    return -1;
+  }
+
+  void apply(TimePoint at, Duration d, std::array<std::int64_t, kTypes> counts,
+             int sign) {
+    for (std::size_t k = 0; k < kTypes; ++k) {
+      for (TimePoint t = at; t < at + d; ++t) {
+        used_[k][static_cast<std::size_t>(t)] += sign * counts[k];
+      }
+    }
+  }
+
+ private:
+  std::array<std::int64_t, kTypes> totals_;
+  std::array<std::vector<std::int64_t>, kTypes> used_;
+};
+
+TEST(PlannerMultiProperty, AgreesWithOracleUnderChurn) {
+  constexpr Duration kHorizon = 200;
+  const std::array<std::int64_t, kTypes> totals{8, 3, 64};
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    PlannerMulti multi(0, kHorizon);
+    ASSERT_TRUE(multi.add_resource("core", totals[0]));
+    ASSERT_TRUE(multi.add_resource("gpu", totals[1]));
+    ASSERT_TRUE(multi.add_resource("memory", totals[2]));
+    MultiOracle oracle(kHorizon, totals);
+    util::Rng rng(seed);
+
+    struct Live {
+      SpanId id;
+      TimePoint at;
+      Duration d;
+      std::array<std::int64_t, kTypes> counts;
+    };
+    std::vector<Live> live;
+
+    for (int step = 0; step < 1200; ++step) {
+      const double dice = rng.uniform01();
+      std::array<std::int64_t, kTypes> counts{};
+      for (std::size_t k = 0; k < kTypes; ++k) {
+        counts[k] = rng.chance(0.7) ? rng.uniform(0, totals[k]) : 0;
+      }
+      if (dice < 0.4 || live.empty()) {
+        const Duration d = rng.uniform(1, 40);
+        const TimePoint at = rng.uniform(0, kHorizon - d);
+        const bool want = oracle.avail_during(at, d, counts) &&
+                          std::any_of(counts.begin(), counts.end(),
+                                      [](auto c) { return c > 0; });
+        auto r = multi.add_span(at, d, counts);
+        // A request with all-zero counts is trivially available but makes
+        // an empty span; the planner accepts it, oracle-side bookkeeping
+        // is a no-op either way.
+        const bool all_zero = std::all_of(counts.begin(), counts.end(),
+                                          [](auto c) { return c == 0; });
+        if (all_zero) {
+          if (r) live.push_back({*r, at, d, counts});
+          continue;
+        }
+        ASSERT_EQ(static_cast<bool>(r), want) << "step " << step;
+        if (r) {
+          oracle.apply(at, d, counts, +1);
+          live.push_back({*r, at, d, counts});
+        }
+      } else if (dice < 0.65) {
+        const auto i = rng.index(live.size());
+        ASSERT_TRUE(multi.rem_span(live[i].id));
+        oracle.apply(live[i].at, live[i].d, live[i].counts, -1);
+        live[i] = live.back();
+        live.pop_back();
+      } else {
+        const Duration d = rng.uniform(1, 30);
+        const TimePoint after = rng.uniform(0, kHorizon - 1);
+        const TimePoint want = oracle.earliest(after, d, counts);
+        auto got = multi.avail_time_first(after, d, counts);
+        if (want < 0) {
+          ASSERT_FALSE(got) << "step " << step << " after=" << after
+                            << " d=" << d << " counts=" << counts[0] << ","
+                            << counts[1] << "," << counts[2]
+                            << " got=" << (got ? *got : -2);
+        } else {
+          ASSERT_TRUE(got) << "step " << step << ": "
+                           << got.error().message;
+          ASSERT_EQ(*got, want)
+              << "step " << step << " after=" << after << " d=" << d
+              << " counts=" << counts[0] << "," << counts[1] << ","
+              << counts[2];
+        }
+      }
+      if (step % 71 == 0) {
+        ASSERT_TRUE(multi.validate());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fluxion::planner

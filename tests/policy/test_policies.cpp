@@ -1,0 +1,201 @@
+#include "policy/policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grug/grug.hpp"
+#include "jobspec/jobspec.hpp"
+
+namespace fluxion::policy {
+namespace {
+
+using graph::VertexId;
+using jobspec::make;
+using jobspec::slot;
+using jobspec::xres;
+using traverser::MatchOp;
+using traverser::Traverser;
+
+class PolicyFixture : public ::testing::Test {
+ protected:
+  PolicyFixture() : g(0, 100000) {
+    auto recipe = grug::parse(
+        "cluster count=1\n  node count=8\n    core count=4\n");
+    EXPECT_TRUE(recipe);
+    auto r = grug::build(g, *recipe);
+    EXPECT_TRUE(r);
+    root = *r;
+    nodes = g.vertices_of_type(*g.find_type("node"));
+  }
+
+  /// Which node did a 1-node exclusive job land on?
+  VertexId first_node_of(const traverser::MatchResult& r) {
+    for (const auto& ru : r.resources) {
+      if (g.type_name(g.vertex(ru.vertex).type) == "node") return ru.vertex;
+    }
+    return graph::kInvalidVertex;
+  }
+
+  graph::ResourceGraph g;
+  VertexId root = graph::kInvalidVertex;
+  std::vector<VertexId> nodes;
+};
+
+TEST_F(PolicyFixture, LowIdPicksLowest) {
+  LowIdPolicy pol;
+  Traverser trav(g, root, pol);
+  auto js = make({slot(1, {xres("node", 1)})}, 10);
+  ASSERT_TRUE(js);
+  auto r = trav.match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(first_node_of(*r), nodes.front());
+}
+
+TEST_F(PolicyFixture, HighIdPicksHighest) {
+  HighIdPolicy pol;
+  Traverser trav(g, root, pol);
+  auto js = make({slot(1, {xres("node", 1)})}, 10);
+  ASSERT_TRUE(js);
+  auto r = trav.match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(first_node_of(*r), nodes.back());
+}
+
+TEST_F(PolicyFixture, OrderingIsStableAndComplete) {
+  LowIdPolicy low;
+  HighIdPolicy high;
+  std::vector<VertexId> c1 = nodes, c2 = nodes;
+  low.order_candidates(g, c1);
+  high.order_candidates(g, c2);
+  std::reverse(c2.begin(), c2.end());
+  EXPECT_EQ(c1, c2);
+}
+
+TEST_F(PolicyFixture, PerfClassOfUnsetIsMinusOne) {
+  EXPECT_EQ(perf_class_of(g, nodes[0]), -1);
+  g.vertex(nodes[0]).properties["perf_class"] = "3";
+  EXPECT_EQ(perf_class_of(g, nodes[0]), 3);
+  g.vertex(nodes[1]).properties["perf_class"] = "bogus";
+  EXPECT_EQ(perf_class_of(g, nodes[1]), -1);
+}
+
+class VarAwareFixture : public PolicyFixture {
+ protected:
+  VarAwareFixture() {
+    // Classes: nodes 0-1 -> 1, nodes 2-5 -> 2, nodes 6-7 -> 3.
+    const int classes[] = {1, 1, 2, 2, 2, 2, 3, 3};
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      g.vertex(nodes[i]).properties["perf_class"] =
+          std::to_string(classes[i]);
+    }
+  }
+};
+
+TEST_F(VarAwareFixture, SingleClassWindowChosen) {
+  VariationAwarePolicy pol;
+  std::vector<VertexId> c = nodes;
+  pol.plan_selection(g, c, 4);
+  // The only 4-wide zero-spread window is class 2 (nodes 2..5).
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(perf_class_of(g, c[static_cast<std::size_t>(i)]), 2) << i;
+  }
+}
+
+TEST_F(VarAwareFixture, PrefersFastestZeroSpreadWindow) {
+  VariationAwarePolicy pol;
+  std::vector<VertexId> c = nodes;
+  pol.plan_selection(g, c, 2);
+  // Several zero-spread 2-windows exist; the fastest class wins.
+  EXPECT_EQ(perf_class_of(g, c[0]), 1);
+  EXPECT_EQ(perf_class_of(g, c[1]), 1);
+}
+
+TEST_F(VarAwareFixture, MinimalSpreadWhenNoSingleClassFits) {
+  VariationAwarePolicy pol;
+  std::vector<VertexId> c = nodes;
+  pol.plan_selection(g, c, 6);
+  // Best 6-window spans classes 1-2 or 2-3 (spread 1), never 1-3.
+  int lo = INT_MAX, hi = INT_MIN;
+  for (int i = 0; i < 6; ++i) {
+    const int pc = perf_class_of(g, c[static_cast<std::size_t>(i)]);
+    lo = std::min(lo, pc);
+    hi = std::max(hi, pc);
+  }
+  EXPECT_EQ(hi - lo, 1);
+}
+
+TEST_F(VarAwareFixture, EndToEndZeroFomAllocation) {
+  VariationAwarePolicy pol;
+  Traverser trav(g, root, pol);
+  auto js = make({slot(1, {xres("node", 4)})}, 10);
+  ASSERT_TRUE(js);
+  auto r = trav.match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  int lo = INT_MAX, hi = INT_MIN;
+  for (const auto& ru : r->resources) {
+    if (g.type_name(g.vertex(ru.vertex).type) != "node") continue;
+    const int pc = perf_class_of(g, ru.vertex);
+    lo = std::min(lo, pc);
+    hi = std::max(hi, pc);
+  }
+  EXPECT_EQ(lo, 2);
+  EXPECT_EQ(hi, 2);  // fom == 0
+}
+
+TEST_F(VarAwareFixture, NeededLargerThanCandidatesKeepsClassOrder) {
+  VariationAwarePolicy pol;
+  std::vector<VertexId> c = nodes;
+  pol.plan_selection(g, c, 100);
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    EXPECT_LE(perf_class_of(g, c[i - 1]), perf_class_of(g, c[i]));
+  }
+}
+
+TEST_F(PolicyFixture, CustomPolicyOrdersByScore) {
+  // Prefer even-numbered nodes, then odd, each group by id.
+  CustomPolicy pol("even-first", [](const graph::ResourceGraph& g,
+                                    graph::VertexId v) {
+    return static_cast<double>(g.vertex(v).uniq_id % 2);
+  });
+  EXPECT_EQ(pol.name(), "even-first");
+  std::vector<VertexId> c = nodes;
+  pol.order_candidates(g, c);
+  for (std::size_t i = 0; i + 1 < c.size() / 2; ++i) {
+    EXPECT_EQ(g.vertex(c[i]).uniq_id % 2, 0) << i;
+  }
+  // End-to-end: the matcher uses the custom order.
+  Traverser trav(g, root, pol);
+  auto js = make({slot(1, {xres("node", 1)})}, 10);
+  ASSERT_TRUE(js);
+  auto r = trav.match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(first_node_of(*r), c[0]);
+}
+
+TEST_F(PolicyFixture, CustomPolicyConstantScoreFallsBackToId) {
+  CustomPolicy pol("flat", [](const graph::ResourceGraph&, graph::VertexId) {
+    return 0.0;
+  });
+  std::vector<VertexId> c = nodes;
+  std::reverse(c.begin(), c.end());
+  pol.order_candidates(g, c);
+  EXPECT_EQ(c, nodes);
+}
+
+TEST(PolicyFactory, CreatesAllKnownPolicies) {
+  for (const char* name :
+       {"low-id", "first", "high-id", "locality", "variation-aware"}) {
+    auto p = create(name);
+    ASSERT_TRUE(p) << name;
+    EXPECT_NE((*p).get(), nullptr);
+  }
+  EXPECT_FALSE(create("nope"));
+}
+
+TEST(PolicyFactory, NamesRoundTrip) {
+  EXPECT_EQ((*create("low-id"))->name(), "low-id");
+  EXPECT_EQ((*create("high-id"))->name(), "high-id");
+  EXPECT_EQ((*create("variation-aware"))->name(), "variation-aware");
+}
+
+}  // namespace
+}  // namespace fluxion::policy

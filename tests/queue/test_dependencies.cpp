@@ -1,0 +1,170 @@
+// Workflow dependencies: DAG-ordered jobs on every queue policy.
+#include <gtest/gtest.h>
+
+#include "grug/grug.hpp"
+#include "policy/policies.hpp"
+#include "queue/job_queue.hpp"
+
+namespace fluxion::queue {
+namespace {
+
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+
+jobspec::Jobspec nodes_for(std::int64_t n, util::Duration d) {
+  auto js = make({slot(n, {xres("node", 1, {res("core", 4)})})}, d);
+  EXPECT_TRUE(js);
+  return *js;
+}
+
+class DependencyTest : public ::testing::Test {
+ protected:
+  DependencyTest() : g(0, 1 << 20) {
+    auto recipe = grug::parse(
+        "filters node core\nfilter-at cluster\n"
+        "cluster count=1\n  node count=4\n    core count=4\n");
+    EXPECT_TRUE(recipe);
+    auto root = grug::build(g, *recipe);
+    EXPECT_TRUE(root);
+    trav = std::make_unique<traverser::Traverser>(g, *root, pol);
+  }
+  graph::ResourceGraph g;
+  policy::LowIdPolicy pol;
+  std::unique_ptr<traverser::Traverser> trav;
+};
+
+TEST_F(DependencyTest, ChainRunsInOrderWithReservations) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  const JobId a = q.submit(nodes_for(1, 100));
+  const JobId b = q.submit(nodes_for(1, 50), 0, {a});
+  const JobId c = q.submit(nodes_for(1, 25), 0, {b});
+  q.schedule();
+  // All three get firm starts immediately: b after a, c after b — even
+  // though plenty of nodes are free right now.
+  EXPECT_EQ(q.find(a)->start_time, 0);
+  EXPECT_EQ(q.find(b)->start_time, 100);
+  EXPECT_EQ(q.find(c)->start_time, 150);
+  EXPECT_EQ(q.find(b)->state, JobState::reserved);
+  q.run_to_completion();
+  EXPECT_EQ(q.stats().completed, 3u);
+}
+
+TEST_F(DependencyTest, DiamondJoinsAtTheLaterParent) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  const JobId a = q.submit(nodes_for(1, 10));
+  const JobId b1 = q.submit(nodes_for(1, 100), 0, {a});
+  const JobId b2 = q.submit(nodes_for(1, 40), 0, {a});
+  const JobId c = q.submit(nodes_for(2, 20), 0, {b1, b2});
+  q.run_to_completion();
+  EXPECT_EQ(q.find(b1)->start_time, 10);
+  EXPECT_EQ(q.find(b2)->start_time, 10);
+  EXPECT_EQ(q.find(c)->start_time, 110);  // max of parents' ends
+  EXPECT_EQ(q.stats().completed, 4u);
+}
+
+TEST_F(DependencyTest, IndependentJobsBackfillAroundWaiting) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  const JobId a = q.submit(nodes_for(4, 100));
+  const JobId b = q.submit(nodes_for(4, 100), 0, {a});
+  const JobId tiny = q.submit(nodes_for(1, 30));  // no deps
+  q.schedule();
+  EXPECT_EQ(q.find(b)->start_time, 100);
+  // The tiny job cannot run now (machine full) but lands right after a,
+  // before... no: b holds all 4 nodes at [100,200). tiny goes at 200.
+  EXPECT_EQ(q.find(tiny)->start_time, 200);
+  q.run_to_completion();
+  EXPECT_EQ(q.stats().completed, 3u);
+}
+
+TEST_F(DependencyTest, FailedDependencyCascades) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  const JobId impossible = q.submit(nodes_for(9, 10));  // only 4 nodes
+  const JobId child = q.submit(nodes_for(1, 10), 0, {impossible});
+  const JobId grandchild = q.submit(nodes_for(1, 10), 0, {child});
+  q.run_to_completion();
+  EXPECT_EQ(q.find(impossible)->state, JobState::rejected);
+  EXPECT_EQ(q.find(child)->state, JobState::rejected);
+  EXPECT_EQ(q.find(grandchild)->state, JobState::rejected);
+}
+
+TEST_F(DependencyTest, CanceledDependencyCascades) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  const JobId a = q.submit(nodes_for(4, 100));
+  const JobId b = q.submit(nodes_for(1, 10), 0, {a});
+  q.schedule();
+  ASSERT_TRUE(q.cancel(a));
+  q.schedule();
+  EXPECT_EQ(q.find(b)->state, JobState::rejected);
+}
+
+TEST_F(DependencyTest, UnknownDependencyRejected) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  const JobId b = q.submit(nodes_for(1, 10), 0, {999});
+  q.schedule();
+  EXPECT_EQ(q.find(b)->state, JobState::rejected);
+}
+
+TEST_F(DependencyTest, DependencyCycleResolvesToRejection) {
+  // A cycle can only be built against not-yet-submitted ids, which count
+  // as unknown... build a 2-cycle via known ids: b depends on c's id
+  // (not submitted yet -> unknown), so instead test mutual wait through
+  // pending deps: a depends on b, b submitted later depending on a.
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  // a's dep id will be 2 (not yet submitted) -> unknown -> rejected.
+  const JobId a = q.submit(nodes_for(1, 10), 0, {2});
+  const JobId b = q.submit(nodes_for(1, 10), 0, {a});
+  q.run_to_completion();
+  EXPECT_EQ(q.find(a)->state, JobState::rejected);
+  EXPECT_EQ(q.find(b)->state, JobState::rejected);
+}
+
+TEST_F(DependencyTest, FcfsWaitsOnHeadDependencies) {
+  JobQueue q(*trav, QueuePolicy::fcfs);
+  const JobId a = q.submit(nodes_for(1, 50));
+  const JobId b = q.submit(nodes_for(1, 10), 0, {a});
+  const JobId c = q.submit(nodes_for(1, 10));  // behind b in strict order
+  q.run_to_completion();
+  EXPECT_EQ(q.find(b)->start_time, 50);
+  EXPECT_GE(q.find(c)->start_time, 50);  // strict FCFS: c waited behind b
+  EXPECT_EQ(q.stats().completed, 3u);
+}
+
+TEST_F(DependencyTest, EasyRunsDependentsAfterCompletion) {
+  JobQueue q(*trav, QueuePolicy::easy_backfill);
+  const JobId a = q.submit(nodes_for(2, 50));
+  const JobId b = q.submit(nodes_for(2, 10), 0, {a});
+  const JobId free = q.submit(nodes_for(2, 20));  // independent, backfills
+  q.run_to_completion();
+  EXPECT_EQ(q.find(free)->start_time, 0);
+  EXPECT_EQ(q.find(b)->start_time, 50);
+  EXPECT_EQ(q.stats().completed, 3u);
+}
+
+TEST_F(DependencyTest, WorkflowPipelineThroughput) {
+  // 5 stages x 3 parallel members each; stage k depends on all of k-1.
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  std::vector<JobId> prev;
+  std::vector<JobId> all;
+  for (int stage = 0; stage < 5; ++stage) {
+    std::vector<JobId> cur;
+    for (int m = 0; m < 3; ++m) {
+      cur.push_back(q.submit(nodes_for(1, 10), 0, prev));
+    }
+    all.insert(all.end(), cur.begin(), cur.end());
+    prev = cur;
+  }
+  q.run_to_completion();
+  EXPECT_EQ(q.stats().completed, 15u);
+  // Stages execute back-to-back: makespan == 5 * 10.
+  EXPECT_EQ(q.metrics().makespan, 50);
+  for (std::size_t i = 3; i < all.size(); ++i) {
+    const auto* job = q.find(all[i]);
+    const auto* parent = q.find(all[i - 3]);
+    EXPECT_GE(job->start_time, parent->end_time);
+  }
+}
+
+}  // namespace
+}  // namespace fluxion::queue

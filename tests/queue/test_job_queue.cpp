@@ -1,0 +1,319 @@
+#include "queue/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grug/grug.hpp"
+#include "policy/policies.hpp"
+
+namespace fluxion::queue {
+namespace {
+
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+
+jobspec::Jobspec whole_nodes(std::int64_t n, util::Duration d) {
+  auto js = make({slot(n, {xres("node", 1, {res("core", 4)})})}, d);
+  EXPECT_TRUE(js);
+  return *js;
+}
+
+class QueueFixture : public ::testing::Test {
+ protected:
+  QueueFixture() : g(0, 1 << 20) {
+    auto recipe = grug::parse(
+        "filters node core\nfilter-at cluster\n"
+        "cluster count=1\n  node count=4\n    core count=4\n");
+    EXPECT_TRUE(recipe);
+    auto r = grug::build(g, *recipe);
+    EXPECT_TRUE(r);
+    trav = std::make_unique<traverser::Traverser>(g, *r, pol);
+  }
+  graph::ResourceGraph g;
+  policy::LowIdPolicy pol;
+  std::unique_ptr<traverser::Traverser> trav;
+};
+
+TEST_F(QueueFixture, FcfsRunsInOrder) {
+  JobQueue q(*trav, QueuePolicy::fcfs);
+  const JobId a = q.submit(whole_nodes(2, 100));
+  const JobId b = q.submit(whole_nodes(2, 100));
+  const JobId c = q.submit(whole_nodes(1, 100));  // blocked behind a+b? no: fits
+  q.schedule();
+  EXPECT_EQ(q.find(a)->state, JobState::running);
+  EXPECT_EQ(q.find(b)->state, JobState::running);
+  // All 4 nodes busy; c must wait even though it fits nowhere anyway.
+  EXPECT_EQ(q.find(c)->state, JobState::pending);
+  q.run_to_completion();
+  EXPECT_EQ(q.find(c)->state, JobState::completed);
+  EXPECT_EQ(q.find(c)->start_time, 100);
+  EXPECT_EQ(q.stats().completed, 3u);
+}
+
+TEST_F(QueueFixture, FcfsHeadBlocksLaterJobs) {
+  JobQueue q(*trav, QueuePolicy::fcfs);
+  q.submit(whole_nodes(3, 100));       // takes 3 nodes
+  const JobId big = q.submit(whole_nodes(4, 10));  // cannot start now
+  const JobId tiny = q.submit(whole_nodes(1, 10)); // would fit, must wait
+  q.schedule();
+  EXPECT_EQ(q.find(big)->state, JobState::pending);
+  EXPECT_EQ(q.find(tiny)->state, JobState::pending);  // strict FCFS
+  q.run_to_completion();
+  EXPECT_EQ(q.find(big)->start_time, 100);
+  EXPECT_GE(q.find(tiny)->start_time, 110);
+}
+
+TEST_F(QueueFixture, ConservativeBackfillReservesEverything) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  const JobId a = q.submit(whole_nodes(4, 100));
+  const JobId b = q.submit(whole_nodes(4, 100));
+  const JobId c = q.submit(whole_nodes(4, 100));
+  q.schedule();
+  EXPECT_EQ(q.pending_count(), 0u);
+  EXPECT_EQ(q.find(a)->state, JobState::running);
+  EXPECT_EQ(q.find(b)->state, JobState::reserved);
+  EXPECT_EQ(q.find(b)->start_time, 100);
+  EXPECT_EQ(q.find(c)->start_time, 200);
+  EXPECT_EQ(q.stats().started_immediately, 1u);
+  EXPECT_EQ(q.stats().reserved, 2u);
+}
+
+TEST_F(QueueFixture, ConservativeBackfillShortJobSlipsIn) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  q.submit(whole_nodes(3, 100));            // nodes 0-2 until t=100
+  const JobId big = q.submit(whole_nodes(4, 100));   // reserved at t=100
+  const JobId small = q.submit(whole_nodes(1, 50));  // fits on node 3 NOW
+  q.schedule();
+  EXPECT_EQ(q.find(big)->start_time, 100);
+  EXPECT_EQ(q.find(small)->state, JobState::running);
+  EXPECT_EQ(q.find(small)->start_time, 0);
+  // And the backfilled job never delayed the reservation.
+  q.run_to_completion();
+  EXPECT_EQ(q.find(big)->start_time, 100);
+}
+
+TEST_F(QueueFixture, ConservativeBackfillLongJobDoesNotDelayReservation) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  q.submit(whole_nodes(3, 100));
+  const JobId big = q.submit(whole_nodes(4, 100));    // reserved [100, 200)
+  const JobId lng = q.submit(whole_nodes(1, 500));    // node 3 free, but
+  q.schedule();                                       // would overlap big
+  EXPECT_EQ(q.find(big)->start_time, 100);
+  EXPECT_EQ(q.find(lng)->start_time, 200);  // pushed behind the reservation
+}
+
+TEST_F(QueueFixture, EasyBackfillSingleReservation) {
+  JobQueue q(*trav, QueuePolicy::easy_backfill);
+  q.submit(whole_nodes(3, 100));
+  const JobId big = q.submit(whole_nodes(4, 100));   // head: gets reservation
+  const JobId big2 = q.submit(whole_nodes(4, 100));  // stays pending
+  const JobId small = q.submit(whole_nodes(1, 50));  // backfills now
+  q.schedule();
+  EXPECT_EQ(q.find(big)->state, JobState::reserved);
+  EXPECT_EQ(q.find(big2)->state, JobState::pending);
+  EXPECT_EQ(q.find(small)->state, JobState::running);
+  q.run_to_completion();
+  EXPECT_EQ(q.stats().completed, 4u);
+  EXPECT_EQ(q.find(big2)->start_time, 200);
+}
+
+TEST_F(QueueFixture, EasyCanDelayNonHeadJobsConservativeCannot) {
+  // The classic EASY-vs-conservative contrast: only the head blocked job
+  // holds a guarantee under EASY, so a later wide job can slip behind new
+  // backfill; under conservative backfilling every job's start is firm.
+  for (const bool conservative : {true, false}) {
+    auto g2 = grug::parse(
+        "filters node core\nfilter-at cluster\n"
+        "cluster count=1\n  node count=4\n    core count=4\n");
+    ASSERT_TRUE(g2);
+    graph::ResourceGraph graph2(0, 1 << 20);
+    auto root2 = grug::build(graph2, *g2);
+    ASSERT_TRUE(root2);
+    policy::LowIdPolicy pol2;
+    traverser::Traverser trav2(graph2, *root2, pol2);
+    JobQueue q(trav2, conservative ? QueuePolicy::conservative_backfill
+                                   : QueuePolicy::easy_backfill);
+    q.submit(whole_nodes(3, 100));            // head of the machine
+    const JobId head = q.submit(whole_nodes(4, 100));  // blocked: reserved
+    const JobId wide = q.submit(whole_nodes(2, 100));  // blocked too
+    q.schedule();
+    ASSERT_EQ(q.find(head)->state, JobState::reserved);
+    if (conservative) {
+      // Firm start for the wide job as well.
+      EXPECT_EQ(q.find(wide)->state, JobState::reserved);
+      EXPECT_EQ(q.find(wide)->start_time, 200);
+    } else {
+      EXPECT_EQ(q.find(wide)->state, JobState::pending);
+    }
+    q.run_to_completion();
+    EXPECT_EQ(q.find(wide)->state, JobState::completed);
+  }
+}
+
+TEST_F(QueueFixture, RejectedJobsDoNotWedgeTheQueue) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  const JobId impossible = q.submit(whole_nodes(5, 10));  // only 4 nodes
+  const JobId fine = q.submit(whole_nodes(1, 10));
+  q.run_to_completion();
+  EXPECT_EQ(q.find(impossible)->state, JobState::rejected);
+  EXPECT_EQ(q.find(fine)->state, JobState::completed);
+  EXPECT_EQ(q.stats().rejected, 1u);
+}
+
+TEST_F(QueueFixture, FcfsImpossibleHeadEventuallyRejected) {
+  JobQueue q(*trav, QueuePolicy::fcfs);
+  const JobId impossible = q.submit(whole_nodes(5, 10));
+  const JobId fine = q.submit(whole_nodes(1, 10));
+  q.run_to_completion();
+  EXPECT_EQ(q.find(impossible)->state, JobState::rejected);
+  EXPECT_EQ(q.find(fine)->state, JobState::completed);
+}
+
+TEST_F(QueueFixture, CancelPendingAndRunning) {
+  JobQueue q(*trav, QueuePolicy::fcfs);
+  const JobId a = q.submit(whole_nodes(4, 100));
+  const JobId b = q.submit(whole_nodes(4, 100));
+  q.schedule();
+  ASSERT_TRUE(q.cancel(b));  // pending
+  EXPECT_EQ(q.find(b)->state, JobState::canceled);
+  ASSERT_TRUE(q.cancel(a));  // running
+  EXPECT_EQ(q.find(a)->state, JobState::canceled);
+  // Resources are free again.
+  const JobId c = q.submit(whole_nodes(4, 10));
+  q.schedule();
+  EXPECT_EQ(q.find(c)->state, JobState::running);
+  EXPECT_FALSE(q.cancel(c + 100));
+  EXPECT_FALSE(q.cancel(a));  // already terminal
+}
+
+TEST_F(QueueFixture, HoldAndReleasePending) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  q.submit(whole_nodes(4, 100));
+  q.schedule();
+  const JobId b = q.submit(whole_nodes(2, 50));
+  ASSERT_TRUE(q.hold(b));
+  q.schedule();
+  EXPECT_EQ(q.find(b)->state, JobState::held);  // never scheduled
+  // A later job takes the slot the held job would have had.
+  const JobId c = q.submit(whole_nodes(2, 50));
+  q.schedule();
+  EXPECT_EQ(q.find(c)->start_time, 100);
+  ASSERT_TRUE(q.release(b));
+  q.schedule();
+  EXPECT_EQ(q.find(b)->start_time, 100);  // other 2 nodes
+  q.run_to_completion();
+  EXPECT_EQ(q.stats().completed, 3u);
+}
+
+TEST_F(QueueFixture, HoldReleasesReservation) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  q.submit(whole_nodes(4, 100));
+  const JobId b = q.submit(whole_nodes(4, 100));
+  q.schedule();
+  EXPECT_EQ(q.find(b)->state, JobState::reserved);
+  ASSERT_TRUE(q.hold(b));
+  // The freed window goes to someone else.
+  const JobId c = q.submit(whole_nodes(4, 100));
+  q.schedule();
+  EXPECT_EQ(q.find(c)->start_time, 100);
+  ASSERT_TRUE(q.release(b));
+  q.schedule();
+  EXPECT_EQ(q.find(b)->start_time, 200);
+}
+
+TEST_F(QueueFixture, HoldErrors) {
+  JobQueue q(*trav, QueuePolicy::fcfs);
+  const JobId a = q.submit(whole_nodes(1, 100));
+  q.schedule();
+  EXPECT_FALSE(q.hold(a));      // running
+  EXPECT_FALSE(q.hold(999));    // unknown
+  EXPECT_FALSE(q.release(a));   // not held
+  const JobId b = q.submit(whole_nodes(1, 100));
+  ASSERT_TRUE(q.hold(b));
+  EXPECT_FALSE(q.hold(b));      // already held
+  ASSERT_TRUE(q.cancel(b));     // canceling a held job works
+  EXPECT_EQ(q.find(b)->state, JobState::canceled);
+}
+
+TEST_F(QueueFixture, MatchTimingRecorded) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  const JobId a = q.submit(whole_nodes(2, 100));
+  q.schedule();
+  EXPECT_GT(q.find(a)->match_seconds, 0.0);
+  EXPECT_GT(q.stats().total_match_seconds, 0.0);
+}
+
+TEST_F(QueueFixture, NextEventAndAdvance) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  q.submit(whole_nodes(4, 100));
+  q.submit(whole_nodes(4, 50));
+  q.schedule();
+  EXPECT_EQ(q.next_event(), 100);
+  q.advance_to(100);
+  EXPECT_EQ(q.now(), 100);
+  EXPECT_EQ(q.stats().completed, 1u);
+  EXPECT_EQ(q.next_event(), 150);
+}
+
+TEST_F(QueueFixture, PriorityOverridesSubmissionOrder) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  q.submit(whole_nodes(4, 100));  // occupies everything
+  q.schedule();
+  const JobId low = q.submit(whole_nodes(4, 100));     // would go at t=100
+  const JobId high = q.submit(whole_nodes(4, 100), 5); // jumps the line
+  q.schedule();
+  EXPECT_EQ(q.find(high)->start_time, 100);
+  EXPECT_EQ(q.find(low)->start_time, 200);
+}
+
+TEST_F(QueueFixture, PriorityFifoWithinLevel) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  q.submit(whole_nodes(4, 100));
+  q.schedule();
+  const JobId a = q.submit(whole_nodes(4, 100), 3);
+  const JobId b = q.submit(whole_nodes(4, 100), 3);
+  const JobId c = q.submit(whole_nodes(4, 100), 7);
+  q.schedule();
+  EXPECT_EQ(q.find(c)->start_time, 100);  // highest priority first
+  EXPECT_EQ(q.find(a)->start_time, 200);  // then FIFO among equals
+  EXPECT_EQ(q.find(b)->start_time, 300);
+}
+
+TEST_F(QueueFixture, MetricsReflectSchedule) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  q.submit(whole_nodes(4, 100));  // [0, 100), waits 0
+  q.submit(whole_nodes(4, 50));   // [100, 150), waits 100
+  q.run_to_completion();
+  const QueueMetrics m = q.metrics();
+  EXPECT_EQ(m.completed, 2u);
+  EXPECT_EQ(m.makespan, 150);
+  EXPECT_DOUBLE_EQ(m.avg_wait, 50.0);
+  EXPECT_EQ(m.max_wait, 100);
+  EXPECT_DOUBLE_EQ(m.avg_turnaround, (100.0 + 150.0) / 2);
+  EXPECT_EQ(m.node_seconds, 4 * 100 + 4 * 50);
+}
+
+TEST_F(QueueFixture, MetricsEmptyQueue) {
+  JobQueue q(*trav, QueuePolicy::fcfs);
+  const QueueMetrics m = q.metrics();
+  EXPECT_EQ(m.completed, 0u);
+  EXPECT_DOUBLE_EQ(m.avg_wait, 0.0);
+  EXPECT_EQ(m.makespan, 0);
+}
+
+TEST_F(QueueFixture, RunToCompletionDrainsEverything) {
+  JobQueue q(*trav, QueuePolicy::conservative_backfill);
+  for (int i = 0; i < 20; ++i) {
+    q.submit(whole_nodes(1 + i % 4, 10 + i));
+  }
+  const TimePoint end = q.run_to_completion();
+  EXPECT_EQ(q.stats().completed, 20u);
+  EXPECT_GT(end, 0);
+  EXPECT_EQ(q.pending_count(), 0u);
+  EXPECT_TRUE(trav->verify_filters());
+  EXPECT_EQ(trav->job_count(), 0u);  // all purged
+}
+
+}  // namespace
+}  // namespace fluxion::queue

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "grug/grug.hpp"
+#include "grug/recipes.hpp"
+#include "policy/policies.hpp"
+#include "sim/perf_classes.hpp"
+#include "sim/workload.hpp"
+
+namespace fluxion::sim {
+namespace {
+
+TEST(PerfClasses, Eq1Boundaries) {
+  EXPECT_EQ(perf_class_for_tnorm(0.0), 1);
+  EXPECT_EQ(perf_class_for_tnorm(0.10), 1);
+  EXPECT_EQ(perf_class_for_tnorm(0.1000001), 2);
+  EXPECT_EQ(perf_class_for_tnorm(0.25), 2);
+  EXPECT_EQ(perf_class_for_tnorm(0.40), 3);
+  EXPECT_EQ(perf_class_for_tnorm(0.60), 4);
+  EXPECT_EQ(perf_class_for_tnorm(0.61), 5);
+  EXPECT_EQ(perf_class_for_tnorm(1.0), 5);
+}
+
+TEST(PerfClasses, HistogramMatchesPaperShape) {
+  // 2418 nodes -> 10% / 15% / 15% / 20% / 40% (paper Figure 7a).
+  util::Rng rng(1);
+  const auto tnorm = synthesize_tnorm(2418, rng);
+  const auto classes = classes_from_tnorm(tnorm);
+  const auto hist = class_histogram(classes);
+  EXPECT_EQ(hist[1], 241);  // floor(0.10 * 2418)
+  EXPECT_EQ(hist[2], 363);
+  EXPECT_EQ(hist[3], 363);
+  EXPECT_EQ(hist[4], 483);
+  EXPECT_EQ(hist[5], 968);
+  EXPECT_EQ(hist[1] + hist[2] + hist[3] + hist[4] + hist[5], 2418);
+}
+
+TEST(PerfClasses, SynthesisIsDeterministicPermutation) {
+  util::Rng a(7), b(7), c(8);
+  const auto ta = synthesize_tnorm(100, a);
+  const auto tb = synthesize_tnorm(100, b);
+  const auto tc = synthesize_tnorm(100, c);
+  EXPECT_EQ(ta, tb);
+  EXPECT_NE(ta, tc);
+  auto sorted = ta;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sorted[i], static_cast<double>(i + 1) / 100.0);
+  }
+}
+
+TEST(PerfClasses, ApplyStampsNodeProperties) {
+  graph::ResourceGraph g(0, 1000);
+  auto root = grug::build(g, grug::recipes::quartz(false, 2, 3, 4));
+  ASSERT_TRUE(root);
+  util::Rng rng(3);
+  const auto classes = classes_from_tnorm(synthesize_tnorm(6, rng));
+  ASSERT_TRUE(apply_performance_classes(g, classes));
+  const auto nodes = g.vertices_of_type(*g.find_type("node"));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(policy::perf_class_of(g, nodes[i]), classes[i]);
+  }
+}
+
+TEST(PerfClasses, ApplySizeMismatchFails) {
+  graph::ResourceGraph g(0, 1000);
+  ASSERT_TRUE(grug::build(g, grug::recipes::quartz(false, 1, 2, 4)));
+  EXPECT_FALSE(apply_performance_classes(g, {1, 2, 3}));
+}
+
+TEST(FigureOfMerit, ZeroForSingleClassAllocations) {
+  graph::ResourceGraph g(0, 1000);
+  ASSERT_TRUE(grug::build(g, grug::recipes::quartz(false, 1, 4, 4)));
+  const auto nodes = g.vertices_of_type(*g.find_type("node"));
+  ASSERT_TRUE(apply_performance_classes(g, {2, 2, 3, 5}));
+  std::vector<traverser::ResourceUnit> alloc{
+      {nodes[0], 1, true}, {nodes[1], 1, true}};
+  EXPECT_EQ(figure_of_merit(g, alloc), 0);
+  alloc.push_back({nodes[3], 1, true});
+  EXPECT_EQ(figure_of_merit(g, alloc), 3);  // classes {2,2,5}
+  alloc.push_back({nodes[2], 1, true});
+  EXPECT_EQ(figure_of_merit(g, alloc), 3);
+}
+
+TEST(FigureOfMerit, IgnoresNonNodeResources) {
+  graph::ResourceGraph g(0, 1000);
+  ASSERT_TRUE(grug::build(g, grug::recipes::quartz(false, 1, 2, 4)));
+  const auto nodes = g.vertices_of_type(*g.find_type("node"));
+  const auto cores = g.vertices_of_type(*g.find_type("core"));
+  ASSERT_TRUE(apply_performance_classes(g, {1, 5}));
+  std::vector<traverser::ResourceUnit> alloc{
+      {nodes[0], 1, true}, {cores[0], 1, true}, {cores[7], 1, true}};
+  EXPECT_EQ(figure_of_merit(g, alloc), 0);
+}
+
+TEST(FigureOfMerit, EmptyAllocationIsZero) {
+  graph::ResourceGraph g(0, 1000);
+  ASSERT_TRUE(grug::build(g, grug::recipes::quartz(false, 1, 2, 4)));
+  EXPECT_EQ(figure_of_merit(g, {}), 0);
+}
+
+TEST(Workload, TraceIsDeterministicAndBounded) {
+  util::Rng a(11), b(11);
+  TraceConfig cfg;
+  cfg.job_count = 500;
+  cfg.max_nodes = 128;
+  const auto ta = generate_trace(cfg, a);
+  const auto tb = generate_trace(cfg, b);
+  ASSERT_EQ(ta.size(), 500u);
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].nodes, tb[i].nodes);
+    EXPECT_EQ(ta[i].duration, tb[i].duration);
+    EXPECT_GE(ta[i].nodes, 1);
+    EXPECT_LE(ta[i].nodes, 128);
+    EXPECT_GE(ta[i].duration, cfg.min_duration);
+    EXPECT_LE(ta[i].duration, cfg.max_duration);
+  }
+}
+
+TEST(Workload, LogUniformSkewsSmall) {
+  util::Rng rng(13);
+  TraceConfig cfg;
+  cfg.job_count = 2000;
+  cfg.max_nodes = 256;
+  const auto trace = generate_trace(cfg, rng);
+  std::size_t small = 0;
+  for (const auto& j : trace) {
+    if (j.nodes <= 16) ++small;
+  }
+  // Log-uniform over [1, 256]: half the mass below 16.
+  EXPECT_GT(small, trace.size() / 3);
+  EXPECT_LT(small, 2 * trace.size() / 3);
+}
+
+TEST(Workload, TraceJobspecShape) {
+  auto js = trace_jobspec({4, 600}, 36);
+  ASSERT_TRUE(js);
+  EXPECT_EQ(js->duration, 600);
+  ASSERT_EQ(js->resources.size(), 1u);
+  const auto& s = js->resources[0];
+  EXPECT_TRUE(s.is_slot());
+  EXPECT_EQ(s.count, 4);
+  EXPECT_EQ(s.with[0].type, "node");
+  EXPECT_TRUE(s.with[0].exclusive);
+  EXPECT_EQ(s.with[0].with[0].count, 36);
+  // Aggregates: 4 nodes, 144 cores.
+  std::map<std::string, std::int64_t> m;
+  for (auto& [k, v] : js->aggregate_counts()) m[k] = v;
+  EXPECT_EQ(m.at("node"), 4);
+  EXPECT_EQ(m.at("core"), 144);
+}
+
+TEST(TraceIo, RoundTrip) {
+  std::vector<TraceJob> trace{{1, 600}, {16, 7200}, {256, 43200}};
+  auto back = parse_trace(format_trace(trace));
+  ASSERT_TRUE(back) << back.error().message;
+  ASSERT_EQ(back->size(), 3u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*back)[i].nodes, trace[i].nodes);
+    EXPECT_EQ((*back)[i].duration, trace[i].duration);
+  }
+}
+
+TEST(TraceIo, ParsesCommentsAndBlanks) {
+  auto r = parse_trace("# header\n\n  4 100  \n# mid\n2 50\n");
+  ASSERT_TRUE(r);
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0].nodes, 4);
+  EXPECT_EQ((*r)[1].duration, 50);
+}
+
+TEST(TraceIo, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_trace("4\n"));
+  EXPECT_FALSE(parse_trace("4 100 9 1\n"));  // four fields
+  EXPECT_FALSE(parse_trace("x 100\n"));
+  EXPECT_FALSE(parse_trace("0 100\n"));
+  EXPECT_FALSE(parse_trace("4 -1\n"));
+  EXPECT_FALSE(parse_trace("4 100 -5\n"));  // negative arrival
+  auto err = parse_trace("1 1\nbad\n");
+  ASSERT_FALSE(err);
+  EXPECT_NE(err.error().message.find("trace:2"), std::string::npos);
+}
+
+TEST(TraceIo, ArrivalsRoundTrip) {
+  std::vector<TraceJob> trace{{1, 600, 0}, {16, 7200, 120}, {4, 50, 9000}};
+  const std::string text = format_trace(trace);
+  EXPECT_NE(text.find("16 7200 120"), std::string::npos);
+  auto back = parse_trace(text);
+  ASSERT_TRUE(back);
+  EXPECT_EQ((*back)[2].arrival, 9000);
+}
+
+TEST(Workload, PoissonArrivalsMonotoneAndMeanish) {
+  util::Rng rng(5);
+  TraceConfig cfg;
+  cfg.job_count = 4000;
+  auto trace = generate_trace(cfg, rng);
+  stamp_poisson_arrivals(trace, 100.0, rng);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+  }
+  const double mean =
+      static_cast<double>(trace.back().arrival) / (trace.size() - 1);
+  EXPECT_NEAR(mean, 100.0, 10.0);
+}
+
+TEST(TraceIo, EmptyTraceIsValid) {
+  auto r = parse_trace("# nothing\n");
+  ASSERT_TRUE(r);
+  EXPECT_TRUE(r->empty());
+}
+
+}  // namespace
+}  // namespace fluxion::sim

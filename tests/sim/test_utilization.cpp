@@ -1,0 +1,84 @@
+#include "sim/utilization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grug/grug.hpp"
+#include "policy/policies.hpp"
+#include "sim/workload.hpp"
+
+namespace fluxion::sim {
+namespace {
+
+class UtilizationTest : public ::testing::Test {
+ protected:
+  UtilizationTest() : g(0, 1 << 20) {
+    auto recipe = grug::parse(
+        "filters node core\nfilter-at cluster\n"
+        "cluster count=1\n  node count=4\n    core count=4\n");
+    EXPECT_TRUE(recipe);
+    auto root = grug::build(g, *recipe);
+    EXPECT_TRUE(root);
+    trav = std::make_unique<traverser::Traverser>(g, *root, pol);
+  }
+  graph::ResourceGraph g;
+  policy::LowIdPolicy pol;
+  std::unique_ptr<traverser::Traverser> trav;
+};
+
+TEST_F(UtilizationTest, StepFunctionMatchesSchedule) {
+  queue::JobQueue q(*trav, queue::QueuePolicy::conservative_backfill);
+  auto js2 = trace_jobspec({2, 100}, 4);
+  auto js4 = trace_jobspec({4, 50}, 4);
+  ASSERT_TRUE(js2);
+  ASSERT_TRUE(js4);
+  q.submit(*js2);  // [0, 100): 2 nodes
+  q.submit(*js4);  // [100, 150): 4 nodes
+  q.run_to_completion();
+  const auto tl = utilization_timeline(q);
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl[0].at, 0);
+  EXPECT_EQ(tl[0].busy_nodes, 2);
+  EXPECT_EQ(tl[1].at, 100);
+  EXPECT_EQ(tl[1].busy_nodes, 4);
+  EXPECT_EQ(tl[2].at, 150);
+  EXPECT_EQ(tl[2].busy_nodes, 0);
+  // Mean: (2*100 + 4*50) / 150 = 400/150.
+  EXPECT_NEAR(mean_utilization(tl, 150), 400.0 / 150.0, 1e-9);
+}
+
+TEST_F(UtilizationTest, CsvRendering) {
+  queue::JobQueue q(*trav, queue::QueuePolicy::fcfs);
+  auto js = trace_jobspec({1, 10}, 4);
+  ASSERT_TRUE(js);
+  q.submit(*js);
+  q.run_to_completion();
+  const std::string csv = utilization_csv(utilization_timeline(q));
+  EXPECT_NE(csv.find("time,busy_nodes\n0,1\n10,0\n"), std::string::npos)
+      << csv;
+}
+
+TEST_F(UtilizationTest, EmptyQueue) {
+  queue::JobQueue q(*trav, queue::QueuePolicy::fcfs);
+  EXPECT_TRUE(utilization_timeline(q).empty());
+  EXPECT_DOUBLE_EQ(mean_utilization({}, 100), 0.0);
+}
+
+TEST_F(UtilizationTest, OverlappingJobsStack) {
+  queue::JobQueue q(*trav, queue::QueuePolicy::conservative_backfill);
+  auto a = trace_jobspec({1, 100}, 4);
+  auto b = trace_jobspec({2, 40}, 4);
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  q.submit(*a);
+  q.submit(*b);
+  q.run_to_completion();
+  const auto tl = utilization_timeline(q);
+  // [0,40): 3 busy; [40,100): 1 busy.
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl[0].busy_nodes, 3);
+  EXPECT_EQ(tl[1].at, 40);
+  EXPECT_EQ(tl[1].busy_nodes, 1);
+}
+
+}  // namespace
+}  // namespace fluxion::sim

@@ -1,0 +1,230 @@
+// Integration test for the resource-query CLI: drives the real binary via
+// a shell pipeline, the way the paper's evaluation scripts would.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+#ifndef RESOURCE_QUERY_BIN
+#error "RESOURCE_QUERY_BIN must be defined by the build"
+#endif
+
+std::string temp_dir() {
+  std::string dir = ::testing::TempDir();
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  return dir;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << path;
+  out << content;
+}
+
+/// Run the CLI with `commands` on stdin; returns captured stdout.
+std::string run_cli(const std::string& args, const std::string& commands,
+                    int* exit_code = nullptr) {
+  const std::string dir = temp_dir();
+  const std::string cmd_path = dir + "rq_commands.txt";
+  const std::string out_path = dir + "rq_output.txt";
+  std::ofstream(cmd_path) << commands;
+  const std::string cmdline = std::string(RESOURCE_QUERY_BIN) + " " + args +
+                              " < " + cmd_path + " > " + out_path + " 2>&1";
+  const int rc = std::system(cmdline.c_str());
+  if (exit_code != nullptr) *exit_code = rc;
+  std::ifstream in(out_path);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    grug_ = temp_dir() + "cli_sys.grug";
+    job_ = temp_dir() + "cli_job.yaml";
+    write_file(grug_,
+               "filters core\nfilter-at cluster rack\n"
+               "cluster count=1\n  rack count=2\n    node count=2\n"
+               "      core count=4\n");
+    write_file(job_,
+               "resources:\n"
+               "  - type: node\n"
+               "    count: 1\n"
+               "    with:\n"
+               "      - type: slot\n"
+               "        count: 1\n"
+               "        with:\n"
+               "          - type: core\n"
+               "            count: 2\n"
+               "attributes:\n"
+               "  system:\n"
+               "    duration: 60\n");
+  }
+  std::string grug_;
+  std::string job_;
+};
+
+TEST_F(CliTest, InfoAndAllocate) {
+  const std::string out = run_cli(
+      "--grug " + grug_,
+      "info\nmatch allocate " + job_ + "\nquit\n");
+  EXPECT_NE(out.find("vertices: 23 live"), std::string::npos) << out;
+  EXPECT_NE(out.find("/cluster0/rack0/node0/core0"), std::string::npos)
+      << out;
+}
+
+TEST_F(CliTest, RliteFormat) {
+  const std::string out = run_cli(
+      "--grug " + grug_ + " --format rlite",
+      "match allocate " + job_ + "\nquit\n");
+  EXPECT_NE(out.find("\"R_lite\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"core\": 2"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, SatisfiabilityAndFailure) {
+  const std::string big = temp_dir() + "cli_big.yaml";
+  write_file(big,
+             "resources:\n"
+             "  - type: slot\n"
+             "    count: 1\n"
+             "    with:\n"
+             "      - type: node\n"
+             "        count: 9\n"
+             "        exclusive: true\n");
+  const std::string out = run_cli(
+      "--grug " + grug_,
+      "match satisfiability " + job_ + "\nmatch satisfiability " + big +
+          "\nquit\n");
+  EXPECT_NE(out.find("satisfiable"), std::string::npos) << out;
+  EXPECT_NE(out.find("MATCH FAILED (unsatisfiable)"), std::string::npos)
+      << out;
+}
+
+TEST_F(CliTest, CancelRoundTrip) {
+  const std::string out = run_cli(
+      "--grug " + grug_,
+      "match allocate " + job_ + "\ncancel 1\ncancel 1\nquit\n");
+  EXPECT_NE(out.find("canceled"), std::string::npos) << out;
+  EXPECT_NE(out.find("unknown job"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, HighIdPolicySelectsFromTheTop) {
+  const std::string out = run_cli(
+      "--grug " + grug_ + " --policy high-id",
+      "match allocate " + job_ + "\nquit\n");
+  EXPECT_NE(out.find("/cluster0/rack1/node3"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, JgfDump) {
+  const std::string out = run_cli("--grug " + grug_, "jgf\nquit\n");
+  EXPECT_NE(out.find("\"graph\""), std::string::npos);
+  EXPECT_NE(out.find("\"subsystem\": \"containment\""), std::string::npos);
+}
+
+TEST_F(CliTest, GrowAndShrink) {
+  const std::string out = run_cli(
+      "--grug " + grug_,
+      "match allocate " + job_ + "\n"        // job 1 on node0
+      "grow 1 " + job_ + "\n"                // +2 cores
+      "shrink 1 /cluster0/rack0/node0\n"     // drop node0's claims
+      "shrink 1 /cluster0/rack0/node0\n"     // nothing left there
+      "quit\n");
+  EXPECT_NE(out.find("shrunk"), std::string::npos) << out;
+  EXPECT_NE(out.find("holds nothing"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, DetachSubtree) {
+  const std::string out = run_cli(
+      "--grug " + grug_,
+      "detach /cluster0/rack1\n"
+      "info\n"
+      "detach /cluster0/nowhere\n"
+      "quit\n");
+  EXPECT_NE(out.find("detached"), std::string::npos) << out;
+  // 23 - (1 rack + 2 nodes + 8 cores) = 12 live vertices.
+  EXPECT_NE(out.find("vertices: 12 live / 23 total"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("unknown path"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, RunTraceReportsMetrics) {
+  const std::string trace = temp_dir() + "cli_trace.txt";
+  write_file(trace, "# tiny trace\n2 100\n4 50\n1 10\n");
+  const std::string out = run_cli(
+      "--grug " + grug_, "run-trace " + trace + " 4\nquit\n");
+  EXPECT_NE(out.find("jobs: 3 completed"), std::string::npos) << out;
+  EXPECT_NE(out.find("makespan:"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, AllocateWithSatisfiability) {
+  const std::string big = temp_dir() + "cli_big2.yaml";
+  write_file(big,
+             "resources:\n"
+             "  - type: slot\n"
+             "    count: 1\n"
+             "    with:\n"
+             "      - type: node\n"
+             "        count: 4\n"
+             "        exclusive: true\n");
+  // Fill the system (4 nodes), then: same request again is BUSY (it could
+  // run later), while a 5-node request is UNSATISFIABLE.
+  const std::string impossible = temp_dir() + "cli_imp.yaml";
+  write_file(impossible,
+             "resources:\n"
+             "  - type: slot\n"
+             "    count: 1\n"
+             "    with:\n"
+             "      - type: node\n"
+             "        count: 5\n"
+             "        exclusive: true\n");
+  const std::string out = run_cli(
+      "--grug " + grug_,
+      "match allocate " + big + "\n"
+      "match allocate_with_satisfiability " + big + "\n"
+      "match allocate_with_satisfiability " + impossible + "\nquit\n");
+  EXPECT_NE(out.find("MATCH FAILED (resource_busy)"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("MATCH FAILED (unsatisfiable)"), std::string::npos)
+      << out;
+}
+
+TEST_F(CliTest, JgfSystemLoading) {
+  // Dump the GRUG system as JGF, then boot a second CLI from that file —
+  // the hand-off path between instances and external tools.
+  const std::string jgf_file = temp_dir() + "cli_sys.jgf";
+  const std::string dump = run_cli("--grug " + grug_, "jgf\nquit\n");
+  // Strip the banner line; the rest is the JGF document.
+  const auto nl = dump.find('\n');
+  write_file(jgf_file, dump.substr(nl + 1));
+  const std::string out = run_cli(
+      "--jgf " + jgf_file,
+      "info\nmatch allocate " + job_ + "\nquit\n");
+  EXPECT_NE(out.find("vertices: 23 live"), std::string::npos) << out;
+  EXPECT_NE(out.find("/cluster0/rack0/node0/core0"), std::string::npos)
+      << out;
+}
+
+TEST_F(CliTest, GrugAndJgfAreMutuallyExclusive) {
+  int rc = 0;
+  run_cli("--grug " + grug_ + " --jgf " + grug_, "quit\n", &rc);
+  EXPECT_NE(rc, 0);
+  run_cli("", "quit\n", &rc);
+  EXPECT_NE(rc, 0);
+}
+
+TEST_F(CliTest, BadInputsReportErrors) {
+  int rc = 0;
+  run_cli("--grug /nonexistent.grug", "quit\n", &rc);
+  EXPECT_NE(rc, 0);
+  const std::string out = run_cli(
+      "--grug " + grug_,
+      "match allocate /nonexistent.yaml\nbogus\nquit\n");
+  EXPECT_NE(out.find("cannot read"), std::string::npos);
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Integration test for the fluxion-sim batch simulator binary.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+#ifndef FLUXION_SIM_BIN
+#error "FLUXION_SIM_BIN must be defined by the build"
+#endif
+
+std::string temp_dir() {
+  std::string dir = ::testing::TempDir();
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  return dir;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << path;
+  out << content;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+class SimCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    grug_ = temp_dir() + "sim_sys.grug";
+    trace_ = temp_dir() + "sim_trace.txt";
+    write_file(grug_,
+               "filters node core\nfilter-at cluster rack\n"
+               "cluster count=1\n  rack count=1\n    node count=4\n"
+               "      core count=8\n");
+    write_file(trace_, "# demo\n2 100\n4 50\n1 25\n");
+  }
+  int run(const std::string& extra, std::string* out = nullptr) {
+    const std::string out_path = temp_dir() + "sim_out.txt";
+    const std::string cmd = std::string(FLUXION_SIM_BIN) + " --grug " +
+                            grug_ + " --trace " + trace_ + " --cores 8 " +
+                            extra + " > " + out_path + " 2>&1";
+    const int rc = std::system(cmd.c_str());
+    if (out != nullptr) *out = slurp(out_path);
+    return rc;
+  }
+  std::string grug_;
+  std::string trace_;
+};
+
+TEST_F(SimCliTest, EmitsCsvScheduleAndSummary) {
+  std::string out;
+  ASSERT_EQ(run("", &out), 0) << out;
+  EXPECT_NE(out.find("job,nodes,duration,state,start,end,wait,fom,match_ms"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("1,2,100,completed,0,100,0"), std::string::npos) << out;
+  EXPECT_NE(out.find("3 jobs, 3 completed, 0 rejected"), std::string::npos)
+      << out;
+}
+
+TEST_F(SimCliTest, QueueDisciplineChangesSchedule) {
+  std::string cons, fcfs;
+  ASSERT_EQ(run("--queue conservative", &cons), 0);
+  ASSERT_EQ(run("--queue fcfs", &fcfs), 0);
+  // Job 3 (1 node) backfills at t=0 under backfilling but waits for the
+  // 4-node job under FCFS.
+  EXPECT_NE(cons.find("3,1,25,completed,0,25,0"), std::string::npos) << cons;
+  EXPECT_EQ(fcfs.find("3,1,25,completed,0,25,0"), std::string::npos) << fcfs;
+}
+
+TEST_F(SimCliTest, PerfClassesFillFomColumn) {
+  std::string out;
+  ASSERT_EQ(run("--perf-classes 7", &out), 0);
+  // With classes stamped, fom is >= 0 (last-but-one CSV column not -1).
+  EXPECT_EQ(out.find(",-1,"), std::string::npos) << out;
+}
+
+TEST_F(SimCliTest, CsvGoesToFile) {
+  const std::string csv = temp_dir() + "sim_sched.csv";
+  std::string out;
+  ASSERT_EQ(run("--csv " + csv, &out), 0);
+  const std::string data = slurp(csv);
+  EXPECT_NE(data.find("job,nodes"), std::string::npos);
+  EXPECT_EQ(out.find("job,nodes"), std::string::npos);  // not on stdout
+}
+
+TEST_F(SimCliTest, OnlineReplayWithArrivalColumn) {
+  const std::string trace = temp_dir() + "sim_trace_arr.txt";
+  write_file(trace, "4 100 0\n4 50 30\n1 10 500\n");
+  const std::string out_path = temp_dir() + "sim_arr_out.txt";
+  const std::string cmd = std::string(FLUXION_SIM_BIN) + " --grug " + grug_ +
+                          " --trace " + trace + " --cores 8 > " + out_path +
+                          " 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  const std::string out = slurp(out_path);
+  // Second job arrived at 30, started at 100 (wait 70); third started at
+  // its own arrival.
+  EXPECT_NE(out.find("2,4,50,completed,100,150,70"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("3,1,10,completed,500,510,0"), std::string::npos)
+      << out;
+}
+
+TEST_F(SimCliTest, PoissonArrivalsFlag) {
+  std::string out;
+  ASSERT_EQ(run("--arrivals 50", &out), 0) << out;
+  EXPECT_NE(out.find("completed"), std::string::npos);
+}
+
+#ifndef FLUXION_ANALYZE_BIN
+#error "FLUXION_ANALYZE_BIN must be defined by the build"
+#endif
+
+TEST_F(SimCliTest, AnalyzeSummarisesSchedule) {
+  const std::string csv = temp_dir() + "sim_an.csv";
+  std::string out;
+  ASSERT_EQ(run("--perf-classes 3 --csv " + csv, &out), 0);
+  const std::string an_out = temp_dir() + "an_out.txt";
+  const std::string cmd = std::string(FLUXION_ANALYZE_BIN) + " " + csv +
+                          " > " + an_out + " 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  const std::string report = slurp(an_out);
+  EXPECT_NE(report.find("jobs: 3 (3 completed, 0 rejected)"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("fom histogram:"), std::string::npos) << report;
+  EXPECT_NE(report.find("wait distribution:"), std::string::npos) << report;
+}
+
+TEST_F(SimCliTest, AnalyzeRejectsGarbage) {
+  const std::string bad = temp_dir() + "an_bad.csv";
+  write_file(bad, "not,a,schedule\n");
+  const std::string cmd = std::string(FLUXION_ANALYZE_BIN) + " " + bad +
+                          " > /dev/null 2>&1";
+  EXPECT_NE(std::system(cmd.c_str()), 0);
+}
+
+TEST_F(SimCliTest, BadArgsFail) {
+  std::string out;
+  EXPECT_NE(run("--queue bogus", &out), 0);
+  const std::string cmd = std::string(FLUXION_SIM_BIN) + " --grug /nope";
+  EXPECT_NE(std::system((cmd + " > /dev/null 2>&1").c_str()), 0);
+}
+
+}  // namespace

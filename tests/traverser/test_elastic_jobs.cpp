@@ -1,0 +1,240 @@
+// Elastic (malleable) jobs, paper §5.5: growing and shrinking live
+// allocations.
+#include <gtest/gtest.h>
+
+#include "grug/grug.hpp"
+#include "jobspec/jobspec.hpp"
+#include "policy/policies.hpp"
+#include "traverser/traverser.hpp"
+
+namespace fluxion::traverser {
+namespace {
+
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+using util::Errc;
+
+class ElasticJobs : public ::testing::Test {
+ protected:
+  ElasticJobs() : g(0, 100000) {
+    auto recipe = grug::parse(
+        "filters node core\nfilter-at cluster rack\n"
+        "cluster count=1\n  rack count=2\n    node count=3\n"
+        "      core count=4\n");
+    EXPECT_TRUE(recipe);
+    auto root = grug::build(g, *recipe);
+    EXPECT_TRUE(root);
+    trav = std::make_unique<Traverser>(g, *root, pol);
+  }
+
+  std::int64_t nodes_held(JobId id) {
+    const MatchResult* r = trav->find_job(id);
+    std::int64_t n = 0;
+    for (const auto& ru : r->resources) {
+      if (g.type_name(g.vertex(ru.vertex).type) == "node") ++n;
+    }
+    return n;
+  }
+
+  graph::ResourceGraph g;
+  policy::LowIdPolicy pol;
+  std::unique_ptr<Traverser> trav;
+};
+
+TEST_F(ElasticJobs, GrowAddsNodes) {
+  auto js = make({slot(2, {xres("node", 1, {res("core", 4)})})}, 100);
+  ASSERT_TRUE(js);
+  ASSERT_TRUE(trav->match(*js, MatchOp::allocate, 0, 1));
+  EXPECT_EQ(nodes_held(1), 2);
+  auto extra = make({slot(1, {xres("node", 1, {res("core", 4)})})}, 100);
+  ASSERT_TRUE(extra);
+  auto grown = trav->grow(1, *extra, 0);
+  ASSERT_TRUE(grown) << grown.error().message;
+  EXPECT_EQ(nodes_held(1), 3);
+  // Window unchanged.
+  EXPECT_EQ(grown->at, 0);
+  EXPECT_EQ(grown->duration, 100);
+  EXPECT_TRUE(trav->verify_filters());
+}
+
+TEST_F(ElasticJobs, GrowMidRunCoversRemainderOnly) {
+  auto js = make({slot(1, {xres("node", 1)})}, 100);
+  ASSERT_TRUE(js);
+  ASSERT_TRUE(trav->match(*js, MatchOp::allocate, 0, 1));
+  auto extra = make({slot(1, {xres("node", 1)})}, 100);
+  ASSERT_TRUE(extra);
+  ASSERT_TRUE(trav->grow(1, *extra, 60));
+  // The grown node is busy only for [60, 100): another job can hold it
+  // during [0, 60) — check by counting free node capacity at t=30 vs t=80.
+  const auto node_t = *g.find_type("node");
+  std::int64_t free30 = 0, free80 = 0;
+  for (auto v : g.vertices_of_type(node_t)) {
+    free30 += *g.vertex(v).schedule->avail_at(30);
+    free80 += *g.vertex(v).schedule->avail_at(80);
+  }
+  EXPECT_EQ(free30, 5);  // 6 nodes - 1 original claim
+  EXPECT_EQ(free80, 4);  // original + grown
+  EXPECT_TRUE(trav->verify_filters());
+}
+
+TEST_F(ElasticJobs, GrowFailsWhenBusy) {
+  auto all = make({slot(6, {xres("node", 1)})}, 100);
+  ASSERT_TRUE(all);
+  ASSERT_TRUE(trav->match(*all, MatchOp::allocate, 0, 1));
+  auto js = make({slot(1, {xres("node", 1)})}, 100);
+  ASSERT_TRUE(js);
+  auto r = trav->grow(1, *js, 0);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, Errc::resource_busy);
+  EXPECT_EQ(nodes_held(1), 6);
+  EXPECT_TRUE(trav->verify_filters());
+}
+
+TEST_F(ElasticJobs, GrowUnknownJobOrExpiredWindow) {
+  EXPECT_EQ(trav->grow(9, *make({slot(1, {xres("node", 1)})}, 10), 0)
+                .error()
+                .code,
+            Errc::not_found);
+  auto js = make({slot(1, {xres("node", 1)})}, 50);
+  ASSERT_TRUE(js);
+  ASSERT_TRUE(trav->match(*js, MatchOp::allocate, 0, 1));
+  auto late = trav->grow(1, *js, 50);
+  ASSERT_FALSE(late);
+  EXPECT_EQ(late.error().code, Errc::out_of_range);
+}
+
+TEST_F(ElasticJobs, ShrinkReleasesSubtree) {
+  auto js = make({slot(3, {xres("node", 1, {res("core", 4)})})}, 100);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  // Find one held node and release it.
+  VertexId held = graph::kInvalidVertex;
+  for (const auto& ru : r->resources) {
+    if (g.type_name(g.vertex(ru.vertex).type) == "node") {
+      held = ru.vertex;
+      break;
+    }
+  }
+  ASSERT_NE(held, graph::kInvalidVertex);
+  ASSERT_TRUE(trav->shrink(1, held));
+  EXPECT_EQ(nodes_held(1), 2);
+  EXPECT_TRUE(trav->verify_filters());
+  // The released node is claimable by another job... after the shared-use
+  // marks: shrink releases the schedule claim; exclusivity marks from the
+  // job's own walk do not block new claims on the node itself.
+  EXPECT_EQ(*g.vertex(held).schedule->avail_at(50), 1);
+  auto other = make({slot(1, {xres("node", 1)})}, 50);
+  ASSERT_TRUE(other);
+  EXPECT_TRUE(trav->match(*other, MatchOp::allocate, 0, 2));
+}
+
+TEST_F(ElasticJobs, ShrinkErrors) {
+  auto js = make({slot(1, {xres("node", 1)})}, 100);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(trav->shrink(9, 0).error().code, Errc::not_found);
+  // A vertex the job does not hold.
+  VertexId held = graph::kInvalidVertex;
+  for (const auto& ru : r->resources) {
+    if (g.type_name(g.vertex(ru.vertex).type) == "node") held = ru.vertex;
+  }
+  const auto nodes = g.vertices_of_type(*g.find_type("node"));
+  for (auto v : nodes) {
+    if (v != held) {
+      EXPECT_EQ(trav->shrink(1, v).error().code, Errc::not_found);
+      break;
+    }
+  }
+}
+
+TEST_F(ElasticJobs, ExtendLengthensTheWindow) {
+  auto js = make({slot(2, {xres("node", 1, {res("core", 4)})})}, 100);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  ASSERT_TRUE(trav->extend(1, 50));
+  const MatchResult* cur = trav->find_job(1);
+  EXPECT_EQ(cur->duration, 150);
+  // The held nodes stay busy through the extension.
+  std::int64_t busy = 0;
+  for (auto v : g.vertices_of_type(*g.find_type("node"))) {
+    if (*g.vertex(v).schedule->avail_at(120) == 0) ++busy;
+  }
+  EXPECT_EQ(busy, 2);
+  EXPECT_TRUE(trav->verify_filters());
+}
+
+TEST_F(ElasticJobs, ExtendBlockedByLaterReservation) {
+  auto js = make({slot(6, {xres("node", 1)})}, 100);
+  ASSERT_TRUE(js);
+  ASSERT_TRUE(trav->match(*js, MatchOp::allocate, 0, 1));
+  // A second machine-wide job reserved right behind it.
+  ASSERT_TRUE(trav->match(*js, MatchOp::allocate_orelse_reserve, 0, 2));
+  auto blocked = trav->extend(1, 10);
+  ASSERT_FALSE(blocked);
+  EXPECT_EQ(blocked.error().code, Errc::resource_busy);
+  // Cancel the reservation; extension now works, and the freed window's
+  // release time bookkeeping stays consistent (cancel still succeeds).
+  ASSERT_TRUE(trav->cancel(2));
+  ASSERT_TRUE(trav->extend(1, 10));
+  EXPECT_EQ(trav->find_job(1)->duration, 110);
+  EXPECT_TRUE(trav->verify_filters());
+}
+
+TEST_F(ElasticJobs, ExtendErrors) {
+  EXPECT_EQ(trav->extend(9, 10).error().code, Errc::not_found);
+  auto js = make({slot(1, {xres("node", 1)})}, 100);
+  ASSERT_TRUE(js);
+  ASSERT_TRUE(trav->match(*js, MatchOp::allocate, 0, 1));
+  EXPECT_EQ(trav->extend(1, 0).error().code, Errc::invalid_argument);
+  EXPECT_EQ(trav->extend(1, std::int64_t{1} << 40).error().code,
+            Errc::out_of_range);
+}
+
+TEST_F(ElasticJobs, ExtendAfterGrowCoversAllClaims) {
+  auto js = make({slot(1, {xres("node", 1)})}, 100);
+  ASSERT_TRUE(js);
+  ASSERT_TRUE(trav->match(*js, MatchOp::allocate, 0, 1));
+  ASSERT_TRUE(trav->grow(1, *js, 40));  // second node for [40, 100)
+  ASSERT_TRUE(trav->extend(1, 60));     // both claims now end at 160
+  std::int64_t busy150 = 0;
+  for (auto v : g.vertices_of_type(*g.find_type("node"))) {
+    if (*g.vertex(v).schedule->avail_at(150) == 0) ++busy150;
+  }
+  EXPECT_EQ(busy150, 2);
+  EXPECT_TRUE(trav->verify_filters());
+  ASSERT_TRUE(trav->cancel(1));
+  EXPECT_TRUE(trav->verify_filters());
+}
+
+TEST_F(ElasticJobs, GrowThenShrinkThenCancelIsClean) {
+  auto js = make({slot(2, {xres("node", 1, {res("core", 4)})})}, 100);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  auto extra = make({slot(2, {xres("node", 1, {res("core", 4)})})}, 100);
+  ASSERT_TRUE(extra);
+  ASSERT_TRUE(trav->grow(1, *extra, 10));
+  EXPECT_EQ(nodes_held(1), 4);
+  const MatchResult* cur = trav->find_job(1);
+  VertexId victim = graph::kInvalidVertex;
+  for (const auto& ru : cur->resources) {
+    if (g.type_name(g.vertex(ru.vertex).type) == "node") victim = ru.vertex;
+  }
+  ASSERT_TRUE(trav->shrink(1, victim));
+  EXPECT_EQ(nodes_held(1), 3);
+  EXPECT_TRUE(trav->verify_filters());
+  ASSERT_TRUE(trav->cancel(1));
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_EQ(g.vertex(v).schedule->span_count(), 0u);
+    EXPECT_EQ(g.vertex(v).x_checker->span_count(), 0u);
+  }
+  EXPECT_TRUE(trav->verify_filters());
+}
+
+}  // namespace
+}  // namespace fluxion::traverser

@@ -1,0 +1,164 @@
+// Matcher completeness: when the traverser says "busy", verify by brute
+// force that no feasible assignment actually existed. Soundness (no
+// oversubscription) is covered elsewhere; completeness failures — refusing
+// a placeable job — would silently waste a real cluster, so they deserve
+// their own oracle.
+//
+// The oracle works on whole-node jobspecs over a tiny system: a job of k
+// exclusive nodes is placeable at time t iff at least k nodes are
+// simultaneously free (no exclusive claim, no shared use) throughout the
+// window; with per-node core requests, the free nodes must also have the
+// cores.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grug/grug.hpp"
+#include "jobspec/jobspec.hpp"
+#include "policy/policies.hpp"
+#include "traverser/traverser.hpp"
+#include "util/rng.hpp"
+
+namespace fluxion::traverser {
+namespace {
+
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+
+class CompletenessTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  CompletenessTest() : g(0, 4096) {
+    auto recipe = grug::parse(
+        "filters node core\nfilter-at cluster rack\n"
+        "cluster count=1\n  rack count=2\n    node count=3\n"
+        "      core count=4\n");
+    EXPECT_TRUE(recipe);
+    auto root = grug::build(g, *recipe);
+    EXPECT_TRUE(root);
+    trav = std::make_unique<Traverser>(g, *root, pol);
+    nodes = g.vertices_of_type(*g.find_type("node"));
+  }
+
+  /// Ground truth: can `want_nodes` exclusive nodes with `want_cores`
+  /// cores each be placed during [at, at+d)?
+  bool feasible(TimePoint at, util::Duration d, int want_nodes,
+                std::int64_t want_cores) {
+    int free_nodes = 0;
+    for (VertexId n : nodes) {
+      const graph::Vertex& vx = g.vertex(n);
+      if (!vx.schedule->avail_during(at, d, vx.size)) continue;
+      if (!vx.x_checker->avail_during(at, d, graph::kSharedUseMax)) continue;
+      // All cores must be free too (they are, unless a shared job claimed
+      // them — which also marks the node's x_checker; belt and braces).
+      std::int64_t cores = 0;
+      for (VertexId c : g.containment_children(n)) {
+        if (g.type_name(g.vertex(c).type) != "core") continue;
+        cores += g.vertex(c)
+                     .schedule->avail_resources_during(at, d)
+                     .value_or(0);
+      }
+      if (cores >= want_cores) ++free_nodes;
+    }
+    return free_nodes >= want_nodes;
+  }
+
+  graph::ResourceGraph g;
+  policy::LowIdPolicy pol;
+  std::unique_ptr<Traverser> trav;
+  std::vector<VertexId> nodes;
+};
+
+TEST_P(CompletenessTest, AllocateNeverRefusesAFeasibleJob) {
+  util::Rng rng(GetParam());
+  struct Live {
+    JobId id;
+  };
+  std::vector<JobId> live;
+  JobId next = 1;
+  TimePoint now = 0;
+  for (int step = 0; step < 600; ++step) {
+    const double dice = rng.uniform01();
+    if (dice < 0.5 || live.empty()) {
+      const int want_nodes = static_cast<int>(rng.uniform(1, 6));
+      const std::int64_t want_cores = rng.uniform(1, 4);
+      const util::Duration d = rng.uniform(1, 60);
+      if (now + d > 4096) continue;
+      const bool oracle = feasible(now, d, want_nodes, want_cores);
+      auto js = make(
+          {slot(want_nodes, {xres("node", 1, {res("core", want_cores)})})},
+          d);
+      ASSERT_TRUE(js);
+      auto r = trav->match(*js, MatchOp::allocate, now, next);
+      ASSERT_EQ(static_cast<bool>(r), oracle)
+          << "step " << step << " nodes=" << want_nodes
+          << " cores=" << want_cores << " d=" << d << " now=" << now
+          << (oracle ? " (refused a feasible job)"
+                     : " (placed an infeasible job)");
+      if (r) live.push_back(next);
+      ++next;
+    } else if (dice < 0.75) {
+      const auto i = rng.index(live.size());
+      ASSERT_TRUE(trav->cancel(live[i]));
+      live[i] = live.back();
+      live.pop_back();
+    } else {
+      now += rng.uniform(1, 20);
+      std::vector<JobId> still;
+      for (JobId id : live) {
+        const MatchResult* r = trav->find_job(id);
+        if (r->at + r->duration <= now) {
+          ASSERT_TRUE(trav->cancel(id));
+        } else {
+          still.push_back(id);
+        }
+      }
+      live = std::move(still);
+    }
+  }
+  EXPECT_TRUE(trav->verify_filters());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompletenessTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST_F(CompletenessTest, ReserveFindsTheTrueEarliestStart) {
+  // Occupy staggered windows, then check allocate_orelse_reserve returns
+  // the first time the oracle says is feasible.
+  auto fill = [&](int n, TimePoint at, util::Duration d, JobId id) {
+    auto js = make({slot(n, {xres("node", 1, {res("core", 4)})})}, d);
+    ASSERT_TRUE(js);
+    // Commit at a chosen historical time by matching with now = at.
+    auto r = trav->match(*js, MatchOp::allocate, at, id);
+    ASSERT_TRUE(r) << r.error().message;
+  };
+  fill(6, 0, 100, 1);   // everything till 100
+  fill(4, 100, 50, 2);  // 4 nodes till 150
+  fill(6, 150, 30, 3);  // everything till 180
+
+  util::Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int want_nodes = static_cast<int>(rng.uniform(1, 6));
+    const util::Duration d = rng.uniform(1, 80);
+    TimePoint expect = -1;
+    for (TimePoint t = 0; t + d <= 400; ++t) {
+      if (feasible(t, d, want_nodes, 4)) {
+        expect = t;
+        break;
+      }
+    }
+    ASSERT_GE(expect, 0);
+    auto js = make({slot(want_nodes, {xres("node", 1, {res("core", 4)})})},
+                   d);
+    ASSERT_TRUE(js);
+    const JobId id = 100 + trial;
+    auto r = trav->match(*js, MatchOp::allocate_orelse_reserve, 0, id);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->at, expect) << "nodes=" << want_nodes << " d=" << d;
+    ASSERT_TRUE(trav->cancel(id));  // keep the background fixed
+  }
+}
+
+}  // namespace
+}  // namespace fluxion::traverser

@@ -1,0 +1,143 @@
+// Moldable jobs (paper §5.5): count ranges {min, max} claim as much as is
+// available at start time.
+#include <gtest/gtest.h>
+
+#include "grug/grug.hpp"
+#include "jobspec/jobspec.hpp"
+#include "policy/policies.hpp"
+#include "traverser/traverser.hpp"
+
+namespace fluxion::traverser {
+namespace {
+
+using jobspec::make;
+using jobspec::res;
+using jobspec::res_range;
+using jobspec::slot;
+using jobspec::xres;
+
+class MoldableTest : public ::testing::Test {
+ protected:
+  MoldableTest() : g(0, 100000) {
+    auto recipe = grug::parse(
+        "filters node core\nfilter-at cluster\n"
+        "cluster count=1\n  node count=4\n    core count=8\n");
+    EXPECT_TRUE(recipe);
+    auto root = grug::build(g, *recipe);
+    EXPECT_TRUE(root);
+    trav = std::make_unique<Traverser>(g, *root, pol);
+  }
+  std::int64_t claimed(const MatchResult& r, const char* type) {
+    std::int64_t n = 0;
+    for (const auto& ru : r.resources) {
+      if (g.type_name(g.vertex(ru.vertex).type) == type) n += ru.units;
+    }
+    return n;
+  }
+  graph::ResourceGraph g;
+  policy::LowIdPolicy pol;
+  std::unique_ptr<Traverser> trav;
+};
+
+TEST_F(MoldableTest, UnitsExpandToMaxWhenIdle) {
+  auto js = make({res("node", 1, {slot(1, {res_range("core", 2, 6)})})}, 60);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(claimed(*r, "core"), 6);
+}
+
+TEST_F(MoldableTest, UnitsShrinkTowardMinUnderLoad) {
+  // Take 5 of node0's 8 cores; a {min 2, max 6} request on that node gets 3.
+  auto filler = make({res("node", 1, {slot(1, {res("core", 5)})})}, 60);
+  ASSERT_TRUE(filler);
+  ASSERT_TRUE(trav->match(*filler, MatchOp::allocate, 0, 1));
+  // Force the moldable job onto node0 by exhausting the other nodes.
+  auto block = make({slot(3, {xres("node", 1)})}, 60);
+  ASSERT_TRUE(block);
+  ASSERT_TRUE(trav->match(*block, MatchOp::allocate, 0, 2));
+  auto js = make({res("node", 1, {slot(1, {res_range("core", 2, 6)})})}, 60);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, MatchOp::allocate, 0, 3);
+  ASSERT_TRUE(r) << r.error().message;
+  EXPECT_EQ(claimed(*r, "core"), 3);
+}
+
+TEST_F(MoldableTest, BelowMinStillFails) {
+  auto filler = make({res("node", 4, {slot(1, {res("core", 7)})})}, 60);
+  ASSERT_TRUE(filler);
+  ASSERT_TRUE(trav->match(*filler, MatchOp::allocate, 0, 1));
+  // 1 core left per node; a min-2-per-node moldable request must fail.
+  auto js = make({res("node", 1, {slot(1, {res_range("core", 2, 4)})})}, 60);
+  ASSERT_TRUE(js);
+  EXPECT_FALSE(trav->match(*js, MatchOp::allocate, 0, 2));
+}
+
+TEST_F(MoldableTest, MoldableNodeInstances) {
+  auto js = make({slot(1, {res_range("node", 2, 8, {res("core", 8)})})}, 60);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(claimed(*r, "node"), 4);  // machine only has 4
+  // With two nodes busy, the same request gets 2 (the min).
+  ASSERT_TRUE(trav->cancel(1));
+  auto block = make({slot(2, {xres("node", 1)})}, 60);
+  ASSERT_TRUE(block);
+  ASSERT_TRUE(trav->match(*block, MatchOp::allocate, 0, 2));
+  auto r2 = trav->match(*js, MatchOp::allocate, 0, 3);
+  ASSERT_TRUE(r2);
+  EXPECT_EQ(claimed(*r2, "node"), 2);
+}
+
+TEST_F(MoldableTest, MoldableSlots) {
+  // Each task slot needs a whole node; 2..6 tasks requested, 4 nodes exist.
+  auto js = make({jobspec::Resource{
+      "slot", 2, 6, false, "task", {}, {xres("node", 1)}}}, 60);
+  ASSERT_TRUE(js) << js.error().message;
+  auto r = trav->match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(claimed(*r, "node"), 4);
+}
+
+TEST_F(MoldableTest, ReservationUsesMinForEarliestStart) {
+  // Machine busy until t=100. A {2,4}-node moldable job reserved from now
+  // starts when 4 nodes free... the matcher tries the earliest time the
+  // request *fits*, which needs only the min.
+  auto fill3 = make({slot(3, {xres("node", 1)})}, 100);
+  ASSERT_TRUE(fill3);
+  ASSERT_TRUE(trav->match(*fill3, MatchOp::allocate, 0, 1));
+  auto js = make({slot(1, {res_range("node", 1, 4)})}, 50);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, MatchOp::allocate_orelse_reserve, 0, 2);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->at, 0);                 // one node is free right now
+  EXPECT_EQ(claimed(*r, "node"), 1);   // molded down to what exists
+}
+
+TEST_F(MoldableTest, YamlRangeRoundTrip) {
+  const char* doc =
+      "resources:\n"
+      "  - type: slot\n"
+      "    count: 1\n"
+      "    with:\n"
+      "      - type: core\n"
+      "        count: {min: 2, max: 6}\n";
+  auto js = jobspec::Jobspec::from_yaml(doc);
+  ASSERT_TRUE(js) << js.error().message;
+  EXPECT_EQ(js->resources[0].with[0].count, 2);
+  EXPECT_EQ(js->resources[0].with[0].count_max, 6);
+  auto again = jobspec::Jobspec::from_yaml(js->to_yaml());
+  ASSERT_TRUE(again) << js->to_yaml();
+  EXPECT_EQ(again->to_yaml(), js->to_yaml());
+}
+
+TEST_F(MoldableTest, InvalidRangeRejected) {
+  auto bad = make({slot(1, {res_range("core", 4, 2)})}, 60);
+  EXPECT_FALSE(bad);
+  EXPECT_FALSE(jobspec::Jobspec::from_yaml(
+      "resources:\n  - type: slot\n    count: 1\n    with:\n"
+      "      - type: core\n        count: {min: 4, max: 2}\n"));
+}
+
+}  // namespace
+}  // namespace fluxion::traverser

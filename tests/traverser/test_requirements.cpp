@@ -1,0 +1,136 @@
+// Property-constraint matching: jobspec `requires` entries against vertex
+// properties — how a user pins performance classes, architectures, etc.
+#include <gtest/gtest.h>
+
+#include "grug/grug.hpp"
+#include "jobspec/jobspec.hpp"
+#include "policy/policies.hpp"
+#include "traverser/traverser.hpp"
+
+namespace fluxion::traverser {
+namespace {
+
+using jobspec::make;
+using jobspec::require;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+
+class RequirementsTest : public ::testing::Test {
+ protected:
+  RequirementsTest() : g(0, 100000) {
+    auto recipe = grug::parse(
+        "cluster count=1\n  node count=4\n    core count=4\n");
+    EXPECT_TRUE(recipe);
+    auto root = grug::build(g, *recipe);
+    EXPECT_TRUE(root);
+    nodes = g.vertices_of_type(*g.find_type("node"));
+    // node0/1: class 1 + ssd; node2/3: class 2.
+    g.vertex(nodes[0]).properties["perf_class"] = "1";
+    g.vertex(nodes[1]).properties["perf_class"] = "1";
+    g.vertex(nodes[2]).properties["perf_class"] = "2";
+    g.vertex(nodes[3]).properties["perf_class"] = "2";
+    g.vertex(nodes[0]).properties["local-ssd"] = "true";
+    g.vertex(nodes[1]).properties["local-ssd"] = "true";
+    trav = std::make_unique<Traverser>(g, *root, pol);
+  }
+  graph::ResourceGraph g;
+  std::vector<graph::VertexId> nodes;
+  policy::HighIdPolicy pol;  // deliberately prefers class-2 nodes
+  std::unique_ptr<Traverser> trav;
+};
+
+TEST_F(RequirementsTest, ValueConstraintOverridesPolicyPreference) {
+  // high-id policy would pick node3 (class 2); the constraint forces 1.
+  auto js = make(
+      {slot(1, {require(xres("node", 1), {"perf_class=1"})})}, 60);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r) << r.error().message;
+  for (const auto& ru : r->resources) {
+    if (g.type_name(g.vertex(ru.vertex).type) == "node") {
+      EXPECT_EQ(g.vertex(ru.vertex).properties.at("perf_class"), "1");
+    }
+  }
+}
+
+TEST_F(RequirementsTest, ExistenceConstraint) {
+  auto js = make({slot(2, {require(xres("node", 1), {"local-ssd"})})}, 60);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  // Only nodes 0 and 1 carry the property; a third such node is busy AND
+  // structurally absent.
+  auto more = make({slot(1, {require(xres("node", 1), {"local-ssd"})})}, 60);
+  ASSERT_TRUE(more);
+  auto r2 = trav->match(*more, MatchOp::allocate_orelse_reserve, 0, 2);
+  ASSERT_TRUE(r2);
+  EXPECT_TRUE(r2->reserved);
+  EXPECT_EQ(r2->at, 60);
+}
+
+TEST_F(RequirementsTest, UnmatchableConstraintIsUnsatisfiable) {
+  auto js = make(
+      {slot(1, {require(xres("node", 1), {"perf_class=9"})})}, 60);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, MatchOp::allocate_orelse_reserve, 0, 1);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, util::Errc::unsatisfiable);
+}
+
+TEST_F(RequirementsTest, MultipleConstraintsConjoin) {
+  auto js = make({slot(1, {require(xres("node", 1),
+                                   {"perf_class=1", "local-ssd"})})},
+                 60);
+  ASSERT_TRUE(js);
+  EXPECT_TRUE(trav->match(*js, MatchOp::allocate, 0, 1));
+  auto impossible = make({slot(1, {require(xres("node", 1),
+                                           {"perf_class=2", "local-ssd"})})},
+                         60);
+  ASSERT_TRUE(impossible);
+  EXPECT_FALSE(trav->match(*impossible, MatchOp::allocate, 0, 2));
+}
+
+TEST_F(RequirementsTest, YamlRoundTrip) {
+  const char* doc =
+      "resources:\n"
+      "  - type: slot\n"
+      "    count: 1\n"
+      "    with:\n"
+      "      - type: node\n"
+      "        count: 1\n"
+      "        exclusive: true\n"
+      "        requires: [perf_class=1, local-ssd]\n";
+  auto js = jobspec::Jobspec::from_yaml(doc);
+  ASSERT_TRUE(js) << js.error().message;
+  ASSERT_EQ(js->resources[0].with[0].requires_.size(), 2u);
+  EXPECT_EQ(js->resources[0].with[0].requires_[0], "perf_class=1");
+  auto again = jobspec::Jobspec::from_yaml(js->to_yaml());
+  ASSERT_TRUE(again) << js->to_yaml();
+  EXPECT_EQ(again->to_yaml(), js->to_yaml());
+  // And it actually constrains the match.
+  auto r = trav->match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  for (const auto& ru : r->resources) {
+    if (g.type_name(g.vertex(ru.vertex).type) == "node") {
+      EXPECT_TRUE(g.vertex(ru.vertex).properties.contains("local-ssd"));
+    }
+  }
+}
+
+TEST_F(RequirementsTest, QuantityClaimsRespectConstraints) {
+  // Tag cores of node0 only; request more tagged cores than it has.
+  for (auto c : g.containment_children(nodes[0])) {
+    g.vertex(c).properties["isa"] = "avx512";
+  }
+  auto fits = make({slot(1, {require(res("core", 4), {"isa=avx512"})})}, 60);
+  auto too_many =
+      make({slot(1, {require(res("core", 5), {"isa=avx512"})})}, 60);
+  ASSERT_TRUE(fits);
+  ASSERT_TRUE(too_many);
+  EXPECT_TRUE(trav->match(*fits, MatchOp::allocate, 0, 1));
+  EXPECT_FALSE(trav->match(*too_many, MatchOp::allocate, 0, 2));
+}
+
+}  // namespace
+}  // namespace fluxion::traverser

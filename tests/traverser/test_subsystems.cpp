@@ -1,0 +1,223 @@
+// Multi-subsystem matching: rabbit storage (§5.1), power (flow resources),
+// and graph filtering (§3.3) as unit tests.
+#include <gtest/gtest.h>
+
+#include "graph/resource_graph.hpp"
+#include "jobspec/jobspec.hpp"
+#include "policy/policies.hpp"
+#include "traverser/traverser.hpp"
+
+namespace fluxion::traverser {
+namespace {
+
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+using util::Errc;
+
+/// Rabbit fixture: 2 racks x (2 nodes x 4 cores + 1 rabbit{1024 ssd,
+/// 1 lustre-ip}); rabbits double-homed under cluster via "storage".
+class RabbitFixture : public ::testing::Test {
+ protected:
+  RabbitFixture() : g(0, 100000) {
+    cluster = g.add_vertex("cluster", "cluster", 0, 1);
+    storage = g.intern_subsystem("storage");
+    int node_seq = 0;
+    for (int r = 0; r < 2; ++r) {
+      const auto rack = g.add_vertex("rack", "rack", r, 1);
+      EXPECT_TRUE(g.add_containment(cluster, rack));
+      for (int n = 0; n < 2; ++n) {
+        const auto node = g.add_vertex("node", "node", node_seq++, 1);
+        EXPECT_TRUE(g.add_containment(rack, node));
+        for (int c = 0; c < 4; ++c) {
+          EXPECT_TRUE(
+              g.add_containment(node, g.add_vertex("core", "core", c, 1)));
+        }
+      }
+      const auto rabbit = g.add_vertex("rabbit", "rabbit", r, 1);
+      EXPECT_TRUE(g.add_containment(rack, rabbit));
+      EXPECT_TRUE(g.add_edge(cluster, rabbit, storage, g.contains_rel()));
+      EXPECT_TRUE(g.add_containment(
+          rabbit, g.add_vertex("ssd", "ssd", r, 1024)));
+      EXPECT_TRUE(g.add_containment(
+          rabbit, g.add_vertex("lustre-ip", "lustre-ip", r, 1)));
+      rabbits.push_back(rabbit);
+    }
+    g.set_subsystem_filter({g.containment(), storage});
+    trav = std::make_unique<Traverser>(g, cluster, pol);
+  }
+  graph::ResourceGraph g;
+  graph::VertexId cluster{};
+  util::InternId storage{};
+  std::vector<graph::VertexId> rabbits;
+  policy::LowIdPolicy pol;
+  std::unique_ptr<Traverser> trav;
+};
+
+TEST_F(RabbitFixture, RackLocalComputePlusStorage) {
+  auto js = make(
+      {res("rack", 1,
+           {slot(1, {xres("node", 2, {res("core", 4)})}),
+            res("rabbit", 1, {slot(1, {res("ssd", 256)}, "fs")})})},
+      3600);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r) << r.error().message;
+  // The ssd claim must come from the SAME rack as the nodes.
+  std::string node_rack, ssd_rack;
+  for (const auto& ru : r->resources) {
+    const auto& v = g.vertex(ru.vertex);
+    const std::string type = g.type_name(v.type);
+    if (type == "node") node_rack = v.path.substr(0, v.path.find("/node"));
+    if (type == "ssd") {
+      ssd_rack = v.path.substr(0, v.path.find("/rabbit"));
+      EXPECT_EQ(ru.units, 256);
+    }
+  }
+  EXPECT_EQ(node_rack, ssd_rack);
+  EXPECT_FALSE(node_rack.empty());
+}
+
+TEST_F(RabbitFixture, GlobalStorageStripesAcrossRabbits) {
+  auto js = make({slot(1, {res("ssd", 1536)}, "stripe")}, 3600);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r) << r.error().message;
+  std::int64_t total = 0;
+  int pools = 0;
+  for (const auto& ru : r->resources) {
+    if (g.type_name(g.vertex(ru.vertex).type) == "ssd") {
+      total += ru.units;
+      ++pools;
+    }
+  }
+  EXPECT_EQ(total, 1536);
+  EXPECT_EQ(pools, 2);  // more than any single rabbit holds
+}
+
+TEST_F(RabbitFixture, OneLustreIpPerRabbit) {
+  auto fs = make(
+      {res("rabbit", 1,
+           {slot(1, {res("ssd", 128), res("lustre-ip", 1)}, "fs")})},
+      3600);
+  ASSERT_TRUE(fs);
+  EXPECT_TRUE(trav->match(*fs, MatchOp::allocate, 0, 1));
+  EXPECT_TRUE(trav->match(*fs, MatchOp::allocate, 0, 2));
+  auto third = trav->match(*fs, MatchOp::allocate, 0, 3);
+  ASSERT_FALSE(third);
+  EXPECT_EQ(third.error().code, Errc::resource_busy);
+}
+
+TEST_F(RabbitFixture, StorageOnlyAllocationHasNoCompute) {
+  auto js = make({slot(1, {res("ssd", 64)}, "fs")}, 3600);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  for (const auto& ru : r->resources) {
+    const std::string type = g.type_name(g.vertex(ru.vertex).type);
+    EXPECT_TRUE(type == "ssd") << type;
+  }
+}
+
+TEST_F(RabbitFixture, SubsystemFilterHidesStorageEdges) {
+  // With only containment visible, global ssd is still reachable (ssd
+  // pools are containment descendants of racks) but double-homed edges
+  // are not followed — candidate dedup must keep counts right either way.
+  g.set_subsystem_filter({g.containment()});
+  auto js = make({slot(1, {res("ssd", 1536)}, "stripe")}, 3600);
+  ASSERT_TRUE(js);
+  EXPECT_TRUE(trav->match(*js, MatchOp::allocate, 0, 1));
+  // Now hide containment too: nothing reachable.
+  g.set_subsystem_filter({storage});
+  auto r2 = trav->match(*js, MatchOp::allocate, 0, 2);
+  EXPECT_FALSE(r2);
+  g.set_subsystem_filter({});
+}
+
+TEST_F(RabbitFixture, DoubleHomedVertexCountedOnce) {
+  // Request exactly the number of rabbits that exist; if the dual edges
+  // double-counted candidates this would wrongly succeed with 3+.
+  auto two = make({slot(2, {xres("rabbit", 1)})}, 60);
+  ASSERT_TRUE(two);
+  EXPECT_TRUE(trav->match(*two, MatchOp::allocate, 0, 1));
+  auto one_more = make({slot(1, {xres("rabbit", 1)})}, 60);
+  ASSERT_TRUE(one_more);
+  EXPECT_FALSE(trav->match(*one_more, MatchOp::allocate, 0, 2));
+}
+
+/// Power fixture: facility pool (3000 W) + per-rack pools (2000 W) in a
+/// "power" subsystem over a 2-rack compute tree.
+class PowerFixture : public ::testing::Test {
+ protected:
+  PowerFixture() : g(0, 100000) {
+    cluster = g.add_vertex("cluster", "cluster", 0, 1);
+    power = g.intern_subsystem("power");
+    const auto fac = g.add_vertex("power", "facility-pw", 0, 3000);
+    EXPECT_TRUE(g.add_edge(cluster, fac, power, g.contains_rel()));
+    for (int r = 0; r < 2; ++r) {
+      const auto rack = g.add_vertex("rack", "rack", r, 1);
+      EXPECT_TRUE(g.add_containment(cluster, rack));
+      EXPECT_TRUE(g.add_edge(rack,
+                             g.add_vertex("rack-power", "rack-pw", r, 2000),
+                             power, g.contains_rel()));
+      for (int n = 0; n < 4; ++n) {
+        const auto node = g.add_vertex("node", "node", r * 4 + n, 1);
+        EXPECT_TRUE(g.add_containment(rack, node));
+      }
+    }
+    g.set_subsystem_filter({g.containment(), power});
+    trav = std::make_unique<Traverser>(g, cluster, pol);
+  }
+  jobspec::Jobspec hungry() {
+    auto js = make(
+        {res("rack", 1,
+             {slot(1, {xres("node", 4)}),
+              slot(1, {res("rack-power", 1800)}, "rack-pw")}),
+         slot(1, {res("power", 1800)}, "fac-pw")},
+        3600);
+    EXPECT_TRUE(js);
+    return *js;
+  }
+  graph::ResourceGraph g;
+  graph::VertexId cluster{};
+  util::InternId power{};
+  policy::LowIdPolicy pol;
+  std::unique_ptr<Traverser> trav;
+};
+
+TEST_F(PowerFixture, FacilityCapBindsBeforeRackCaps) {
+  ASSERT_TRUE(trav->match(hungry(), MatchOp::allocate, 0, 1));
+  // Rack1 and its PDU are free, but the facility pool has only 1200 W.
+  auto r2 = trav->match(hungry(), MatchOp::allocate, 0, 2);
+  ASSERT_FALSE(r2);
+  auto r2r = trav->match(hungry(), MatchOp::allocate_orelse_reserve, 0, 2);
+  ASSERT_TRUE(r2r);
+  EXPECT_EQ(r2r->at, 3600);
+}
+
+TEST_F(PowerFixture, RackCapBinds) {
+  // 2100 W from one rack pdu exceeds its 2000 W cap outright.
+  auto js = make(
+      {res("rack", 1, {slot(1, {res("rack-power", 2100)}, "pw")})}, 60);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, MatchOp::allocate_orelse_reserve, 0, 1);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, Errc::unsatisfiable);
+}
+
+TEST_F(PowerFixture, LowPowerJobBackfills) {
+  ASSERT_TRUE(trav->match(hungry(), MatchOp::allocate, 0, 1));
+  auto modest = make({slot(1, {xres("node", 2)}),
+                      slot(1, {res("power", 900)}, "pw")},
+                     600);
+  ASSERT_TRUE(modest);
+  EXPECT_TRUE(trav->match(*modest, MatchOp::allocate, 0, 3));
+  // But 1300 W cannot fit under the remaining 1200 W facility budget.
+  auto heavy = make({slot(1, {res("power", 1300)}, "pw")}, 600);
+  ASSERT_TRUE(heavy);
+  EXPECT_FALSE(trav->match(*heavy, MatchOp::allocate, 0, 4));
+}
+
+}  // namespace
+}  // namespace fluxion::traverser

@@ -1,0 +1,65 @@
+#include "util/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/time.hpp"
+
+namespace fluxion::util {
+namespace {
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value_or(0), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e(Errc::not_found, "missing");
+  ASSERT_FALSE(e);
+  EXPECT_EQ(e.error().code, Errc::not_found);
+  EXPECT_EQ(e.error().message, "missing");
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(Expected, MoveOnlyPayload) {
+  Expected<std::unique_ptr<int>> e(std::make_unique<int>(7));
+  ASSERT_TRUE(e);
+  auto p = std::move(e).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s);
+}
+
+TEST(Status, CarriesError) {
+  Status s(Errc::parse_error, "bad yaml");
+  ASSERT_FALSE(s);
+  EXPECT_EQ(s.error().code, Errc::parse_error);
+}
+
+TEST(ErrcName, AllCodesNamed) {
+  EXPECT_STREQ(errc_name(Errc::ok), "ok");
+  EXPECT_STREQ(errc_name(Errc::unsatisfiable), "unsatisfiable");
+  EXPECT_STREQ(errc_name(Errc::resource_busy), "resource_busy");
+  EXPECT_STREQ(errc_name(Errc::internal), "internal");
+}
+
+TEST(TimeWindow, ContainsAndOverlaps) {
+  TimeWindow a{10, 5};  // [10, 15)
+  EXPECT_TRUE(a.contains(10));
+  EXPECT_TRUE(a.contains(14));
+  EXPECT_FALSE(a.contains(15));
+  EXPECT_FALSE(a.contains(9));
+  TimeWindow b{14, 2};
+  TimeWindow c{15, 2};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+}  // namespace
+}  // namespace fluxion::util

@@ -1,0 +1,73 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxion::util {
+namespace {
+
+TEST(Histogram, BinsAndStats) {
+  Histogram h(0, 100, 10);
+  for (int i = 0; i < 100; ++i) h.add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 49.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0);
+  EXPECT_DOUBLE_EQ(h.max(), 99);
+  for (auto b : h.bins()) EXPECT_EQ(b, 10u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(10, 20, 2);
+  h.add(5);
+  h.add(25);
+  h.add(15);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bins()[1], 1u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 5);
+  EXPECT_DOUBLE_EQ(h.max(), 25);
+}
+
+TEST(Histogram, QuantilesOnUniformData) {
+  Histogram h(0, 1000, 100);
+  for (int i = 0; i < 1000; ++i) h.add(i);
+  EXPECT_NEAR(h.quantile(0.5), 500, 10);
+  EXPECT_NEAR(h.quantile(0.95), 950, 10);
+  EXPECT_NEAR(h.quantile(0.0), 0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 999);
+}
+
+TEST(Histogram, QuantileOnEmptyAndSingle) {
+  Histogram h(0, 10, 5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  h.add(7);
+  EXPECT_NEAR(h.quantile(0.5), 6.0 + 1.0, 1.01);  // inside the [6,8) bin
+}
+
+TEST(Histogram, RenderShowsOnlyNonEmptyBins) {
+  Histogram h(0, 100, 10);
+  h.add(5);
+  h.add(5);
+  h.add(95);
+  const std::string s = h.render(10);
+  EXPECT_NE(s.find("##########"), std::string::npos);  // peak bin
+  // Exactly two bin rows.
+  std::size_t rows = 0;
+  for (std::size_t p = s.find('\n'); p != std::string::npos;
+       p = s.find('\n', p + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2u);
+}
+
+TEST(Histogram, BinLoBoundaries) {
+  Histogram h(10, 30, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 20);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 30);
+}
+
+}  // namespace
+}  // namespace fluxion::util

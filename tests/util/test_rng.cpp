@@ -1,0 +1,82 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace fluxion::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(1, 128);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 128);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(5, 5), 5);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRoughlyUnbiased) {
+  Rng rng(13);
+  // Mean of uniform(0, 100) over many draws should approach 50.
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.uniform(0, 100));
+  EXPECT_NEAR(sum / n, 50.0, 0.5);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Rng, IndexInBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(7), 7u);
+}
+
+}  // namespace
+}  // namespace fluxion::util

@@ -1,0 +1,96 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxion::util {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("\tabc\r\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, TrimKeepsInteriorWhitespace) {
+  EXPECT_EQ(trim("  a b  c "), "a b  c");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitLinesHandlesCrLf) {
+  auto lines = split_lines("a\r\nb\nc");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+  EXPECT_EQ(lines[2], "c");
+}
+
+TEST(Strings, SplitLinesNoTrailingEmpty) {
+  auto lines = split_lines("a\nb\n");
+  ASSERT_EQ(lines.size(), 2u);
+}
+
+TEST(Strings, SplitLinesKeepsInteriorEmptyLines) {
+  auto lines = split_lines("a\n\nb");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1], "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("cluster0", "cluster"));
+  EXPECT_FALSE(starts_with("clu", "cluster"));
+  EXPECT_TRUE(ends_with("node17", "17"));
+  EXPECT_FALSE(ends_with("17", "node17"));
+}
+
+TEST(Strings, ParseI64Valid) {
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64("-7"), -7);
+  EXPECT_EQ(parse_i64("  123  "), 123);
+  EXPECT_EQ(parse_i64("0"), 0);
+}
+
+TEST(Strings, ParseI64RejectsGarbage) {
+  EXPECT_EQ(parse_i64("12x"), std::nullopt);
+  EXPECT_EQ(parse_i64(""), std::nullopt);
+  EXPECT_EQ(parse_i64("1.5"), std::nullopt);
+  EXPECT_EQ(parse_i64("x"), std::nullopt);
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*parse_double("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-0.25"), -0.25);
+  EXPECT_EQ(parse_double("1.5abc"), std::nullopt);
+}
+
+TEST(Strings, IndentOf) {
+  EXPECT_EQ(indent_of("abc"), 0u);
+  EXPECT_EQ(indent_of("  abc"), 2u);
+  EXPECT_EQ(indent_of("    "), 4u);
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("core"));
+  EXPECT_TRUE(is_identifier("burst-buffer_2"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("a b"));
+  EXPECT_FALSE(is_identifier("a/b"));
+}
+
+}  // namespace
+}  // namespace fluxion::util

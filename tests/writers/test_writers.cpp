@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "grug/grug.hpp"
+#include "jobspec/jobspec.hpp"
+#include "policy/policies.hpp"
+#include "traverser/traverser.hpp"
+#include "writers/dot.hpp"
+#include "writers/jgf.hpp"
+#include "writers/json.hpp"
+#include "writers/pretty.hpp"
+#include "writers/rlite.hpp"
+#include "yaml/yaml.hpp"
+
+namespace fluxion::writers {
+namespace {
+
+TEST(Json, ScalarRendering) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(std::int64_t{42}).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+}
+
+TEST(Json, Escaping) {
+  EXPECT_EQ(Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(escape("\ttab"), "\\ttab");
+}
+
+TEST(Json, ObjectAndArrayComposition) {
+  Json arr = Json::array();
+  arr.push(1).push("two").push(Json::object().set("three", 3));
+  Json obj = Json::object();
+  obj.set("list", std::move(arr)).set("ok", true);
+  EXPECT_EQ(obj.dump(), R"({"list":[1,"two",{"three":3}],"ok":true})");
+  EXPECT_EQ(obj.size(), 2u);
+}
+
+TEST(Json, EmptyCollections) {
+  EXPECT_EQ(Json::object().dump(), "{}");
+  EXPECT_EQ(Json::array().dump(), "[]");
+}
+
+TEST(Json, PrettyIsIndentedAndReparsesAsSameStructure) {
+  Json obj = Json::object();
+  obj.set("a", Json::array().push(1).push(2)).set("b", "x");
+  const std::string pretty = obj.pretty();
+  EXPECT_NE(pretty.find("\n  \"a\": [\n"), std::string::npos);
+}
+
+class WriterFixture : public ::testing::Test {
+ protected:
+  WriterFixture() : g(0, 100000) {
+    auto recipe = grug::parse(
+        "cluster count=1\n  rack count=1\n    node count=2\n"
+        "      core count=4\n      memory count=2 size=16\n");
+    EXPECT_TRUE(recipe);
+    auto r = grug::build(g, *recipe);
+    EXPECT_TRUE(r);
+    root = *r;
+    trav = std::make_unique<traverser::Traverser>(g, root, pol);
+  }
+  graph::ResourceGraph g;
+  graph::VertexId root{};
+  policy::LowIdPolicy pol;
+  std::unique_ptr<traverser::Traverser> trav;
+};
+
+TEST_F(WriterFixture, GraphJgfHasAllLiveNodesAndEdges) {
+  const Json jgf = graph_to_jgf(g);
+  const std::string s = jgf.dump();
+  // 1 cluster + 1 rack + 2 nodes + 8 cores + 4 memory = 16 vertices.
+  EXPECT_EQ(g.live_vertex_count(), 16u);
+  // Every path appears in the serialisation.
+  EXPECT_NE(s.find("/cluster0/rack0/node0/core0"), std::string::npos);
+  EXPECT_NE(s.find("\"subsystem\":\"containment\""), std::string::npos);
+  EXPECT_NE(s.find("\"relation\":\"contains\""), std::string::npos);
+  EXPECT_NE(s.find("\"relation\":\"in\""), std::string::npos);
+  EXPECT_NE(s.find("\"type\":\"memory\""), std::string::npos);
+}
+
+TEST_F(WriterFixture, GraphJgfSkipsDeadVertices) {
+  const auto racks = g.vertices_of_type(*g.find_type("rack"));
+  ASSERT_TRUE(g.detach_subtree(racks[0]));
+  const std::string s = graph_to_jgf(g).dump();
+  EXPECT_EQ(s.find("rack0"), std::string::npos);
+  EXPECT_NE(s.find("cluster0"), std::string::npos);
+}
+
+TEST_F(WriterFixture, MatchJgfContainsOnlySelection) {
+  auto js = jobspec::make(
+      {jobspec::res("node", 1,
+                    {jobspec::slot(1, {jobspec::res("core", 2)})})},
+      60);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, traverser::MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  const Json jgf = match_to_jgf(g, *r);
+  const std::string s = jgf.dump();
+  EXPECT_NE(s.find("core0"), std::string::npos);
+  EXPECT_NE(s.find("core1"), std::string::npos);
+  EXPECT_EQ(s.find("core2"), std::string::npos);
+  EXPECT_EQ(s.find("node1"), std::string::npos);
+  EXPECT_NE(s.find("\"exclusive\":true"), std::string::npos);
+}
+
+TEST_F(WriterFixture, RliteGroupsByNode) {
+  auto js = jobspec::make(
+      {jobspec::res("node", 2,
+                    {jobspec::slot(1, {jobspec::res("core", 2),
+                                       jobspec::res("memory", 8)})})},
+      600);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, traverser::MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  const Json rlite = match_to_rlite(g, *r);
+  const std::string s = rlite.dump();
+  EXPECT_NE(s.find("\"node\":\"/cluster0/rack0/node0\""), std::string::npos);
+  EXPECT_NE(s.find("\"node\":\"/cluster0/rack0/node1\""), std::string::npos);
+  EXPECT_NE(s.find("\"core\":2"), std::string::npos);
+  EXPECT_NE(s.find("\"memory\":8"), std::string::npos);
+  EXPECT_NE(s.find("\"starttime\":0"), std::string::npos);
+  EXPECT_NE(s.find("\"expiration\":600"), std::string::npos);
+}
+
+TEST_F(WriterFixture, RliteWholeNodeClaim) {
+  auto js = jobspec::make({jobspec::slot(1, {jobspec::xres("node", 1)})}, 60);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, traverser::MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  const std::string s = match_to_rlite(g, *r).dump();
+  EXPECT_NE(s.find("/cluster0/rack0/node0"), std::string::npos);
+}
+
+TEST_F(WriterFixture, PrettyRendersContainmentTree) {
+  auto js = jobspec::make(
+      {jobspec::res("node", 2,
+                    {jobspec::slot(1, {jobspec::res("core", 2),
+                                       jobspec::res("memory", 8)})})},
+      600);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, traverser::MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  const std::string s = writers::match_to_pretty(g, *r);
+  // Header with the window.
+  EXPECT_NE(s.find("job 1 @ [0, 600)"), std::string::npos) << s;
+  // Intermediate components appear once, claims are indented below them.
+  EXPECT_EQ(s.find("cluster0"), s.rfind("cluster0")) << s;
+  EXPECT_NE(s.find("\n        core0*"), std::string::npos) << s;
+  EXPECT_NE(s.find("memory0[8]*"), std::string::npos) << s;
+  // Both nodes' subtrees are present.
+  EXPECT_NE(s.find("node0"), std::string::npos);
+  EXPECT_NE(s.find("node1"), std::string::npos);
+}
+
+TEST_F(WriterFixture, PrettyMarksReservations) {
+  auto js = jobspec::make({jobspec::slot(1, {jobspec::xres("node", 2)})},
+                          100);
+  ASSERT_TRUE(js);
+  ASSERT_TRUE(trav->match(*js, traverser::MatchOp::allocate, 0, 1));
+  auto r = trav->match(*js, traverser::MatchOp::allocate_orelse_reserve, 0,
+                       2);
+  ASSERT_TRUE(r);
+  const std::string s = writers::match_to_pretty(g, *r);
+  EXPECT_NE(s.find("reserved"), std::string::npos);
+  EXPECT_NE(s.find("node0*"), std::string::npos) << s;
+}
+
+TEST(RliteGlobal, ClaimsOutsideNodesLandInGlobalGroup) {
+  graph::ResourceGraph g(0, 1000);
+  const auto cluster = g.add_vertex("cluster", "cluster", 0, 1);
+  const auto ssd = g.add_vertex("ssd", "ssd", 0, 512);
+  ASSERT_TRUE(g.add_containment(cluster, ssd));
+  policy::LowIdPolicy pol;
+  traverser::Traverser trav(g, cluster, pol);
+  auto js = jobspec::make({jobspec::slot(1, {jobspec::res("ssd", 128)})},
+                          60);
+  ASSERT_TRUE(js);
+  auto r = trav.match(*js, traverser::MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  const std::string s = match_to_rlite(g, *r).dump();
+  EXPECT_NE(s.find("\"group\":\"global\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"ssd\":128"), std::string::npos) << s;
+}
+
+TEST_F(WriterFixture, DotRendersGraphAndHighlightsMatch) {
+  const std::string plain = writers::graph_to_dot(g);
+  EXPECT_NE(plain.find("digraph fluxion"), std::string::npos);
+  EXPECT_NE(plain.find("label=\"node0\""), std::string::npos);
+  EXPECT_NE(plain.find("memory0\\n[16]"), std::string::npos);
+  EXPECT_EQ(plain.find("lightblue"), std::string::npos);
+  // Reverse "in" edges are not drawn: edge count == vertex count - 1.
+  std::size_t arrows = 0;
+  for (std::size_t p = plain.find("->"); p != std::string::npos;
+       p = plain.find("->", p + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, g.live_vertex_count() - 1);
+
+  auto js = jobspec::make(
+      {jobspec::res("node", 1,
+                    {jobspec::slot(1, {jobspec::res("core", 2)})})},
+      60);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, traverser::MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  const std::string hi = writers::match_to_dot(g, *r);
+  EXPECT_NE(hi.find("fillcolor=lightblue"), std::string::npos);
+  EXPECT_NE(hi.find("peripheries=2"), std::string::npos);  // exclusive
+}
+
+TEST_F(WriterFixture, JgfIsValidYamlFlowSubset) {
+  // Our YAML parser accepts JSON flow syntax; use it as a structural
+  // re-parse check of the compact emission.
+  auto js = jobspec::make(
+      {jobspec::res("node", 1,
+                    {jobspec::slot(1, {jobspec::res("core", 1)})})},
+      60);
+  ASSERT_TRUE(js);
+  auto r = trav->match(*js, traverser::MatchOp::allocate, 0, 1);
+  ASSERT_TRUE(r);
+  auto reparsed = yaml::parse(match_to_rlite(g, *r).dump());
+  ASSERT_TRUE(reparsed) << reparsed.error().message;
+  const yaml::Node* exec = reparsed->get("execution");
+  ASSERT_NE(exec, nullptr);
+  EXPECT_TRUE(exec->get("R_lite")->is_sequence());
+  EXPECT_EQ(*reparsed->get("version")->as_i64(), 1);
+}
+
+}  // namespace
+}  // namespace fluxion::writers

@@ -1,0 +1,171 @@
+// fluxion-analyze: summarise a fluxion-sim CSV schedule.
+//
+// Completes the study toolchain: fluxion-sim emits per-job rows;
+// this reads one (or several, for comparison) and prints wait-time and
+// figure-of-merit distributions, per-size breakdowns, and totals — the
+// numbers a scheduling paper tabulates.
+//
+// Usage:
+//   fluxion-analyze SCHEDULE.csv [MORE.csv ...]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace fluxion;
+
+struct Row {
+  std::int64_t job = 0;
+  std::int64_t nodes = 0;
+  std::int64_t duration = 0;
+  std::string state;
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  std::int64_t wait = 0;
+  int fom = -1;
+  double match_ms = 0;
+};
+
+bool parse_row(std::string_view line, Row& row) {
+  const auto f = util::split(line, ',');
+  if (f.size() != 9) return false;
+  const auto job = util::parse_i64(f[0]);
+  const auto nodes = util::parse_i64(f[1]);
+  const auto duration = util::parse_i64(f[2]);
+  const auto start = util::parse_i64(f[4]);
+  const auto end = util::parse_i64(f[5]);
+  const auto wait = util::parse_i64(f[6]);
+  const auto fom = util::parse_i64(f[7]);
+  const auto ms = util::parse_double(f[8]);
+  if (!job || !nodes || !duration || !start || !end || !wait || !fom ||
+      !ms) {
+    return false;
+  }
+  row = {*job,   *nodes, *duration, std::string(f[3]), *start,
+         *end,   *wait,  static_cast<int>(*fom), *ms};
+  return true;
+}
+
+int analyze(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "fluxion-analyze: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::vector<Row> rows;
+  std::string line;
+  bool header = true;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (header) {
+      header = false;
+      if (!util::starts_with(line, "job,")) {
+        std::fprintf(stderr, "fluxion-analyze: %s: not a fluxion-sim CSV\n",
+                     path.c_str());
+        return 2;
+      }
+      continue;
+    }
+    Row row;
+    if (!parse_row(line, row)) {
+      std::fprintf(stderr, "fluxion-analyze: %s:%d: malformed row\n",
+                   path.c_str(), lineno);
+      return 2;
+    }
+    rows.push_back(row);
+  }
+  if (rows.empty()) {
+    std::printf("%s: empty schedule\n", path.c_str());
+    return 0;
+  }
+
+  std::int64_t makespan = 0;
+  std::size_t completed = 0, rejected = 0;
+  double max_wait = 0;
+  util::Histogram waits(0, 1, 1);  // placeholder; rebuilt below
+  // First pass for the wait range.
+  std::int64_t wait_hi = 1;
+  for (const Row& r : rows) {
+    makespan = std::max(makespan, r.end);
+    if (r.state == "completed") ++completed;
+    if (r.state == "rejected") ++rejected;
+    wait_hi = std::max(wait_hi, r.wait + 1);
+    max_wait = std::max(max_wait, static_cast<double>(r.wait));
+  }
+  waits = util::Histogram(0, static_cast<double>(wait_hi), 20);
+  util::Histogram match_ms(0, 1, 20);
+  double match_hi = 0.001;
+  for (const Row& r : rows) match_hi = std::max(match_hi, r.match_ms * 1.01);
+  match_ms = util::Histogram(0, match_hi, 20);
+  std::vector<std::int64_t> fom_hist;
+  // Per-size buckets: 1, 2-4, 5-16, 17-64, 65+ nodes.
+  const char* size_names[] = {"1", "2-4", "5-16", "17-64", "65+"};
+  double size_wait[5] = {0};
+  int size_count[5] = {0};
+  for (const Row& r : rows) {
+    waits.add(static_cast<double>(r.wait));
+    match_ms.add(r.match_ms);
+    if (r.fom >= 0) {
+      if (static_cast<std::size_t>(r.fom) >= fom_hist.size()) {
+        fom_hist.resize(static_cast<std::size_t>(r.fom) + 1, 0);
+      }
+      ++fom_hist[static_cast<std::size_t>(r.fom)];
+    }
+    const int bucket = r.nodes <= 1   ? 0
+                       : r.nodes <= 4  ? 1
+                       : r.nodes <= 16 ? 2
+                       : r.nodes <= 64 ? 3
+                                       : 4;
+    size_wait[bucket] += static_cast<double>(r.wait);
+    ++size_count[bucket];
+  }
+
+  std::printf("== %s ==\n", path.c_str());
+  std::printf("jobs: %zu (%zu completed, %zu rejected)  makespan: %lld\n",
+              rows.size(), completed, rejected,
+              static_cast<long long>(makespan));
+  std::printf("wait:  mean %.1f  p50 %.1f  p95 %.1f  max %.0f\n",
+              waits.mean(), waits.quantile(0.5), waits.quantile(0.95),
+              max_wait);
+  std::printf("match: mean %.3fms  p95 %.3fms  max %.3fms\n",
+              match_ms.mean(), match_ms.quantile(0.95), match_ms.max());
+  std::printf("wait by job size [nodes: mean wait]:");
+  for (int b = 0; b < 5; ++b) {
+    if (size_count[b] == 0) continue;
+    std::printf("  %s: %.0f (n=%d)", size_names[b],
+                size_wait[b] / size_count[b], size_count[b]);
+  }
+  std::printf("\n");
+  if (!fom_hist.empty()) {
+    std::printf("fom histogram:");
+    for (std::size_t f = 0; f < fom_hist.size(); ++f) {
+      std::printf("  fom=%zu: %lld", f,
+                  static_cast<long long>(fom_hist[f]));
+    }
+    std::printf("\n");
+  }
+  std::printf("wait distribution:\n%s\n", waits.render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s SCHEDULE.csv [MORE.csv ...]\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const int rc = analyze(argv[i]);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}

@@ -1,0 +1,324 @@
+// resource-query: the command-line utility the paper's evaluation drives
+// (§6.1). It reads a GRUG recipe, populates the resource graph store, and
+// answers match commands against jobspec files — a single-process stand-in
+// for the resource manager in Figure 1c.
+//
+// Usage:
+//   resource-query --grug SYSTEM.grug [--policy NAME] [--format simple|rlite|jgf]
+//
+// Commands (stdin or a script piped in):
+//   match allocate JOBSPEC.yaml
+//   match allocate_orelse_reserve JOBSPEC.yaml
+//   match satisfiability JOBSPEC.yaml
+//   cancel JOBID
+//   find JOBID
+//   info
+//   stats
+//   jgf
+//   help
+//   quit
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/resource_query.hpp"
+#include "queue/job_queue.hpp"
+#include "sim/workload.hpp"
+#include "util/strings.hpp"
+#include "graph/graph_stats.hpp"
+#include "writers/jgf.hpp"
+#include "writers/pretty.hpp"
+#include "writers/rlite.hpp"
+
+namespace {
+
+using namespace fluxion;
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path);
+  if (!in) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  ok = true;
+  return ss.str();
+}
+
+void print_help() {
+  std::printf(
+      "commands:\n"
+      "  match allocate JOBSPEC.yaml\n"
+      "  match allocate_orelse_reserve JOBSPEC.yaml\n"
+      "  match satisfiability JOBSPEC.yaml\n"
+      "  cancel JOBID\n"
+      "  grow JOBID JOBSPEC.yaml   — add resources to a live job\n"
+      "  shrink JOBID PATH         — release a job's claims under PATH\n"
+      "  detach PATH               — remove an idle subtree (elasticity)\n"
+      "  run-trace FILE CORES      — run a '<nodes> <duration>' trace with\n"
+      "                              conservative backfilling, print metrics\n"
+      "  find JOBID\n"
+      "  info   — graph summary\n"
+      "  stats  — traversal statistics\n"
+      "  jgf    — dump the resource graph as JSON Graph Format\n"
+      "  quit\n");
+}
+
+struct Cli {
+  std::unique_ptr<core::ResourceQuery> rq;
+  std::string format = "simple";
+
+  void emit_match(const core::MatchResult& r) const {
+    if (format == "rlite") {
+      std::printf("%s\n", writers::match_rlite_string(rq->graph(), r).c_str());
+    } else if (format == "jgf") {
+      std::printf("%s\n", writers::match_to_jgf(rq->graph(), r).pretty().c_str());
+    } else if (format == "pretty") {
+      std::printf("%s", writers::match_to_pretty(rq->graph(), r).c_str());
+    } else {
+      std::printf("%s", rq->render(r).c_str());
+    }
+  }
+
+  int handle_match(const std::vector<std::string>& args) {
+    if (args.size() != 3) {
+      std::printf("error: match needs an op and a jobspec path\n");
+      return 0;
+    }
+    bool ok = false;
+    const std::string text = read_file(args[2], ok);
+    if (!ok) {
+      std::printf("error: cannot read '%s'\n", args[2].c_str());
+      return 0;
+    }
+    auto js = jobspec::Jobspec::from_yaml(text);
+    if (!js) {
+      std::printf("error: %s\n", js.error().message.c_str());
+      return 0;
+    }
+    util::Expected<core::MatchResult> r =
+        util::Error{util::Errc::invalid_argument, "unknown match op"};
+    if (args[1] == "allocate") {
+      r = rq->match_allocate(*js);
+    } else if (args[1] == "allocate_with_satisfiability") {
+      r = rq->traverser().match(
+          *js, traverser::MatchOp::allocate_with_satisfiability, 0,
+          rq->next_job_id());
+    } else if (args[1] == "allocate_orelse_reserve") {
+      r = rq->match_allocate_orelse_reserve(*js);
+    } else if (args[1] == "satisfiability") {
+      r = rq->satisfiability(*js);
+      if (r) {
+        std::printf("satisfiable\n");
+        return 0;
+      }
+    }
+    if (!r) {
+      std::printf("MATCH FAILED (%s): %s\n",
+                  util::errc_name(r.error().code), r.error().message.c_str());
+      return 0;
+    }
+    emit_match(*r);
+    return 0;
+  }
+
+  int run_command(const std::string& line) {
+    std::vector<std::string> args;
+    for (auto tok : util::split(line, ' ')) {
+      if (!util::trim(tok).empty()) args.emplace_back(util::trim(tok));
+    }
+    if (args.empty()) return 0;
+    const std::string& cmd = args[0];
+    if (cmd == "quit" || cmd == "exit") return 1;
+    if (cmd == "help") {
+      print_help();
+    } else if (cmd == "match") {
+      return handle_match(args);
+    } else if (cmd == "cancel" && args.size() == 2) {
+      auto id = util::parse_i64(args[1]);
+      if (!id) {
+        std::printf("error: bad job id\n");
+        return 0;
+      }
+      auto st = rq->cancel(*id);
+      std::printf("%s\n", st ? "canceled" : st.error().message.c_str());
+    } else if (cmd == "grow" && args.size() == 3) {
+      auto id = util::parse_i64(args[1]);
+      bool ok = false;
+      const std::string text = read_file(args[2], ok);
+      if (!id || !ok) {
+        std::printf("error: grow needs a job id and a readable jobspec\n");
+        return 0;
+      }
+      auto js = jobspec::Jobspec::from_yaml(text);
+      if (!js) {
+        std::printf("error: %s\n", js.error().message.c_str());
+        return 0;
+      }
+      auto r = rq->traverser().grow(*id, *js, 0);
+      if (!r) {
+        std::printf("GROW FAILED (%s): %s\n", util::errc_name(r.error().code),
+                    r.error().message.c_str());
+      } else {
+        emit_match(*r);
+      }
+    } else if (cmd == "shrink" && args.size() == 3) {
+      auto id = util::parse_i64(args[1]);
+      auto v = rq->graph().find_by_path(args[2]);
+      if (!id || !v) {
+        std::printf("error: shrink needs a job id and a known path\n");
+        return 0;
+      }
+      auto st = rq->traverser().shrink(*id, *v);
+      std::printf("%s\n", st ? "shrunk" : st.error().message.c_str());
+    } else if (cmd == "run-trace" && args.size() == 3) {
+      bool ok = false;
+      const std::string text = read_file(args[1], ok);
+      const auto cores = util::parse_i64(args[2]);
+      if (!ok || !cores || *cores < 1) {
+        std::printf("error: run-trace needs a readable file and a core "
+                    "count\n");
+        return 0;
+      }
+      auto trace = sim::parse_trace(text);
+      if (!trace) {
+        std::printf("error: %s\n", trace.error().message.c_str());
+        return 0;
+      }
+      queue::JobQueue q(rq->traverser(),
+                        queue::QueuePolicy::conservative_backfill);
+      for (const auto& tj : *trace) {
+        auto js = sim::trace_jobspec(tj, *cores);
+        if (!js) {
+          std::printf("error: %s\n", js.error().message.c_str());
+          return 0;
+        }
+        q.submit(*js);
+      }
+      q.run_to_completion();
+      const auto m = q.metrics();
+      std::printf("jobs: %zu completed, %llu rejected\n", m.completed,
+                  static_cast<unsigned long long>(q.stats().rejected));
+      std::printf("makespan: %lld  avg-wait: %.1f  avg-turnaround: %.1f\n",
+                  static_cast<long long>(m.makespan), m.avg_wait,
+                  m.avg_turnaround);
+      std::printf("immediate starts: %llu  reservations: %llu  "
+                  "sched-time: %.3fs\n",
+                  static_cast<unsigned long long>(
+                      q.stats().started_immediately),
+                  static_cast<unsigned long long>(q.stats().reserved),
+                  q.stats().total_match_seconds);
+    } else if (cmd == "detach" && args.size() == 2) {
+      auto v = rq->graph().find_by_path(args[1]);
+      if (!v) {
+        std::printf("error: unknown path '%s'\n", args[1].c_str());
+        return 0;
+      }
+      auto st = rq->graph().detach_subtree(*v);
+      std::printf("%s\n", st ? "detached" : st.error().message.c_str());
+    } else if (cmd == "find" && args.size() == 2) {
+      auto id = util::parse_i64(args[1]);
+      const core::MatchResult* job =
+          id ? rq->traverser().find_job(*id) : nullptr;
+      if (job == nullptr) {
+        std::printf("no such job\n");
+      } else {
+        emit_match(*job);
+      }
+    } else if (cmd == "info") {
+      const auto& g = rq->graph();
+      std::printf("vertices: %zu live / %zu total, edges: %zu, jobs: %zu\n",
+                  g.live_vertex_count(), g.vertex_count(), g.edge_count(),
+                  rq->traverser().job_count());
+      std::printf("%s",
+                  graph::render_stats(
+                      graph::compute_stats(g, rq->root()))
+                      .c_str());
+    } else if (cmd == "stats") {
+      const auto& s = rq->traverser().stats();
+      std::printf("visits: %llu, pruned: %llu, match attempts: %llu\n",
+                  static_cast<unsigned long long>(s.visits),
+                  static_cast<unsigned long long>(s.pruned),
+                  static_cast<unsigned long long>(s.match_attempts));
+    } else if (cmd == "jgf") {
+      std::printf("%s\n", writers::graph_jgf_string(rq->graph()).c_str());
+    } else {
+      std::printf("error: unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+    return 0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string grug_path;
+  std::string jgf_path;
+  std::string policy = "low-id";
+  std::string format = "simple";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--grug") {
+      if (const char* v = next()) grug_path = v;
+    } else if (arg == "--jgf") {
+      if (const char* v = next()) jgf_path = v;
+    } else if (arg == "--policy") {
+      if (const char* v = next()) policy = v;
+    } else if (arg == "--format") {
+      if (const char* v = next()) format = v;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: resource-query (--grug FILE | --jgf FILE) "
+                  "[--policy NAME] [--format simple|pretty|rlite|jgf]\n");
+      print_help();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (grug_path.empty() == jgf_path.empty()) {
+    std::fprintf(stderr,
+                 "resource-query: exactly one of --grug or --jgf is "
+                 "required\n");
+    return 2;
+  }
+  if (format != "simple" && format != "rlite" && format != "jgf" &&
+      format != "pretty") {
+    std::fprintf(stderr, "resource-query: unknown format '%s'\n",
+                 format.c_str());
+    return 2;
+  }
+  const std::string& source = grug_path.empty() ? jgf_path : grug_path;
+  bool ok = false;
+  const std::string text = read_file(source, ok);
+  if (!ok) {
+    std::fprintf(stderr, "resource-query: cannot read %s\n", source.c_str());
+    return 2;
+  }
+  core::Options opt;
+  opt.policy = policy;
+  auto rq = grug_path.empty()
+                ? core::ResourceQuery::create_from_jgf(
+                      text, opt, {"node", "core"}, {"cluster"})
+                : core::ResourceQuery::create_from_text(text, opt);
+  if (!rq) {
+    std::fprintf(stderr, "resource-query: %s\n", rq.error().message.c_str());
+    return 2;
+  }
+  Cli cli{std::move(*rq), format};
+  std::printf("resource-query: %zu vertices, policy=%s (type 'help')\n",
+              cli.rq->graph().live_vertex_count(), policy.c_str());
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (cli.run_command(line) != 0) break;
+  }
+  return 0;
+}
