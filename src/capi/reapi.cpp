@@ -116,6 +116,17 @@ uint64_t reapi_job_count(const reapi_ctx_t* ctx) {
   return ctx == nullptr ? 0 : ctx->rq->traverser().job_count();
 }
 
+reapi_status_t reapi_audit(const reapi_ctx_t* ctx) {
+  if (ctx == nullptr) return REAPI_EINVAL;
+  return ctx->rq->traverser().audit() ? REAPI_OK : REAPI_EINTERNAL;
+}
+
+reapi_status_t reapi_set_audit(reapi_ctx_t* ctx, int enabled) {
+  if (ctx == nullptr) return REAPI_EINVAL;
+  ctx->rq->traverser().set_audit(enabled != 0);
+  return REAPI_OK;
+}
+
 void reapi_free_string(char* s) { std::free(s); }
 
 }  // extern "C"

@@ -64,6 +64,18 @@ reapi_status_t reapi_info(reapi_ctx_t* ctx, uint64_t jobid, int64_t* at_out,
 /* Live (allocated or reserved) job count. */
 uint64_t reapi_job_count(const reapi_ctx_t* ctx);
 
+/* Deep structural audit of the scheduler state: every per-vertex planner
+ * must validate and the pruning filters must agree with a from-scratch
+ * recount of the committed claims. Returns REAPI_OK when coherent and
+ * REAPI_EINTERNAL on corruption. Expensive; intended for embedders'
+ * health checks and crash triage, not per-request use. */
+reapi_status_t reapi_audit(const reapi_ctx_t* ctx);
+
+/* Enable (nonzero) or disable the post-mutation audit hook: every match /
+ * cancel re-runs the audit before returning and converts a divergence
+ * into REAPI_EINTERNAL. Debugging aid; off by default. */
+reapi_status_t reapi_set_audit(reapi_ctx_t* ctx, int enabled);
+
 /* Free a string returned through an out-parameter. */
 void reapi_free_string(char* s);
 

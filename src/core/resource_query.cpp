@@ -39,6 +39,18 @@ util::Expected<std::unique_ptr<ResourceQuery>> ResourceQuery::create_from_jgf(
   auto rq = std::unique_ptr<ResourceQuery>(new ResourceQuery);
   rq->graph_ = std::move(parsed->graph);
   rq->root_ = parsed->root;
+  if (!filter_types.empty() && filter_at.empty()) {
+    // Silently installing no filters would disable pruning while the
+    // caller believes it is on — reject the half-configured request.
+    return util::Error{util::Errc::invalid_argument,
+                       "create_from_jgf: filter types given but no "
+                       "filter-at anchor types"};
+  }
+  if (filter_types.empty() && !filter_at.empty()) {
+    return util::Error{util::Errc::invalid_argument,
+                       "create_from_jgf: filter-at anchor types given but "
+                       "no filter types to track"};
+  }
   if (!filter_types.empty()) {
     std::vector<util::InternId> types;
     types.reserve(filter_types.size());
@@ -47,7 +59,11 @@ util::Expected<std::unique_ptr<ResourceQuery>> ResourceQuery::create_from_jgf(
     }
     for (const auto& at : filter_at) {
       const auto type = rq->graph_->find_type(at);
-      if (!type) continue;
+      if (!type) {
+        return util::Error{util::Errc::invalid_argument,
+                           "create_from_jgf: unknown filter-at type '" + at +
+                               "' (not present in the JGF graph)"};
+      }
       for (auto v : rq->graph_->vertices_of_type(*type)) {
         if (auto st = rq->graph_->install_filter(v, types); !st) {
           return st.error();

@@ -48,6 +48,10 @@ class ResourceQuery {
   /// As create(), but from a JSON Graph Format document (e.g. a parent
   /// instance's grant, paper §5.6). Pruning filters are installed at the
   /// vertex types named in `filter_at` over the types in `filter_types`.
+  /// `filter_types` and `filter_at` must both be empty (no pruning) or
+  /// both be non-empty, and every `filter_at` type must exist in the
+  /// graph; anything else fails with invalid_argument rather than
+  /// silently disabling pruning.
   static util::Expected<std::unique_ptr<ResourceQuery>> create_from_jgf(
       std::string_view jgf_text, const Options& options = {},
       const std::vector<std::string>& filter_types = {},

@@ -217,7 +217,10 @@ EtNode* Planner::find_earliest_at(std::int64_t request) const {
       n = static_cast<EtNode*>(n->right);
     }
   }
-  assert(false && "augmented minimum not found in anchor subtree");
+  // Unreachable if the augmented subtree_min_time fields are coherent;
+  // returning nullptr makes callers treat the tree as "no candidate" and
+  // fail the query instead of crashing (or worse, continuing) on a
+  // corrupted index.
   return nullptr;
 }
 

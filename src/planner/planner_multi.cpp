@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/check.hpp"
+
 namespace fluxion::planner {
 
 using util::Errc;
@@ -64,13 +66,21 @@ util::Status PlannerMulti::rem_span(SpanId id) {
   if (it == spans_.end()) {
     return util::Error{Errc::not_found, "rem_span: unknown multi-span id"};
   }
+  // Best-effort: remove every per-planner span we can and always retire
+  // the multi-span entry, but surface a per-planner refusal (a cross-table
+  // id mismatch — state corruption) instead of swallowing it.
+  std::string detail;
   for (std::size_t i = 0; i < it->second.size(); ++i) {
     if (it->second[i] == kInvalidSpan) continue;
     auto st = planners_[i]->rem_span(it->second[i]);
-    assert(st);
-    (void)st;
+    if (!st && detail.empty()) {
+      detail = "rem_span: per-planner removal failed for " +
+               std::string(planners_[i]->resource_type()) + ": " +
+               st.error().message;
+    }
   }
   spans_.erase(it);
+  if (!detail.empty()) return util::internal_error(std::move(detail));
   return util::Status::ok();
 }
 

@@ -1,7 +1,6 @@
 #include "queue/job_queue.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 namespace fluxion::queue {
 
@@ -77,8 +76,15 @@ void JobQueue::try_place(Job& job, bool allow_reserve) {
   // (already committed) end times directly.
   TimePoint anchor = now_;
   if (!job.depends_on.empty()) {
+    // Callers pre-check the gate, but re-derive it defensively: a failed
+    // dependency rejects the job, an unknown end time leaves it pending.
     const auto gate = dependency_gate(job);
-    assert(gate && *gate != util::kMaxTime);  // callers pre-check
+    if (!gate) {
+      job.state = JobState::rejected;
+      ++stats_.rejected;
+      return;
+    }
+    if (*gate == util::kMaxTime) return;  // stays pending
     anchor = *gate;
   }
   const auto t0 = std::chrono::steady_clock::now();
@@ -221,8 +227,12 @@ TimePoint JobQueue::next_event() const {
   return t;
 }
 
-void JobQueue::fire_events_up_to(TimePoint t) {
+util::Status JobQueue::fire_events_up_to(TimePoint t) {
   // Fire starts and completions in time order up to and including t.
+  // Best-effort: every due event fires even when a purge reports
+  // corruption, so the queue's view of time stays coherent; the first
+  // failure is surfaced once the clock has caught up.
+  util::Status first = util::Status::ok();
   while (true) {
     TimePoint et = util::kMaxTime;
     for (const auto& [id, job] : jobs_) {
@@ -241,20 +251,24 @@ void JobQueue::fire_events_up_to(TimePoint t) {
         ++stats_.completed;
         // Purge the traverser's bookkeeping; the spans are in the past.
         auto st = traverser_.cancel(id);
-        assert(st);
-        (void)st;
+        if (!st && first) first = st;
       }
     }
   }
+  return first;
 }
 
-void JobQueue::advance_to(TimePoint t) {
-  assert(t >= now_);
-  fire_events_up_to(t);
+util::Status JobQueue::advance_to(TimePoint t) {
+  if (t < now_) {
+    return util::Error{Errc::invalid_argument,
+                       "advance_to: simulated time cannot move backward"};
+  }
+  util::Status fired = fire_events_up_to(t);
   now_ = t;
+  return fired;
 }
 
-TimePoint JobQueue::run_to_completion() {
+util::Expected<TimePoint> JobQueue::run_to_completion() {
   while (true) {
     schedule();
     const TimePoint t = next_event();
@@ -269,7 +283,7 @@ TimePoint JobQueue::run_to_completion() {
       }
       break;
     }
-    advance_to(t);
+    if (auto st = advance_to(t); !st) return st.error();
   }
   return now_;
 }
@@ -280,14 +294,16 @@ util::Status JobQueue::hold(JobId id) {
     return util::Error{Errc::not_found, "hold: unknown job"};
   }
   Job& job = it->second;
+  util::Status released = util::Status::ok();
   switch (job.state) {
     case JobState::pending:
       pending_.erase(std::find(pending_.begin(), pending_.end(), id));
       break;
     case JobState::reserved: {
-      auto st = traverser_.cancel(id);
-      assert(st);
-      (void)st;
+      // traverser::cancel is best-effort, so the reservation is dropped
+      // from the bookkeeping even when the span release reports
+      // corruption; finish the hold and surface the status afterwards.
+      released = traverser_.cancel(id);
       // The reservation is gone; stats reflect a net un-reserve.
       --stats_.reserved;
       job.start_time = -1;
@@ -300,7 +316,7 @@ util::Status JobQueue::hold(JobId id) {
                          "hold: job not pending or reserved"};
   }
   job.state = JobState::held;
-  return util::Status::ok();
+  return released;
 }
 
 util::Status JobQueue::release(JobId id) {
@@ -330,6 +346,7 @@ util::Status JobQueue::cancel(JobId id) {
     return util::Error{Errc::not_found, "cancel: unknown job"};
   }
   Job& job = it->second;
+  util::Status released = util::Status::ok();
   switch (job.state) {
     case JobState::pending:
       pending_.erase(std::find(pending_.begin(), pending_.end(), id));
@@ -337,12 +354,11 @@ util::Status JobQueue::cancel(JobId id) {
     case JobState::held:
       break;  // not in pending_, nothing committed
     case JobState::reserved:
-    case JobState::running: {
-      auto st = traverser_.cancel(id);
-      assert(st);
-      (void)st;
+    case JobState::running:
+      // Best-effort: the job leaves the queue's books regardless; the
+      // first release failure is reported after the cascade completes.
+      released = traverser_.cancel(id);
       break;
-    }
     default:
       return util::Error{Errc::invalid_argument,
                          "cancel: job already terminal"};
@@ -361,8 +377,7 @@ util::Status JobQueue::cancel(JobId id) {
       if (dependency_gate(j)) continue;  // deps still fine
       if (j.state == JobState::reserved) {
         auto st = traverser_.cancel(jid);
-        assert(st);
-        (void)st;
+        if (!st && released) released = st;
       } else {
         pending_.erase(std::find(pending_.begin(), pending_.end(), jid));
       }
@@ -371,7 +386,7 @@ util::Status JobQueue::cancel(JobId id) {
       changed = true;
     }
   }
-  return util::Status::ok();
+  return released;
 }
 
 const Job* JobQueue::find(JobId id) const {

@@ -108,12 +108,15 @@ class JobQueue {
   TimePoint next_event() const;
 
   /// Advance the simulated clock, firing starts/completions on the way.
-  void advance_to(TimePoint t);
+  /// Fails with invalid_argument when `t` is before now(); an internal
+  /// error from a completion-time span release is propagated after the
+  /// clock and every remaining event have still been processed.
+  util::Status advance_to(TimePoint t);
 
   /// Convenience driver: schedule + advance until every job reaches a
   /// terminal state (or no further progress is possible). Returns the
-  /// final simulated time.
-  TimePoint run_to_completion();
+  /// final simulated time, or the first internal error encountered.
+  util::Expected<TimePoint> run_to_completion();
 
   /// Cancel a pending/held/reserved/running job.
   util::Status cancel(JobId id);
@@ -137,7 +140,7 @@ class JobQueue {
 
  private:
   void try_place(Job& job, bool allow_reserve);
-  void fire_events_up_to(TimePoint t);
+  util::Status fire_events_up_to(TimePoint t);
   /// Dependency gate: nullopt when a dependency failed (job must be
   /// rejected); otherwise the earliest allowed start (kMaxTime while a
   /// dependency has no known end yet).

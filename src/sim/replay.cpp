@@ -28,10 +28,10 @@ util::Expected<ReplayResult> replay_trace(queue::JobQueue& q,
     while (true) {
       const util::TimePoint ev = q.next_event();
       if (ev >= at) break;
-      q.advance_to(ev);
+      if (auto st = q.advance_to(ev); !st) return st.error();
       q.schedule();  // completions may unblock pending jobs
     }
-    q.advance_to(std::max(q.now(), at));
+    if (auto st = q.advance_to(std::max(q.now(), at)); !st) return st.error();
     while (k < order.size() && trace[order[k]].arrival <= q.now()) {
       const std::size_t idx = order[k];
       auto js = trace_jobspec(trace[idx], cores_per_node);
@@ -41,7 +41,9 @@ util::Expected<ReplayResult> replay_trace(queue::JobQueue& q,
     }
     q.schedule();
   }
-  result.end_time = q.run_to_completion();
+  auto end = q.run_to_completion();
+  if (!end) return end.error();
+  result.end_time = *end;
   return result;
 }
 

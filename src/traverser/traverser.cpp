@@ -1,7 +1,8 @@
 #include "traverser/traverser.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.hpp"
 
 namespace fluxion::traverser {
 
@@ -329,25 +330,34 @@ bool Traverser::select_all(const jobspec::Jobspec& js,
   return true;
 }
 
-void Traverser::release_record(JobRecord& rec) {
+util::Status Traverser::release_record(JobRecord& rec) {
+  // Release everything we can even if one removal fails — leaving spans
+  // behind because an earlier one was already gone only compounds the
+  // damage. The first failure is reported as corruption.
+  bool failed = false;
+  std::string detail;
+  auto note = [&](const util::Status& st, const char* what, VertexId v) {
+    if (st || failed) return;
+    failed = true;
+    detail = std::string("release_record: ") + what + " rem_span failed on " +
+             g_.vertex(v).path + ": " + st.error().message;
+  };
   for (auto& cc : rec.claims) {
-    auto st = g_.vertex(cc.claim.vertex).schedule->rem_span(cc.span);
-    assert(st);
-    (void)st;
+    note(g_.vertex(cc.claim.vertex).schedule->rem_span(cc.span), "schedule",
+         cc.claim.vertex);
   }
   for (auto& [v, id] : rec.shared_spans) {
-    auto st = g_.vertex(v).x_checker->rem_span(id);
-    assert(st);
-    (void)st;
+    note(g_.vertex(v).x_checker->rem_span(id), "shared-use", v);
   }
-  for (auto& [v, id] : rec.filter_spans) {
-    auto st = g_.vertex(v).filter->rem_span(id);
-    assert(st);
-    (void)st;
+  for (auto& fs : rec.filter_spans) {
+    note(g_.vertex(fs.vertex).filter->rem_span(fs.span), "pruning filter",
+         fs.vertex);
   }
   rec.claims.clear();
   rec.shared_spans.clear();
   rec.filter_spans.clear();
+  if (failed) return util::internal_error(std::move(detail));
+  return util::Status::ok();
 }
 
 util::Status Traverser::apply_selection(JobRecord& rec,
@@ -357,33 +367,38 @@ util::Status Traverser::apply_selection(JobRecord& rec,
   const std::size_t shared_mark = rec.shared_spans.size();
   const std::size_t filter_mark = rec.filter_spans.size();
   auto abort = [&](const char* what) -> util::Error {
+    bool rollback_ok = true;
     while (rec.claims.size() > claims_mark) {
-      (void)g_.vertex(rec.claims.back().claim.vertex)
-          .schedule->rem_span(rec.claims.back().span);
+      rollback_ok &= static_cast<bool>(
+          g_.vertex(rec.claims.back().claim.vertex)
+              .schedule->rem_span(rec.claims.back().span));
       rec.claims.pop_back();
     }
     while (rec.shared_spans.size() > shared_mark) {
       auto& [v, id] = rec.shared_spans.back();
-      (void)g_.vertex(v).x_checker->rem_span(id);
+      rollback_ok &= static_cast<bool>(g_.vertex(v).x_checker->rem_span(id));
       rec.shared_spans.pop_back();
     }
     while (rec.filter_spans.size() > filter_mark) {
-      auto& [v, id] = rec.filter_spans.back();
-      (void)g_.vertex(v).filter->rem_span(id);
+      auto& fs = rec.filter_spans.back();
+      rollback_ok &=
+          static_cast<bool>(g_.vertex(fs.vertex).filter->rem_span(fs.span));
       rec.filter_spans.pop_back();
     }
-    return util::Error{Errc::internal,
-                       std::string("apply_selection failed: ") + what};
+    return util::internal_error(
+        std::string("apply_selection failed: ") + what +
+        (rollback_ok ? "" : "; rollback incomplete"));
   };
 
   for (const Claim& c : sel.claims) {
-    auto span = g_.vertex(c.vertex).schedule->add_span(w.start, w.duration,
-                                                       c.units);
+    auto span = add_span_checked(*g_.vertex(c.vertex).schedule, "apply:claim",
+                                 w.start, w.duration, c.units);
     if (!span) return abort("schedule span rejected");
     rec.claims.push_back({c, w, *span});
   }
   for (VertexId v : sel.shared_marks) {
-    auto span = g_.vertex(v).x_checker->add_span(w.start, w.duration, 1);
+    auto span = add_span_checked(*g_.vertex(v).x_checker, "apply:shared",
+                                 w.start, w.duration, 1);
     if (!span) return abort("shared-use span rejected");
     rec.shared_spans.emplace_back(v, *span);
   }
@@ -418,9 +433,11 @@ util::Status Traverser::apply_selection(JobRecord& rec,
                     [](std::int64_t c) { return c == 0; })) {
       continue;
     }
-    auto span = g_.vertex(v).filter->add_span(w.start, w.duration, counts);
+    auto span =
+        add_multi_checked(*g_.vertex(v).filter, "apply:filter", w.start,
+                          w.duration, counts);
     if (!span) return abort("pruning filter span rejected");
-    rec.filter_spans.emplace_back(v, *span);
+    rec.filter_spans.push_back({v, *span, w, counts});
   }
   return util::Status::ok();
 }
@@ -453,9 +470,9 @@ util::Expected<MatchResult> Traverser::commit(JobId job,
   return result;
 }
 
-util::Expected<MatchResult> Traverser::grow(JobId job,
-                                            const jobspec::Jobspec& extra,
-                                            TimePoint now) {
+util::Expected<MatchResult> Traverser::grow_impl(JobId job,
+                                                 const jobspec::Jobspec& extra,
+                                                 TimePoint now) {
   auto it = jobs_.find(job);
   if (it == jobs_.end()) {
     return util::Error{Errc::not_found, "grow: unknown job"};
@@ -483,7 +500,7 @@ util::Expected<MatchResult> Traverser::grow(JobId job,
   return rec.result;
 }
 
-util::Status Traverser::shrink(JobId job, VertexId vertex) {
+util::Status Traverser::shrink_impl(JobId job, VertexId vertex) {
   auto it = jobs_.find(job);
   if (it == jobs_.end()) {
     return util::Error{Errc::not_found, "shrink: unknown job"};
@@ -499,31 +516,64 @@ util::Status Traverser::shrink(JobId job, VertexId vertex) {
                            p.compare(0, prefix.size(), prefix) == 0 &&
                            p[prefix.size()] == '/');
   };
-  std::vector<CommittedClaim> keep;
-  bool removed = false;
-  for (CommittedClaim& cc : rec.claims) {
-    if (within(cc.claim.vertex)) {
-      auto st = g_.vertex(cc.claim.vertex).schedule->rem_span(cc.span);
-      assert(st);
-      (void)st;
-      removed = true;
-    } else {
-      keep.push_back(cc);
-    }
+  std::vector<std::size_t> drop_idx;
+  for (std::size_t i = 0; i < rec.claims.size(); ++i) {
+    if (within(rec.claims[i].claim.vertex)) drop_idx.push_back(i);
   }
-  if (!removed) {
+  if (drop_idx.empty()) {
     return util::Error{Errc::not_found, "shrink: job holds nothing there"};
   }
-  rec.claims = std::move(keep);
+  auto readd = [&](CommittedClaim& cc) {
+    auto back = g_.vertex(cc.claim.vertex)
+                    .schedule->add_span(cc.window.start, cc.window.duration,
+                                        cc.claim.units);
+    cc.span = back ? *back : planner::kInvalidSpan;
+    return static_cast<bool>(back);
+  };
+  // Release the subtree's schedule spans; on a failed removal, restore the
+  // ones already released and report corruption.
+  std::vector<std::size_t> removed;
+  for (std::size_t i : drop_idx) {
+    CommittedClaim& cc = rec.claims[i];
+    auto st = fault_fires("shrink:rem")
+                  ? util::Status(util::internal_error("shrink: injected fault"))
+                  : g_.vertex(cc.claim.vertex).schedule->rem_span(cc.span);
+    if (!st) {
+      bool rollback_ok = true;
+      for (std::size_t j : removed) rollback_ok &= readd(rec.claims[j]);
+      return util::internal_error(
+          "shrink: releasing " + g_.vertex(cc.claim.vertex).path +
+          " failed: " + st.error().message +
+          (rollback_ok ? "" : "; rollback incomplete"));
+    }
+    removed.push_back(i);
+  }
+  std::vector<CommittedClaim> original = rec.claims;
+  std::vector<CommittedClaim> kept;
+  kept.reserve(rec.claims.size() - drop_idx.size());
+  for (std::size_t i = 0; i < rec.claims.size(); ++i) {
+    if (!within(rec.claims[i].claim.vertex)) kept.push_back(rec.claims[i]);
+  }
+  rec.claims = std::move(kept);
   // Shared-use marks under the released subtree stay in place: they cost
   // nothing and conservatively keep the walked chain non-exclusive until
   // the job ends.
-  if (auto st = rebuild_filter_spans(rec); !st) return st;
+  if (auto st = rebuild_filter_spans(rec); !st) {
+    // rebuild restored the prior filter spans; restore the claims too.
+    rec.claims = std::move(original);
+    bool rollback_ok = true;
+    for (std::size_t i : drop_idx) rollback_ok &= readd(rec.claims[i]);
+    if (!rollback_ok) {
+      return util::internal_error("shrink: " + st.error().message +
+                                  "; rollback incomplete");
+    }
+    return st;
+  }
   refresh_resources(rec);
   return util::Status::ok();
 }
 
-util::Status Traverser::extend(JobId job, Duration extra) {
+util::Status Traverser::extend_impl(JobId job, Duration extra) {
   auto it = jobs_.find(job);
   if (it == jobs_.end()) {
     return util::Error{Errc::not_found, "extend: unknown job"};
@@ -537,8 +587,12 @@ util::Status Traverser::extend(JobId job, Duration extra) {
     return util::Error{Errc::out_of_range,
                        "extend: window leaves the planning horizon"};
   }
-  // Feasibility: per vertex, the summed units of the claims reaching the
-  // job's end must be free throughout the extension tail.
+
+  // Full feasibility before any mutation: every span family (schedule,
+  // shared-use, pruning filter) must accept the job's summed load over the
+  // extension tail [old_end, old_end + extra). All of the job's spans end
+  // at old_end, so the tail carries none of its load yet and a plain
+  // availability probe is exact.
   std::map<VertexId, std::int64_t> tail_units;
   for (const CommittedClaim& cc : rec.claims) {
     if (cc.window.end() == old_end) tail_units[cc.claim.vertex] += cc.claim.units;
@@ -550,49 +604,175 @@ util::Status Traverser::extend(JobId job, Duration extra) {
                              " is committed elsewhere after the job ends"};
     }
   }
+  std::map<VertexId, std::int64_t> shared_tail;
+  for (auto& [v, id] : rec.shared_spans) {
+    const planner::Span* s = g_.vertex(v).x_checker->find_span(id);
+    FLUXION_CHECK(s != nullptr, "extend: shared-use span vanished");
+    if (s->last == old_end) shared_tail[v] += 1;
+  }
+  for (const auto& [v, walkers] : shared_tail) {
+    if (!g_.vertex(v).x_checker->avail_during(old_end, extra, walkers)) {
+      return util::Error{Errc::resource_busy,
+                         "extend: shared-use capacity exhausted on " +
+                             g_.vertex(v).path};
+    }
+  }
+  std::map<VertexId, std::vector<std::int64_t>> filter_tail;
+  for (const FilterSpan& fs : rec.filter_spans) {
+    if (fs.window.end() != old_end) continue;
+    auto& counts = filter_tail[fs.vertex];
+    counts.resize(fs.counts.size(), 0);
+    for (std::size_t i = 0; i < fs.counts.size(); ++i) counts[i] += fs.counts[i];
+  }
+  for (const auto& [v, counts] : filter_tail) {
+    if (!g_.vertex(v).filter->avail_during(old_end, extra, counts)) {
+      return util::Error{Errc::resource_busy,
+                         "extend: pruning filter rejects the extension tail "
+                         "at " + g_.vertex(v).path};
+    }
+  }
+
   // Commit: replace each end-reaching span with a longer one (nothing can
   // grab the vacated window in between — the engine is single-threaded).
+  // A failing swap means the state diverged from the feasibility probe:
+  // undo every completed swap and report corruption.
+  std::vector<CommittedClaim*> swapped_claims;
+  auto rollback_claims = [&]() {
+    bool ok = true;
+    for (CommittedClaim* cc : swapped_claims) {
+      planner::Planner& p = *g_.vertex(cc->claim.vertex).schedule;
+      ok &= static_cast<bool>(p.rem_span(cc->span));
+      cc->window.duration -= extra;
+      auto back = p.add_span(cc->window.start, cc->window.duration,
+                             cc->claim.units);
+      cc->span = back ? *back : planner::kInvalidSpan;
+      ok &= static_cast<bool>(back);
+    }
+    return ok;
+  };
   for (CommittedClaim& cc : rec.claims) {
     if (cc.window.end() != old_end) continue;
-    auto st = g_.vertex(cc.claim.vertex).schedule->rem_span(cc.span);
-    assert(st);
-    (void)st;
+    planner::Planner& p = *g_.vertex(cc.claim.vertex).schedule;
+    auto st = p.rem_span(cc.span);
+    auto span = st ? add_span_checked(p, "extend:claim", cc.window.start,
+                                      cc.window.duration + extra,
+                                      cc.claim.units)
+                   : util::Expected<planner::SpanId>(st.error());
+    if (!span) {
+      bool rollback_ok = true;
+      if (st) {  // old span removed but not replaced: put it back
+        auto back = p.add_span(cc.window.start, cc.window.duration,
+                               cc.claim.units);
+        cc.span = back ? *back : planner::kInvalidSpan;
+        rollback_ok = static_cast<bool>(back);
+      }
+      rollback_ok &= rollback_claims();
+      return util::internal_error(
+          "extend: schedule span swap failed on " + g_.vertex(cc.claim.vertex).path +
+          ": " + span.error().message +
+          (rollback_ok ? "" : "; rollback incomplete"));
+    }
     cc.window.duration += extra;
-    auto span = g_.vertex(cc.claim.vertex)
-                    .schedule->add_span(cc.window.start, cc.window.duration,
-                                        cc.claim.units);
-    assert(span);
     cc.span = *span;
+    swapped_claims.push_back(&cc);
   }
-  for (auto& [v, id] : rec.shared_spans) {
-    planner::Planner& x = *g_.vertex(v).x_checker;
-    const planner::Span* s = x.find_span(id);
-    assert(s != nullptr);
+  struct SharedSwap {
+    std::pair<VertexId, planner::SpanId>* entry;
+    TimePoint start;
+    Duration old_d;
+  };
+  std::vector<SharedSwap> swapped_shared;
+  auto rollback_shared = [&]() {
+    bool ok = true;
+    for (const SharedSwap& sw : swapped_shared) {
+      planner::Planner& x = *g_.vertex(sw.entry->first).x_checker;
+      ok &= static_cast<bool>(x.rem_span(sw.entry->second));
+      auto back = x.add_span(sw.start, sw.old_d, 1);
+      sw.entry->second = back ? *back : planner::kInvalidSpan;
+      ok &= static_cast<bool>(back);
+    }
+    return ok;
+  };
+  for (auto& entry : rec.shared_spans) {
+    planner::Planner& x = *g_.vertex(entry.first).x_checker;
+    const planner::Span* s = x.find_span(entry.second);
+    FLUXION_CHECK(s != nullptr, "extend: shared-use span vanished mid-commit");
     if (s->last != old_end) continue;
     const TimePoint start = s->start;
-    const Duration d = s->last - s->start + extra;
-    auto st = x.rem_span(id);
-    assert(st);
-    (void)st;
-    auto span = x.add_span(start, d, 1);
-    assert(span);
-    id = *span;
+    const Duration old_d = s->last - s->start;
+    auto st = x.rem_span(entry.second);
+    auto span = st ? add_span_checked(x, "extend:shared", start,
+                                      old_d + extra, 1)
+                   : util::Expected<planner::SpanId>(st.error());
+    if (!span) {
+      bool rollback_ok = true;
+      if (st) {
+        auto back = x.add_span(start, old_d, 1);
+        entry.second = back ? *back : planner::kInvalidSpan;
+        rollback_ok = static_cast<bool>(back);
+      }
+      rollback_ok &= rollback_shared();
+      rollback_ok &= rollback_claims();
+      return util::internal_error(
+          "extend: shared-use span swap failed on " + g_.vertex(entry.first).path +
+          ": " + span.error().message +
+          (rollback_ok ? "" : "; rollback incomplete"));
+    }
+    entry.second = *span;
+    swapped_shared.push_back({&entry, start, old_d});
   }
+  std::vector<FilterSpan*> swapped_filters;
+  auto rollback_filters = [&]() {
+    bool ok = true;
+    for (FilterSpan* fs : swapped_filters) {
+      planner::PlannerMulti& f = *g_.vertex(fs->vertex).filter;
+      ok &= static_cast<bool>(f.rem_span(fs->span));
+      fs->window.duration -= extra;
+      auto back = f.add_span(fs->window.start, fs->window.duration,
+                             fs->counts);
+      fs->span = back ? *back : planner::kInvalidSpan;
+      ok &= static_cast<bool>(back);
+    }
+    return ok;
+  };
+  for (FilterSpan& fs : rec.filter_spans) {
+    if (fs.window.end() != old_end) continue;
+    planner::PlannerMulti& f = *g_.vertex(fs.vertex).filter;
+    auto st = f.rem_span(fs.span);
+    auto span = st ? add_multi_checked(f, "extend:filter", fs.window.start,
+                                       fs.window.duration + extra, fs.counts)
+                   : util::Expected<planner::SpanId>(st.error());
+    if (!span) {
+      bool rollback_ok = true;
+      if (st) {
+        auto back = f.add_span(fs.window.start, fs.window.duration, fs.counts);
+        fs.span = back ? *back : planner::kInvalidSpan;
+        rollback_ok = static_cast<bool>(back);
+      }
+      rollback_ok &= rollback_filters();
+      rollback_ok &= rollback_shared();
+      rollback_ok &= rollback_claims();
+      return util::internal_error(
+          "extend: pruning filter span swap failed on " +
+          g_.vertex(fs.vertex).path + ": " + span.error().message +
+          (rollback_ok ? "" : "; rollback incomplete"));
+    }
+    fs.window.duration += extra;
+    fs.span = *span;
+    swapped_filters.push_back(&fs);
+  }
+
+  // Bookkeeping only after the last fallible step, so a failure above
+  // leaves duration and release_times_ exactly as they were.
   rec.result.duration += extra;
   if (auto rt = release_times_.find(old_end); rt != release_times_.end()) {
     if (--rt->second == 0) release_times_.erase(rt);
   }
   release_times_[old_end + extra] += 1;
-  return rebuild_filter_spans(rec);
+  return util::Status::ok();
 }
 
 util::Status Traverser::rebuild_filter_spans(JobRecord& rec) {
-  for (auto& [v, id] : rec.filter_spans) {
-    auto st = g_.vertex(v).filter->rem_span(id);
-    assert(st);
-    (void)st;
-  }
-  rec.filter_spans.clear();
   // Re-derive per (ancestor, window) — grow extensions may have distinct
   // windows, so aggregate per pair.
   std::map<std::pair<VertexId, TimePoint>,
@@ -620,18 +800,63 @@ util::Status Traverser::rebuild_filter_spans(JobRecord& rec) {
       }
     }
   }
+  // Swap the old span set for the new one transactionally: tear down the
+  // old spans (kept aside with their windows and counts), add the new
+  // ones, and on any failure restore the exact prior set.
+  std::vector<FilterSpan> old = std::move(rec.filter_spans);
+  rec.filter_spans.clear();
+  auto restore_old = [&]() {
+    bool ok = true;
+    for (FilterSpan& fs : rec.filter_spans) {
+      ok &= static_cast<bool>(g_.vertex(fs.vertex).filter->rem_span(fs.span));
+    }
+    rec.filter_spans.clear();
+    for (FilterSpan& fs : old) {
+      auto back = g_.vertex(fs.vertex).filter->add_span(
+          fs.window.start, fs.window.duration, fs.counts);
+      fs.span = back ? *back : planner::kInvalidSpan;
+      ok &= static_cast<bool>(back);
+    }
+    rec.filter_spans = std::move(old);
+    return ok;
+  };
+  for (std::size_t i = 0; i < old.size(); ++i) {
+    auto st = g_.vertex(old[i].vertex).filter->rem_span(old[i].span);
+    if (!st) {
+      const std::string path = g_.vertex(old[i].vertex).path;
+      const std::string inner = st.error().message;
+      // Entries before i were removed and must come back; entries from i
+      // on (including the failed one) still hold live spans.
+      bool rollback_ok = true;
+      for (std::size_t j = 0; j < i; ++j) {
+        auto back = g_.vertex(old[j].vertex).filter->add_span(
+            old[j].window.start, old[j].window.duration, old[j].counts);
+        old[j].span = back ? *back : planner::kInvalidSpan;
+        rollback_ok &= static_cast<bool>(back);
+      }
+      rec.filter_spans = std::move(old);
+      return util::internal_error(
+          "rebuild_filter_spans: removing the filter span at " + path +
+          " failed: " + inner + (rollback_ok ? "" : "; rollback incomplete"));
+    }
+  }
   for (auto& [key, entry] : updates) {
     if (std::all_of(entry.second.begin(), entry.second.end(),
                     [](std::int64_t c) { return c == 0; })) {
       continue;
     }
-    auto span = g_.vertex(key.first).filter->add_span(
-        entry.first.start, entry.first.duration, entry.second);
+    auto span = add_multi_checked(*g_.vertex(key.first).filter, "rebuild:add",
+                                  entry.first.start, entry.first.duration,
+                                  entry.second);
     if (!span) {
-      return util::Error{Errc::internal,
-                         "rebuild_filter_spans: filter span rejected"};
+      const std::string path = g_.vertex(key.first).path;
+      const bool rollback_ok = restore_old();
+      return util::internal_error(
+          "rebuild_filter_spans: filter span rejected at " + path + ": " +
+          span.error().message +
+          (rollback_ok ? "" : "; rollback incomplete"));
     }
-    rec.filter_spans.emplace_back(key.first, *span);
+    rec.filter_spans.push_back({key.first, *span, entry.first, entry.second});
   }
   return util::Status::ok();
 }
@@ -654,9 +879,9 @@ util::Expected<TimePoint> Traverser::next_candidate_time(
   return filter->avail_time_first(after, duration, counts);
 }
 
-util::Expected<MatchResult> Traverser::match(const jobspec::Jobspec& js,
-                                             MatchOp op, TimePoint now,
-                                             JobId job) {
+util::Expected<MatchResult> Traverser::match_impl(const jobspec::Jobspec& js,
+                                                  MatchOp op, TimePoint now,
+                                                  JobId job) {
   if (auto st = js.validate(); !st) return st.error();
   if (jobs_.contains(job) && op != MatchOp::satisfiability) {
     return util::Error{Errc::exists, "match: job id already active"};
@@ -738,7 +963,8 @@ util::Expected<MatchResult> Traverser::match(const jobspec::Jobspec& js,
   }
 }
 
-util::Expected<MatchResult> Traverser::restore(const MatchResult& allocation) {
+util::Expected<MatchResult> Traverser::restore_impl(
+    const MatchResult& allocation) {
   if (jobs_.contains(allocation.job)) {
     return util::Error{Errc::exists, "restore: job id already active"};
   }
@@ -805,19 +1031,120 @@ util::Expected<MatchResult> Traverser::restore(const MatchResult& allocation) {
   return result;
 }
 
-util::Status Traverser::cancel(JobId job) {
+util::Status Traverser::cancel_impl(JobId job) {
   auto it = jobs_.find(job);
   if (it == jobs_.end()) {
     return util::Error{Errc::not_found, "cancel: unknown job"};
   }
   JobRecord& rec = it->second;
-  release_record(rec);
+  // Best-effort: even a corrupted record is always dropped from the
+  // bookkeeping; the release status reports what could not be undone.
+  util::Status released = release_record(rec);
   const TimePoint end = rec.result.at + rec.result.duration;
   if (auto rt = release_times_.find(end); rt != release_times_.end()) {
     if (--rt->second == 0) release_times_.erase(rt);
   }
   jobs_.erase(it);
+  return released;
+}
+
+// --- public entry points: mutation body + optional post-mutation audit ------
+
+util::Expected<MatchResult> Traverser::match(const jobspec::Jobspec& js,
+                                             MatchOp op, TimePoint now,
+                                             JobId job) {
+  auto r = match_impl(js, op, now, job);
+  if (audit_enabled_) {
+    if (auto st = run_audit("match"); !st) return st.error();
+  }
+  return r;
+}
+
+util::Status Traverser::cancel(JobId job) {
+  auto r = cancel_impl(job);
+  if (audit_enabled_) {
+    if (auto st = run_audit("cancel"); !st) return st;
+  }
+  return r;
+}
+
+util::Expected<MatchResult> Traverser::restore(const MatchResult& allocation) {
+  auto r = restore_impl(allocation);
+  if (audit_enabled_) {
+    if (auto st = run_audit("restore"); !st) return st.error();
+  }
+  return r;
+}
+
+util::Expected<MatchResult> Traverser::grow(JobId job,
+                                            const jobspec::Jobspec& extra,
+                                            TimePoint now) {
+  auto r = grow_impl(job, extra, now);
+  if (audit_enabled_) {
+    if (auto st = run_audit("grow"); !st) return st.error();
+  }
+  return r;
+}
+
+util::Status Traverser::shrink(JobId job, VertexId vertex) {
+  auto r = shrink_impl(job, vertex);
+  if (audit_enabled_) {
+    if (auto st = run_audit("shrink"); !st) return st;
+  }
+  return r;
+}
+
+util::Status Traverser::extend(JobId job, Duration extra) {
+  auto r = extend_impl(job, extra);
+  if (audit_enabled_) {
+    if (auto st = run_audit("extend"); !st) return st;
+  }
+  return r;
+}
+
+bool Traverser::audit() const {
+  for (VertexId v = 0; v < g_.vertex_count(); ++v) {
+    const graph::Vertex& vx = g_.vertex(v);
+    if (!vx.alive) continue;
+    if (vx.schedule != nullptr && !vx.schedule->validate()) return false;
+    if (vx.x_checker != nullptr && !vx.x_checker->validate()) return false;
+    if (vx.filter != nullptr && !vx.filter->validate()) return false;
+  }
+  return verify_filters();
+}
+
+util::Status Traverser::run_audit(const char* op) const {
+  if (!audit()) {
+    return util::internal_error(std::string("post-mutation audit failed "
+                                            "after ") + op);
+  }
   return util::Status::ok();
+}
+
+bool Traverser::fault_fires(const char* point) {
+  if (fault_point_.empty() || fault_point_ != point) return false;
+  fault_point_.clear();
+  return true;
+}
+
+util::Expected<planner::SpanId> Traverser::add_span_checked(
+    planner::Planner& p, const char* point, TimePoint start, Duration d,
+    std::int64_t amount) {
+  if (fault_fires(point)) {
+    return util::Error{Errc::resource_busy,
+                       std::string("injected fault at ") + point};
+  }
+  return p.add_span(start, d, amount);
+}
+
+util::Expected<planner::SpanId> Traverser::add_multi_checked(
+    planner::PlannerMulti& p, const char* point, TimePoint start, Duration d,
+    const std::vector<std::int64_t>& counts) {
+  if (fault_fires(point)) {
+    return util::Error{Errc::resource_busy,
+                       std::string("injected fault at ") + point};
+  }
+  return p.add_span(start, d, counts);
 }
 
 const MatchResult* Traverser::find_job(JobId job) const {

@@ -148,6 +148,26 @@ class Traverser {
   /// planner spans below them (test hook, O(V * jobs)).
   bool verify_filters() const;
 
+  /// Deep structural audit: every vertex planner (schedule, x_checker,
+  /// filter) validates and verify_filters() holds. Expensive; the oracle
+  /// behind the post-mutation audit hook below.
+  bool audit() const;
+
+  /// Post-mutation audit hook (test/fuzzing aid). When enabled, every
+  /// compound mutation (match, cancel, grow, shrink, extend, restore)
+  /// re-runs audit() before returning and converts a divergence into an
+  /// Errc::internal failure — so property tests catch corruption at the
+  /// mutation that caused it, not at the end of the run.
+  void set_audit(bool enabled) noexcept { audit_enabled_ = enabled; }
+  bool audit_enabled() const noexcept { return audit_enabled_; }
+
+  /// Test hook: make the next internal planner operation tagged `point`
+  /// fail, driving the rollback paths that no public call sequence can
+  /// reach (they only fire on state corruption). Points: "apply:claim",
+  /// "apply:shared", "apply:filter", "rebuild:add", "shrink:rem",
+  /// "extend:claim", "extend:shared", "extend:filter".
+  void fail_next(std::string point) { fault_point_ = std::move(point); }
+
  private:
   struct Claim {
     VertexId vertex;
@@ -185,12 +205,22 @@ class Traverser {
     planner::SpanId span;
   };
 
+  /// One committed pruning-filter span. Window and counts are recorded so
+  /// failed rebuilds/extensions can restore the exact prior span (the
+  /// planner retires span ids on removal).
+  struct FilterSpan {
+    VertexId vertex;
+    planner::SpanId span;
+    util::TimeWindow window;
+    std::vector<std::int64_t> counts;
+  };
+
   struct JobRecord {
     MatchResult result;
     std::vector<CommittedClaim> claims;
     // (vertex, span) pairs to undo on cancel.
     std::vector<std::pair<VertexId, planner::SpanId>> shared_spans;
-    std::vector<std::pair<VertexId, planner::SpanId>> filter_spans;
+    std::vector<FilterSpan> filter_spans;
   };
 
   // --- selection ----------------------------------------------------------
@@ -242,13 +272,42 @@ class Traverser {
   util::Status apply_selection(JobRecord& rec, const util::TimeWindow& w,
                                const Selection& sel);
   /// Drop and re-derive every pruning-filter span from rec.claims.
+  /// Transactional: on failure the prior filter spans are restored and an
+  /// Errc::internal error is returned.
   util::Status rebuild_filter_spans(JobRecord& rec);
   /// Recompute rec.result.resources from rec.claims.
   void refresh_resources(JobRecord& rec) const;
-  void release_record(JobRecord& rec);
+  /// Release every span held by rec (best effort: keeps going past a
+  /// failed removal, then reports it as Errc::internal).
+  util::Status release_record(JobRecord& rec);
   util::Expected<TimePoint> next_candidate_time(TimePoint after,
                                                 Duration duration,
                                                 const jobspec::Jobspec& js);
+
+  // --- mutation bodies (public entry points wrap these with the audit
+  // hook) --------------------------------------------------------------------
+  util::Expected<MatchResult> match_impl(const jobspec::Jobspec& js,
+                                         MatchOp op, TimePoint now, JobId job);
+  util::Status cancel_impl(JobId job);
+  util::Expected<MatchResult> restore_impl(const MatchResult& allocation);
+  util::Expected<MatchResult> grow_impl(JobId job,
+                                        const jobspec::Jobspec& extra,
+                                        TimePoint now);
+  util::Status shrink_impl(JobId job, VertexId vertex);
+  util::Status extend_impl(JobId job, Duration extra);
+
+  util::Status run_audit(const char* op) const;
+  /// True when the pending injected fault (fail_next) matches `point`;
+  /// consumes it.
+  bool fault_fires(const char* point);
+  /// add_span with an injection point for the fault hook.
+  util::Expected<planner::SpanId> add_span_checked(planner::Planner& p,
+                                                   const char* point,
+                                                   TimePoint start, Duration d,
+                                                   std::int64_t amount);
+  util::Expected<planner::SpanId> add_multi_checked(
+      planner::PlannerMulti& p, const char* point, TimePoint start, Duration d,
+      const std::vector<std::int64_t>& counts);
 
   graph::ResourceGraph& g_;
   VertexId root_;
@@ -256,6 +315,8 @@ class Traverser {
   std::unordered_map<JobId, JobRecord> jobs_;
   std::map<TimePoint, int> release_times_;
   TraverserStats stats_;
+  bool audit_enabled_ = false;
+  std::string fault_point_;
 };
 
 }  // namespace fluxion::traverser

@@ -1,0 +1,20 @@
+#include "util/check.hpp"
+
+#include <atomic>
+
+namespace fluxion::util {
+
+namespace {
+std::atomic<std::uint64_t> g_internal_errors{0};
+}  // namespace
+
+Error internal_error(std::string what) {
+  g_internal_errors.fetch_add(1, std::memory_order_relaxed);
+  return Error{Errc::internal, std::move(what)};
+}
+
+std::uint64_t internal_error_count() noexcept {
+  return g_internal_errors.load(std::memory_order_relaxed);
+}
+
+}  // namespace fluxion::util

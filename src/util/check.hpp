@@ -1,0 +1,59 @@
+// Release-mode invariant checking.
+//
+// `assert` compiles to nothing under NDEBUG, so a violated cross-module
+// invariant in a release build silently corrupts scheduler state (or
+// dereferences an error Expected — UB). The policy (docs/extending.md,
+// "Error handling & invariants"):
+//
+//   * `assert` is reserved for facts provable from the enclosing function
+//     alone (argument preconditions, just-established locals);
+//   * anything that depends on *another* module holding up its end — a
+//     planner span recorded by the traverser still existing, a rollback
+//     re-add succeeding — goes through FLUXION_CHECK / internal_error and
+//     surfaces as Errc::internal in every build mode.
+//
+// Every internal error also bumps a process-wide counter so property tests
+// and fuzzers can assert that a whole run raised none.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/expected.hpp"
+
+namespace fluxion::util {
+
+/// Build an Errc::internal error and bump the process-wide counter.
+Error internal_error(std::string what);
+
+/// Internal-invariant failures detected since process start (test hook).
+std::uint64_t internal_error_count() noexcept;
+
+}  // namespace fluxion::util
+
+#define FLUXION_STRINGIFY2(x) #x
+#define FLUXION_STRINGIFY(x) FLUXION_STRINGIFY2(x)
+
+/// Verify a cross-module invariant in all build modes. On failure, returns
+/// Errc::internal from the enclosing function, which must return
+/// util::Status or util::Expected<T>.
+#define FLUXION_CHECK(cond, what)                                          \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      return ::fluxion::util::internal_error(                              \
+          std::string(what) + " [" __FILE__                                \
+          ":" FLUXION_STRINGIFY(__LINE__) "]");                            \
+    }                                                                      \
+  } while (0)
+
+/// As FLUXION_CHECK for a Status/Expected that must have succeeded;
+/// propagates the inner message when it did not.
+#define FLUXION_CHECK_OK(expr, what)                                       \
+  do {                                                                     \
+    auto&& fluxion_check_result_ = (expr);                                 \
+    if (!fluxion_check_result_) [[unlikely]] {                             \
+      return ::fluxion::util::internal_error(                              \
+          std::string(what) + ": " + fluxion_check_result_.error().message \
+          + " [" __FILE__ ":" FLUXION_STRINGIFY(__LINE__) "]");            \
+    }                                                                      \
+  } while (0)

@@ -127,4 +127,27 @@ TEST_F(ReapiTest, SatisfiabilityAndErrors) {
             REAPI_EINVAL);
 }
 
+TEST_F(ReapiTest, AuditReportsCoherentState) {
+  EXPECT_EQ(reapi_audit(nullptr), REAPI_EINVAL);
+  EXPECT_EQ(reapi_set_audit(nullptr, 1), REAPI_EINVAL);
+  // Fresh context is coherent, and stays so across a mutation storm with
+  // the per-mutation audit hook armed.
+  EXPECT_EQ(reapi_audit(ctx), REAPI_OK);
+  ASSERT_EQ(reapi_set_audit(ctx, 1), REAPI_OK);
+  uint64_t a = 0;
+  uint64_t b = 0;
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &a, nullptr,
+                        nullptr, nullptr),
+            REAPI_OK);
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &b, nullptr,
+                        nullptr, nullptr),
+            REAPI_OK);
+  EXPECT_EQ(reapi_audit(ctx), REAPI_OK);
+  EXPECT_EQ(reapi_cancel(ctx, a), REAPI_OK);
+  EXPECT_EQ(reapi_audit(ctx), REAPI_OK);
+  EXPECT_EQ(reapi_cancel(ctx, b), REAPI_OK);
+  ASSERT_EQ(reapi_set_audit(ctx, 0), REAPI_OK);
+  EXPECT_EQ(reapi_audit(ctx), REAPI_OK);
+}
+
 }  // namespace

@@ -7,6 +7,7 @@
 #include "queue/job_queue.hpp"
 #include "sim/perf_classes.hpp"
 #include "sim/workload.hpp"
+#include "writers/jgf.hpp"
 
 namespace fluxion::core {
 namespace {
@@ -39,6 +40,47 @@ TEST(ResourceQuery, CreateRejectsBadRecipeAndPolicy) {
   Options opt;
   opt.policy = "does-not-exist";
   EXPECT_FALSE(ResourceQuery::create_from_text(kRecipe, opt));
+}
+
+TEST(ResourceQuery, CreateFromJgfValidatesFilterConfiguration) {
+  // Build a small graph and serialize it so the JGF is always in sync
+  // with the recipe grammar.
+  graph::ResourceGraph g(0, 100000);
+  auto recipe = grug::parse(
+      "cluster count=1\n  rack count=2\n    node count=2\n"
+      "      core count=4\n");
+  ASSERT_TRUE(recipe);
+  ASSERT_TRUE(grug::build(g, *recipe));
+  const std::string jgf = writers::graph_to_jgf(g).pretty();
+
+  // Matched configuration: filters install at every cluster vertex.
+  auto ok = ResourceQuery::create_from_jgf(jgf, {}, {"node", "core"},
+                                           {"cluster"});
+  ASSERT_TRUE(ok) << ok.error().message;
+  EXPECT_NE((*ok)->graph()
+                .vertex(*(*ok)->graph().find_by_path("/cluster0"))
+                .filter,
+            nullptr);
+
+  // An unknown filter-at type used to be skipped silently (no pruning at
+  // all); it must now be an error that names the offender.
+  auto bad_at = ResourceQuery::create_from_jgf(jgf, {}, {"node", "core"},
+                                               {"chassis"});
+  ASSERT_FALSE(bad_at);
+  EXPECT_EQ(bad_at.error().code, Errc::invalid_argument);
+  EXPECT_NE(bad_at.error().message.find("chassis"), std::string::npos);
+
+  // Half-configured pruning (one list empty, the other not) is rejected
+  // instead of silently disabling the filters.
+  auto no_at = ResourceQuery::create_from_jgf(jgf, {}, {"node", "core"}, {});
+  ASSERT_FALSE(no_at);
+  EXPECT_EQ(no_at.error().code, Errc::invalid_argument);
+  auto no_types = ResourceQuery::create_from_jgf(jgf, {}, {}, {"cluster"});
+  ASSERT_FALSE(no_types);
+  EXPECT_EQ(no_types.error().code, Errc::invalid_argument);
+
+  // Fully empty stays valid: pruning off by explicit choice.
+  EXPECT_TRUE(ResourceQuery::create_from_jgf(jgf, {}, {}, {}));
 }
 
 TEST(ResourceQuery, MatchAllocateFromYaml) {

@@ -22,6 +22,7 @@
 #include "jobspec/jobspec.hpp"
 #include "policy/policies.hpp"
 #include "traverser/traverser.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace fluxion::traverser {
@@ -59,6 +60,11 @@ class SchedulerStorm : public ::testing::TestWithParam<Params> {
     EXPECT_TRUE(pol);
     policy_ = std::move(*pol);
     trav = std::make_unique<Traverser>(g, *root, *policy_);
+    // Post-mutation audit hook: every match/cancel re-validates all vertex
+    // planners and the pruning filters, so corruption surfaces at the
+    // mutation that caused it (as Errc::internal), not at the end.
+    trav->set_audit(true);
+    baseline_internal_ = util::internal_error_count();
   }
 
   bool windows_overlap(const ActiveJob& a, const ActiveJob& b) const {
@@ -165,6 +171,7 @@ class SchedulerStorm : public ::testing::TestWithParam<Params> {
   graph::ResourceGraph g;
   std::unique_ptr<MatchPolicy> policy_;
   std::unique_ptr<Traverser> trav;
+  std::uint64_t baseline_internal_ = 0;
 };
 
 TEST_P(SchedulerStorm, InvariantsHoldUnderChurn) {
@@ -183,6 +190,11 @@ TEST_P(SchedulerStorm, InvariantsHoldUnderChurn) {
                              ? MatchOp::allocate
                              : MatchOp::allocate_orelse_reserve;
       auto r = trav->match(js, op, now, id);
+      if (!r) {
+        // A failed match must be a scheduling outcome, never corruption.
+        ASSERT_NE(r.error().code, util::Errc::internal)
+            << "step " << step << ": " << r.error().message;
+      }
       if (r) {
         ASSERT_GE(r->at, now);
         if (op == MatchOp::allocate) {
@@ -239,6 +251,8 @@ TEST_P(SchedulerStorm, InvariantsHoldUnderChurn) {
     }
   }
   EXPECT_TRUE(g.validate());
+  // No mutation anywhere in the storm tripped an internal invariant.
+  EXPECT_EQ(util::internal_error_count(), baseline_internal_);
 }
 
 INSTANTIATE_TEST_SUITE_P(

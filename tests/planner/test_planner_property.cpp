@@ -122,9 +122,9 @@ TEST_P(PlannerOracleTest, AgreesWithBruteForceTimeline) {
                               << " d=" << d << " amount=" << amount;
       }
     }
-    if (step % 97 == 0) {
-      ASSERT_TRUE(plan.validate()) << "step " << step;
-    }
+    // Per-step deep validation: catch structural corruption at the
+    // mutation that introduced it, not dozens of steps later.
+    ASSERT_TRUE(plan.validate()) << "step " << step;
   }
   ASSERT_TRUE(plan.validate());
 }
@@ -192,9 +192,8 @@ TEST(PlannerProperty, ResizeInterleavedWithChurn) {
       live[i] = live.back();
       live.pop_back();
     }
-    if (step % 83 == 0) {
-      ASSERT_TRUE(plan.validate()) << "step " << step;
-    }
+    // Per-step: resize + churn is exactly where tree rebuilds can go wrong.
+    ASSERT_TRUE(plan.validate()) << "step " << step;
   }
 }
 

@@ -307,9 +307,10 @@ TEST_F(QueueFixture, RunToCompletionDrainsEverything) {
   for (int i = 0; i < 20; ++i) {
     q.submit(whole_nodes(1 + i % 4, 10 + i));
   }
-  const TimePoint end = q.run_to_completion();
+  const auto end = q.run_to_completion();
+  ASSERT_TRUE(end) << end.error().message;
   EXPECT_EQ(q.stats().completed, 20u);
-  EXPECT_GT(end, 0);
+  EXPECT_GT(*end, 0);
   EXPECT_EQ(q.pending_count(), 0u);
   EXPECT_TRUE(trav->verify_filters());
   EXPECT_EQ(trav->job_count(), 0u);  // all purged
