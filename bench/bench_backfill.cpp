@@ -8,15 +8,20 @@
 // match cost.
 //
 // Environment:
-//   FLUXION_BF_RACKS — rack count (default 4)
-//   FLUXION_BF_JOBS  — trace length (default 120)
+//   FLUXION_BF_RACKS      — rack count (default 4)
+//   FLUXION_BF_JOBS       — trace length (default 120)
+//   FLUXION_BENCH_METRICS — write the obs counter/histogram catalogue as
+//                           JSON to this file (enables collection, which
+//                           perturbs the timings slightly)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <vector>
 
 #include "core/resource_query.hpp"
 #include "grug/recipes.hpp"
+#include "obs/metrics.hpp"
 #include "queue/job_queue.hpp"
 #include "sim/workload.hpp"
 
@@ -43,6 +48,8 @@ int main() {
   if (const char* env = std::getenv("FLUXION_BF_JOBS")) {
     jobs = std::max(1, std::atoi(env));
   }
+  const char* metrics_path = std::getenv("FLUXION_BENCH_METRICS");
+  if (metrics_path != nullptr) obs::set_enabled(true);
   const std::int64_t nodes = static_cast<std::int64_t>(racks) * 62;
 
   sim::TraceConfig cfg;
@@ -85,5 +92,13 @@ int main() {
   std::printf("\n# Expected shape: backfilling (easy/conservative) beats "
               "fcfs on makespan and wait;\n"
               "# all three share the same resource model underneath.\n");
+  if (metrics_path != nullptr) {
+    std::ofstream mo(metrics_path);
+    if (!mo) {
+      std::fprintf(stderr, "bench_backfill: cannot write %s\n", metrics_path);
+      return 2;
+    }
+    mo << obs::monitor().json() << "\n";
+  }
   return 0;
 }

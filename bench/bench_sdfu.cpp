@@ -8,15 +8,20 @@
 // without them, every probe walks the graph.
 //
 // Environment:
-//   FLUXION_SDFU_RACKS — rack count (default 10)
-//   FLUXION_SDFU_JOBS  — trace length (default 150)
+//   FLUXION_SDFU_RACKS    — rack count (default 10)
+//   FLUXION_SDFU_JOBS     — trace length (default 150)
+//   FLUXION_BENCH_METRICS — write the obs counter/histogram catalogue as
+//                           JSON to this file (enables collection, which
+//                           perturbs the timings slightly)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <vector>
 
 #include "core/resource_query.hpp"
 #include "grug/recipes.hpp"
+#include "obs/metrics.hpp"
 #include "queue/job_queue.hpp"
 #include "sim/workload.hpp"
 
@@ -64,6 +69,8 @@ int main() {
   if (const char* env = std::getenv("FLUXION_SDFU_JOBS")) {
     jobs = std::max(1, std::atoi(env));
   }
+  const char* metrics_path = std::getenv("FLUXION_BENCH_METRICS");
+  if (metrics_path != nullptr) obs::set_enabled(true);
 
   sim::TraceConfig cfg;
   cfg.job_count = static_cast<std::size_t>(jobs);
@@ -95,6 +102,14 @@ int main() {
                 on.visits > 0 ? static_cast<double>(off.visits) /
                                     static_cast<double>(on.visits)
                               : 0.0);
+  }
+  if (metrics_path != nullptr) {
+    std::ofstream mo(metrics_path);
+    if (!mo) {
+      std::fprintf(stderr, "bench_sdfu: cannot write %s\n", metrics_path);
+      return 2;
+    }
+    mo << obs::monitor().json() << "\n";
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/resource_query.hpp"
+#include "obs/metrics.hpp"
 #include "writers/rlite.hpp"
 
 struct reapi_ctx {
@@ -124,6 +125,22 @@ reapi_status_t reapi_audit(const reapi_ctx_t* ctx) {
 reapi_status_t reapi_set_audit(reapi_ctx_t* ctx, int enabled) {
   if (ctx == nullptr) return REAPI_EINVAL;
   ctx->rq->traverser().set_audit(enabled != 0);
+  return REAPI_OK;
+}
+
+reapi_status_t reapi_metrics_set_enabled(int enabled) {
+  fluxion::obs::set_enabled(enabled != 0);
+  return REAPI_OK;
+}
+
+reapi_status_t reapi_metrics_json(char** json_out) {
+  if (json_out == nullptr) return REAPI_EINVAL;
+  *json_out = dup_string(fluxion::obs::monitor().json());
+  return *json_out != nullptr ? REAPI_OK : REAPI_EINTERNAL;
+}
+
+reapi_status_t reapi_metrics_clear(void) {
+  fluxion::obs::monitor().reset();
   return REAPI_OK;
 }
 

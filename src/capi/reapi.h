@@ -76,6 +76,18 @@ reapi_status_t reapi_audit(const reapi_ctx_t* ctx);
  * into REAPI_EINTERNAL. Debugging aid; off by default. */
 reapi_status_t reapi_set_audit(reapi_ctx_t* ctx, int enabled);
 
+/* Enable (nonzero) or disable the process-wide metrics collection
+ * (counters and latency histograms in src/obs). Off by default; the
+ * per-increment cost when enabled is a branch and an add. */
+reapi_status_t reapi_metrics_set_enabled(int enabled);
+
+/* Serialize the process-wide metrics as a JSON document into json_out
+ * (malloc'd; release with reapi_free_string). */
+reapi_status_t reapi_metrics_json(char** json_out);
+
+/* Zero every metrics counter and histogram. */
+reapi_status_t reapi_metrics_clear(void);
+
 /* Free a string returned through an out-parameter. */
 void reapi_free_string(char* s);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "writers/jgf_reader.hpp"
 
 namespace fluxion::core {
@@ -106,6 +107,11 @@ util::Expected<MatchResult> ResourceQuery::match_allocate_yaml(
 
 util::Status ResourceQuery::cancel(JobId job) {
   return traverser_->cancel(job);
+}
+
+void ResourceQuery::clear_stats() {
+  traverser_->clear_stats();
+  obs::monitor().reset();
 }
 
 std::string ResourceQuery::render(const MatchResult& result) const {

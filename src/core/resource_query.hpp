@@ -81,6 +81,10 @@ class ResourceQuery {
   /// resource set, step 7).
   std::string render(const MatchResult& result) const;
 
+  /// Zero every runtime counter: the traverser's lifetime stats and the
+  /// process-wide obs::monitor() catalogue (the `clear-stats` command).
+  void clear_stats();
+
   // --- access ---------------------------------------------------------------
   graph::ResourceGraph& graph() noexcept { return *graph_; }
   const graph::ResourceGraph& graph() const noexcept { return *graph_; }

@@ -12,6 +12,10 @@ void walk(const ResourceGraph& g, VertexId v, std::size_t depth,
   stats.depth = std::max(stats.depth, depth);
   stats.type_vertices[g.type_name(vx.type)] += 1;
   stats.type_units[g.type_name(vx.type)] += vx.size;
+  for (const Edge& e : g.out_edges(v)) {
+    if (e.relation == g.in_rel() || !g.vertex(e.dst).alive) continue;
+    stats.subsystem_edges[g.subsystem_name(e.subsystem)] += 1;
+  }
   const auto children = g.containment_children(v);
   if (children.empty()) {
     ++stats.leaves;
@@ -43,6 +47,10 @@ std::string render_stats(const GraphStats& stats) {
       out += " (" + std::to_string(units) + " units)";
     }
     out += "\n";
+  }
+  for (const auto& [subsystem, count] : stats.subsystem_edges) {
+    out += "  subsystem " + subsystem + ": " + std::to_string(count) +
+           " edges\n";
   }
   return out;
 }

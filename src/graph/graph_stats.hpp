@@ -20,6 +20,11 @@ struct GraphStats {
   std::map<std::string, std::size_t> type_vertices;
   /// Schedulable units per type name (pool sizes summed).
   std::map<std::string, std::int64_t> type_units;
+  /// Live forward edges (relation other than "in") per subsystem, for
+  /// every subsystem whose source vertex lies in the subtree — shows how
+  /// much structure each auxiliary hierarchy (network, power, ...) adds on
+  /// top of containment.
+  std::map<std::string, std::size_t> subsystem_edges;
 };
 
 /// Collect stats over the containment subtree rooted at `root`.

@@ -1,0 +1,202 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace fluxion::obs {
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::allocate:
+      return "allocate";
+    case Op::allocate_orelse_reserve:
+      return "allocate_orelse_reserve";
+    case Op::satisfiability:
+      return "satisfiability";
+    case Op::allocate_with_satisfiability:
+      return "allocate_with_satisfiability";
+    case Op::cancel:
+      return "cancel";
+  }
+  return "unknown";
+}
+
+void PerfMonitor::reset() {
+  trav_visits.reset();
+  trav_pruned.reset();
+  trav_postorder_rejects.reset();
+  trav_rollbacks.reset();
+  trav_match_attempts.reset();
+  for (auto& o : ops) {
+    o.calls.reset();
+    o.failures.reset();
+    o.latency_us.reset();
+  }
+  planner_point_inserts.reset();
+  planner_point_removes.reset();
+  planner_rekeys.reset();
+  planner_span_adds.reset();
+  planner_span_removes.reset();
+  planner_avail_queries.reset();
+  planner_avail_time_first.reset();
+  planner_atf_probes.reset();
+  multi_span_adds.reset();
+  multi_span_removes.reset();
+  multi_avail_time_first.reset();
+  multi_atf_rounds.reset();
+  sdfu_commits.reset();
+  sdfu_spans.reset();
+  sdfu_spans_per_commit.reset();
+  queue_submitted.reset();
+  queue_schedule_passes.reset();
+  queue_depth.reset();
+  queue_depth_samples.reset();
+  job_wait.reset();
+  job_turnaround.reset();
+}
+
+namespace {
+
+void kv(std::string& out, const char* key, std::uint64_t v, bool first = false) {
+  if (!first) out += ",";
+  out += "\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+void kv_hist(std::string& out, const char* key, const util::Histogram& h) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += h.json();
+}
+
+void line(std::string& out, const char* label, std::uint64_t v) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "  %-28s %llu\n", label,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void hist_summary(std::string& out, const char* label,
+                  const util::Histogram& h) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "  %-28s n=%zu min=%.3g mean=%.3g p95=%.3g max=%.3g\n", label,
+                h.count(), h.min(), h.mean(), h.quantile(0.95), h.max());
+  out += buf;
+}
+
+}  // namespace
+
+std::string PerfMonitor::json() const {
+  std::string out = "{\"traverser\":{";
+  kv(out, "visits", trav_visits.value(), true);
+  kv(out, "pruned", trav_pruned.value());
+  kv(out, "postorder_rejects", trav_postorder_rejects.value());
+  kv(out, "rollbacks", trav_rollbacks.value());
+  kv(out, "match_attempts", trav_match_attempts.value());
+  out += "},\"ops\":{";
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    if (i > 0) out += ",";
+    out += "\"";
+    out += op_name(static_cast<Op>(i));
+    out += "\":{";
+    kv(out, "calls", ops[i].calls.value(), true);
+    kv(out, "failures", ops[i].failures.value());
+    kv_hist(out, "latency_us", ops[i].latency_us);
+    out += "}";
+  }
+  out += "},\"planner\":{";
+  kv(out, "point_inserts", planner_point_inserts.value(), true);
+  kv(out, "point_removes", planner_point_removes.value());
+  kv(out, "rekeys", planner_rekeys.value());
+  kv(out, "span_adds", planner_span_adds.value());
+  kv(out, "span_removes", planner_span_removes.value());
+  kv(out, "avail_queries", planner_avail_queries.value());
+  kv(out, "avail_time_first", planner_avail_time_first.value());
+  kv(out, "atf_probes", planner_atf_probes.value());
+  out += "},\"planner_multi\":{";
+  kv(out, "span_adds", multi_span_adds.value(), true);
+  kv(out, "span_removes", multi_span_removes.value());
+  kv(out, "avail_time_first", multi_avail_time_first.value());
+  kv(out, "atf_rounds", multi_atf_rounds.value());
+  out += "},\"sdfu\":{";
+  kv(out, "commits", sdfu_commits.value(), true);
+  kv(out, "spans", sdfu_spans.value());
+  kv_hist(out, "spans_per_commit", sdfu_spans_per_commit);
+  out += "},\"queue\":{";
+  kv(out, "submitted", queue_submitted.value(), true);
+  kv(out, "schedule_passes", queue_schedule_passes.value());
+  kv(out, "depth", static_cast<std::uint64_t>(
+                       queue_depth.value() < 0 ? 0 : queue_depth.value()));
+  kv(out, "depth_max", static_cast<std::uint64_t>(
+                           queue_depth.max() < 0 ? 0 : queue_depth.max()));
+  kv_hist(out, "depth_samples", queue_depth_samples);
+  kv_hist(out, "job_wait_s", job_wait);
+  kv_hist(out, "job_turnaround_s", job_turnaround);
+  out += "}}";
+  return out;
+}
+
+std::string PerfMonitor::render(bool verbose) const {
+  std::string out;
+  out += "traverser:\n";
+  line(out, "visits", trav_visits.value());
+  line(out, "pruned", trav_pruned.value());
+  line(out, "postorder-rejects", trav_postorder_rejects.value());
+  line(out, "rollbacks", trav_rollbacks.value());
+  line(out, "match-attempts", trav_match_attempts.value());
+  out += "match ops:\n";
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    const auto& o = ops[i];
+    if (o.calls.value() == 0) continue;
+    char buf[192];
+    std::snprintf(buf, sizeof buf, "  %-28s calls=%llu failures=%llu\n",
+                  op_name(static_cast<Op>(i)),
+                  static_cast<unsigned long long>(o.calls.value()),
+                  static_cast<unsigned long long>(o.failures.value()));
+    out += buf;
+    hist_summary(out, "  latency (us)", o.latency_us);
+    if (verbose && o.latency_us.count() > 0) {
+      out += o.latency_us.render();
+    }
+  }
+  out += "planner:\n";
+  line(out, "point-inserts", planner_point_inserts.value());
+  line(out, "point-removes", planner_point_removes.value());
+  line(out, "rekeys", planner_rekeys.value());
+  line(out, "span-adds", planner_span_adds.value());
+  line(out, "span-removes", planner_span_removes.value());
+  line(out, "avail-queries", planner_avail_queries.value());
+  line(out, "avail-time-first", planner_avail_time_first.value());
+  line(out, "atf-probes", planner_atf_probes.value());
+  out += "planner-multi:\n";
+  line(out, "span-adds", multi_span_adds.value());
+  line(out, "span-removes", multi_span_removes.value());
+  line(out, "avail-time-first", multi_avail_time_first.value());
+  line(out, "atf-rounds", multi_atf_rounds.value());
+  out += "sdfu:\n";
+  line(out, "commits", sdfu_commits.value());
+  line(out, "spans", sdfu_spans.value());
+  hist_summary(out, "spans-per-commit", sdfu_spans_per_commit);
+  if (verbose && sdfu_spans_per_commit.count() > 0) {
+    out += sdfu_spans_per_commit.render();
+  }
+  if (queue_submitted.value() > 0) {
+    out += "queue:\n";
+    line(out, "submitted", queue_submitted.value());
+    line(out, "schedule-passes", queue_schedule_passes.value());
+    line(out, "depth", static_cast<std::uint64_t>(
+                           queue_depth.value() < 0 ? 0 : queue_depth.value()));
+    line(out, "depth-max", static_cast<std::uint64_t>(
+                               queue_depth.max() < 0 ? 0 : queue_depth.max()));
+    hist_summary(out, "job-wait (sim s)", job_wait);
+    if (verbose && job_wait.count() > 0) out += job_wait.render();
+    hist_summary(out, "job-turnaround (sim s)", job_turnaround);
+    if (verbose && job_turnaround.count() > 0) out += job_turnaround.render();
+  }
+  return out;
+}
+
+}  // namespace fluxion::obs

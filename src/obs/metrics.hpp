@@ -1,0 +1,141 @@
+// Observability: process-wide counters, gauges and latency histograms for
+// the scheduler hot paths (paper §6's invisible quantities made visible —
+// planner tree ops, pruning-filter skip rates, SDFU update costs, match
+// latency). Mirrors the role of flux-sched's `match-stats` surface.
+//
+// Design constraints:
+//   * Instrumentation must be cheap enough to leave compiled in: every
+//     update is a plain increment behind the `enabled()` flag (one
+//     predictable branch on an inline global when disabled).
+//   * The engine is single-threaded per context (see capi/reapi.h), so
+//     counters are plain integers, not atomics.
+//   * One process-wide monitor, not per-context: tools enable it, run,
+//     and export one metrics document (`PerfMonitor::json`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/histogram.hpp"
+
+namespace fluxion::obs {
+
+/// Monotonic event count; reset only via clear-stats.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { v_ += n; }
+  std::uint64_t value() const noexcept { return v_; }
+  void reset() noexcept { v_ = 0; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Last-written value plus the high-water mark since the last reset.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_ = v;
+    if (v > max_) max_ = v;
+  }
+  std::int64_t value() const noexcept { return v_; }
+  std::int64_t max() const noexcept { return max_; }
+  void reset() noexcept {
+    v_ = 0;
+    max_ = 0;
+  }
+
+ private:
+  std::int64_t v_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Instrumented engine entry points: the four traverser match operations
+/// plus cancel (the other half of every job's lifecycle).
+enum class Op {
+  allocate = 0,
+  allocate_orelse_reserve,
+  satisfiability,
+  allocate_with_satisfiability,
+  cancel,
+};
+inline constexpr std::size_t kOpCount = 5;
+
+/// Stable lowercase name ("allocate", ..., "cancel").
+const char* op_name(Op op) noexcept;
+
+/// Per-operation call counts and wall-clock latency distribution.
+struct OpMetrics {
+  Counter calls;
+  Counter failures;
+  util::Histogram latency_us{0.0, 100000.0, 50};  // 0..100 ms, 2 ms bins
+};
+
+/// The metric catalogue (see docs/observability.md). Grouped by layer.
+struct PerfMonitor {
+  // --- traverser ----------------------------------------------------------
+  Counter trav_visits;            // vertices entered by collect_candidates
+  Counter trav_pruned;            // subtrees skipped by pruning filters
+  Counter trav_postorder_rejects; // candidates dropped after descending
+  Counter trav_rollbacks;         // selection rollbacks (any cause)
+  Counter trav_match_attempts;    // full selection attempts
+  OpMetrics ops[kOpCount];
+  OpMetrics& op(Op o) noexcept { return ops[static_cast<std::size_t>(o)]; }
+  const OpMetrics& op(Op o) const noexcept {
+    return ops[static_cast<std::size_t>(o)];
+  }
+
+  // --- planner (SP/ET trees, one pool) ------------------------------------
+  Counter planner_point_inserts;  // scheduled points created (both trees)
+  Counter planner_point_removes;  // scheduled points collected
+  Counter planner_rekeys;         // ET re-index on in_use change
+  Counter planner_span_adds;
+  Counter planner_span_removes;
+  Counter planner_avail_queries;  // avail_at/avail_during/avail_resources_during
+  Counter planner_avail_time_first;
+  Counter planner_atf_probes;     // FINDEARLIESTAT iterations (Algorithm 1)
+
+  // --- planner_multi (aggregate filters, root PlannerMultiAvailTimeFirst) --
+  Counter multi_span_adds;
+  Counter multi_span_removes;
+  Counter multi_avail_time_first;
+  Counter multi_atf_rounds;       // candidate rounds in the cross-type loop
+
+  // --- SDFU (Scheduler-Driven Filter Updates, paper §3.4) ------------------
+  Counter sdfu_commits;           // commits that touched pruning filters
+  Counter sdfu_spans;             // filter spans written in total
+  util::Histogram sdfu_spans_per_commit{0.0, 64.0, 32};
+
+  // --- queue / replay (simulated clock) ------------------------------------
+  Counter queue_submitted;
+  Counter queue_schedule_passes;
+  Gauge queue_depth;              // pending jobs after the last queue event
+  util::Histogram queue_depth_samples{0.0, 4096.0, 64};
+  util::Histogram job_wait{0.0, 1048576.0, 64};        // simulated seconds
+  util::Histogram job_turnaround{0.0, 1048576.0, 64};  // simulated seconds
+
+  /// Zero every counter, gauge and histogram.
+  void reset();
+
+  /// The whole catalogue as one JSON document (counters as integers,
+  /// histograms via util::Histogram::json).
+  std::string json() const;
+
+  /// Human-readable summary; `verbose` appends ASCII histograms — what
+  /// `resource-query`'s `stats` / `stats -v` print.
+  std::string render(bool verbose) const;
+};
+
+/// Process-wide switch; instrumentation sites read it inline.
+inline bool g_metrics_enabled = false;
+
+inline bool enabled() noexcept { return g_metrics_enabled; }
+inline void set_enabled(bool on) noexcept { g_metrics_enabled = on; }
+
+/// The process-wide monitor.
+inline PerfMonitor& monitor() noexcept {
+  static PerfMonitor m;
+  return m;
+}
+
+}  // namespace fluxion::obs

@@ -1,0 +1,83 @@
+// Structured event trace: simulated-time job lifecycle events plus
+// wall-clock match phases, exportable as JSONL or Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing).
+//
+// Two lanes keep the clocks apart without losing either:
+//   * pid 1 ("sim")  — simulated seconds mapped to microseconds
+//     (ts = sim_time * 1e6), one tid per job, so a job's life renders as a
+//     span on its own track.
+//   * pid 2 ("wall") — real microseconds since the trace epoch, one track
+//     for the traverser's match phases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fluxion::obs {
+
+/// One Chrome trace event. `args` values are pre-encoded JSON fragments
+/// (a quoted string or a bare number) so emission is a plain join.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'i';          // 'X' complete, 'i' instant, 'M' metadata
+  std::int64_t ts = 0;    // microseconds
+  std::int64_t dur = 0;   // microseconds, ph == 'X' only
+  int pid = 1;
+  std::int64_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceLog {
+ public:
+  static constexpr int kSimPid = 1;
+  static constexpr int kWallPid = 2;
+
+  bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool on);
+
+  void clear() { events_.clear(); }
+  std::size_t size() const noexcept { return events_.size(); }
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+
+  /// Instant lifecycle event on the simulated clock (ts in sim seconds).
+  void sim_instant(const std::string& name, double sim_ts, std::int64_t job_id,
+                   std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Completed span on the simulated clock (start/duration in sim seconds);
+  /// one per job run, tid = job id.
+  void sim_span(const std::string& name, double sim_start, double sim_dur,
+                std::int64_t job_id,
+                std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Completed span on the wall clock (microseconds since trace epoch).
+  void wall_span(const std::string& name, std::int64_t ts_us,
+                 std::int64_t dur_us,
+                 std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Microseconds since the trace epoch (first call wins the epoch).
+  std::int64_t now_us();
+
+  /// Bare JSON array of trace events — the Chrome trace-event format.
+  std::string chrome_json() const;
+
+  /// One JSON object per line; same event fields as chrome_json.
+  std::string jsonl() const;
+
+ private:
+  void push(TraceEvent ev);
+
+  bool enabled_ = false;
+  std::int64_t epoch_ns_ = -1;
+  std::vector<TraceEvent> events_;
+};
+
+/// The process-wide trace log.
+TraceLog& trace() noexcept;
+
+/// Convenience: quote + escape a string for use as a TraceEvent arg value.
+std::string trace_str(const std::string& s);
+
+}  // namespace fluxion::obs

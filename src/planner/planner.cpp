@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace fluxion::planner {
 
 using util::Errc;
@@ -56,6 +58,7 @@ ScheduledPoint* Planner::get_or_create_point(TimePoint t) {
   sp_tree_.insert(raw);
   et_tree_.insert(&raw->et);
   points_.emplace(t, std::move(p));
+  if (obs::enabled()) obs::monitor().planner_point_inserts.inc();
   return raw;
 }
 
@@ -69,9 +72,11 @@ void Planner::maybe_collect(ScheduledPoint* p) {
   sp_tree_.erase(p);
   et_tree_.erase(&p->et);
   points_.erase(p->at);
+  if (obs::enabled()) obs::monitor().planner_point_removes.inc();
 }
 
 void Planner::rekey(ScheduledPoint* p, std::int64_t new_in_use) {
+  if (obs::enabled()) obs::monitor().planner_rekeys.inc();
   et_tree_.erase(&p->et);
   p->in_use = new_in_use;
   p->remaining = total_ - new_in_use;
@@ -108,6 +113,7 @@ util::Expected<SpanId> Planner::add_span(TimePoint start, Duration duration,
 
   const SpanId id = next_span_id_++;
   spans_.emplace(id, Span{id, start, start + duration, request, sp, ep});
+  if (obs::enabled()) obs::monitor().planner_span_adds.inc();
   return id;
 }
 
@@ -127,10 +133,12 @@ util::Status Planner::rem_span(SpanId id) {
   --span.last_point->ref_count;
   maybe_collect(span.start_point);
   maybe_collect(span.last_point);
+  if (obs::enabled()) obs::monitor().planner_span_removes.inc();
   return util::Status::ok();
 }
 
 util::Expected<std::int64_t> Planner::avail_at(TimePoint t) const {
+  if (obs::enabled()) obs::monitor().planner_avail_queries.inc();
   if (t < base_ || t >= plan_end()) {
     return util::Error{Errc::out_of_range, "avail_at: outside horizon"};
   }
@@ -141,6 +149,7 @@ util::Expected<std::int64_t> Planner::avail_at(TimePoint t) const {
 
 bool Planner::avail_during(TimePoint at, Duration duration,
                            std::int64_t request) const {
+  if (obs::enabled()) obs::monitor().planner_avail_queries.inc();
   if (duration <= 0 || request < 0) return false;
   if (at < base_ || at + duration > plan_end()) return false;
   if (request > total_) return false;
@@ -155,6 +164,7 @@ bool Planner::avail_during(TimePoint at, Duration duration,
 
 util::Expected<std::int64_t> Planner::avail_resources_during(
     TimePoint at, Duration duration) const {
+  if (obs::enabled()) obs::monitor().planner_avail_queries.inc();
   if (duration <= 0) {
     return util::Error{Errc::invalid_argument,
                        "avail_resources_during: nonpositive duration"};
@@ -227,6 +237,7 @@ EtNode* Planner::find_earliest_at(std::int64_t request) const {
 util::Expected<TimePoint> Planner::avail_time_first(TimePoint on_or_after,
                                                     Duration duration,
                                                     std::int64_t request) {
+  if (obs::enabled()) obs::monitor().planner_avail_time_first.inc();
   if (duration <= 0 || request < 0) {
     return util::Error{Errc::invalid_argument,
                        "avail_time_first: bad duration or request"};
@@ -254,6 +265,7 @@ util::Expected<TimePoint> Planner::avail_time_first(TimePoint on_or_after,
       util::Error{Errc::resource_busy,
                   "avail_time_first: no feasible start within horizon"};
   while (EtNode* e = find_earliest_at(request)) {
+    if (obs::enabled()) obs::monitor().planner_atf_probes.inc();
     ScheduledPoint* pt = e->point;
     if (pt->at + duration > plan_end()) break;  // later candidates only worsen
     if (pt->at > on_or_after && span_ok(pt, duration, request)) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace fluxion::planner {
@@ -58,6 +59,7 @@ util::Expected<SpanId> PlannerMulti::add_span(TimePoint start,
   }
   const SpanId id = next_span_id_++;
   spans_.emplace(id, std::move(ids));
+  if (obs::enabled()) obs::monitor().multi_span_adds.inc();
   return id;
 }
 
@@ -80,6 +82,7 @@ util::Status PlannerMulti::rem_span(SpanId id) {
     }
   }
   spans_.erase(it);
+  if (obs::enabled()) obs::monitor().multi_span_removes.inc();
   if (!detail.empty()) return util::internal_error(std::move(detail));
   return util::Status::ok();
 }
@@ -97,6 +100,7 @@ bool PlannerMulti::avail_during(TimePoint at, Duration duration,
 util::Expected<TimePoint> PlannerMulti::avail_time_first(TimePoint on_or_after,
                                                          Duration duration,
                                                          Counts counts) {
+  if (obs::enabled()) obs::monitor().multi_avail_time_first.inc();
   if (counts.size() != planners_.size()) {
     return util::Error{Errc::invalid_argument,
                        "avail_time_first: counts arity mismatch"};
@@ -123,6 +127,7 @@ util::Expected<TimePoint> PlannerMulti::avail_time_first(TimePoint on_or_after,
 
   TimePoint t = std::max(on_or_after, base_);
   while (true) {
+    if (obs::enabled()) obs::monitor().multi_atf_rounds.inc();
     auto first = planners_[anchor]->avail_time_first(t, duration,
                                                      counts[anchor]);
     if (!first) return first.error();

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace fluxion::queue {
 
 using traverser::MatchOp;
@@ -45,6 +48,13 @@ JobId JobQueue::submit(jobspec::Jobspec spec, int priority,
   }
   pending_.insert(pos, id);
   ++stats_.submitted;
+  if (obs::enabled()) {
+    auto& m = obs::monitor();
+    m.queue_submitted.inc();
+    m.queue_depth.set(static_cast<std::int64_t>(pending_.size()));
+    m.queue_depth_samples.add(static_cast<double>(pending_.size()));
+  }
+  obs::trace().sim_instant("submit", static_cast<double>(now_), id);
   return id;
 }
 
@@ -104,9 +114,14 @@ void JobQueue::try_place(Job& job, bool allow_reserve) {
     if (r->at > now_) {
       job.state = JobState::reserved;
       ++stats_.reserved;
+      obs::trace().sim_instant(
+          "reserve", static_cast<double>(now_), job.id,
+          {{"start", std::to_string(job.start_time)}});
     } else {
       job.state = JobState::running;
       ++stats_.started_immediately;
+      obs::trace().sim_instant("start", static_cast<double>(job.start_time),
+                               job.id);
     }
     return;
   }
@@ -121,6 +136,7 @@ void JobQueue::try_place(Job& job, bool allow_reserve) {
 }
 
 void JobQueue::schedule() {
+  if (obs::enabled()) obs::monitor().queue_schedule_passes.inc();
   if (pending_.empty()) return;
   switch (policy_) {
     case QueuePolicy::fcfs: {
@@ -212,6 +228,11 @@ void JobQueue::schedule() {
       break;
     }
   }
+  if (obs::enabled()) {
+    auto& m = obs::monitor();
+    m.queue_depth.set(static_cast<std::int64_t>(pending_.size()));
+    m.queue_depth_samples.add(static_cast<double>(pending_.size()));
+  }
 }
 
 TimePoint JobQueue::next_event() const {
@@ -243,12 +264,28 @@ util::Status JobQueue::fire_events_up_to(TimePoint t) {
     for (auto& [id, job] : jobs_) {
       if (job.state == JobState::reserved && job.start_time <= et) {
         job.state = JobState::running;
+        obs::trace().sim_instant("start", static_cast<double>(job.start_time),
+                                 id);
       }
     }
     for (auto& [id, job] : jobs_) {
       if (job.state == JobState::running && job.end_time <= et) {
         job.state = JobState::completed;
         ++stats_.completed;
+        if (obs::enabled()) {
+          auto& m = obs::monitor();
+          m.job_wait.add(static_cast<double>(job.start_time -
+                                             job.submit_time));
+          m.job_turnaround.add(static_cast<double>(job.end_time -
+                                                   job.submit_time));
+        }
+        if (obs::trace().enabled()) {
+          obs::trace().sim_span(
+              "run", static_cast<double>(job.start_time),
+              static_cast<double>(job.end_time - job.start_time), id);
+          obs::trace().sim_instant("complete",
+                                   static_cast<double>(job.end_time), id);
+        }
         // Purge the traverser's bookkeeping; the spans are in the past.
         auto st = traverser_.cancel(id);
         if (!st && first) first = st;
@@ -364,6 +401,7 @@ util::Status JobQueue::cancel(JobId id) {
                          "cancel: job already terminal"};
   }
   job.state = JobState::canceled;
+  obs::trace().sim_instant("cancel", static_cast<double>(now_), id);
   // Cascade: dependents that have not started yet (pending or holding a
   // future reservation) can no longer run — their input is gone.
   bool changed = true;

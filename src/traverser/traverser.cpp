@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace fluxion::traverser {
@@ -11,6 +13,20 @@ using util::Errc;
 namespace {
 /// Property constraints (jobspec `requires`): "key" demands the property
 /// exists; "key=value" demands an exact match.
+obs::Op to_obs_op(MatchOp op) noexcept {
+  switch (op) {
+    case MatchOp::allocate:
+      return obs::Op::allocate;
+    case MatchOp::allocate_orelse_reserve:
+      return obs::Op::allocate_orelse_reserve;
+    case MatchOp::satisfiability:
+      return obs::Op::satisfiability;
+    case MatchOp::allocate_with_satisfiability:
+      return obs::Op::allocate_with_satisfiability;
+  }
+  return obs::Op::allocate;
+}
+
 bool meets_requirements(const graph::Vertex& v,
                         const std::vector<std::string>& reqs) {
   for (const std::string& req : reqs) {
@@ -29,6 +45,10 @@ bool meets_requirements(const graph::Vertex& v,
 }  // namespace
 
 void Traverser::Selection::rollback(const Checkpoint& cp) {
+  if (obs::enabled() &&
+      (claims.size() > cp.claims || shared_marks.size() > cp.shared)) {
+    obs::monitor().trav_rollbacks.inc();
+  }
   while (claims.size() > cp.claims) {
     const Claim& c = claims.back();
     if (c.whole_instance) {
@@ -115,6 +135,7 @@ void Traverser::collect_candidates(
     std::unordered_map<VertexId, VertexId>& parent_of) {
   ++stats_.visits;
   ++stats_.last_visits;
+  if (obs::enabled()) obs::monitor().trav_visits.inc();
   const graph::Vertex& vx = g_.vertex(from);
   if (vx.type == type) {
     out.push_back(from);
@@ -138,6 +159,7 @@ void Traverser::collect_candidates(
       if (!vertex_shareable(child, w, sel)) continue;
       if (!filter_admits(child, w, per_instance_demand)) {
         ++stats_.pruned;
+        if (obs::enabled()) obs::monitor().trav_pruned.inc();
         continue;
       }
     }
@@ -243,6 +265,7 @@ bool Traverser::satisfy_instances(const jobspec::Resource& req,
       if (!vertex_exclusively_claimable(u, w, sel)) continue;
       if (!filter_admits(u, w, demand)) {
         ++stats_.pruned;
+        if (obs::enabled()) obs::monitor().trav_pruned.inc();
         continue;
       }
       sel.push_claim(Claim{u, ux.size, /*exclusive=*/true,
@@ -251,6 +274,7 @@ bool Traverser::satisfy_instances(const jobspec::Resource& req,
       if (!vertex_shareable(u, w, sel)) continue;
       if (!filter_admits(u, w, demand)) {
         ++stats_.pruned;
+        if (obs::enabled()) obs::monitor().trav_pruned.inc();
         continue;
       }
       sel.mark_shared(u);
@@ -266,6 +290,7 @@ bool Traverser::satisfy_instances(const jobspec::Resource& req,
       }
     }
     if (!ok) {
+      if (obs::enabled()) obs::monitor().trav_postorder_rejects.inc();
       sel.rollback(cp);
       continue;
     }
@@ -321,6 +346,7 @@ bool Traverser::satisfy_units(const jobspec::Resource& req, VertexId under,
 bool Traverser::select_all(const jobspec::Jobspec& js,
                            const util::TimeWindow& w, Selection& sel) {
   ++stats_.match_attempts;
+  if (obs::enabled()) obs::monitor().trav_match_attempts.inc();
   for (const jobspec::Resource& r : js.resources) {
     if (!satisfy(r, root_, r.count, /*under_slot=*/false,
                  /*under_excl=*/false, w, sel)) {
@@ -439,6 +465,13 @@ util::Status Traverser::apply_selection(JobRecord& rec,
     if (!span) return abort("pruning filter span rejected");
     rec.filter_spans.push_back({v, *span, w, counts});
   }
+  if (obs::enabled()) {
+    auto& m = obs::monitor();
+    const std::size_t added = rec.filter_spans.size() - filter_mark;
+    m.sdfu_commits.inc();
+    m.sdfu_spans.inc(added);
+    m.sdfu_spans_per_commit.add(static_cast<double>(added));
+  }
   return util::Status::ok();
 }
 
@@ -486,6 +519,7 @@ util::Expected<MatchResult> Traverser::grow_impl(JobId job,
   const util::TimeWindow w{start, end - start};
   stats_.last_visits = 0;
   ++stats_.match_attempts;
+  if (obs::enabled()) obs::monitor().trav_match_attempts.inc();
   Selection sel;
   for (const jobspec::Resource& r : extra.resources) {
     if (!satisfy(r, root_, r.count, /*under_slot=*/false,
@@ -858,6 +892,12 @@ util::Status Traverser::rebuild_filter_spans(JobRecord& rec) {
     }
     rec.filter_spans.push_back({key.first, *span, entry.first, entry.second});
   }
+  if (obs::enabled()) {
+    auto& m = obs::monitor();
+    m.sdfu_commits.inc();
+    m.sdfu_spans.inc(rec.filter_spans.size());
+    m.sdfu_spans_per_commit.add(static_cast<double>(rec.filter_spans.size()));
+  }
   return util::Status::ok();
 }
 
@@ -1053,7 +1093,22 @@ util::Status Traverser::cancel_impl(JobId job) {
 util::Expected<MatchResult> Traverser::match(const jobspec::Jobspec& js,
                                              MatchOp op, TimePoint now,
                                              JobId job) {
+  const bool timed = obs::enabled() || obs::trace().enabled();
+  const std::int64_t t0 = timed ? obs::trace().now_us() : 0;
   auto r = match_impl(js, op, now, job);
+  if (timed) {
+    const std::int64_t dur = obs::trace().now_us() - t0;
+    const obs::Op o = to_obs_op(op);
+    if (obs::enabled()) {
+      auto& om = obs::monitor().op(o);
+      om.calls.inc();
+      if (!r) om.failures.inc();
+      om.latency_us.add(static_cast<double>(dur));
+    }
+    obs::trace().wall_span(obs::op_name(o), t0, dur,
+                           {{"job", std::to_string(job)},
+                            {"ok", r ? "true" : "false"}});
+  }
   if (audit_enabled_) {
     if (auto st = run_audit("match"); !st) return st.error();
   }
@@ -1061,7 +1116,21 @@ util::Expected<MatchResult> Traverser::match(const jobspec::Jobspec& js,
 }
 
 util::Status Traverser::cancel(JobId job) {
+  const bool timed = obs::enabled() || obs::trace().enabled();
+  const std::int64_t t0 = timed ? obs::trace().now_us() : 0;
   auto r = cancel_impl(job);
+  if (timed) {
+    const std::int64_t dur = obs::trace().now_us() - t0;
+    if (obs::enabled()) {
+      auto& om = obs::monitor().op(obs::Op::cancel);
+      om.calls.inc();
+      if (!r) om.failures.inc();
+      om.latency_us.add(static_cast<double>(dur));
+    }
+    obs::trace().wall_span(obs::op_name(obs::Op::cancel), t0, dur,
+                           {{"job", std::to_string(job)},
+                            {"ok", r ? "true" : "false"}});
+  }
   if (audit_enabled_) {
     if (auto st = run_audit("cancel"); !st) return st;
   }

@@ -142,6 +142,10 @@ class Traverser {
 
   const TraverserStats& stats() const noexcept { return stats_; }
 
+  /// Zero the lifetime counters (the `clear-stats` command). The global
+  /// obs::monitor() is reset separately by its owner.
+  void clear_stats() noexcept { stats_ = TraverserStats{}; }
+
   const graph::ResourceGraph& graph() const noexcept { return g_; }
 
   /// Verify all pruning filters against a from-scratch recount of the

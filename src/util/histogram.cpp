@@ -35,11 +35,49 @@ void Histogram::add(double value) {
   ++bins_[idx];
 }
 
+void Histogram::reset() {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  underflow_ = 0;
+  overflow_ = 0;
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+Status Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.width_ != width_ ||
+      other.bins_.size() != bins_.size()) {
+    return Error{Errc::invalid_argument,
+                 "Histogram::merge: incompatible bin layout"};
+  }
+  if (other.count_ == 0) return Status::ok();
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  return Status::ok();
+}
+
 double Histogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly; binned interpolation would report
+  // the bin edge (or even lo_) instead of an observed sample.
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
   const double target = q * static_cast<double>(count_);
   double cum = static_cast<double>(underflow_);
+  // Inside the underflow mass only min_ and lo_ bound the samples; lo_ is
+  // the tightest upper bound we have.
   if (target <= cum) return lo_;
   for (std::size_t i = 0; i < bins_.size(); ++i) {
     const double next = cum + static_cast<double>(bins_[i]);
@@ -77,6 +115,36 @@ std::string Histogram::render(std::size_t bar_width) const {
   if (overflow_ > 0) {
     out += "  overflow: " + std::to_string(overflow_) + "\n";
   }
+  return out;
+}
+
+namespace {
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+}  // namespace
+
+std::string Histogram::json() const {
+  std::string out = "{";
+  out += "\"count\":" + std::to_string(count_);
+  out += ",\"min\":" + num(min_);
+  out += ",\"max\":" + num(max_);
+  out += ",\"mean\":" + num(mean());
+  out += ",\"p50\":" + num(quantile(0.5));
+  out += ",\"p95\":" + num(quantile(0.95));
+  out += ",\"p99\":" + num(quantile(0.99));
+  out += ",\"lo\":" + num(lo_);
+  out += ",\"width\":" + num(width_);
+  out += ",\"underflow\":" + std::to_string(underflow_);
+  out += ",\"overflow\":" + std::to_string(overflow_);
+  out += ",\"bins\":[";
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(bins_[i]);
+  }
+  out += "]}";
   return out;
 }
 

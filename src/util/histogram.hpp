@@ -1,9 +1,12 @@
-// Small fixed-bin histogram used by the analysis tooling and benches.
+// Small fixed-bin histogram used by the analysis tooling, the benches and
+// the observability layer (src/obs).
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "util/expected.hpp"
 
 namespace fluxion::util {
 
@@ -14,6 +17,14 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double value);
+
+  /// Drop every sample while keeping the bin layout (range and count).
+  void reset();
+
+  /// Fold another histogram's samples into this one. The two must share
+  /// the exact bin layout (lo, width, bin count); anything else fails with
+  /// invalid_argument and leaves this histogram untouched.
+  Status merge(const Histogram& other);
 
   std::size_t count() const noexcept { return count_; }
   double min() const noexcept { return min_; }
@@ -29,11 +40,17 @@ class Histogram {
   }
 
   /// Approximate quantile (q in [0,1]) from the binned counts; exact at
-  /// bin boundaries, linear within a bin.
+  /// bin boundaries, linear within a bin. q=0 and q=1 return the exactly
+  /// tracked observed min/max rather than binned approximations.
   double quantile(double q) const;
 
   /// ASCII rendering: one row per non-empty bin with a proportional bar.
   std::string render(std::size_t bar_width = 40) const;
+
+  /// Compact JSON object: exact stats, selected quantiles and the raw bin
+  /// counts, so per-op histograms can be embedded in one metrics document
+  /// and re-aggregated offline.
+  std::string json() const;
 
  private:
   double lo_;

@@ -150,4 +150,35 @@ TEST_F(ReapiTest, AuditReportsCoherentState) {
   EXPECT_EQ(reapi_audit(ctx), REAPI_OK);
 }
 
+TEST_F(ReapiTest, MetricsLifecycle) {
+  EXPECT_EQ(reapi_metrics_json(nullptr), REAPI_EINVAL);
+  ASSERT_EQ(reapi_metrics_clear(), REAPI_OK);
+  ASSERT_EQ(reapi_metrics_set_enabled(1), REAPI_OK);
+  uint64_t job = 0;
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &job,
+                        nullptr, nullptr, nullptr),
+            REAPI_OK);
+  char* doc = nullptr;
+  ASSERT_EQ(reapi_metrics_json(&doc), REAPI_OK);
+  ASSERT_NE(doc, nullptr);
+  const std::string json(doc);
+  reapi_free_string(doc);
+  EXPECT_NE(json.find("\"traverser\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"allocate\":{\"calls\":1"), std::string::npos)
+      << json;
+  // Clearing zeroes the document; disabling stops collection entirely.
+  ASSERT_EQ(reapi_metrics_clear(), REAPI_OK);
+  ASSERT_EQ(reapi_metrics_set_enabled(0), REAPI_OK);
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &job,
+                        nullptr, nullptr, nullptr),
+            REAPI_OK);  // node1 is still free
+  doc = nullptr;
+  ASSERT_EQ(reapi_metrics_json(&doc), REAPI_OK);
+  const std::string cleared(doc);
+  reapi_free_string(doc);
+  EXPECT_NE(cleared.find("\"visits\":0"), std::string::npos) << cleared;
+  EXPECT_NE(cleared.find("\"allocate\":{\"calls\":0"), std::string::npos)
+      << cleared;
+}
+
 }  // namespace

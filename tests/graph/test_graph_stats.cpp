@@ -66,6 +66,45 @@ TEST(GraphStats, RenderShowsUnitsWhenPooled) {
   EXPECT_NE(out.find("cluster: 1 vertices\n"), std::string::npos) << out;
 }
 
+TEST(GraphStats, CountsEdgesPerSubsystem) {
+  ResourceGraph g(0, 1000);
+  auto recipe = grug::parse(
+      "cluster count=1\n  rack count=2\n    node count=2\n");
+  ASSERT_TRUE(recipe);
+  auto root = grug::build(g, *recipe);
+  ASSERT_TRUE(root);
+  const auto power = g.intern_subsystem("power");
+  const auto feeds = g.intern_relation("feeds");
+  const auto racks = g.vertices_of_type(*g.find_type("rack"));
+  const auto nodes = g.vertices_of_type(*g.find_type("node"));
+  ASSERT_TRUE(g.add_edge(*root, racks[0], power, feeds));
+  ASSERT_TRUE(g.add_edge(racks[0], nodes[0], power, feeds));
+  const GraphStats s = compute_stats(g, *root);
+  // 7-vertex containment tree: 6 forward containment edges.
+  EXPECT_EQ(s.subsystem_edges.at("containment"), 6u);
+  EXPECT_EQ(s.subsystem_edges.at("power"), 2u);
+  const std::string out = render_stats(s);
+  EXPECT_NE(out.find("subsystem containment: 6 edges"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("subsystem power: 2 edges"), std::string::npos) << out;
+}
+
+TEST(GraphStats, SubsystemEdgesSkipDetachedTargets) {
+  ResourceGraph g(0, 1000);
+  auto recipe = grug::parse(
+      "cluster count=1\n  rack count=2\n    node count=2\n");
+  ASSERT_TRUE(recipe);
+  auto root = grug::build(g, *recipe);
+  ASSERT_TRUE(root);
+  const auto power = g.intern_subsystem("power");
+  const auto feeds = g.intern_relation("feeds");
+  const auto racks = g.vertices_of_type(*g.find_type("rack"));
+  ASSERT_TRUE(g.add_edge(*root, racks[1], power, feeds));
+  ASSERT_TRUE(g.detach_subtree(racks[1]));
+  const GraphStats s = compute_stats(g, *root);
+  EXPECT_EQ(s.subsystem_edges.count("power"), 0u);
+}
+
 TEST(GraphStats, DeadRootYieldsEmptyStats) {
   ResourceGraph g(0, 1000);
   const auto v = g.add_vertex("cluster", "cluster", 0, 1);

@@ -1,0 +1,122 @@
+// Unit tests for the structured event trace (Chrome trace-event export).
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxion::obs {
+namespace {
+
+TEST(TraceLog, DisabledRecordsNothing) {
+  TraceLog tl;
+  tl.sim_instant("submit", 1.0, 1);
+  tl.sim_span("run", 1.0, 2.0, 1);
+  tl.wall_span("allocate", 0, 10);
+  EXPECT_EQ(tl.size(), 0u);
+  EXPECT_EQ(tl.chrome_json(), "[\n]\n");
+}
+
+TEST(TraceLog, EnableNamesTheTwoLanes) {
+  TraceLog tl;
+  tl.set_enabled(true);
+  ASSERT_EQ(tl.size(), 2u);
+  const auto& evs = tl.events();
+  EXPECT_EQ(evs[0].ph, 'M');
+  EXPECT_EQ(evs[0].pid, TraceLog::kSimPid);
+  EXPECT_EQ(evs[1].pid, TraceLog::kWallPid);
+  // Re-enabling does not duplicate the metadata.
+  tl.set_enabled(false);
+  tl.set_enabled(true);
+  EXPECT_EQ(tl.size(), 2u);
+}
+
+TEST(TraceLog, SimTimestampsScaleToMicroseconds) {
+  TraceLog tl;
+  tl.set_enabled(true);
+  tl.sim_instant("submit", 3.5, 7);
+  tl.sim_span("run", 3.5, 96.5, 7);
+  const auto& evs = tl.events();
+  ASSERT_EQ(tl.size(), 4u);
+  EXPECT_EQ(evs[2].ph, 'i');
+  EXPECT_EQ(evs[2].ts, 3500000);
+  EXPECT_EQ(evs[2].tid, 7);
+  EXPECT_EQ(evs[3].ph, 'X');
+  EXPECT_EQ(evs[3].dur, 96500000);
+}
+
+TEST(TraceLog, WallSpansLandOnTheWallLane) {
+  TraceLog tl;
+  tl.set_enabled(true);
+  const auto t0 = tl.now_us();
+  EXPECT_GE(t0, 0);
+  tl.wall_span("allocate", t0, 42, {{"ok", "true"}});
+  const auto& ev = tl.events().back();
+  EXPECT_EQ(ev.pid, TraceLog::kWallPid);
+  EXPECT_EQ(ev.dur, 42);
+  EXPECT_EQ(ev.cat, "match");
+}
+
+TEST(TraceLog, NowIsMonotonic) {
+  TraceLog tl;
+  const auto a = tl.now_us();
+  const auto b = tl.now_us();
+  EXPECT_GE(b, a);
+}
+
+TEST(TraceLog, ChromeJsonShape) {
+  TraceLog tl;
+  tl.set_enabled(true);
+  tl.sim_instant("submit", 0.0, 1, {{"file", trace_str("a.csv")}});
+  tl.sim_span("run", 0.0, 5.0, 1);
+  const std::string doc = tl.chrome_json();
+  EXPECT_EQ(doc.front(), '[');
+  EXPECT_EQ(doc[doc.find_last_not_of('\n')], ']');
+  // Instant events carry the thread scope; complete spans carry dur.
+  EXPECT_NE(doc.find("\"ph\":\"i\",\"ts\":0,\"pid\":1,\"tid\":1,\"s\":\"t\""),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"ph\":\"X\",\"ts\":0,\"dur\":5000000"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"args\":{\"file\":\"a.csv\"}"), std::string::npos)
+      << doc;
+}
+
+TEST(TraceLog, JsonlOneEventPerLine) {
+  TraceLog tl;
+  tl.set_enabled(true);
+  tl.sim_instant("submit", 0.0, 1);
+  const std::string doc = tl.jsonl();
+  std::size_t lines = 0;
+  for (char c : doc) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, tl.size());
+  EXPECT_EQ(doc.find('['), std::string::npos);
+}
+
+TEST(TraceLog, EscapesNamesAndArgs) {
+  TraceLog tl;
+  tl.set_enabled(true);
+  tl.sim_instant("we\"ird\nname", 0.0, 1,
+                 {{"path", trace_str("a\\b\tc")}});
+  const std::string doc = tl.chrome_json();
+  EXPECT_NE(doc.find("we\\\"ird\\nname"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("a\\\\b\\tc"), std::string::npos) << doc;
+}
+
+TEST(TraceLog, ClearDropsEvents) {
+  TraceLog tl;
+  tl.set_enabled(true);
+  tl.sim_instant("submit", 0.0, 1);
+  ASSERT_GT(tl.size(), 0u);
+  tl.clear();
+  EXPECT_EQ(tl.size(), 0u);
+}
+
+TEST(GlobalTrace, IsASingleInstance) {
+  trace().clear();
+  EXPECT_EQ(trace().size(), 0u);
+}
+
+}  // namespace
+}  // namespace fluxion::obs

@@ -2,6 +2,8 @@
 // a shell pipeline, the way the paper's evaluation scripts would.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -13,10 +15,12 @@ namespace {
 #error "RESOURCE_QUERY_BIN must be defined by the build"
 #endif
 
+// ctest runs each discovered test as its own process, in parallel, all
+// sharing TempDir() — so every scratch filename carries the pid.
 std::string temp_dir() {
   std::string dir = ::testing::TempDir();
   if (!dir.empty() && dir.back() != '/') dir += '/';
-  return dir;
+  return dir + std::to_string(::getpid()) + "_";
 }
 
 void write_file(const std::string& path, const std::string& content) {
@@ -189,6 +193,56 @@ TEST_F(CliTest, AllocateWithSatisfiability) {
   EXPECT_NE(out.find("MATCH FAILED (resource_busy)"), std::string::npos)
       << out;
   EXPECT_NE(out.find("MATCH FAILED (unsatisfiable)"), std::string::npos)
+      << out;
+}
+
+TEST_F(CliTest, StatsReportsCountersAfterMixedOps) {
+  const std::string out = run_cli(
+      "--grug " + grug_,
+      "match allocate " + job_ + "\n"
+      "match allocate_orelse_reserve " + job_ + "\n"
+      "cancel 1\n"
+      "stats\nquit\n");
+  // Legacy one-liner is intact and non-zero after two matches...
+  EXPECT_NE(out.find("visits: "), std::string::npos) << out;
+  EXPECT_EQ(out.find("visits: 0,"), std::string::npos) << out;
+  // ...and the obs catalogue reports per-op and planner activity.
+  EXPECT_NE(out.find("match ops:"), std::string::npos) << out;
+  EXPECT_NE(out.find("allocate_orelse_reserve"), std::string::npos) << out;
+  EXPECT_NE(out.find("calls=1"), std::string::npos) << out;
+  EXPECT_NE(out.find("planner:"), std::string::npos) << out;
+  EXPECT_NE(out.find("sdfu:"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, StatsVerboseAddsHistograms) {
+  const std::string out = run_cli(
+      "--grug " + grug_,
+      "match allocate " + job_ + "\nstats -v\nquit\n");
+  // Verbose mode renders latency histogram bars (bin rows with '#').
+  EXPECT_NE(out.find("latency"), std::string::npos) << out;
+  EXPECT_NE(out.find('#'), std::string::npos) << out;
+}
+
+TEST_F(CliTest, ClearStatsZeroesEverything) {
+  const std::string out = run_cli(
+      "--grug " + grug_,
+      "match allocate " + job_ + "\n"
+      "clear-stats\nstats\nquit\n");
+  EXPECT_NE(out.find("stats cleared"), std::string::npos) << out;
+  // After clearing, the legacy line reads all zeros and the per-op
+  // sections (printed only when calls > 0) are gone.
+  const auto cleared = out.find("stats cleared");
+  const std::string after = out.substr(cleared);
+  EXPECT_NE(after.find("visits: 0, pruned: 0, match attempts: 0"),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(after.find("calls="), std::string::npos) << out;
+}
+
+TEST_F(CliTest, InfoReportsSubsystemEdges) {
+  const std::string out = run_cli("--grug " + grug_, "info\nquit\n");
+  // 23-vertex tree: 22 live containment edges.
+  EXPECT_NE(out.find("subsystem containment: 22 edges"), std::string::npos)
       << out;
 }
 

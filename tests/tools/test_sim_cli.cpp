@@ -1,6 +1,8 @@
 // Integration test for the fluxion-sim batch simulator binary.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <fstream>
 #include <string>
@@ -11,10 +13,12 @@ namespace {
 #error "FLUXION_SIM_BIN must be defined by the build"
 #endif
 
+// ctest runs each discovered test as its own process, in parallel, all
+// sharing TempDir() — so every scratch filename carries the pid.
 std::string temp_dir() {
   std::string dir = ::testing::TempDir();
   if (!dir.empty() && dir.back() != '/') dir += '/';
-  return dir;
+  return dir + std::to_string(::getpid()) + "_";
 }
 
 void write_file(const std::string& path, const std::string& content) {
@@ -139,6 +143,72 @@ TEST_F(SimCliTest, AnalyzeRejectsGarbage) {
   const std::string cmd = std::string(FLUXION_ANALYZE_BIN) + " " + bad +
                           " > /dev/null 2>&1";
   EXPECT_NE(std::system(cmd.c_str()), 0);
+}
+
+TEST_F(SimCliTest, MetricsFlagWritesJsonCatalogue) {
+  const std::string metrics = temp_dir() + "sim_metrics.json";
+  std::string out;
+  ASSERT_EQ(run("--metrics " + metrics, &out), 0) << out;
+  const std::string doc = slurp(metrics);
+  // Top-level sections of the obs catalogue, with real activity inside.
+  EXPECT_NE(doc.find("\"traverser\":{\"visits\":"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"allocate_orelse_reserve\":{\"calls\":3"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"planner\":{"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"queue\":{\"submitted\":3"), std::string::npos) << doc;
+}
+
+TEST_F(SimCliTest, TraceOutFlagWritesChromeTraceEvents) {
+  const std::string trace_out = temp_dir() + "sim_events.json";
+  std::string out;
+  ASSERT_EQ(run("--trace-out " + trace_out, &out), 0) << out;
+  const std::string doc = slurp(trace_out);
+  ASSERT_FALSE(doc.empty());
+  // Bare JSON array of events with the trace-event fields.
+  EXPECT_EQ(doc.front(), '[') << doc;
+  EXPECT_EQ(doc[doc.find_last_not_of('\n')], ']') << doc;
+  for (const char* name : {"\"submit\"", "\"start\"", "\"run\"",
+                           "\"complete\"", "\"process_name\""}) {
+    EXPECT_NE(doc.find(name), std::string::npos) << name << "\n" << doc;
+  }
+  for (const char* field : {"\"ph\":", "\"ts\":", "\"pid\":", "\"tid\":"}) {
+    EXPECT_NE(doc.find(field), std::string::npos) << field << "\n" << doc;
+  }
+}
+
+TEST_F(SimCliTest, AnalyzeMetricsMergesAcrossFiles) {
+  const std::string csv = temp_dir() + "an_m.csv";
+  std::string out;
+  ASSERT_EQ(run("--csv " + csv, &out), 0);
+  const std::string metrics = temp_dir() + "an_metrics.json";
+  const std::string cmd = std::string(FLUXION_ANALYZE_BIN) + " " + csv +
+                          " " + csv + " --metrics " + metrics +
+                          " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  const std::string doc = slurp(metrics);
+  // Two per-file entries plus a merged rollup over both (3 jobs each).
+  EXPECT_NE(doc.find("\"files\":[{"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"merged\":{\"jobs\":6"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"wait\":{"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"match_ms\":{"), std::string::npos) << doc;
+}
+
+TEST_F(SimCliTest, AnalyzeTraceRebuildsJobLifecycles) {
+  const std::string csv = temp_dir() + "an_t.csv";
+  std::string out;
+  ASSERT_EQ(run("--csv " + csv, &out), 0);
+  const std::string trace_out = temp_dir() + "an_events.json";
+  const std::string cmd = std::string(FLUXION_ANALYZE_BIN) + " " + csv +
+                          " --trace " + trace_out + " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  const std::string doc = slurp(trace_out);
+  ASSERT_FALSE(doc.empty());
+  EXPECT_EQ(doc.front(), '[') << doc;
+  for (const char* name :
+       {"\"submit\"", "\"start\"", "\"run\"", "\"complete\""}) {
+    EXPECT_NE(doc.find(name), std::string::npos) << name << "\n" << doc;
+  }
 }
 
 TEST_F(SimCliTest, BadArgsFail) {

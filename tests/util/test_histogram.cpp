@@ -62,6 +62,107 @@ TEST(Histogram, RenderShowsOnlyNonEmptyBins) {
   EXPECT_EQ(rows, 2u);
 }
 
+TEST(Histogram, QuantileExtremesReturnObservedMinMax) {
+  // Regression: q=0 used to report lo_ (the bin-range floor) even though
+  // the observed minimum is tracked exactly; symmetrically for q=1.
+  Histogram h(0, 100, 10);
+  h.add(37);
+  h.add(42);
+  h.add(63);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 37);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 63);
+}
+
+TEST(Histogram, QuantileExtremesWithOnlyOutOfRangeSamples) {
+  // All mass in the underflow/overflow counters: the binned scan has
+  // nothing to interpolate, but min/max are still exact.
+  Histogram h(10, 20, 2);
+  h.add(3);
+  h.add(42);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 42);
+}
+
+TEST(Histogram, ResetDropsEverything) {
+  Histogram h(0, 10, 5);
+  h.add(-1);
+  h.add(5);
+  h.add(99);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0);
+  EXPECT_DOUBLE_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0);
+  for (auto b : h.bins()) EXPECT_EQ(b, 0u);
+  h.add(7);  // still usable after reset
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bins()[3], 1u);
+}
+
+TEST(Histogram, MergeFoldsCountsAndStats) {
+  Histogram a(0, 100, 10);
+  Histogram b(0, 100, 10);
+  a.add(5);
+  a.add(15);
+  b.add(95);
+  b.add(150);   // overflow
+  b.add(-3);    // underflow
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.min(), -3);
+  EXPECT_DOUBLE_EQ(a.max(), 150);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.bins()[0], 1u);
+  EXPECT_EQ(a.bins()[1], 1u);
+  EXPECT_EQ(a.bins()[9], 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), (5 + 15 + 95 + 150 - 3) / 5.0);
+}
+
+TEST(Histogram, MergeIntoEmptyAdoptsMinMax) {
+  Histogram a(0, 100, 10);
+  Histogram b(0, 100, 10);
+  b.add(40);
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_DOUBLE_EQ(a.min(), 40);
+  EXPECT_DOUBLE_EQ(a.max(), 40);
+  // Merging an empty histogram is a no-op.
+  Histogram empty(0, 100, 10);
+  ASSERT_TRUE(a.merge(empty));
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(Histogram, MergeRejectsIncompatibleLayouts) {
+  Histogram a(0, 100, 10);
+  a.add(5);
+  Histogram different_range(0, 200, 10);
+  Histogram different_bins(0, 100, 20);
+  different_range.add(42);
+  EXPECT_FALSE(a.merge(different_range));
+  EXPECT_FALSE(a.merge(different_bins));
+  // Failed merges leave the target untouched.
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.max(), 5);
+}
+
+TEST(Histogram, JsonCarriesStatsAndBins) {
+  Histogram h(0, 10, 2);
+  h.add(1);
+  h.add(6);
+  h.add(11);
+  const std::string j = h.json();
+  EXPECT_NE(j.find("\"count\":3"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"min\":1"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"max\":11"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"mean\":6"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"overflow\":1"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"bins\":[1,1]"), std::string::npos) << j;
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
 TEST(Histogram, BinLoBoundaries) {
   Histogram h(10, 30, 4);
   EXPECT_DOUBLE_EQ(h.bin_lo(0), 10);

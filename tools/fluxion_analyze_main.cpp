@@ -7,6 +7,9 @@
 //
 // Usage:
 //   fluxion-analyze SCHEDULE.csv [MORE.csv ...]
+//                   [--metrics FILE]  # merged wait/match histograms (JSON)
+//                   [--trace FILE]    # job lifecycles re-derived from the
+//                                     # CSV as Chrome trace-event JSON
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -14,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/histogram.hpp"
 #include "util/strings.hpp"
 
@@ -53,7 +57,19 @@ bool parse_row(std::string_view line, Row& row) {
   return true;
 }
 
-int analyze(const std::string& path) {
+/// Per-file summary with histograms on one fixed canonical layout, so the
+/// --metrics aggregation can Histogram::merge across input files.
+struct FileStats {
+  std::string path;
+  std::size_t jobs = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::int64_t makespan = 0;
+  util::Histogram wait{0.0, 1048576.0, 64};   // simulated seconds
+  util::Histogram match_ms{0.0, 1000.0, 50};  // wall milliseconds
+};
+
+int analyze(const std::string& path, FileStats* agg, obs::TraceLog* tl) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "fluxion-analyze: cannot read %s\n", path.c_str());
@@ -127,6 +143,29 @@ int analyze(const std::string& path) {
     size_wait[bucket] += static_cast<double>(r.wait);
     ++size_count[bucket];
   }
+  if (agg != nullptr) {
+    agg->path = path;
+    agg->jobs = rows.size();
+    agg->completed = completed;
+    agg->rejected = rejected;
+    agg->makespan = makespan;
+    for (const Row& r : rows) {
+      agg->wait.add(static_cast<double>(r.wait));
+      agg->match_ms.add(r.match_ms);
+    }
+  }
+  if (tl != nullptr) {
+    for (const Row& r : rows) {
+      if (r.start < 0 || r.end < r.start) continue;
+      const double start = static_cast<double>(r.start);
+      tl->sim_instant("submit", start - static_cast<double>(r.wait), r.job,
+                      {{"file", obs::trace_str(path)}});
+      tl->sim_instant("start", start, r.job);
+      tl->sim_span("run", start, static_cast<double>(r.end - r.start), r.job,
+                   {{"nodes", std::to_string(r.nodes)}});
+      tl->sim_instant("complete", static_cast<double>(r.end), r.job);
+    }
+  }
 
   std::printf("== %s ==\n", path.c_str());
   std::printf("jobs: %zu (%zu completed, %zu rejected)  makespan: %lld\n",
@@ -156,16 +195,93 @@ int analyze(const std::string& path) {
   return 0;
 }
 
+std::string metrics_json(const std::vector<FileStats>& files) {
+  FileStats merged;
+  std::string out = "{\"files\":[";
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const FileStats& f = files[i];
+    if (i != 0) out += ",";
+    out += "{\"path\":" + obs::trace_str(f.path) +
+           ",\"jobs\":" + std::to_string(f.jobs) +
+           ",\"completed\":" + std::to_string(f.completed) +
+           ",\"rejected\":" + std::to_string(f.rejected) +
+           ",\"makespan\":" + std::to_string(f.makespan) +
+           ",\"wait\":" + f.wait.json() +
+           ",\"match_ms\":" + f.match_ms.json() + "}";
+    merged.jobs += f.jobs;
+    merged.completed += f.completed;
+    merged.rejected += f.rejected;
+    merged.makespan = std::max(merged.makespan, f.makespan);
+    // Same canonical layout everywhere, so merge cannot fail.
+    (void)merged.wait.merge(f.wait);
+    (void)merged.match_ms.merge(f.match_ms);
+  }
+  out += "],\"merged\":{\"jobs\":" + std::to_string(merged.jobs) +
+         ",\"completed\":" + std::to_string(merged.completed) +
+         ",\"rejected\":" + std::to_string(merged.rejected) +
+         ",\"makespan\":" + std::to_string(merged.makespan) +
+         ",\"wait\":" + merged.wait.json() +
+         ",\"match_ms\":" + merged.match_ms.json() + "}}";
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s SCHEDULE.csv [MORE.csv ...] [--metrics FILE] "
+               "[--trace FILE]\n",
+               argv0);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s SCHEDULE.csv [MORE.csv ...]\n", argv[0]);
-    return 2;
-  }
+  std::vector<std::string> paths;
+  std::string metrics_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
-    const int rc = analyze(argv[i]);
+    const std::string arg = argv[i];
+    if (arg == "--metrics") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      metrics_path = argv[++i];
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      trace_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(argv[0]);
+
+  obs::TraceLog tl;
+  if (!trace_path.empty()) tl.set_enabled(true);
+  std::vector<FileStats> files;
+  for (const std::string& p : paths) {
+    FileStats fs;
+    const int rc = analyze(p, metrics_path.empty() ? nullptr : &fs,
+                           trace_path.empty() ? nullptr : &tl);
     if (rc != 0) return rc;
+    if (!metrics_path.empty()) files.push_back(std::move(fs));
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream mo(metrics_path);
+    if (!mo) {
+      std::fprintf(stderr, "fluxion-analyze: cannot write %s\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    mo << metrics_json(files) << "\n";
+  }
+  if (!trace_path.empty()) {
+    std::ofstream to(trace_path);
+    if (!to) {
+      std::fprintf(stderr, "fluxion-analyze: cannot write %s\n",
+                   trace_path.c_str());
+      return 2;
+    }
+    to << tl.chrome_json();
   }
   return 0;
 }

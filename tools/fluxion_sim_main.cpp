@@ -12,6 +12,9 @@
 //               [--perf-classes SEED]   # stamp Eq. 1 classes on nodes
 //               [--arrivals MEAN]       # Poisson arrivals (online replay)
 //               [--csv FILE]            # per-job schedule (default stdout)
+//               [--metrics FILE]        # counter/histogram catalogue (JSON)
+//               [--trace-out FILE]      # job lifecycle + match phases as
+//                                       # Chrome trace-event JSON (Perfetto)
 //
 // Traces may carry a third per-line field (arrival time); with arrivals —
 // from the file or --arrivals — jobs are submitted online on the
@@ -25,6 +28,8 @@
 #include <vector>
 
 #include "core/resource_query.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "queue/job_queue.hpp"
 #include "sim/perf_classes.hpp"
 #include "sim/utilization.hpp"
@@ -52,7 +57,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --grug FILE --trace FILE [--cores N] [--policy NAME]\n"
       "          [--queue fcfs|easy|conservative] [--perf-classes SEED]\n"
-      "          [--arrivals MEAN] [--csv FILE] [--util FILE]\n",
+      "          [--arrivals MEAN] [--csv FILE] [--util FILE]\n"
+      "          [--metrics FILE] [--trace-out FILE]\n",
       argv0);
   return 2;
 }
@@ -66,6 +72,8 @@ int main(int argc, char** argv) {
   std::string queue_name = "conservative";
   std::string csv_path;
   std::string util_path;
+  std::string metrics_path;
+  std::string trace_out_path;
   std::int64_t cores = 36;
   std::int64_t perf_seed = -1;
   double arrivals_mean = 0;
@@ -92,6 +100,10 @@ int main(int argc, char** argv) {
       if (const char* v = next()) csv_path = v;
     } else if (arg == "--util") {
       if (const char* v = next()) util_path = v;
+    } else if (arg == "--metrics") {
+      if (const char* v = next()) metrics_path = v;
+    } else if (arg == "--trace-out") {
+      if (const char* v = next()) trace_out_path = v;
     } else {
       return usage(argv[0]);
     }
@@ -157,6 +169,9 @@ int main(int argc, char** argv) {
       trace->begin(), trace->end(),
       [](const sim::TraceJob& j) { return j.arrival != 0; });
 
+  if (!metrics_path.empty()) obs::set_enabled(true);
+  if (!trace_out_path.empty()) obs::trace().set_enabled(true);
+
   queue::JobQueue q((*rq)->traverser(), qp);
   std::vector<traverser::JobId> ids;
   if (online) {
@@ -218,6 +233,25 @@ int main(int argc, char** argv) {
       return 2;
     }
     u << sim::utilization_csv(sim::utilization_timeline(q));
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream mo(metrics_path);
+    if (!mo) {
+      std::fprintf(stderr, "fluxion-sim: cannot write %s\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    mo << obs::monitor().json() << "\n";
+  }
+  if (!trace_out_path.empty()) {
+    std::ofstream to(trace_out_path);
+    if (!to) {
+      std::fprintf(stderr, "fluxion-sim: cannot write %s\n",
+                   trace_out_path.c_str());
+      return 2;
+    }
+    to << obs::trace().chrome_json();
   }
 
   const auto m = q.metrics();

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/resource_query.hpp"
+#include "obs/metrics.hpp"
 #include "queue/job_queue.hpp"
 #include "sim/workload.hpp"
 #include "util/strings.hpp"
@@ -64,7 +65,8 @@ void print_help() {
       "                              conservative backfilling, print metrics\n"
       "  find JOBID\n"
       "  info   — graph summary\n"
-      "  stats  — traversal statistics\n"
+      "  stats [-v]  — match/planner counters (-v adds histograms)\n"
+      "  clear-stats — zero every counter and histogram\n"
       "  jgf    — dump the resource graph as JSON Graph Format\n"
       "  quit\n");
 }
@@ -245,6 +247,11 @@ struct Cli {
                   static_cast<unsigned long long>(s.visits),
                   static_cast<unsigned long long>(s.pruned),
                   static_cast<unsigned long long>(s.match_attempts));
+      const bool verbose = args.size() > 1 && args[1] == "-v";
+      std::printf("%s", obs::monitor().render(verbose).c_str());
+    } else if (cmd == "clear-stats") {
+      rq->clear_stats();
+      std::printf("stats cleared\n");
     } else if (cmd == "jgf") {
       std::printf("%s\n", writers::graph_jgf_string(rq->graph()).c_str());
     } else {
@@ -313,6 +320,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "resource-query: %s\n", rq.error().message.c_str());
     return 2;
   }
+  // The interactive tool always collects counters: the branch per
+  // increment is noise next to terminal I/O, and `stats` should never be
+  // silently empty.
+  obs::set_enabled(true);
   Cli cli{std::move(*rq), format};
   std::printf("resource-query: %zu vertices, policy=%s (type 'help')\n",
               cli.rq->graph().live_vertex_count(), policy.c_str());
