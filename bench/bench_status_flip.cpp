@@ -1,0 +1,139 @@
+// Dynamic-resource churn cost: match throughput while nodes drain and
+// revive underneath the scheduler (paper §6 — node failure is routine at
+// scale, so status flips must stay off the match critical path).
+//
+// Two runs over the same allocate/cancel stream on a quartz-like system:
+//   steady — no status changes;
+//   churn  — every few matches a random node is drained and a previously
+//            drained one revived, exercising the O(paths) filter updates
+//            and the traverser's status pruning.
+//
+// Environment:
+//   FLUXION_FLIP_RACKS    — rack count (default 10)
+//   FLUXION_FLIP_MATCHES  — match stream length (default 2000)
+//   FLUXION_FLIP_PERIOD   — matches per drain/undrain pair (default 4)
+//   FLUXION_BENCH_METRICS — write the obs counter/histogram catalogue as
+//                           JSON to this file (enables collection, which
+//                           perturbs the timings slightly)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <vector>
+
+#include "core/resource_query.hpp"
+#include "dynamic/dynamic.hpp"
+#include "grug/recipes.hpp"
+#include "jobspec/jobspec.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace {
+using namespace fluxion;
+
+struct Run {
+  double seconds = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t flips = 0;
+  std::uint64_t status_pruned = 0;
+};
+
+Run run_once(bool churn, int racks, int matches, int period) {
+  auto rq = core::ResourceQuery::create(grug::recipes::quartz(true, racks));
+  if (!rq) std::exit(1);
+  graph::ResourceGraph& g = (*rq)->graph();
+  traverser::Traverser& trav = (*rq)->traverser();
+  dynamic::DynamicResources dyn(g, trav);
+
+  auto js = jobspec::make(
+      {jobspec::slot(1, {jobspec::xres("node", 1,
+                                       {jobspec::res("core", 36)})})},
+      600);
+  if (!js) std::exit(1);
+  const auto nodes = g.vertices_of_type(*g.find_type("node"));
+  util::Rng rng(42);
+  std::deque<graph::VertexId> drained;
+  std::deque<traverser::JobId> live;
+  const std::uint64_t pruned0 = trav.stats().status_pruned;
+
+  Run r;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < matches; ++i) {
+    if (churn && i % period == 0) {
+      // Drain a fresh node; revive the oldest once a rack's worth is out.
+      const auto v = nodes[rng.index(nodes.size())];
+      if (g.vertex(v).status == graph::ResourceStatus::up &&
+          dyn.set_status(v, graph::ResourceStatus::drained)) {
+        drained.push_back(v);
+        ++r.flips;
+      }
+      if (drained.size() > 62) {
+        if (dyn.set_status(drained.front(), graph::ResourceStatus::up)) {
+          ++r.flips;
+        }
+        drained.pop_front();
+      }
+    }
+    const auto id = static_cast<traverser::JobId>(i + 1);
+    if (trav.match(*js, traverser::MatchOp::allocate, 0, id)) {
+      ++r.matched;
+      live.push_back(id);
+    }
+    // Bound the committed state so the stream reaches a steady mix of
+    // allocations and cancellations instead of filling the machine.
+    if (live.size() > static_cast<std::size_t>(racks) * 31) {
+      (void)trav.cancel(live.front());
+      live.pop_front();
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.status_pruned = trav.stats().status_pruned - pruned0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  int racks = 10;
+  int matches = 2000;
+  int period = 4;
+  if (const char* env = std::getenv("FLUXION_FLIP_RACKS")) {
+    racks = std::max(1, std::atoi(env));
+  }
+  if (const char* env = std::getenv("FLUXION_FLIP_MATCHES")) {
+    matches = std::max(1, std::atoi(env));
+  }
+  if (const char* env = std::getenv("FLUXION_FLIP_PERIOD")) {
+    period = std::max(1, std::atoi(env));
+  }
+  const char* metrics_path = std::getenv("FLUXION_BENCH_METRICS");
+  if (metrics_path != nullptr) obs::set_enabled(true);
+
+  std::printf("# status-flip churn: %d nodes, %d matches, drain/undrain "
+              "every %d matches\n",
+              racks * 62, matches, period);
+  std::printf("%-8s %12s %12s %12s %10s %14s\n", "mode", "total[s]",
+              "matches/s", "matched", "flips", "status_pruned");
+  for (const bool churn : {false, true}) {
+    const Run r = run_once(churn, racks, matches, period);
+    std::printf("%-8s %12.3f %12.0f %12llu %10llu %14llu\n",
+                churn ? "churn" : "steady", r.seconds,
+                r.seconds > 0 ? static_cast<double>(r.matched) / r.seconds
+                              : 0.0,
+                static_cast<unsigned long long>(r.matched),
+                static_cast<unsigned long long>(r.flips),
+                static_cast<unsigned long long>(r.status_pruned));
+  }
+  if (metrics_path != nullptr) {
+    std::ofstream mo(metrics_path);
+    if (!mo) {
+      std::fprintf(stderr, "bench_status_flip: cannot write %s\n",
+                   metrics_path);
+      return 2;
+    }
+    mo << obs::monitor().json() << "\n";
+  }
+  return 0;
+}

@@ -5,11 +5,15 @@
 #include <memory>
 
 #include "core/resource_query.hpp"
+#include "dynamic/dynamic.hpp"
 #include "obs/metrics.hpp"
 #include "writers/rlite.hpp"
 
 struct reapi_ctx {
   std::unique_ptr<fluxion::core::ResourceQuery> rq;
+  /// Dynamic-resource layer over rq's graph + traverser (no queue: evicted
+  /// jobs are killed).
+  std::unique_ptr<fluxion::dynamic::DynamicResources> dyn;
 };
 
 namespace {
@@ -57,6 +61,8 @@ reapi_ctx_t* reapi_create(const char* grug_text, const char* policy,
   }
   auto* ctx = new reapi_ctx;
   ctx->rq = std::move(*rq);
+  ctx->dyn = std::make_unique<fluxion::dynamic::DynamicResources>(
+      ctx->rq->graph(), ctx->rq->traverser());
   return ctx;
 }
 
@@ -115,6 +121,52 @@ reapi_status_t reapi_info(reapi_ctx_t* ctx, uint64_t jobid, int64_t* at_out,
 
 uint64_t reapi_job_count(const reapi_ctx_t* ctx) {
   return ctx == nullptr ? 0 : ctx->rq->traverser().job_count();
+}
+
+reapi_status_t reapi_set_status(reapi_ctx_t* ctx, const char* path,
+                                const char* status, uint64_t* evicted_out) {
+  if (ctx == nullptr || path == nullptr || status == nullptr) {
+    return REAPI_EINVAL;
+  }
+  const auto parsed = fluxion::graph::parse_status(status);
+  if (!parsed) return REAPI_EINVAL;
+  const auto v = ctx->rq->graph().find_by_path(path);
+  if (!v) return REAPI_ENOENT;
+  auto change = ctx->dyn->set_status(*v, *parsed);
+  if (!change) return to_status(change.error().code);
+  if (evicted_out != nullptr) {
+    *evicted_out = static_cast<uint64_t>(change->evicted.size());
+  }
+  return REAPI_OK;
+}
+
+reapi_status_t reapi_grow(reapi_ctx_t* ctx, const char* parent_path,
+                          const char* grug_text, char** root_path_out) {
+  if (root_path_out != nullptr) *root_path_out = nullptr;
+  if (ctx == nullptr || parent_path == nullptr || grug_text == nullptr) {
+    return REAPI_EINVAL;
+  }
+  const auto parent = ctx->rq->graph().find_by_path(parent_path);
+  if (!parent) return REAPI_ENOENT;
+  auto root = ctx->dyn->grow(*parent, grug_text);
+  if (!root) return to_status(root.error().code);
+  if (root_path_out != nullptr) {
+    *root_path_out = dup_string(ctx->rq->graph().vertex(*root).path);
+  }
+  return REAPI_OK;
+}
+
+reapi_status_t reapi_shrink(reapi_ctx_t* ctx, const char* path,
+                            uint64_t* evicted_out) {
+  if (ctx == nullptr || path == nullptr) return REAPI_EINVAL;
+  const auto v = ctx->rq->graph().find_by_path(path);
+  if (!v) return REAPI_ENOENT;
+  auto result = ctx->dyn->shrink(*v);
+  if (!result) return to_status(result.error().code);
+  if (evicted_out != nullptr) {
+    *evicted_out = static_cast<uint64_t>(result->evicted.size());
+  }
+  return REAPI_OK;
 }
 
 reapi_status_t reapi_audit(const reapi_ctx_t* ctx) {

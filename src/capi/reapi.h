@@ -64,6 +64,33 @@ reapi_status_t reapi_info(reapi_ctx_t* ctx, uint64_t jobid, int64_t* at_out,
 /* Live (allocated or reserved) job count. */
 uint64_t reapi_job_count(const reapi_ctx_t* ctx);
 
+/* --- Dynamic resources: runtime status and elastic grow/shrink.
+ * A context schedules without a job queue, so evicting a subtree cancels
+ * the intersecting jobs outright (kill semantics); embedders that requeue
+ * should resubmit from their own queue. All operations are transactional:
+ * on failure the resource graph is unchanged. */
+
+/* Set the status ("up", "down" or "drained") of the vertex at the
+ * containment path `path` and its whole subtree. Transitioning to "down"
+ * first cancels every job whose allocation intersects the subtree and
+ * removes the subtree's capacity from the pruning filters; "drained"
+ * stops new matches but keeps running jobs. evicted_out (optional)
+ * receives the number of jobs cancelled. */
+reapi_status_t reapi_set_status(reapi_ctx_t* ctx, const char* path,
+                                const char* status, uint64_t* evicted_out);
+
+/* Build a subtree from a GRUG recipe and attach it under the vertex at
+ * parent_path. On success fills root_path_out (malloc'd; release with
+ * reapi_free_string) with the new subtree root's containment path. */
+reapi_status_t reapi_grow(reapi_ctx_t* ctx, const char* parent_path,
+                          const char* grug_text, char** root_path_out);
+
+/* Cancel every job touching the subtree at `path`, then detach the
+ * subtree. evicted_out (optional) receives the number of jobs
+ * cancelled. */
+reapi_status_t reapi_shrink(reapi_ctx_t* ctx, const char* path,
+                            uint64_t* evicted_out);
+
 /* Deep structural audit of the scheduler state: every per-vertex planner
  * must validate and the pruning filters must agree with a from-scratch
  * recount of the committed claims. Returns REAPI_OK when coherent and

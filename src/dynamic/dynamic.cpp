@@ -1,0 +1,198 @@
+#include "dynamic/dynamic.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace fluxion::dynamic {
+
+using graph::ResourceStatus;
+using graph::VertexId;
+using traverser::JobId;
+using util::Errc;
+
+DynamicResources::DynamicResources(graph::ResourceGraph& g,
+                                   traverser::Traverser& trav,
+                                   queue::JobQueue* q)
+    : g_(g), trav_(trav), queue_(q) {}
+
+bool DynamicResources::fault_fires(const char* point) {
+  if (fault_point_.empty() || fault_point_ != point) return false;
+  fault_point_.clear();
+  return true;
+}
+
+util::Status DynamicResources::run_audit(const char* op) const {
+  if (!trav_.audit_enabled()) return util::Status::ok();
+  if (!g_.validate() || !trav_.audit()) {
+    return util::internal_error(
+        std::string("post-mutation audit failed after dynamic ") + op);
+  }
+  return util::Status::ok();
+}
+
+util::Status DynamicResources::evict(VertexId v, queue::EvictPolicy policy,
+                                     std::vector<JobId>& evicted,
+                                     std::vector<JobId>& replanned) {
+  if (queue_ != nullptr) {
+    queue::EvictResult r = queue_->evict_on(v, policy);
+    evicted.insert(evicted.end(), r.requeued.begin(), r.requeued.end());
+    evicted.insert(evicted.end(), r.killed.begin(), r.killed.end());
+    replanned = std::move(r.replanned);
+    stats_.evicted_requeued += r.requeued.size();
+    stats_.evicted_killed += r.killed.size();
+    stats_.replanned += replanned.size();
+    return r.released;
+  }
+  // No queue: jobs live only in the traverser; cancelling them is a kill.
+  util::Status released = util::Status::ok();
+  for (JobId id : trav_.jobs_on_subtree(v)) {
+    auto st = trav_.cancel(id);
+    if (!st && released) released = st;
+    evicted.push_back(id);
+    ++stats_.evicted_killed;
+    if (obs::enabled()) obs::monitor().dyn_evicted_killed.inc();
+  }
+  return released;
+}
+
+util::Expected<StatusChange> DynamicResources::set_status(
+    VertexId v, ResourceStatus s, queue::EvictPolicy policy) {
+  if (v >= g_.vertex_count() || !g_.vertex(v).alive) {
+    return util::Error{Errc::not_found, "set_status: unknown vertex"};
+  }
+  StatusChange change;
+  change.previous = g_.vertex(v).status;
+  if (s == ResourceStatus::up && change.previous == ResourceStatus::up &&
+      g_.vertex(v).non_up_below == 0) {
+    return change;  // whole subtree already up
+  }
+  // Going down releases every allocation in the subtree first, so the
+  // graph-level status flip (which refuses busy subtrees) cannot fail on
+  // live spans. Drain keeps jobs running; un-down/undrain evicts nothing.
+  if (s == ResourceStatus::down) {
+    if (auto st = evict(v, policy, change.evicted, change.replanned); !st) {
+      return st.error();
+    }
+  }
+  if (fault_fires("status:commit")) {
+    return util::Error{Errc::resource_busy,
+                       "injected fault at status:commit"};
+  }
+  if (auto st = g_.set_status(v, s); !st) return st.error();
+  ++stats_.status_flips;
+  if (obs::enabled()) obs::monitor().dyn_status_flips.inc();
+  obs::trace().sim_instant(
+      "status", queue_ != nullptr ? static_cast<double>(queue_->now()) : 0.0,
+      /*job_id=*/0,
+      {{"path", obs::trace_str(g_.vertex(v).path)},
+       {"status", obs::trace_str(graph::status_name(s))}});
+  if (auto st = run_audit("set_status"); !st) return st.error();
+  return change;
+}
+
+util::Expected<VertexId> DynamicResources::grow(VertexId parent,
+                                                const grug::Recipe& recipe) {
+  if (parent >= g_.vertex_count() || !g_.vertex(parent).alive) {
+    return util::Error{Errc::not_found, "grow: unknown parent vertex"};
+  }
+  const std::int64_t t0 = obs::trace().now_us();
+  if (fault_fires("grow:build")) {
+    return util::Error{Errc::resource_busy, "injected fault at grow:build"};
+  }
+  // Build the fragment detached in the same graph (fresh planners, interned
+  // types, collision-free names via the graph-seeded instance counters),
+  // then attach in one step. Any failure discards the fragment, leaving
+  // the pre-call graph.
+  const VertexId mark = static_cast<VertexId>(g_.vertex_count());
+  auto built = grug::build(g_, recipe);
+  if (!built) {
+    g_.discard_detached_from(mark);
+    return built.error();
+  }
+  if (fault_fires("grow:attach")) {
+    g_.discard_detached_from(mark);
+    return util::Error{Errc::resource_busy, "injected fault at grow:attach"};
+  }
+  if (auto st = g_.attach_subtree(parent, *built); !st) {
+    if (g_.vertex(*built).containment_parent != graph::kInvalidVertex) {
+      (void)g_.detach_subtree(*built);
+    }
+    g_.discard_detached_from(mark);
+    return st.error();
+  }
+  const std::size_t added = g_.vertex_count() - mark;
+  ++stats_.grow_calls;
+  stats_.vertices_added += added;
+  // Reservations were planned against the old capacity; give every
+  // reserved job a fresh shot at the enlarged graph (never a later start:
+  // the old plan is still available to the next schedule() pass).
+  if (queue_ != nullptr) {
+    stats_.replanned += queue_->replan_reserved().size();
+  }
+  const std::int64_t dur = obs::trace().now_us() - t0;
+  if (obs::enabled()) {
+    auto& m = obs::monitor();
+    m.dyn_grow_calls.inc();
+    m.dyn_vertices_added.inc(added);
+    m.dyn_grow_latency_us.add(static_cast<double>(dur));
+  }
+  obs::trace().wall_span(
+      "dyn_grow", t0, dur,
+      {{"parent", obs::trace_str(g_.vertex(parent).path)},
+       {"root", obs::trace_str(g_.vertex(*built).path)},
+       {"vertices", std::to_string(added)}});
+  if (auto st = run_audit("grow"); !st) return st.error();
+  return *built;
+}
+
+util::Expected<VertexId> DynamicResources::grow(VertexId parent,
+                                                std::string_view grug_text) {
+  auto recipe = grug::parse(grug_text);
+  if (!recipe) return recipe.error();
+  return grow(parent, *recipe);
+}
+
+util::Expected<ShrinkResult> DynamicResources::shrink(
+    VertexId v, queue::EvictPolicy policy) {
+  if (v >= g_.vertex_count() || !g_.vertex(v).alive) {
+    return util::Error{Errc::not_found, "shrink: unknown vertex"};
+  }
+  if (g_.vertex(v).containment_parent == graph::kInvalidVertex) {
+    return util::Error{Errc::invalid_argument,
+                       "shrink: cannot detach the graph root"};
+  }
+  const std::int64_t t0 = obs::trace().now_us();
+  if (fault_fires("shrink:evict")) {
+    return util::Error{Errc::resource_busy, "injected fault at shrink:evict"};
+  }
+  ShrinkResult result;
+  if (auto st = evict(v, policy, result.evicted, result.replanned); !st) {
+    return st.error();
+  }
+  if (fault_fires("shrink:detach")) {
+    return util::Error{Errc::resource_busy,
+                       "injected fault at shrink:detach"};
+  }
+  const std::size_t before = g_.live_vertex_count();
+  const std::string path = g_.vertex(v).path;
+  if (auto st = g_.detach_subtree(v); !st) return st.error();
+  result.removed_vertices = before - g_.live_vertex_count();
+  ++stats_.shrink_calls;
+  stats_.vertices_removed += result.removed_vertices;
+  const std::int64_t dur = obs::trace().now_us() - t0;
+  if (obs::enabled()) {
+    auto& m = obs::monitor();
+    m.dyn_shrink_calls.inc();
+    m.dyn_vertices_removed.inc(result.removed_vertices);
+    m.dyn_shrink_latency_us.add(static_cast<double>(dur));
+  }
+  obs::trace().wall_span(
+      "dyn_shrink", t0, dur,
+      {{"path", obs::trace_str(path)},
+       {"vertices", std::to_string(result.removed_vertices)}});
+  if (auto st = run_audit("shrink"); !st) return st.error();
+  return result;
+}
+
+}  // namespace fluxion::dynamic

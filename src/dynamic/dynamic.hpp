@@ -1,0 +1,111 @@
+// Dynamic-resource subsystem (paper §1, §6): runtime up/down/drain status
+// and elastic graph grow/shrink, coordinated across the layers that each
+// own part of the state:
+//
+//   * graph     — per-vertex ResourceStatus, ancestor-filter capacity
+//                 (SDFU-style O(paths) updates), attach/detach;
+//   * traverser — preorder pruning of non-up vertices, span release;
+//   * queue     — eviction of running/reserved jobs whose allocation
+//                 intersects the affected subtree (optional: a traverser
+//                 used without a queue kills intersecting jobs directly).
+//
+// Every mutation is transactional in the PR-1 style: pre-validate, roll
+// back on mid-flight failure, auditable via Planner::validate /
+// Traverser::verify_filters. `fail_next` injects faults at the commit
+// points so tests can drive the rollback paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/resource_graph.hpp"
+#include "grug/grug.hpp"
+#include "queue/job_queue.hpp"
+#include "traverser/traverser.hpp"
+#include "util/expected.hpp"
+
+namespace fluxion::dynamic {
+
+/// Lifetime counters, independent of the process-wide obs catalogue.
+struct DynStats {
+  std::uint64_t status_flips = 0;
+  std::uint64_t evicted_requeued = 0;
+  std::uint64_t evicted_killed = 0;
+  std::uint64_t replanned = 0;
+  std::uint64_t grow_calls = 0;
+  std::uint64_t shrink_calls = 0;
+  std::uint64_t vertices_added = 0;
+  std::uint64_t vertices_removed = 0;
+};
+
+struct StatusChange {
+  graph::ResourceStatus previous = graph::ResourceStatus::up;
+  std::vector<traverser::JobId> evicted;    // running jobs cancelled
+  std::vector<traverser::JobId> replanned;  // reservations back to pending
+};
+
+struct ShrinkResult {
+  std::size_t removed_vertices = 0;
+  std::vector<traverser::JobId> evicted;
+  std::vector<traverser::JobId> replanned;
+};
+
+class DynamicResources {
+ public:
+  /// The graph and traverser must outlive this object. `q` is optional:
+  /// with a queue, evicted running jobs are requeued or killed per policy
+  /// and reservations are re-planned; without one, intersecting jobs are
+  /// cancelled on the traverser directly (kill semantics). Do not mix
+  /// queue-managed and direct traverser jobs on the same graph.
+  DynamicResources(graph::ResourceGraph& g, traverser::Traverser& trav,
+                   queue::JobQueue* q = nullptr);
+
+  /// Set the status of `v`'s containment subtree. Transitions to `down`
+  /// first evict every job whose allocation intersects the subtree
+  /// (running jobs per `policy`, reservations re-planned), then subtract
+  /// the subtree's capacity from ancestor pruning filters.
+  util::Expected<StatusChange> set_status(
+      graph::VertexId v, graph::ResourceStatus s,
+      queue::EvictPolicy policy = queue::EvictPolicy::requeue);
+
+  /// Attach a freshly-built subtree under `parent` from a GRUG recipe
+  /// (fresh planners, paths, filter capacity). Returns the new subtree
+  /// root. Transactional: a mid-flight failure discards the fragment and
+  /// leaves the graph exactly as it was.
+  util::Expected<graph::VertexId> grow(graph::VertexId parent,
+                                       const grug::Recipe& recipe);
+  util::Expected<graph::VertexId> grow(graph::VertexId parent,
+                                       std::string_view grug_text);
+
+  /// Evict every job touching `v`'s subtree (running jobs per `policy`),
+  /// then detach the subtree; ancestor filters give up its capacity.
+  util::Expected<ShrinkResult> shrink(
+      graph::VertexId v, queue::EvictPolicy policy = queue::EvictPolicy::requeue);
+
+  const DynStats& stats() const noexcept { return stats_; }
+
+  /// Test hook mirroring Traverser::fail_next: the next commit point
+  /// tagged `point` fails. Points: "status:commit", "grow:build",
+  /// "grow:attach", "shrink:evict", "shrink:detach".
+  void fail_next(std::string point) { fault_point_ = std::move(point); }
+
+ private:
+  bool fault_fires(const char* point);
+  /// Evict every job whose allocation intersects v's subtree; fills
+  /// `evicted`/`replanned` and returns the first internal release error.
+  util::Status evict(graph::VertexId v, queue::EvictPolicy policy,
+                     std::vector<traverser::JobId>& evicted,
+                     std::vector<traverser::JobId>& replanned);
+  /// Post-mutation audit when the traverser's audit hook is enabled.
+  util::Status run_audit(const char* op) const;
+
+  graph::ResourceGraph& g_;
+  traverser::Traverser& trav_;
+  queue::JobQueue* queue_;
+  DynStats stats_;
+  std::string fault_point_;
+};
+
+}  // namespace fluxion::dynamic

@@ -9,6 +9,7 @@ void walk(const ResourceGraph& g, VertexId v, std::size_t depth,
           GraphStats& stats) {
   const Vertex& vx = g.vertex(v);
   ++stats.vertices;
+  ++stats.status_vertices[static_cast<std::size_t>(vx.status)];
   stats.depth = std::max(stats.depth, depth);
   stats.type_vertices[g.type_name(vx.type)] += 1;
   stats.type_units[g.type_name(vx.type)] += vx.size;
@@ -40,6 +41,18 @@ std::string render_stats(const GraphStats& stats) {
          ", containment edges: " + std::to_string(stats.edges) +
          ", depth: " + std::to_string(stats.depth) +
          ", leaves: " + std::to_string(stats.leaves) + "\n";
+  const std::size_t non_up =
+      stats.status_vertices[static_cast<std::size_t>(ResourceStatus::down)] +
+      stats.status_vertices[static_cast<std::size_t>(ResourceStatus::drained)];
+  if (non_up != 0) {
+    out += "status:";
+    for (std::size_t s = 0; s < kStatusCount; ++s) {
+      if (stats.status_vertices[s] == 0) continue;
+      out += std::string(" ") + status_name(static_cast<ResourceStatus>(s)) +
+             "=" + std::to_string(stats.status_vertices[s]);
+    }
+    out += "\n";
+  }
   for (const auto& [type, count] : stats.type_vertices) {
     out += "  " + type + ": " + std::to_string(count) + " vertices";
     const auto units = stats.type_units.at(type);

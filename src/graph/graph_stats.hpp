@@ -16,6 +16,8 @@ struct GraphStats {
   std::size_t edges = 0;           // live containment edges
   std::size_t depth = 0;           // containment depth (root = 1)
   std::size_t leaves = 0;          // vertices without containment children
+  /// Live vertices per status, indexed by ResourceStatus (up/down/drained).
+  std::size_t status_vertices[kStatusCount] = {0, 0, 0};
   /// Live vertices per type name.
   std::map<std::string, std::size_t> type_vertices;
   /// Schedulable units per type name (pool sizes summed).

@@ -52,6 +52,19 @@ struct Edge {
   InternId relation = util::kInvalidIntern;
 };
 
+/// Operational status of a resource vertex (dynamic-resource layer).
+///   up      — schedulable.
+///   down    — failed/removed from service; never matched, and its
+///             capacity is subtracted from every ancestor pruning filter.
+///   drained — administratively draining: never matched for *new* work,
+///             but existing allocations keep running, so filter capacity
+///             is left in place (pruning stays optimistic for drains).
+enum class ResourceStatus : std::uint8_t { up = 0, down = 1, drained = 2 };
+inline constexpr std::size_t kStatusCount = 3;
+
+const char* status_name(ResourceStatus s) noexcept;
+std::optional<ResourceStatus> parse_status(std::string_view name) noexcept;
+
 struct Vertex {
   VertexId id = kInvalidVertex;
   InternId type = util::kInvalidIntern;
@@ -63,6 +76,12 @@ struct Vertex {
   std::string path;      // containment path, e.g. "/cluster0/rack0/node17"
   std::map<std::string, std::string> properties;
   bool alive = true;
+  ResourceStatus status = ResourceStatus::up;
+  /// Count of non-`up` vertices strictly below this one (containment).
+  /// Zero means the whole subtree is clean, letting exclusive claims skip
+  /// a subtree scan; maintained incrementally by set_status / attach /
+  /// detach along the affected root-paths only.
+  std::int32_t non_up_below = 0;
   VertexId containment_parent = kInvalidVertex;
 
   std::unique_ptr<planner::Planner> schedule;
@@ -122,6 +141,28 @@ class ResourceGraph {
   /// `types` (type intern ids). Call after the subtree below v is built.
   util::Status install_filter(VertexId v, const std::vector<InternId>& types);
 
+  // --- dynamic status (paper §6 use cases) --------------------------------
+  /// Set the status of v and its whole containment subtree. Transitions to
+  /// `down` require the subtree to hold no schedule or shared-use spans
+  /// (evict first) and subtract its capacity from every ancestor pruning
+  /// filter — the SDFU-style O(paths) update that keeps aggregate pruning
+  /// exact. Un-downing restores the capacity. All-or-nothing: on internal
+  /// failure every half-applied resize is rolled back.
+  util::Status set_status(VertexId v, ResourceStatus s);
+
+  /// Live vertices currently carrying status `s`.
+  std::size_t status_count(ResourceStatus s) const noexcept {
+    return status_counts_[static_cast<std::size_t>(s)];
+  }
+
+  /// Like subtree_counts, but skipping `down` vertices — the capacity a
+  /// pruning filter should advertise.
+  std::map<InternId, std::int64_t> counted_subtree_counts(VertexId v) const;
+
+  /// How many vertices of `type` were ever created (dead ones included) —
+  /// the next collision-free instance number for grown fragments.
+  std::size_t created_count(std::string_view type) const;
+
   // --- elasticity (paper §5.5) -------------------------------------------
   /// Detach v and its containment subtree: vertices are marked dead,
   /// edges from live vertices to them are removed, and every ancestor
@@ -133,6 +174,11 @@ class ResourceGraph {
   /// `parent` (ancestor filters regain its capacity). The subtree root
   /// must have been created detached (no containment parent yet).
   util::Status attach_subtree(VertexId parent, VertexId subtree_root);
+
+  /// Rollback helper for transactional grow: kill every vertex with
+  /// id >= mark. Callers guarantee the range is a not-yet-attached
+  /// fragment — no live vertex below `mark` has an edge into it.
+  void discard_detached_from(VertexId mark);
 
   // --- access --------------------------------------------------------------
   std::size_t vertex_count() const noexcept { return vertices_.size(); }
@@ -174,6 +220,8 @@ class ResourceGraph {
                                            delta,
                                        bool grow);
   void collect_subtree(VertexId v, std::vector<VertexId>& out) const;
+  void bump_ancestor_non_up(VertexId from, std::int32_t delta);
+  std::size_t reset_uniform_non_up(VertexId v, ResourceStatus s);
 
   TimePoint plan_start_;
   Duration horizon_;
@@ -190,6 +238,7 @@ class ResourceGraph {
   std::vector<InternId> subsystem_filter_;
   std::size_t live_count_ = 0;
   std::size_t edge_count_ = 0;
+  std::size_t status_counts_[kStatusCount] = {0, 0, 0};
   std::int64_t next_uniq_id_ = 0;
 };
 

@@ -157,7 +157,14 @@ struct BuildCtx {
 
 util::Expected<graph::VertexId> build_level(BuildCtx& ctx,
                                             const LevelSpec& spec) {
-  const std::int64_t seq = ctx.instance_counters[spec.type]++;
+  // Seed each counter from the graph so a recipe built into a populated
+  // graph (a dynamic `grow` fragment) never reuses an existing name.
+  auto [counter, inserted] = ctx.instance_counters.try_emplace(spec.type, 0);
+  if (inserted) {
+    counter->second =
+        static_cast<std::int64_t>(ctx.g->created_count(spec.type));
+  }
+  const std::int64_t seq = counter->second++;
   const graph::VertexId v =
       ctx.g->add_vertex(spec.type, spec.type, seq, spec.size);
   for (const LevelSpec& child : spec.children) {

@@ -26,6 +26,7 @@ void PerfMonitor::reset() {
   trav_postorder_rejects.reset();
   trav_rollbacks.reset();
   trav_match_attempts.reset();
+  trav_status_pruned.reset();
   for (auto& o : ops) {
     o.calls.reset();
     o.failures.reset();
@@ -52,6 +53,16 @@ void PerfMonitor::reset() {
   queue_depth_samples.reset();
   job_wait.reset();
   job_turnaround.reset();
+  dyn_status_flips.reset();
+  dyn_evicted_requeued.reset();
+  dyn_evicted_killed.reset();
+  dyn_replanned.reset();
+  dyn_grow_calls.reset();
+  dyn_shrink_calls.reset();
+  dyn_vertices_added.reset();
+  dyn_vertices_removed.reset();
+  dyn_grow_latency_us.reset();
+  dyn_shrink_latency_us.reset();
 }
 
 namespace {
@@ -96,6 +107,7 @@ std::string PerfMonitor::json() const {
   kv(out, "postorder_rejects", trav_postorder_rejects.value());
   kv(out, "rollbacks", trav_rollbacks.value());
   kv(out, "match_attempts", trav_match_attempts.value());
+  kv(out, "status_pruned", trav_status_pruned.value());
   out += "},\"ops\":{";
   for (std::size_t i = 0; i < kOpCount; ++i) {
     if (i > 0) out += ",";
@@ -135,6 +147,17 @@ std::string PerfMonitor::json() const {
   kv_hist(out, "depth_samples", queue_depth_samples);
   kv_hist(out, "job_wait_s", job_wait);
   kv_hist(out, "job_turnaround_s", job_turnaround);
+  out += "},\"dynamic\":{";
+  kv(out, "status_flips", dyn_status_flips.value(), true);
+  kv(out, "evicted_requeued", dyn_evicted_requeued.value());
+  kv(out, "evicted_killed", dyn_evicted_killed.value());
+  kv(out, "replanned", dyn_replanned.value());
+  kv(out, "grow_calls", dyn_grow_calls.value());
+  kv(out, "shrink_calls", dyn_shrink_calls.value());
+  kv(out, "vertices_added", dyn_vertices_added.value());
+  kv(out, "vertices_removed", dyn_vertices_removed.value());
+  kv_hist(out, "grow_latency_us", dyn_grow_latency_us);
+  kv_hist(out, "shrink_latency_us", dyn_shrink_latency_us);
   out += "}}";
   return out;
 }
@@ -147,6 +170,7 @@ std::string PerfMonitor::render(bool verbose) const {
   line(out, "postorder-rejects", trav_postorder_rejects.value());
   line(out, "rollbacks", trav_rollbacks.value());
   line(out, "match-attempts", trav_match_attempts.value());
+  line(out, "status-pruned", trav_status_pruned.value());
   out += "match ops:\n";
   for (std::size_t i = 0; i < kOpCount; ++i) {
     const auto& o = ops[i];
@@ -195,6 +219,26 @@ std::string PerfMonitor::render(bool verbose) const {
     if (verbose && job_wait.count() > 0) out += job_wait.render();
     hist_summary(out, "job-turnaround (sim s)", job_turnaround);
     if (verbose && job_turnaround.count() > 0) out += job_turnaround.render();
+  }
+  if (dyn_status_flips.value() > 0 || dyn_grow_calls.value() > 0 ||
+      dyn_shrink_calls.value() > 0) {
+    out += "dynamic:\n";
+    line(out, "status-flips", dyn_status_flips.value());
+    line(out, "evicted-requeued", dyn_evicted_requeued.value());
+    line(out, "evicted-killed", dyn_evicted_killed.value());
+    line(out, "replanned", dyn_replanned.value());
+    line(out, "grow-calls", dyn_grow_calls.value());
+    line(out, "shrink-calls", dyn_shrink_calls.value());
+    line(out, "vertices-added", dyn_vertices_added.value());
+    line(out, "vertices-removed", dyn_vertices_removed.value());
+    if (dyn_grow_latency_us.count() > 0) {
+      hist_summary(out, "grow latency (us)", dyn_grow_latency_us);
+      if (verbose) out += dyn_grow_latency_us.render();
+    }
+    if (dyn_shrink_latency_us.count() > 0) {
+      hist_summary(out, "shrink latency (us)", dyn_shrink_latency_us);
+      if (verbose) out += dyn_shrink_latency_us.render();
+    }
   }
   return out;
 }

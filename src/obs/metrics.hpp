@@ -79,6 +79,7 @@ struct PerfMonitor {
   Counter trav_postorder_rejects; // candidates dropped after descending
   Counter trav_rollbacks;         // selection rollbacks (any cause)
   Counter trav_match_attempts;    // full selection attempts
+  Counter trav_status_pruned;     // subtrees skipped for non-up status
   OpMetrics ops[kOpCount];
   OpMetrics& op(Op o) noexcept { return ops[static_cast<std::size_t>(o)]; }
   const OpMetrics& op(Op o) const noexcept {
@@ -113,6 +114,18 @@ struct PerfMonitor {
   util::Histogram queue_depth_samples{0.0, 4096.0, 64};
   util::Histogram job_wait{0.0, 1048576.0, 64};        // simulated seconds
   util::Histogram job_turnaround{0.0, 1048576.0, 64};  // simulated seconds
+
+  // --- dynamic resources (status flips, eviction, grow/shrink) -------------
+  Counter dyn_status_flips;       // set_status calls that changed state
+  Counter dyn_evicted_requeued;   // running jobs cancelled and requeued
+  Counter dyn_evicted_killed;     // running jobs cancelled for good
+  Counter dyn_replanned;          // reservations pushed back to pending
+  Counter dyn_grow_calls;
+  Counter dyn_shrink_calls;
+  Counter dyn_vertices_added;     // vertices attached by grow
+  Counter dyn_vertices_removed;   // vertices detached by shrink
+  util::Histogram dyn_grow_latency_us{0.0, 100000.0, 50};
+  util::Histogram dyn_shrink_latency_us{0.0, 100000.0, 50};
 
   /// Zero every counter, gauge and histogram.
   void reset();

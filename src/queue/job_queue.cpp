@@ -402,6 +402,11 @@ util::Status JobQueue::cancel(JobId id) {
   }
   job.state = JobState::canceled;
   obs::trace().sim_instant("cancel", static_cast<double>(now_), id);
+  reject_broken_dependents(released);
+  return released;
+}
+
+void JobQueue::reject_broken_dependents(util::Status& released) {
   // Cascade: dependents that have not started yet (pending or holding a
   // future reservation) can no longer run — their input is gone.
   bool changed = true;
@@ -424,7 +429,103 @@ util::Status JobQueue::cancel(JobId id) {
       changed = true;
     }
   }
-  return released;
+}
+
+void JobQueue::enqueue_pending(Job& job) {
+  job.state = JobState::pending;
+  job.start_time = -1;
+  job.end_time = -1;
+  job.resources.clear();
+  auto pos = pending_.end();
+  for (auto p = pending_.begin(); p != pending_.end(); ++p) {
+    if (jobs_.at(*p).priority < job.priority) {
+      pos = p;
+      break;
+    }
+  }
+  pending_.insert(pos, job.id);
+}
+
+EvictResult JobQueue::evict_on(graph::VertexId vertex, EvictPolicy policy) {
+  EvictResult result;
+  const auto& g = traverser_.graph();
+  if (vertex >= g.vertex_count()) return result;
+  const std::string prefix = g.vertex(vertex).path;
+  auto within = [&](graph::VertexId v) {
+    const std::string& p = g.vertex(v).path;
+    return p == prefix || (p.size() > prefix.size() &&
+                           p.compare(0, prefix.size(), prefix) == 0 &&
+                           p[prefix.size()] == '/');
+  };
+  // Snapshot the ids first: evicting mutates job state mid-iteration.
+  std::vector<JobId> affected;
+  for (const JobId id : order_) {
+    const Job& job = jobs_.at(id);
+    if (job.state != JobState::running && job.state != JobState::reserved) {
+      continue;
+    }
+    for (const auto& ru : job.resources) {
+      if (within(ru.vertex)) {
+        affected.push_back(id);
+        break;
+      }
+    }
+  }
+  for (const JobId id : affected) {
+    Job& job = jobs_.at(id);
+    if (job.state != JobState::running && job.state != JobState::reserved) {
+      continue;  // a kill's dependency cascade already settled this job
+    }
+    auto st = traverser_.cancel(id);
+    if (!st && result.released) result.released = st;
+    if (job.state == JobState::reserved) {
+      // Reservation re-planned: the next schedule() pass finds it a new
+      // start on the surviving resources.
+      --stats_.reserved;
+      enqueue_pending(job);
+      result.replanned.push_back(id);
+      if (obs::enabled()) obs::monitor().dyn_replanned.inc();
+      obs::trace().sim_instant("replan", static_cast<double>(now_), id,
+                               {{"on", obs::trace_str(prefix)}});
+    } else if (policy == EvictPolicy::requeue) {
+      enqueue_pending(job);
+      result.requeued.push_back(id);
+      if (obs::enabled()) obs::monitor().dyn_evicted_requeued.inc();
+      obs::trace().sim_instant("evict", static_cast<double>(now_), id,
+                               {{"on", obs::trace_str(prefix)},
+                                {"action", obs::trace_str("requeue")}});
+    } else {
+      job.state = JobState::canceled;
+      result.killed.push_back(id);
+      if (obs::enabled()) obs::monitor().dyn_evicted_killed.inc();
+      obs::trace().sim_instant("evict", static_cast<double>(now_), id,
+                               {{"on", obs::trace_str(prefix)},
+                                {"action", obs::trace_str("kill")}});
+      reject_broken_dependents(result.released);
+    }
+  }
+  if (obs::enabled()) {
+    auto& m = obs::monitor();
+    m.queue_depth.set(static_cast<std::int64_t>(pending_.size()));
+    m.queue_depth_samples.add(static_cast<double>(pending_.size()));
+  }
+  return result;
+}
+
+std::vector<JobId> JobQueue::replan_reserved() {
+  std::vector<JobId> replanned;
+  for (const JobId id : order_) {
+    Job& job = jobs_.at(id);
+    if (job.state != JobState::reserved) continue;
+    (void)traverser_.cancel(id);
+    --stats_.reserved;
+    enqueue_pending(job);
+    replanned.push_back(id);
+    if (obs::enabled()) obs::monitor().dyn_replanned.inc();
+    obs::trace().sim_instant("replan", static_cast<double>(now_), id,
+                             {{"on", obs::trace_str("grow")}});
+  }
+  return replanned;
 }
 
 const Job* JobQueue::find(JobId id) const {

@@ -37,6 +37,19 @@ using util::TimePoint;
 
 enum class QueuePolicy { fcfs, conservative_backfill, easy_backfill };
 
+/// What to do with *running* jobs whose allocation intersects a downed or
+/// shrunk subtree (reserved jobs are always re-planned).
+enum class EvictPolicy { requeue, kill };
+
+struct EvictResult {
+  std::vector<JobId> requeued;   // running, cancelled, back in the queue
+  std::vector<JobId> killed;     // running, cancelled for good
+  std::vector<JobId> replanned;  // reserved, reservation dropped, pending
+  /// First internal error from a span release (best-effort: the eviction
+  /// itself always completes).
+  util::Status released = util::Status::ok();
+};
+
 enum class JobState {
   pending,    // submitted, not yet placed
   held,       // administratively excluded from scheduling
@@ -129,6 +142,20 @@ class JobQueue {
   /// Release a held job back into the pending queue (priority order).
   util::Status release(JobId id);
 
+  /// Dynamic-resource eviction: every job whose allocation touches
+  /// `vertex` or its containment subtree loses its spans (reusing the
+  /// traverser's span removal). Running jobs are requeued or killed per
+  /// `policy`; reserved jobs always go back to pending for a fresh plan.
+  /// Call *before* ResourceGraph::set_status(v, down) / shrink.
+  EvictResult evict_on(graph::VertexId vertex, EvictPolicy policy);
+
+  /// Drop every reservation back to pending for a fresh plan. Used after
+  /// the graph grows: conservative-backfill reservations were computed
+  /// against the old capacity and may now start earlier (the next
+  /// schedule() pass re-places them, never later than before). Returns
+  /// the re-planned job ids.
+  std::vector<JobId> replan_reserved();
+
   const Job* find(JobId id) const;
   QueueMetrics metrics() const;
   const traverser::Traverser& traverser() const noexcept {
@@ -141,6 +168,12 @@ class JobQueue {
  private:
   void try_place(Job& job, bool allow_reserve);
   util::Status fire_events_up_to(TimePoint t);
+  /// Reset a job to pending and re-insert it in (priority, submission)
+  /// order.
+  void enqueue_pending(Job& job);
+  /// Reject every pending/reserved job whose dependency chain is broken
+  /// (transitively); folds release failures into `released`.
+  void reject_broken_dependents(util::Status& released);
   /// Dependency gate: nullopt when a dependency failed (job must be
   /// rejected); otherwise the earliest allowed start (kMaxTime while a
   /// dependency has no known end yet).

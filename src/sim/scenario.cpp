@@ -1,0 +1,270 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace fluxion::sim {
+
+using util::Errc;
+
+namespace {
+
+util::Error scenario_error(int lineno, const std::string& what) {
+  return util::Error{Errc::parse_error,
+                     "scenario:" + std::to_string(lineno) + ": " + what};
+}
+
+std::optional<queue::EvictPolicy> parse_policy(std::string_view name) {
+  if (name == "requeue") return queue::EvictPolicy::requeue;
+  if (name == "kill") return queue::EvictPolicy::kill;
+  return std::nullopt;
+}
+
+}  // namespace
+
+util::Expected<Scenario> parse_scenario(std::string_view text) {
+  Scenario scenario;
+  int lineno = 0;
+  for (std::string_view raw : util::split_lines(text)) {
+    ++lineno;
+    std::string_view line = util::trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    std::vector<std::string_view> fields;
+    for (auto f : util::split(line, ' ')) {
+      if (!util::trim(f).empty()) fields.push_back(util::trim(f));
+    }
+    if (fields.front() != "@") {
+      // Plain trace line: "<nodes> <duration> [arrival]".
+      if (fields.size() != 2 && fields.size() != 3) {
+        return scenario_error(lineno,
+                              "expected '<nodes> <duration> [arrival]'");
+      }
+      const auto nodes = util::parse_i64(fields[0]);
+      const auto duration = util::parse_i64(fields[1]);
+      if (!nodes || *nodes < 1 || !duration || *duration < 1) {
+        return scenario_error(lineno, "nodes and duration must be positive");
+      }
+      TraceJob job{*nodes, *duration, 0};
+      if (fields.size() == 3) {
+        const auto arrival = util::parse_i64(fields[2]);
+        if (!arrival || *arrival < 0) {
+          return scenario_error(lineno, "arrival must be non-negative");
+        }
+        job.arrival = *arrival;
+      }
+      scenario.jobs.push_back(job);
+      continue;
+    }
+    // Event line: "@ TIME KIND PATH ...".
+    if (fields.size() < 4) {
+      return scenario_error(lineno, "expected '@ TIME status|grow|shrink PATH ...'");
+    }
+    DynEvent event;
+    const auto at = util::parse_i64(fields[1]);
+    if (!at || *at < 0) {
+      return scenario_error(lineno, "event time must be non-negative");
+    }
+    event.at = *at;
+    const std::string_view kind = fields[2];
+    event.path = std::string(fields[3]);
+    if (event.path.empty() || event.path.front() != '/') {
+      return scenario_error(lineno, "event path must start with '/'");
+    }
+    if (kind == "status") {
+      if (fields.size() != 5 && fields.size() != 6) {
+        return scenario_error(
+            lineno, "expected '@ TIME status PATH up|down|drained [requeue|kill]'");
+      }
+      const auto status = graph::parse_status(fields[4]);
+      if (!status) {
+        return scenario_error(lineno, "unknown status '" + std::string(fields[4]) +
+                                          "' (want up|down|drained)");
+      }
+      event.kind = DynEventKind::status;
+      event.status = *status;
+      if (fields.size() == 6) {
+        const auto policy = parse_policy(fields[5]);
+        if (!policy) {
+          return scenario_error(lineno, "unknown evict policy '" +
+                                            std::string(fields[5]) +
+                                            "' (want requeue|kill)");
+        }
+        event.policy = *policy;
+      }
+    } else if (kind == "grow") {
+      if (fields.size() != 5) {
+        return scenario_error(lineno,
+                              "expected '@ TIME grow PARENT_PATH RECIPE_REF'");
+      }
+      event.kind = DynEventKind::grow;
+      event.recipe_ref = std::string(fields[4]);
+    } else if (kind == "shrink") {
+      if (fields.size() != 4 && fields.size() != 5) {
+        return scenario_error(lineno,
+                              "expected '@ TIME shrink PATH [requeue|kill]'");
+      }
+      event.kind = DynEventKind::shrink;
+      if (fields.size() == 5) {
+        const auto policy = parse_policy(fields[4]);
+        if (!policy) {
+          return scenario_error(lineno, "unknown evict policy '" +
+                                            std::string(fields[4]) +
+                                            "' (want requeue|kill)");
+        }
+        event.policy = *policy;
+      }
+    } else {
+      return scenario_error(lineno, "unknown event kind '" + std::string(kind) +
+                                        "' (want status|grow|shrink)");
+    }
+    scenario.events.push_back(std::move(event));
+  }
+  return scenario;
+}
+
+std::string format_scenario(const Scenario& scenario) {
+  std::string out = format_trace(scenario.jobs);
+  if (scenario.events.empty()) return out;
+  std::vector<std::size_t> order(scenario.events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scenario.events[a].at < scenario.events[b].at;
+  });
+  out += "# @ time event path ...\n";
+  for (std::size_t i : order) {
+    const DynEvent& e = scenario.events[i];
+    out += "@ " + std::to_string(e.at) + " ";
+    switch (e.kind) {
+      case DynEventKind::status:
+        out += "status " + e.path + " " + graph::status_name(e.status);
+        if (e.policy == queue::EvictPolicy::kill) out += " kill";
+        break;
+      case DynEventKind::grow:
+        out += "grow " + e.path + " " + e.recipe_ref;
+        break;
+      case DynEventKind::shrink:
+        out += "shrink " + e.path;
+        if (e.policy == queue::EvictPolicy::kill) out += " kill";
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+struct Act {
+  util::TimePoint at = 0;
+  bool is_job = false;  // events before jobs at equal timestamps
+  std::size_t idx = 0;
+};
+
+util::Status apply_event(queue::JobQueue& q, dynamic::DynamicResources& dyn,
+                         const DynEvent& event, const RecipeResolver& resolver,
+                         ScenarioResult& result) {
+  const graph::ResourceGraph& g = q.traverser().graph();
+  const auto v = g.find_by_path(event.path);
+  if (!v) {
+    return util::Status(util::Error{
+        Errc::not_found, "scenario event: no vertex at '" + event.path + "'"});
+  }
+  switch (event.kind) {
+    case DynEventKind::status: {
+      auto change = dyn.set_status(*v, event.status, event.policy);
+      if (!change) return change.error();
+      result.evicted.insert(result.evicted.end(), change->evicted.begin(),
+                            change->evicted.end());
+      result.replanned.insert(result.replanned.end(),
+                              change->replanned.begin(),
+                              change->replanned.end());
+      ++result.status_events;
+      return util::Status::ok();
+    }
+    case DynEventKind::grow: {
+      if (!resolver) {
+        return util::Status(util::Error{
+            Errc::invalid_argument,
+            "scenario grow event needs a recipe resolver"});
+      }
+      auto text = resolver(event.recipe_ref);
+      if (!text) return text.error();
+      auto root = dyn.grow(*v, *text);
+      if (!root) return root.error();
+      ++result.grow_events;
+      return util::Status::ok();
+    }
+    case DynEventKind::shrink: {
+      auto r = dyn.shrink(*v, event.policy);
+      if (!r) return r.error();
+      result.evicted.insert(result.evicted.end(), r->evicted.begin(),
+                            r->evicted.end());
+      result.replanned.insert(result.replanned.end(), r->replanned.begin(),
+                              r->replanned.end());
+      ++result.shrink_events;
+      return util::Status::ok();
+    }
+  }
+  return util::Status::ok();
+}
+
+}  // namespace
+
+util::Expected<ScenarioResult> replay_scenario(
+    queue::JobQueue& q, dynamic::DynamicResources& dyn,
+    const Scenario& scenario, std::int64_t cores_per_node,
+    const RecipeResolver& resolver) {
+  if (q.now() != 0 || q.stats().submitted != 0) {
+    return util::Error{Errc::invalid_argument,
+                       "replay_scenario: queue already used"};
+  }
+  std::vector<Act> acts;
+  acts.reserve(scenario.jobs.size() + scenario.events.size());
+  for (std::size_t i = 0; i < scenario.events.size(); ++i) {
+    acts.push_back({scenario.events[i].at, false, i});
+  }
+  for (std::size_t i = 0; i < scenario.jobs.size(); ++i) {
+    acts.push_back({scenario.jobs[i].arrival, true, i});
+  }
+  std::stable_sort(acts.begin(), acts.end(), [](const Act& a, const Act& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return !a.is_job && b.is_job;
+  });
+
+  ScenarioResult result;
+  result.ids.resize(scenario.jobs.size(), -1);
+  for (std::size_t k = 0; k < acts.size();) {
+    const util::TimePoint at = acts[k].at;
+    // Fire queue events (completions free resources) on the way there.
+    while (true) {
+      const util::TimePoint ev = q.next_event();
+      if (ev >= at) break;
+      if (auto st = q.advance_to(ev); !st) return st.error();
+      q.schedule();
+    }
+    if (auto st = q.advance_to(std::max(q.now(), at)); !st) return st.error();
+    while (k < acts.size() && acts[k].at <= q.now()) {
+      const Act& act = acts[k];
+      if (act.is_job) {
+        auto js = trace_jobspec(scenario.jobs[act.idx], cores_per_node);
+        if (!js) return js.error();
+        result.ids[act.idx] = q.submit(*js);
+      } else {
+        if (auto st = apply_event(q, dyn, scenario.events[act.idx], resolver,
+                                  result);
+            !st) {
+          return st.error();
+        }
+      }
+      ++k;
+    }
+    q.schedule();
+  }
+  auto end = q.run_to_completion();
+  if (!end) return end.error();
+  result.end_time = *end;
+  return result;
+}
+
+}  // namespace fluxion::sim

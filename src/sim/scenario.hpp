@@ -1,0 +1,81 @@
+// Dynamic-resource scenarios (paper §6): a job trace interleaved with
+// timed resource events — node failures/drains, elastic grow/shrink —
+// replayed deterministically against a JobQueue + DynamicResources pair.
+//
+// Text format: trace lines as in workload.hpp ("<nodes> <duration>
+// [arrival]") mixed with event lines introduced by '@':
+//
+//   @ TIME status PATH up|down|drained [requeue|kill]
+//   @ TIME grow PARENT_PATH RECIPE_REF
+//   @ TIME shrink PATH [requeue|kill]
+//
+// RECIPE_REF is opaque to the parser; replay_scenario resolves it to GRUG
+// recipe text through a caller-supplied resolver (tests use an in-memory
+// map, fluxion-sim reads files next to the scenario).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dynamic/dynamic.hpp"
+#include "queue/job_queue.hpp"
+#include "sim/workload.hpp"
+#include "util/expected.hpp"
+
+namespace fluxion::sim {
+
+enum class DynEventKind { status, grow, shrink };
+
+struct DynEvent {
+  util::TimePoint at = 0;
+  DynEventKind kind = DynEventKind::status;
+  /// Target containment path (status/shrink) or grow parent.
+  std::string path;
+  graph::ResourceStatus status = graph::ResourceStatus::up;
+  queue::EvictPolicy policy = queue::EvictPolicy::requeue;
+  /// grow only: reference resolved to recipe text at replay time.
+  std::string recipe_ref;
+};
+
+struct Scenario {
+  std::vector<TraceJob> jobs;
+  std::vector<DynEvent> events;
+};
+
+/// Parse the mixed trace/event format above; '#' comments and blank lines
+/// are ignored.
+util::Expected<Scenario> parse_scenario(std::string_view text);
+
+/// Inverse of parse_scenario (events sorted by time after the jobs).
+std::string format_scenario(const Scenario& scenario);
+
+/// Maps a RECIPE_REF to GRUG recipe text.
+using RecipeResolver =
+    std::function<util::Expected<std::string>(const std::string&)>;
+
+struct ScenarioResult {
+  /// Queue job ids, aligned with scenario.jobs order.
+  std::vector<queue::JobId> ids;
+  util::TimePoint end_time = 0;
+  /// Running jobs cancelled (requeued or killed) by status/shrink events.
+  std::vector<queue::JobId> evicted;
+  /// Reserved jobs whose reservation was dropped for a fresh plan.
+  std::vector<queue::JobId> replanned;
+  std::size_t status_events = 0;
+  std::size_t grow_events = 0;
+  std::size_t shrink_events = 0;
+};
+
+/// Replay jobs and events on the simulated clock. At each timestamp,
+/// events apply before arrivals (a rack grown at t can host a job arriving
+/// at t), in scenario order; then one scheduling pass runs. `dyn` must
+/// wrap the same queue/traverser/graph as `q`. The queue must be freshly
+/// constructed. Fails on unknown paths, unresolvable recipe refs, or any
+/// dynamic-layer error.
+util::Expected<ScenarioResult> replay_scenario(
+    queue::JobQueue& q, dynamic::DynamicResources& dyn,
+    const Scenario& scenario, std::int64_t cores_per_node,
+    const RecipeResolver& resolver);
+
+}  // namespace fluxion::sim

@@ -89,6 +89,7 @@ bool Traverser::vertex_shareable(VertexId v, const util::TimeWindow& w,
                                  const Selection& sel) const {
   if (sel.pending_excl.contains(v)) return false;
   const graph::Vertex& vx = g_.vertex(v);
+  if (vx.status != graph::ResourceStatus::up) return false;
   // A vertex is walkable by a shared job iff no exclusive claim holds any
   // of its units during the window.
   return vx.schedule->avail_during(w.start, w.duration, vx.size);
@@ -105,6 +106,11 @@ bool Traverser::vertex_exclusively_claimable(VertexId v,
     return false;
   }
   const graph::Vertex& vx = g_.vertex(v);
+  // A whole-instance claim covers the containment subtree, so every
+  // vertex below must be up too — non_up_below makes that O(1).
+  if (vx.status != graph::ResourceStatus::up || vx.non_up_below != 0) {
+    return false;
+  }
   if (!vx.schedule->avail_during(w.start, w.duration, vx.size)) return false;
   // No shared walker may overlap the window either.
   return vx.x_checker->avail_during(w.start, w.duration,
@@ -137,6 +143,14 @@ void Traverser::collect_candidates(
   ++stats_.last_visits;
   if (obs::enabled()) obs::monitor().trav_visits.inc();
   const graph::Vertex& vx = g_.vertex(from);
+  // Preorder status pruning (dynamic-resource layer): a non-up vertex is
+  // never matched and never descended into, so a downed or drained
+  // subtree costs one visit, not a walk.
+  if (vx.status != graph::ResourceStatus::up) {
+    ++stats_.status_pruned;
+    if (obs::enabled()) obs::monitor().trav_status_pruned.inc();
+    return;
+  }
   if (vx.type == type) {
     out.push_back(from);
     return;  // do not search for a type nested inside itself
@@ -1022,6 +1036,11 @@ util::Expected<MatchResult> Traverser::restore_impl(
     if (ru.vertex >= g_.vertex_count() || !g_.vertex(ru.vertex).alive) {
       return util::Error{Errc::not_found, "restore: unknown vertex"};
     }
+    if (g_.vertex(ru.vertex).status != graph::ResourceStatus::up) {
+      return util::Error{Errc::resource_busy,
+                         "restore: " + g_.vertex(ru.vertex).path + " is " +
+                             graph::status_name(g_.vertex(ru.vertex).status)};
+    }
     if (ru.units <= 0 || ru.units > g_.vertex(ru.vertex).size) {
       return util::Error{Errc::invalid_argument, "restore: bad unit count"};
     }
@@ -1169,6 +1188,28 @@ util::Status Traverser::extend(JobId job, Duration extra) {
     if (auto st = run_audit("extend"); !st) return st;
   }
   return r;
+}
+
+std::vector<JobId> Traverser::jobs_on_subtree(VertexId vertex) const {
+  std::vector<JobId> out;
+  if (vertex >= g_.vertex_count()) return out;
+  const std::string& prefix = g_.vertex(vertex).path;
+  auto within = [&](VertexId v) {
+    const std::string& p = g_.vertex(v).path;
+    return p == prefix || (p.size() > prefix.size() &&
+                           p.compare(0, prefix.size(), prefix) == 0 &&
+                           p[prefix.size()] == '/');
+  };
+  for (const auto& [id, rec] : jobs_) {
+    for (const CommittedClaim& cc : rec.claims) {
+      if (within(cc.claim.vertex)) {
+        out.push_back(id);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 bool Traverser::audit() const {

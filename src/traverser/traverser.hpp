@@ -90,6 +90,7 @@ struct TraverserStats {
   std::uint64_t visits = 0;          // vertex visits, lifetime
   std::uint64_t last_visits = 0;     // vertex visits, last match call
   std::uint64_t pruned = 0;          // subtrees skipped by filters, lifetime
+  std::uint64_t status_pruned = 0;   // subtrees skipped as non-up, lifetime
   std::uint64_t match_attempts = 0;  // full selection attempts, lifetime
 };
 
@@ -136,6 +137,12 @@ class Traverser {
 
   /// Active (allocated or reserved) job count.
   std::size_t job_count() const noexcept { return jobs_.size(); }
+
+  /// Jobs holding at least one claim on `vertex` or below it (containment
+  /// path prefix), in ascending id order — the set a dynamic down/shrink
+  /// must evict. Reserved jobs are included: their planned spans block the
+  /// subtree just like running ones.
+  std::vector<JobId> jobs_on_subtree(VertexId vertex) const;
 
   /// Look up a job's committed window; nullptr when unknown.
   const MatchResult* find_job(JobId job) const;

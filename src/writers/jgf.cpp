@@ -19,6 +19,9 @@ Json vertex_node(const graph::ResourceGraph& g, const graph::Vertex& v,
       .set("size", units)
       .set("exclusive", exclusive)
       .set("paths", std::move(paths));
+  if (v.status != graph::ResourceStatus::up) {
+    meta.set("status", graph::status_name(v.status));
+  }
   if (!v.properties.empty()) {
     Json props = Json::object();
     for (const auto& [k, val] : v.properties) props.set(k, val);

@@ -19,6 +19,7 @@ struct VertexSpec {
   std::string name;
   std::int64_t size = 1;
   std::int64_t uniq_id = 0;
+  graph::ResourceStatus status = graph::ResourceStatus::up;
   std::map<std::string, std::string> properties;
 };
 
@@ -58,6 +59,19 @@ util::Expected<VertexSpec> parse_vertex(const yaml::Node& n) {
   }
   if (const yaml::Node* uid = meta->get("uniq_id")) {
     spec.uniq_id = uid->as_i64().value_or(0);
+  }
+  if (const yaml::Node* status = meta->get("status")) {
+    // Absent means up; anything else must name a known status.
+    std::optional<graph::ResourceStatus> parsed;
+    if (status->is_scalar()) parsed = graph::parse_status(status->scalar());
+    if (!parsed) {
+      return util::Error{Errc::invalid_argument,
+                         "jgf: unknown status '" +
+                             (status->is_scalar() ? status->scalar()
+                                                  : std::string("?")) +
+                             "' (want up|down|drained)"};
+    }
+    spec.status = *parsed;
   }
   if (const yaml::Node* props = meta->get("properties")) {
     if (!props->is_mapping()) {
@@ -112,6 +126,12 @@ util::Expected<JgfGraph> read_jgf(std::string_view text,
         g.add_vertex_named(spec.type, spec.basename, spec.name, spec.size);
     g.vertex(v).properties.insert(spec.properties.begin(),
                                   spec.properties.end());
+    // Apply before containment edges exist: no ancestor filters or
+    // non_up_below counts to reconcile yet (add_containment folds the
+    // child's status in when edges arrive).
+    if (spec.status != graph::ResourceStatus::up) {
+      if (auto st = g.set_status(v, spec.status); !st) return st.error();
+    }
     by_jgf_id.emplace(spec.jgf_id, v);
   }
 

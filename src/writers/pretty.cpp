@@ -58,4 +58,31 @@ std::string match_to_pretty(const graph::ResourceGraph& g,
   return out;
 }
 
+namespace {
+
+void render_subtree(const graph::ResourceGraph& g, graph::VertexId v,
+                    std::size_t depth, std::string& out) {
+  const graph::Vertex& vx = g.vertex(v);
+  out += std::string(depth * 2, ' ') + vx.name;
+  if (vx.size != 1) out += "[" + std::to_string(vx.size) + "]";
+  if (vx.status != graph::ResourceStatus::up) {
+    out += std::string(" (") + graph::status_name(vx.status) + ")";
+  }
+  out += "\n";
+  for (graph::VertexId c : g.containment_children(v)) {
+    render_subtree(g, c, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string graph_to_pretty(const graph::ResourceGraph& g,
+                            graph::VertexId root) {
+  std::string out;
+  if (root < g.vertex_count() && g.vertex(root).alive) {
+    render_subtree(g, root, 0, out);
+  }
+  return out;
+}
+
 }  // namespace fluxion::writers

@@ -20,4 +20,14 @@ namespace fluxion::writers {
 std::string match_to_pretty(const graph::ResourceGraph& g,
                             const traverser::MatchResult& result);
 
+/// Render the whole containment tree from `root`, one vertex per line.
+/// Non-up vertices carry their status:
+///
+///   cluster0
+///     rack0 (drained)
+///       node3 (down)
+///         core[44]
+std::string graph_to_pretty(const graph::ResourceGraph& g,
+                            graph::VertexId root);
+
 }  // namespace fluxion::writers

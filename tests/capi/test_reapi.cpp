@@ -181,4 +181,60 @@ TEST_F(ReapiTest, MetricsLifecycle) {
       << cleared;
 }
 
+TEST_F(ReapiTest, SetStatusEvictsAndBlocksMatching) {
+  uint64_t a = 0, b = 0;
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &a, nullptr,
+                        nullptr, nullptr),
+            REAPI_OK);
+  // Down node0 (where LowId placed job a): the job is killed (the C ABI
+  // context has no queue) and the node stops matching.
+  uint64_t evicted = 0;
+  ASSERT_EQ(reapi_set_status(ctx, "/cluster0/node0", "down", &evicted),
+            REAPI_OK);
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_EQ(reapi_job_count(ctx), 0u);
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &b, nullptr,
+                        nullptr, nullptr),
+            REAPI_OK);  // node1 still up
+  EXPECT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &b, nullptr,
+                        nullptr, nullptr),
+            REAPI_EBUSY);  // the only up node is taken
+  ASSERT_EQ(reapi_set_status(ctx, "/cluster0/node0", "up", nullptr),
+            REAPI_OK);
+  EXPECT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &b, nullptr,
+                        nullptr, nullptr),
+            REAPI_OK);
+  EXPECT_EQ(reapi_audit(ctx), REAPI_OK);
+  EXPECT_EQ(reapi_set_status(ctx, "/cluster0/node9", "down", nullptr),
+            REAPI_ENOENT);
+  EXPECT_EQ(reapi_set_status(ctx, "/cluster0/node0", "offline", nullptr),
+            REAPI_EINVAL);
+}
+
+TEST_F(ReapiTest, GrowAndShrinkRoundTrip) {
+  char* root_path = nullptr;
+  ASSERT_EQ(reapi_grow(ctx, "/cluster0",
+                       "node count=1\n  core count=4\n", &root_path),
+            REAPI_OK);
+  ASSERT_NE(root_path, nullptr);
+  EXPECT_STREQ(root_path, "/cluster0/node2");
+  reapi_free_string(root_path);
+
+  // Three whole-node jobs now fit; the third lands on the grown node.
+  uint64_t ids[3] = {0, 0, 0};
+  for (auto& id : ids) {
+    ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &id,
+                          nullptr, nullptr, nullptr),
+              REAPI_OK);
+  }
+  uint64_t evicted = 0;
+  ASSERT_EQ(reapi_shrink(ctx, "/cluster0/node2", &evicted), REAPI_OK);
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_EQ(reapi_job_count(ctx), 2u);
+  EXPECT_EQ(reapi_audit(ctx), REAPI_OK);
+  EXPECT_EQ(reapi_shrink(ctx, "/cluster0/node2", nullptr), REAPI_ENOENT);
+  EXPECT_EQ(reapi_grow(ctx, "/cluster0", "node count=-1\n", nullptr),
+            REAPI_EINVAL);
+}
+
 }  // namespace

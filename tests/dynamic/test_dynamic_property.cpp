@@ -1,0 +1,131 @@
+// Property test: under random status churn, grow/shrink, matching and
+// cancellation, (1) no match ever selects a vertex that is not up — nor
+// one under a non-up ancestor — and (2) the graph and traverser audits
+// hold at every step.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dynamic/dynamic.hpp"
+#include "grug/grug.hpp"
+#include "jobspec/jobspec.hpp"
+#include "policy/policies.hpp"
+#include "traverser/traverser.hpp"
+#include "util/rng.hpp"
+
+namespace fluxion::dynamic {
+namespace {
+
+using graph::ResourceStatus;
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+
+constexpr const char* kRecipe = R"(
+filters core
+filter-at cluster rack
+cluster count=1
+  rack count=3
+    node count=3
+      core count=4
+)";
+
+constexpr const char* kNodeFragment = R"(
+node count=1
+  core count=4
+)";
+
+TEST(DynamicProperty, StatusChurnNeverMatchesNonUpVertices) {
+  graph::ResourceGraph g(0, 1000000);
+  auto recipe = grug::parse(kRecipe);
+  ASSERT_TRUE(recipe);
+  auto root = grug::build(g, *recipe);
+  ASSERT_TRUE(root);
+  policy::LowIdPolicy pol;
+  traverser::Traverser trav(g, *root, pol);
+  DynamicResources dyn(g, trav);
+
+  util::Rng rng(20240806);
+  std::vector<traverser::JobId> live_jobs;
+  traverser::JobId next_job = 1;
+  util::TimePoint now = 0;
+  // Vertices eligible for status flips / shrink: racks and nodes.
+  auto flip_targets = [&] {
+    std::vector<graph::VertexId> out;
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+      const auto& vx = g.vertex(v);
+      if (!vx.alive) continue;
+      const std::string type = g.type_name(vx.type);
+      if (type == "rack" || type == "node") out.push_back(v);
+    }
+    return out;
+  };
+
+  const ResourceStatus statuses[] = {ResourceStatus::up, ResourceStatus::down,
+                                     ResourceStatus::drained};
+  for (int step = 0; step < 400; ++step) {
+    const double dice = rng.uniform01();
+    if (dice < 0.35) {
+      // Flip a random rack/node to a random status.
+      const auto targets = flip_targets();
+      const auto v = targets[rng.index(targets.size())];
+      const auto s = statuses[rng.index(3)];
+      auto change = dyn.set_status(v, s);
+      ASSERT_TRUE(change) << change.error().message;
+      for (const auto evicted : change->evicted) {
+        std::erase(live_jobs, evicted);
+      }
+    } else if (dice < 0.75) {
+      // Try a small allocation; success must land on all-up vertices.
+      auto js = make({slot(1, {xres("node", 1, {res("core", 2)})})},
+                     1 + static_cast<util::Duration>(rng.index(50)));
+      ASSERT_TRUE(js);
+      auto r = trav.match(*js, traverser::MatchOp::allocate, now,
+                          next_job);
+      if (r) {
+        for (const auto& ru : r->resources) {
+          for (graph::VertexId a = ru.vertex; a != graph::kInvalidVertex;
+               a = g.vertex(a).containment_parent) {
+            ASSERT_EQ(g.vertex(a).status, ResourceStatus::up)
+                << "step " << step << ": matched " << g.vertex(ru.vertex).path
+                << " under non-up " << g.vertex(a).path;
+          }
+        }
+        live_jobs.push_back(next_job);
+      }
+      ++next_job;
+    } else if (dice < 0.85 && !live_jobs.empty()) {
+      const std::size_t k = rng.index(live_jobs.size());
+      ASSERT_TRUE(trav.cancel(live_jobs[k]));
+      live_jobs.erase(live_jobs.begin() + static_cast<std::ptrdiff_t>(k));
+    } else if (dice < 0.93) {
+      // Grow a node under a random rack.
+      const auto racks = g.vertices_of_type(*g.find_type("rack"));
+      if (!racks.empty()) {
+        auto grown = dyn.grow(racks[rng.index(racks.size())], kNodeFragment);
+        ASSERT_TRUE(grown) << grown.error().message;
+      }
+    } else {
+      // Shrink a random node (evicting whatever runs there).
+      const auto nodes = g.vertices_of_type(*g.find_type("node"));
+      if (nodes.size() > 1) {
+        const auto v = nodes[rng.index(nodes.size())];
+        auto shrunk = dyn.shrink(v);
+        ASSERT_TRUE(shrunk) << shrunk.error().message;
+        for (const auto evicted : shrunk->evicted) {
+          std::erase(live_jobs, evicted);
+        }
+      }
+    }
+    if (step % 20 == 0) {
+      ASSERT_TRUE(g.validate()) << "step " << step;
+      ASSERT_TRUE(trav.audit()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(g.validate());
+  ASSERT_TRUE(trav.audit());
+}
+
+}  // namespace
+}  // namespace fluxion::dynamic

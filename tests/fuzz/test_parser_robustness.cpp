@@ -8,7 +8,9 @@
 
 #include "grug/grug.hpp"
 #include "jobspec/jobspec.hpp"
+#include "sim/scenario.hpp"
 #include "sim/workload.hpp"
+#include "writers/jgf_reader.hpp"
 #include "util/rng.hpp"
 #include "yaml/json.hpp"
 #include "yaml/yaml.hpp"
@@ -121,6 +123,48 @@ TEST(ParserRobustness, TraceNeverCrashes) {
         EXPECT_GE(j.nodes, 1);
         EXPECT_GE(j.duration, 1);
       }
+    }
+  }
+}
+
+TEST(ParserRobustness, JgfWithStatusNeverCrashes) {
+  // Corpus seed carrying the dynamic-resource status metadata: whatever
+  // the reader accepts must still validate as a graph.
+  const std::string seed =
+      R"({"graph":{"nodes":[)"
+      R"({"id":"0","metadata":{"type":"cluster","name":"cluster0",)"
+      R"("size":1,"paths":{"containment":"/cluster0"}}},)"
+      R"({"id":"1","metadata":{"type":"node","name":"node0","size":1,)"
+      R"("status":"drained","paths":{"containment":"/cluster0/node0"}}},)"
+      R"({"id":"2","metadata":{"type":"node","name":"node1","size":1,)"
+      R"("status":"down","paths":{"containment":"/cluster0/node1"}}}],)"
+      R"("edges":[{"source":"0","target":"1"},)"
+      R"({"source":"0","target":"2"}]}})";
+  ASSERT_TRUE(writers::read_jgf(seed, 0, 1000));  // the seed itself parses
+  util::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string input = mutate(seed, rng);
+    auto r = writers::read_jgf(input, 0, 1000);
+    if (r) {
+      EXPECT_TRUE(r->graph->validate());
+    }
+  }
+}
+
+TEST(ParserRobustness, ScenarioNeverCrashes) {
+  const std::string seed =
+      "2 100\n1 50 10\n"
+      "@ 500 status /cluster0/rack0/node0 down requeue\n"
+      "@ 600 grow /cluster0 rack.grug\n"
+      "@ 700 shrink /cluster0/rack1 kill\n";
+  ASSERT_TRUE(sim::parse_scenario(seed));
+  util::Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string input = mutate(seed, rng);
+    auto r = sim::parse_scenario(input);
+    if (r) {
+      // Accepted scenarios must survive a format/parse round-trip.
+      EXPECT_TRUE(sim::parse_scenario(sim::format_scenario(*r)));
     }
   }
 }

@@ -105,6 +105,42 @@ TEST(GraphStats, SubsystemEdgesSkipDetachedTargets) {
   EXPECT_EQ(s.subsystem_edges.count("power"), 0u);
 }
 
+TEST(GraphStats, StatusCountsFollowFlipsGrowAndShrink) {
+  ResourceGraph g(0, 1000);
+  auto recipe = grug::parse(
+      "cluster count=1\n  rack count=2\n    node count=2\n");
+  ASSERT_TRUE(recipe);
+  auto root = grug::build(g, *recipe);
+  ASSERT_TRUE(root);
+  const auto nodes = g.vertices_of_type(*g.find_type("node"));
+  ASSERT_TRUE(g.set_status(nodes[0], ResourceStatus::drained));
+  ASSERT_TRUE(g.set_status(*g.find_by_path("/cluster0/rack1"),
+                           ResourceStatus::down));
+  GraphStats s = compute_stats(g, *root);
+  EXPECT_EQ(s.vertices, g.live_vertex_count());
+  EXPECT_EQ(s.status_vertices[static_cast<std::size_t>(ResourceStatus::up)],
+            3u);  // cluster, rack0, node1
+  EXPECT_EQ(
+      s.status_vertices[static_cast<std::size_t>(ResourceStatus::drained)],
+      1u);
+  EXPECT_EQ(s.status_vertices[static_cast<std::size_t>(ResourceStatus::down)],
+            3u);  // rack1 + its two nodes
+  const std::string out = render_stats(s);
+  EXPECT_NE(out.find("status: up=3 down=3 drained=1"), std::string::npos)
+      << out;
+
+  // The walk agrees with the graph's own counters after detach, too.
+  ASSERT_TRUE(g.set_status(*g.find_by_path("/cluster0/rack1"),
+                           ResourceStatus::up));
+  ASSERT_TRUE(g.detach_subtree(*g.find_by_path("/cluster0/rack1")));
+  s = compute_stats(g, *root);
+  EXPECT_EQ(s.vertices, g.live_vertex_count());
+  for (std::size_t i = 0; i < kStatusCount; ++i) {
+    EXPECT_EQ(s.status_vertices[i],
+              g.status_count(static_cast<ResourceStatus>(i)));
+  }
+}
+
 TEST(GraphStats, DeadRootYieldsEmptyStats) {
   ResourceGraph g(0, 1000);
   const auto v = g.add_vertex("cluster", "cluster", 0, 1);

@@ -281,4 +281,63 @@ TEST_F(CliTest, BadInputsReportErrors) {
   EXPECT_NE(out.find("unknown command"), std::string::npos);
 }
 
+TEST_F(CliTest, SetStatusDrainsAndRevives) {
+  const std::string out = run_cli(
+      "--grug " + grug_,
+      "set-status /cluster0/rack0 drained\n"
+      "info\n"
+      "tree\n"
+      "set-status /cluster0/rack0 up\n"
+      "info\n"
+      "set-status /cluster0/nowhere down\n"
+      "quit\n");
+  EXPECT_NE(out.find("/cluster0/rack0: up -> drained, evicted 0 jobs"),
+            std::string::npos)
+      << out;
+  // rack + 2 nodes + 8 cores drained.
+  EXPECT_NE(out.find("status: up=12 down=0 drained=11"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("rack0 (drained)"), std::string::npos) << out;
+  EXPECT_NE(out.find("/cluster0/rack0: drained -> up, evicted 0 jobs"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("status: up=23 down=0 drained=0"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("error: set-status"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, DownNodeEvictsItsJob) {
+  const std::string out = run_cli(
+      "--grug " + grug_,
+      "match allocate " + job_ + "\n"  // lands on node0 (LowId)
+      "set-status /cluster0/rack0/node0 down\n"
+      "quit\n");
+  EXPECT_NE(out.find("/cluster0/rack0/node0: up -> down, evicted 1 jobs"),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(CliTest, GraphGrowAndShrink) {
+  const std::string fragment = temp_dir() + "cli_rack.grug";
+  write_file(fragment,
+             "filters core\nfilter-at rack\n"
+             "rack count=1\n  node count=2\n    core count=4\n");
+  const std::string out = run_cli(
+      "--grug " + grug_,
+      "grow /cluster0 " + fragment + "\n"
+      "info\n"
+      "shrink /cluster0/rack2\n"
+      "info\n"
+      "quit\n");
+  EXPECT_NE(out.find("grew /cluster0/rack2 under /cluster0"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("vertices: 34 live"), std::string::npos) << out;
+  EXPECT_NE(out.find("shrunk /cluster0/rack2: removed 11 vertices"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("vertices: 23 live / 34 total"), std::string::npos)
+      << out;
+}
+
 }  // namespace

@@ -218,4 +218,66 @@ TEST_F(SimCliTest, BadArgsFail) {
   EXPECT_NE(std::system((cmd + " > /dev/null 2>&1").c_str()), 0);
 }
 
+TEST_F(SimCliTest, ScenarioReplaysDynamicEvents) {
+  // Node fails mid-run, victim requeued, a second rack grows, the victim
+  // restarts on it. The summary line reports the dynamic activity.
+  const std::string scenario = temp_dir() + "sim_scenario.txt";
+  const std::string rack = temp_dir() + "sim_rack.grug";
+  write_file(rack,
+             "filters node core\nfilter-at rack\n"
+             "rack count=1\n  node count=4\n    core count=8\n");
+  write_file(scenario,
+             "1 1000\n1 1000\n1 1000\n1 1000\n"
+             "@ 500 status /cluster0/rack0/node0 down requeue\n"
+             "@ 600 grow /cluster0 " + rack + "\n");
+  const std::string out_path = temp_dir() + "sim_scn_out.txt";
+  const std::string cmd = std::string(FLUXION_SIM_BIN) + " --grug " + grug_ +
+                          " --scenario " + scenario + " --cores 8 > " +
+                          out_path + " 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << slurp(out_path);
+  const std::string out = slurp(out_path);
+  EXPECT_NE(out.find("dyn events 1 status, 1 grow, 0 shrink"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("1 evicted, "), std::string::npos) << out;
+  EXPECT_NE(out.find("4 jobs, 4 completed, 0 rejected"), std::string::npos)
+      << out;
+  // The evicted job restarted when the rack arrived.
+  EXPECT_NE(out.find(",completed,600,1600,"), std::string::npos) << out;
+
+  // Determinism: identical schedules on a second run (the trailing
+  // match_ms column is wall-clock noise; drop it before comparing).
+  const std::string out_path2 = temp_dir() + "sim_scn_out2.txt";
+  const std::string csv1 = temp_dir() + "scn1.csv";
+  const std::string csv2 = temp_dir() + "scn2.csv";
+  for (const auto* p : {&csv1, &csv2}) {
+    const std::string c = std::string(FLUXION_SIM_BIN) + " --grug " + grug_ +
+                          " --scenario " + scenario + " --cores 8 --csv " +
+                          *p + " > " + out_path2 + " 2>&1";
+    ASSERT_EQ(std::system(c.c_str()), 0) << slurp(out_path2);
+  }
+  auto strip_match_ms = [](std::string csv) {
+    std::string out;
+    std::size_t pos = 0;
+    while (pos < csv.size()) {
+      const auto eol = csv.find('\n', pos);
+      std::string line = csv.substr(pos, eol - pos);
+      out += line.substr(0, line.rfind(','));
+      out += '\n';
+      pos = eol == std::string::npos ? csv.size() : eol + 1;
+    }
+    return out;
+  };
+  EXPECT_EQ(strip_match_ms(slurp(csv1)), strip_match_ms(slurp(csv2)));
+}
+
+TEST_F(SimCliTest, TraceAndScenarioAreMutuallyExclusive) {
+  const std::string scenario = temp_dir() + "sim_both.txt";
+  write_file(scenario, "1 10\n");
+  const std::string cmd = std::string(FLUXION_SIM_BIN) + " --grug " + grug_ +
+                          " --trace " + trace_ + " --scenario " + scenario +
+                          " > /dev/null 2>&1";
+  EXPECT_NE(std::system(cmd.c_str()), 0);
+}
+
 }  // namespace

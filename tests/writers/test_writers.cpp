@@ -6,6 +6,7 @@
 #include "traverser/traverser.hpp"
 #include "writers/dot.hpp"
 #include "writers/jgf.hpp"
+#include "writers/jgf_reader.hpp"
 #include "writers/json.hpp"
 #include "writers/pretty.hpp"
 #include "writers/rlite.hpp"
@@ -228,6 +229,43 @@ TEST_F(WriterFixture, JgfIsValidYamlFlowSubset) {
   ASSERT_NE(exec, nullptr);
   EXPECT_TRUE(exec->get("R_lite")->is_sequence());
   EXPECT_EQ(*reparsed->get("version")->as_i64(), 1);
+}
+
+TEST_F(WriterFixture, JgfStatusRoundTrips) {
+  // Non-up statuses are emitted and restored; absent means up.
+  ASSERT_TRUE(g.set_status(*g.find_by_path("/cluster0/rack0/node0"),
+                           graph::ResourceStatus::drained));
+  ASSERT_TRUE(g.set_status(*g.find_by_path("/cluster0/rack0/node1/core4"),
+                           graph::ResourceStatus::down));
+  const std::string jgf = graph_to_jgf(g).dump();
+  EXPECT_NE(jgf.find("\"status\":\"drained\""), std::string::npos);
+  EXPECT_NE(jgf.find("\"status\":\"down\""), std::string::npos);
+
+  auto back = read_jgf(jgf, 0, 100000);
+  ASSERT_TRUE(back) << back.error().message;
+  graph::ResourceGraph& g2 = *back->graph;
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (!g.vertex(v).alive) continue;
+    const auto w = g2.find_by_path(g.vertex(v).path);
+    ASSERT_TRUE(w.has_value()) << g.vertex(v).path;
+    EXPECT_EQ(g2.vertex(*w).status, g.vertex(v).status) << g.vertex(v).path;
+  }
+  for (auto s : {graph::ResourceStatus::up, graph::ResourceStatus::down,
+                 graph::ResourceStatus::drained}) {
+    EXPECT_EQ(g2.status_count(s), g.status_count(s));
+  }
+  EXPECT_TRUE(g2.validate());
+}
+
+TEST_F(WriterFixture, JgfUnknownStatusIsRejected) {
+  std::string bad = graph_to_jgf(g).dump();
+  const std::string probe = "\"metadata\":{";
+  bad.insert(bad.find(probe) + probe.size(), "\"status\":\"offline\",");
+  auto r = read_jgf(bad, 0, 100000);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, util::Errc::invalid_argument);
+  EXPECT_NE(r.error().message.find("unknown status"), std::string::npos)
+      << r.error().message;
 }
 
 }  // namespace

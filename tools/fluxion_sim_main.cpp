@@ -19,6 +19,11 @@
 // Traces may carry a third per-line field (arrival time); with arrivals —
 // from the file or --arrivals — jobs are submitted online on the
 // simulated clock instead of all at once.
+//
+// --scenario FILE (instead of --trace) replays a dynamic-resource
+// scenario: trace lines mixed with timed '@ TIME status|grow|shrink ...'
+// events (see src/sim/scenario.hpp). Grow events name GRUG recipe files
+// resolved relative to the scenario file.
 #include <cstdio>
 #include <algorithm>
 #include <cstring>
@@ -28,10 +33,12 @@
 #include <vector>
 
 #include "core/resource_query.hpp"
+#include "dynamic/dynamic.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "queue/job_queue.hpp"
 #include "sim/perf_classes.hpp"
+#include "sim/scenario.hpp"
 #include "sim/utilization.hpp"
 #include "sim/replay.hpp"
 #include "sim/workload.hpp"
@@ -55,7 +62,8 @@ std::string read_file(const std::string& path, bool& ok) {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --grug FILE --trace FILE [--cores N] [--policy NAME]\n"
+      "usage: %s --grug FILE (--trace FILE | --scenario FILE) [--cores N]\n"
+      "          [--policy NAME]\n"
       "          [--queue fcfs|easy|conservative] [--perf-classes SEED]\n"
       "          [--arrivals MEAN] [--csv FILE] [--util FILE]\n"
       "          [--metrics FILE] [--trace-out FILE]\n",
@@ -68,6 +76,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string grug_path;
   std::string trace_path;
+  std::string scenario_path;
   std::string policy = "low-id";
   std::string queue_name = "conservative";
   std::string csv_path;
@@ -86,6 +95,8 @@ int main(int argc, char** argv) {
       if (const char* v = next()) grug_path = v;
     } else if (arg == "--trace") {
       if (const char* v = next()) trace_path = v;
+    } else if (arg == "--scenario") {
+      if (const char* v = next()) scenario_path = v;
     } else if (arg == "--cores") {
       if (const char* v = next()) cores = std::atoll(v);
     } else if (arg == "--policy") {
@@ -108,7 +119,8 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (grug_path.empty() || trace_path.empty() || cores < 1) {
+  if (grug_path.empty() || trace_path.empty() == scenario_path.empty() ||
+      cores < 1) {
     return usage(argv[0]);
   }
   queue::QueuePolicy qp;
@@ -128,16 +140,32 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fluxion-sim: cannot read %s\n", grug_path.c_str());
     return 2;
   }
-  const std::string trace_text = read_file(trace_path, ok);
+  const std::string& jobs_path =
+      scenario_path.empty() ? trace_path : scenario_path;
+  const std::string jobs_text = read_file(jobs_path, ok);
   if (!ok) {
-    std::fprintf(stderr, "fluxion-sim: cannot read %s\n", trace_path.c_str());
+    std::fprintf(stderr, "fluxion-sim: cannot read %s\n", jobs_path.c_str());
     return 2;
   }
-  auto trace = sim::parse_trace(trace_text);
-  if (!trace) {
-    std::fprintf(stderr, "fluxion-sim: %s\n", trace.error().message.c_str());
-    return 2;
+  sim::Scenario scenario;
+  if (scenario_path.empty()) {
+    auto trace = sim::parse_trace(jobs_text);
+    if (!trace) {
+      std::fprintf(stderr, "fluxion-sim: %s\n",
+                   trace.error().message.c_str());
+      return 2;
+    }
+    scenario.jobs = std::move(*trace);
+  } else {
+    auto parsed = sim::parse_scenario(jobs_text);
+    if (!parsed) {
+      std::fprintf(stderr, "fluxion-sim: %s\n",
+                   parsed.error().message.c_str());
+      return 2;
+    }
+    scenario = std::move(*parsed);
   }
+  std::vector<sim::TraceJob>& jobs = scenario.jobs;
   core::Options opt;
   opt.policy = policy;
   auto rq = core::ResourceQuery::create_from_text(grug_text, opt);
@@ -163,10 +191,10 @@ int main(int argc, char** argv) {
 
   if (arrivals_mean > 0) {
     util::Rng arr_rng(20231113);
-    sim::stamp_poisson_arrivals(*trace, arrivals_mean, arr_rng);
+    sim::stamp_poisson_arrivals(jobs, arrivals_mean, arr_rng);
   }
   const bool online = std::any_of(
-      trace->begin(), trace->end(),
+      jobs.begin(), jobs.end(),
       [](const sim::TraceJob& j) { return j.arrival != 0; });
 
   if (!metrics_path.empty()) obs::set_enabled(true);
@@ -174,8 +202,34 @@ int main(int argc, char** argv) {
 
   queue::JobQueue q((*rq)->traverser(), qp);
   std::vector<traverser::JobId> ids;
-  if (online) {
-    auto replayed = sim::replay_trace(q, *trace, cores);
+  sim::ScenarioResult dyn_summary;
+  if (!scenario_path.empty()) {
+    dynamic::DynamicResources dyn(g, (*rq)->traverser(), &q);
+    // Grow events name recipe files relative to the scenario file.
+    const auto slash = scenario_path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "" : scenario_path.substr(0, slash + 1);
+    auto resolver =
+        [&](const std::string& ref) -> util::Expected<std::string> {
+      bool read_ok = false;
+      std::string text = read_file(dir + ref, read_ok);
+      if (!read_ok) text = read_file(ref, read_ok);
+      if (!read_ok) {
+        return util::Error{util::Errc::not_found,
+                           "cannot read recipe '" + ref + "'"};
+      }
+      return text;
+    };
+    auto replayed = sim::replay_scenario(q, dyn, scenario, cores, resolver);
+    if (!replayed) {
+      std::fprintf(stderr, "fluxion-sim: %s\n",
+                   replayed.error().message.c_str());
+      return 2;
+    }
+    ids = replayed->ids;
+    dyn_summary = std::move(*replayed);
+  } else if (online) {
+    auto replayed = sim::replay_trace(q, jobs, cores);
     if (!replayed) {
       std::fprintf(stderr, "fluxion-sim: %s\n",
                    replayed.error().message.c_str());
@@ -183,7 +237,7 @@ int main(int argc, char** argv) {
     }
     ids = std::move(replayed->ids);
   } else {
-    for (const auto& tj : *trace) {
+    for (const auto& tj : jobs) {
       auto js = sim::trace_jobspec(tj, cores);
       if (!js) {
         std::fprintf(stderr, "fluxion-sim: %s\n",
@@ -212,8 +266,8 @@ int main(int argc, char** argv) {
         perf_seed >= 0 ? sim::figure_of_merit(g, job->resources) : -1;
     std::fprintf(csv, "%lld,%lld,%lld,%s,%lld,%lld,%lld,%d,%.3f\n",
                  static_cast<long long>(job->id),
-                 static_cast<long long>((*trace)[i].nodes),
-                 static_cast<long long>((*trace)[i].duration),
+                 static_cast<long long>(jobs[i].nodes),
+                 static_cast<long long>(jobs[i].duration),
                  queue::job_state_name(job->state),
                  static_cast<long long>(job->start_time),
                  static_cast<long long>(job->end_time),
@@ -266,5 +320,13 @@ int main(int argc, char** argv) {
                m.avg_turnaround, s.total_match_seconds,
                static_cast<unsigned long long>(s.started_immediately),
                static_cast<unsigned long long>(s.reserved));
+  if (!scenario_path.empty()) {
+    std::fprintf(stderr,
+                 "fluxion-sim: dyn events %zu status, %zu grow, %zu shrink | "
+                 "%zu evicted, %zu replanned | vertices %zu live\n",
+                 dyn_summary.status_events, dyn_summary.grow_events,
+                 dyn_summary.shrink_events, dyn_summary.evicted.size(),
+                 dyn_summary.replanned.size(), g.live_vertex_count());
+  }
   return 0;
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/resource_query.hpp"
+#include "dynamic/dynamic.hpp"
 #include "obs/metrics.hpp"
 #include "queue/job_queue.hpp"
 #include "sim/workload.hpp"
@@ -59,8 +60,14 @@ void print_help() {
       "  match satisfiability JOBSPEC.yaml\n"
       "  cancel JOBID\n"
       "  grow JOBID JOBSPEC.yaml   — add resources to a live job\n"
+      "  grow PATH RECIPE.grug     — attach a new subtree under PATH\n"
       "  shrink JOBID PATH         — release a job's claims under PATH\n"
+      "  shrink PATH               — evict jobs on PATH and detach it\n"
+      "  set-status PATH up|down|drained — flip a subtree's status\n"
+      "                              (down evicts; drained only stops new\n"
+      "                              matches)\n"
       "  detach PATH               — remove an idle subtree (elasticity)\n"
+      "  tree   — containment tree with status markers\n"
       "  run-trace FILE CORES      — run a '<nodes> <duration>' trace with\n"
       "                              conservative backfilling, print metrics\n"
       "  find JOBID\n"
@@ -74,6 +81,8 @@ void print_help() {
 struct Cli {
   std::unique_ptr<core::ResourceQuery> rq;
   std::string format = "simple";
+  /// Dynamic-resource layer; no queue here, so evictions kill jobs.
+  std::unique_ptr<dynamic::DynamicResources> dyn;
 
   void emit_match(const core::MatchResult& r) const {
     if (format == "rlite") {
@@ -149,6 +158,25 @@ struct Cli {
       }
       auto st = rq->cancel(*id);
       std::printf("%s\n", st ? "canceled" : st.error().message.c_str());
+    } else if (cmd == "grow" && args.size() == 3 && !args[1].empty() &&
+               args[1].front() == '/') {
+      // Graph elasticity: grow PATH RECIPE.grug.
+      auto parent = rq->graph().find_by_path(args[1]);
+      bool ok = false;
+      const std::string text = read_file(args[2], ok);
+      if (!parent || !ok) {
+        std::printf("error: grow needs a known path and a readable recipe\n");
+        return 0;
+      }
+      auto root = dyn->grow(*parent, text);
+      if (!root) {
+        std::printf("GROW FAILED (%s): %s\n", util::errc_name(root.error().code),
+                    root.error().message.c_str());
+      } else {
+        std::printf("grew %s under %s (%zu vertices live)\n",
+                    rq->graph().vertex(*root).path.c_str(), args[1].c_str(),
+                    rq->graph().live_vertex_count());
+      }
     } else if (cmd == "grow" && args.size() == 3) {
       auto id = util::parse_i64(args[1]);
       bool ok = false;
@@ -168,6 +196,40 @@ struct Cli {
                     r.error().message.c_str());
       } else {
         emit_match(*r);
+      }
+    } else if (cmd == "shrink" && args.size() == 2 && !args[1].empty() &&
+               args[1].front() == '/') {
+      // Graph elasticity: shrink PATH (evicts intersecting jobs first).
+      auto v = rq->graph().find_by_path(args[1]);
+      if (!v) {
+        std::printf("error: unknown path '%s'\n", args[1].c_str());
+        return 0;
+      }
+      auto r = dyn->shrink(*v);
+      if (!r) {
+        std::printf("SHRINK FAILED (%s): %s\n",
+                    util::errc_name(r.error().code), r.error().message.c_str());
+      } else {
+        std::printf("shrunk %s: removed %zu vertices, evicted %zu jobs\n",
+                    args[1].c_str(), r->removed_vertices, r->evicted.size());
+      }
+    } else if (cmd == "set-status" && args.size() == 3) {
+      auto v = rq->graph().find_by_path(args[1]);
+      const auto status = graph::parse_status(args[2]);
+      if (!v || !status) {
+        std::printf(
+            "error: set-status needs a known path and up|down|drained\n");
+        return 0;
+      }
+      auto change = dyn->set_status(*v, *status);
+      if (!change) {
+        std::printf("SET-STATUS FAILED (%s): %s\n",
+                    util::errc_name(change.error().code),
+                    change.error().message.c_str());
+      } else {
+        std::printf("%s: %s -> %s, evicted %zu jobs\n", args[1].c_str(),
+                    graph::status_name(change->previous),
+                    graph::status_name(*status), change->evicted.size());
       }
     } else if (cmd == "shrink" && args.size() == 3) {
       auto id = util::parse_i64(args[1]);
@@ -232,11 +294,18 @@ struct Cli {
       } else {
         emit_match(*job);
       }
+    } else if (cmd == "tree") {
+      std::printf("%s", writers::graph_to_pretty(rq->graph(),
+                                                 rq->root()).c_str());
     } else if (cmd == "info") {
       const auto& g = rq->graph();
       std::printf("vertices: %zu live / %zu total, edges: %zu, jobs: %zu\n",
                   g.live_vertex_count(), g.vertex_count(), g.edge_count(),
                   rq->traverser().job_count());
+      std::printf("status: up=%zu down=%zu drained=%zu\n",
+                  g.status_count(graph::ResourceStatus::up),
+                  g.status_count(graph::ResourceStatus::down),
+                  g.status_count(graph::ResourceStatus::drained));
       std::printf("%s",
                   graph::render_stats(
                       graph::compute_stats(g, rq->root()))
@@ -325,6 +394,8 @@ int main(int argc, char** argv) {
   // silently empty.
   obs::set_enabled(true);
   Cli cli{std::move(*rq), format};
+  cli.dyn = std::make_unique<dynamic::DynamicResources>(
+      cli.rq->graph(), cli.rq->traverser());
   std::printf("resource-query: %zu vertices, policy=%s (type 'help')\n",
               cli.rq->graph().live_vertex_count(), policy.c_str());
   std::string line;
