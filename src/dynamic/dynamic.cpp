@@ -80,6 +80,10 @@ util::Expected<StatusChange> DynamicResources::set_status(
                        "injected fault at status:commit"};
   }
   if (auto st = g_.set_status(v, s); !st) return st.error();
+  // Status flips change what a match can see without touching the
+  // traverser's books; tell epoch-based caches (queue satisfiability
+  // cache) that prior failures are stale.
+  trav_.note_external_mutation();
   ++stats_.status_flips;
   if (obs::enabled()) obs::monitor().dyn_status_flips.inc();
   obs::trace().sim_instant(
@@ -122,6 +126,7 @@ util::Expected<VertexId> DynamicResources::grow(VertexId parent,
     return st.error();
   }
   const std::size_t added = g_.vertex_count() - mark;
+  trav_.note_external_mutation();
   ++stats_.grow_calls;
   stats_.vertices_added += added;
   // Reservations were planned against the old capacity; give every
@@ -177,6 +182,7 @@ util::Expected<ShrinkResult> DynamicResources::shrink(
   const std::size_t before = g_.live_vertex_count();
   const std::string path = g_.vertex(v).path;
   if (auto st = g_.detach_subtree(v); !st) return st.error();
+  trav_.note_external_mutation();
   result.removed_vertices = before - g_.live_vertex_count();
   ++stats_.shrink_calls;
   stats_.vertices_removed += result.removed_vertices;

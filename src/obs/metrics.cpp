@@ -49,6 +49,10 @@ void PerfMonitor::reset() {
   sdfu_spans_per_commit.reset();
   queue_submitted.reset();
   queue_schedule_passes.reset();
+  queue_events_fired.reset();
+  queue_jobs_scanned.reset();
+  queue_match_skipped.reset();
+  queue_cache_invalidations.reset();
   queue_depth.reset();
   queue_depth_samples.reset();
   job_wait.reset();
@@ -140,6 +144,10 @@ std::string PerfMonitor::json() const {
   out += "},\"queue\":{";
   kv(out, "submitted", queue_submitted.value(), true);
   kv(out, "schedule_passes", queue_schedule_passes.value());
+  kv(out, "events_fired", queue_events_fired.value());
+  kv(out, "jobs_scanned", queue_jobs_scanned.value());
+  kv(out, "match_skipped", queue_match_skipped.value());
+  kv(out, "cache_invalidations", queue_cache_invalidations.value());
   kv(out, "depth", static_cast<std::uint64_t>(
                        queue_depth.value() < 0 ? 0 : queue_depth.value()));
   kv(out, "depth_max", static_cast<std::uint64_t>(
@@ -211,6 +219,10 @@ std::string PerfMonitor::render(bool verbose) const {
     out += "queue:\n";
     line(out, "submitted", queue_submitted.value());
     line(out, "schedule-passes", queue_schedule_passes.value());
+    line(out, "events-fired", queue_events_fired.value());
+    line(out, "jobs-scanned", queue_jobs_scanned.value());
+    line(out, "match-skipped", queue_match_skipped.value());
+    line(out, "cache-invalidations", queue_cache_invalidations.value());
     line(out, "depth", static_cast<std::uint64_t>(
                            queue_depth.value() < 0 ? 0 : queue_depth.value()));
     line(out, "depth-max", static_cast<std::uint64_t>(

@@ -110,6 +110,10 @@ struct PerfMonitor {
   // --- queue / replay (simulated clock) ------------------------------------
   Counter queue_submitted;
   Counter queue_schedule_passes;
+  Counter queue_events_fired;    // starts + completions dispatched
+  Counter queue_jobs_scanned;    // event-heap pops (valid + stale entries)
+  Counter queue_match_skipped;   // matches avoided by the satisfiability cache
+  Counter queue_cache_invalidations;  // cache drops after a graph mutation
   Gauge queue_depth;              // pending jobs after the last queue event
   util::Histogram queue_depth_samples{0.0, 4096.0, 64};
   util::Histogram job_wait{0.0, 1048576.0, 64};        // simulated seconds

@@ -259,8 +259,18 @@ util::Expected<TimePoint> Planner::avail_time_first(TimePoint on_or_after,
 
   // Iterate satisfying points in increasing time order by repeatedly
   // taking the ET minimum and setting rejected candidates aside (as
-  // flux-sched's planner does), then restoring them.
-  std::vector<EtNode*> rejected;
+  // flux-sched's planner does), then restoring them. The restore is a
+  // scope guard: whatever ends the probe loop — feasible start, horizon
+  // break, a corrupted-index nullptr from find_earliest_at, or an
+  // exception out of span_ok — every rejected node goes back into the
+  // tree, keeping the subtree_min_time index coherent.
+  struct EtRestorer {
+    EtTree& tree;
+    std::vector<EtNode*> rejected;
+    ~EtRestorer() {
+      for (EtNode* e : rejected) tree.insert(e);
+    }
+  } guard{et_tree_, {}};
   util::Expected<TimePoint> result =
       util::Error{Errc::resource_busy,
                   "avail_time_first: no feasible start within horizon"};
@@ -273,9 +283,8 @@ util::Expected<TimePoint> Planner::avail_time_first(TimePoint on_or_after,
       break;
     }
     et_tree_.erase(e);
-    rejected.push_back(e);
+    guard.rejected.push_back(e);
   }
-  for (EtNode* e : rejected) et_tree_.insert(e);
   return result;
 }
 

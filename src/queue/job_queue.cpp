@@ -23,8 +23,131 @@ const char* job_state_name(JobState s) noexcept {
   return "unknown";
 }
 
+namespace {
+
+// Canonical one-line rendering of a request vertex. Everything the
+// matcher can see must be included: two requests that serialize equally
+// must be interchangeable to the traverser, or the satisfiability cache
+// would conflate them.
+void sig_resource(const jobspec::Resource& r, std::string& out) {
+  out += r.type;
+  out += '#';
+  out += std::to_string(r.count);
+  if (r.count_max != 0) {
+    out += '-';
+    out += std::to_string(r.count_max);
+  }
+  if (r.exclusive) out += '!';
+  if (!r.label.empty()) {
+    out += '~';
+    out += r.label;
+  }
+  for (const std::string& c : r.requires_) {
+    out += '@';
+    out += c;
+  }
+  if (!r.with.empty()) {
+    out += '(';
+    for (const auto& child : r.with) {
+      sig_resource(child, out);
+      out += ';';
+    }
+    out += ')';
+  }
+}
+
+std::string spec_signature(const jobspec::Jobspec& js) {
+  // Aggregate per-type totals lead (the quantity the pruning filters
+  // reason about — a cheap, readable prefix), but the exact canonical
+  // tree follows: two requests with equal totals can still match
+  // differently (shape, exclusivity, properties), so totals alone are
+  // not a sound cache key.
+  std::string out;
+  for (const auto& [type, n] : js.aggregate_counts()) {
+    out += type;
+    out += ':';
+    out += std::to_string(n);
+    out += ',';
+  }
+  out += '/';
+  out += std::to_string(js.duration);
+  out += '/';
+  for (const auto& r : js.resources) {
+    sig_resource(r, out);
+    out += ';';
+  }
+  return out;
+}
+
+}  // namespace
+
 JobQueue::JobQueue(traverser::Traverser& traverser, QueuePolicy policy)
-    : traverser_(traverser), policy_(policy) {}
+    : traverser_(traverser), policy_(policy) {
+  cache_epoch_ = traverser_.mutation_epoch();
+}
+
+void JobQueue::push_event(TimePoint time, int kind, JobId id) const {
+  events_.push(Event{time, kind, id});
+}
+
+bool JobQueue::event_valid(const Event& ev) const {
+  auto it = jobs_.find(ev.id);
+  if (it == jobs_.end()) return false;
+  const Job& job = it->second;
+  if (ev.kind == kEventStart) {
+    return job.state == JobState::reserved && job.start_time == ev.time;
+  }
+  return job.state == JobState::running && job.end_time == ev.time;
+}
+
+void JobQueue::prune_stale_events() const {
+  while (!events_.empty() && !event_valid(events_.top())) {
+    events_.pop();
+    ++stats_.heap_pops;
+    if (obs::enabled()) obs::monitor().queue_jobs_scanned.inc();
+  }
+}
+
+void JobQueue::set_match_cache(bool on) {
+  match_cache_enabled_ = on;
+  if (!on) blocked_.clear();
+}
+
+void JobQueue::invalidate_match_cache() {
+  if (blocked_.empty()) return;
+  blocked_.clear();
+  ++stats_.cache_invalidations;
+  if (obs::enabled()) obs::monitor().queue_cache_invalidations.inc();
+}
+
+std::string JobQueue::cache_key(Job& job, bool allow_reserve,
+                                TimePoint anchor) {
+  // The cache is valid for exactly one traverser mutation epoch: any
+  // committed change (placement, completion, grow/shrink, status flip,
+  // SDFU update) can flip a previously-failed match to success — the
+  // greedy matcher is not monotone under resource removal either, so no
+  // cheaper per-entry invalidation is sound.
+  if (const std::uint64_t epoch = traverser_.mutation_epoch();
+      epoch != cache_epoch_) {
+    cache_epoch_ = epoch;
+    invalidate_match_cache();
+  }
+  if (job.match_sig.empty()) job.match_sig = spec_signature(job.spec);
+  std::string key = job.match_sig;
+  key += allow_reserve ? "|R|" : "|A|";
+  key += std::to_string(anchor);
+  return key;
+}
+
+void JobQueue::test_rewind_reservation(JobId id, TimePoint start) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.state != JobState::reserved) return;
+  Job& job = it->second;
+  const Duration d = job.end_time - job.start_time;
+  job.start_time = start;
+  job.end_time = start + d;
+  push_event(start, kEventStart, id);
+}
 
 JobId JobQueue::submit(jobspec::Jobspec spec, int priority,
                        std::vector<JobId> depends_on) {
@@ -97,6 +220,24 @@ void JobQueue::try_place(Job& job, bool allow_reserve) {
     if (*gate == util::kMaxTime) return;  // stays pending
     anchor = *gate;
   }
+  // Satisfiability cache: an identical request (spec + op + anchor) that
+  // already failed since the last mutation will fail identically — skip
+  // the traversal and replay the recorded outcome. Failed matches are
+  // side-effect-free, so skipping one cannot change later placements.
+  std::string key;
+  if (match_cache_enabled_) {
+    key = cache_key(job, allow_reserve, anchor);
+    if (auto hit = blocked_.find(key); hit != blocked_.end()) {
+      ++stats_.match_skipped;
+      if (obs::enabled()) obs::monitor().queue_match_skipped.inc();
+      if (hit->second != Errc::resource_busy) {
+        job.state = JobState::rejected;
+        ++stats_.rejected;
+      }
+      return;  // resource_busy: stays pending
+    }
+  }
+  ++stats_.match_calls;
   const auto t0 = std::chrono::steady_clock::now();
   auto r = traverser_.match(
       job.spec,
@@ -114,18 +255,25 @@ void JobQueue::try_place(Job& job, bool allow_reserve) {
     if (r->at > now_) {
       job.state = JobState::reserved;
       ++stats_.reserved;
+      push_event(job.start_time, kEventStart, job.id);
       obs::trace().sim_instant(
           "reserve", static_cast<double>(now_), job.id,
           {{"start", std::to_string(job.start_time)}});
     } else {
       job.state = JobState::running;
       ++stats_.started_immediately;
+      push_event(job.end_time, kEventCompletion, job.id);
       obs::trace().sim_instant("start", static_cast<double>(job.start_time),
                                job.id);
     }
     return;
   }
-  switch (r.error().code) {
+  const Errc code = r.error().code;
+  if (match_cache_enabled_ &&
+      (code == Errc::resource_busy || code == Errc::unsatisfiable)) {
+    blocked_.emplace(std::move(key), code);
+  }
+  switch (code) {
     case Errc::resource_busy:
       break;  // stays pending
     default:
@@ -236,60 +384,67 @@ void JobQueue::schedule() {
 }
 
 TimePoint JobQueue::next_event() const {
-  TimePoint t = util::kMaxTime;
-  for (const auto& [id, job] : jobs_) {
-    if (job.state == JobState::reserved && job.start_time > now_) {
-      t = std::min(t, job.start_time);
-    } else if (job.state == JobState::reserved) {
-      t = std::min(t, now_ + 1);  // start already due
-    }
-    if (job.state == JobState::running) t = std::min(t, job.end_time);
-  }
-  return t;
+  // O(stale log n): peeking sheds entries invalidated by state
+  // transitions since they were pushed; every remaining top is a live
+  // start/completion. An overdue start (only reachable through external
+  // rewinds; re-plans always target the future) fires at now, not
+  // now + 1 — callers must never have to spin the clock one tick at a
+  // time to reach a due event.
+  prune_stale_events();
+  if (events_.empty()) return util::kMaxTime;
+  return std::max(events_.top().time, now_);
 }
 
 util::Status JobQueue::fire_events_up_to(TimePoint t) {
-  // Fire starts and completions in time order up to and including t.
-  // Best-effort: every due event fires even when a purge reports
-  // corruption, so the queue's view of time stays coherent; the first
-  // failure is surfaced once the clock has caught up.
+  // Pop the event heap strictly in (time, start-before-completion, id)
+  // order up to and including t. Best-effort: every due event fires even
+  // when a purge reports corruption, so the queue's view of time stays
+  // coherent; the first failure is surfaced once the clock has caught up.
   util::Status first = util::Status::ok();
   while (true) {
-    TimePoint et = util::kMaxTime;
-    for (const auto& [id, job] : jobs_) {
-      if (job.state == JobState::reserved) et = std::min(et, job.start_time);
-      if (job.state == JobState::running) et = std::min(et, job.end_time);
+    prune_stale_events();
+    if (events_.empty()) break;
+    const Event ev = events_.top();
+    // An overdue event (time already behind the clock) fires at now_.
+    const TimePoint fire_at = std::max(ev.time, now_);
+    if (fire_at > t) break;
+    events_.pop();
+    ++stats_.heap_pops;
+    ++stats_.events_fired;
+    if (obs::enabled()) {
+      auto& m = obs::monitor();
+      m.queue_jobs_scanned.inc();
+      m.queue_events_fired.inc();
     }
-    if (et > t) break;
-    for (auto& [id, job] : jobs_) {
-      if (job.state == JobState::reserved && job.start_time <= et) {
-        job.state = JobState::running;
-        obs::trace().sim_instant("start", static_cast<double>(job.start_time),
-                                 id);
+    // The clock follows the events so trace timestamps are monotone and
+    // any observer callout sees a coherent now().
+    now_ = fire_at;
+    Job& job = jobs_.at(ev.id);
+    if (ev.kind == kEventStart) {
+      job.state = JobState::running;
+      job.start_time = fire_at;  // no-op unless the start was overdue
+      push_event(job.end_time, kEventCompletion, job.id);
+      obs::trace().sim_instant("start", static_cast<double>(fire_at), ev.id);
+    } else {
+      job.state = JobState::completed;
+      job.end_time = fire_at;  // no-op unless the completion was overdue
+      ++stats_.completed;
+      if (obs::enabled()) {
+        auto& m = obs::monitor();
+        m.job_wait.add(static_cast<double>(job.start_time - job.submit_time));
+        m.job_turnaround.add(static_cast<double>(job.end_time -
+                                                 job.submit_time));
       }
-    }
-    for (auto& [id, job] : jobs_) {
-      if (job.state == JobState::running && job.end_time <= et) {
-        job.state = JobState::completed;
-        ++stats_.completed;
-        if (obs::enabled()) {
-          auto& m = obs::monitor();
-          m.job_wait.add(static_cast<double>(job.start_time -
-                                             job.submit_time));
-          m.job_turnaround.add(static_cast<double>(job.end_time -
-                                                   job.submit_time));
-        }
-        if (obs::trace().enabled()) {
-          obs::trace().sim_span(
-              "run", static_cast<double>(job.start_time),
-              static_cast<double>(job.end_time - job.start_time), id);
-          obs::trace().sim_instant("complete",
-                                   static_cast<double>(job.end_time), id);
-        }
-        // Purge the traverser's bookkeeping; the spans are in the past.
-        auto st = traverser_.cancel(id);
-        if (!st && first) first = st;
+      if (obs::trace().enabled()) {
+        obs::trace().sim_span(
+            "run", static_cast<double>(job.start_time),
+            static_cast<double>(job.end_time - job.start_time), ev.id);
+        obs::trace().sim_instant("complete",
+                                 static_cast<double>(job.end_time), ev.id);
       }
+      // Purge the traverser's bookkeeping; the spans are in the past.
+      auto st = traverser_.cancel(ev.id);
+      if (!st && first) first = st;
     }
   }
   return first;

@@ -19,8 +19,10 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
+#include <queue>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -78,6 +80,9 @@ struct Job {
   std::vector<traverser::ResourceUnit> resources;
   /// Wall-clock cost of this job's match call(s), for overhead studies.
   double match_seconds = 0.0;
+  /// Lazily-computed canonical signature of (spec, duration) for the
+  /// satisfiability cache; empty until the first cached-path lookup.
+  std::string match_sig;
 };
 
 struct QueueStats {
@@ -87,6 +92,14 @@ struct QueueStats {
   std::uint64_t completed = 0;
   std::uint64_t rejected = 0;
   double total_match_seconds = 0.0;
+  // Event-dispatch and satisfiability-cache effectiveness (mirrored into
+  // obs::monitor() when enabled; kept here so benches/tools can read them
+  // without turning instrumentation on).
+  std::uint64_t events_fired = 0;    // starts + completions dispatched
+  std::uint64_t heap_pops = 0;       // event-heap pops, incl. stale entries
+  std::uint64_t match_calls = 0;     // traverser matches actually issued
+  std::uint64_t match_skipped = 0;   // matches avoided by the cache
+  std::uint64_t cache_invalidations = 0;  // cache drops after a mutation
 };
 
 /// Derived schedule-quality metrics over terminal (completed) jobs.
@@ -116,8 +129,9 @@ class JobQueue {
   /// Run one scheduling pass at the current simulated time.
   void schedule();
 
-  /// Earliest pending event (job start or completion) after now;
-  /// kMaxTime when idle.
+  /// Earliest pending event (job start or completion) at or after now;
+  /// kMaxTime when idle. An overdue reservation (start already in the
+  /// past, e.g. after an eviction re-plan) fires at now, not now + 1.
   TimePoint next_event() const;
 
   /// Advance the simulated clock, firing starts/completions on the way.
@@ -156,6 +170,26 @@ class JobQueue {
   /// the re-planned job ids.
   std::vector<JobId> replan_reserved();
 
+  /// Toggle the satisfiability cache (default on). The cache only skips
+  /// re-matching jobs whose exact (spec, op, anchor) signature already
+  /// failed since the last graph/traverser mutation, so placements are
+  /// identical either way; turning it off exists for differential tests
+  /// and A/B measurements.
+  void set_match_cache(bool on);
+  bool match_cache() const noexcept { return match_cache_enabled_; }
+
+  /// Drop every cached match failure (counted in stats/obs when the
+  /// cache was non-empty). Mutations visible to the traverser are picked
+  /// up automatically via its mutation epoch; this exists for external
+  /// state changes the epoch cannot see.
+  void invalidate_match_cache();
+
+  /// Test hook: rewind a reserved job's window so its start is already
+  /// due (states no public call sequence can reach organically —
+  /// reservations are always planned in the future). Keeps the duration;
+  /// used by the overdue-reservation regression tests.
+  void test_rewind_reservation(JobId id, TimePoint start);
+
   const Job* find(JobId id) const;
   QueueMetrics metrics() const;
   const traverser::Traverser& traverser() const noexcept {
@@ -166,8 +200,36 @@ class JobQueue {
   const QueueStats& stats() const noexcept { return stats_; }
 
  private:
+  /// One entry in the lazy-deletion event heap. Entries are immutable
+  /// once pushed; a state transition that moves or cancels an event
+  /// simply leaves the old entry behind to be recognised as stale on pop
+  /// (its (state, time) no longer matches the job). Starts order before
+  /// completions at the same timestamp, matching the historical firing
+  /// order; job id breaks the remaining ties deterministically.
+  struct Event {
+    TimePoint time = 0;
+    int kind = 0;  // 0 = start, 1 = completion
+    JobId id = -1;
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.kind != b.kind) return a.kind > b.kind;
+      return a.id > b.id;
+    }
+  };
+  static constexpr int kEventStart = 0;
+  static constexpr int kEventCompletion = 1;
+
+  void push_event(TimePoint time, int kind, JobId id) const;
+  /// True when `ev` still describes the job's committed window.
+  bool event_valid(const Event& ev) const;
+  /// Pop stale entries off the heap top; counts every pop in heap_pops.
+  void prune_stale_events() const;
+
   void try_place(Job& job, bool allow_reserve);
   util::Status fire_events_up_to(TimePoint t);
+  /// Clear the cache when the traverser's mutation epoch moved since the
+  /// last look; returns the cache key for (job, allow_reserve, anchor).
+  std::string cache_key(Job& job, bool allow_reserve, TimePoint anchor);
   /// Reset a job to pending and re-insert it in (priority, submission)
   /// order.
   void enqueue_pending(Job& job);
@@ -186,7 +248,18 @@ class JobQueue {
   std::unordered_map<JobId, Job> jobs_;
   std::vector<JobId> order_;    // submission order
   std::deque<JobId> pending_;   // not yet placed, submission order
-  QueueStats stats_;
+  /// Mutable so next_event() const can account the stale-entry pops it
+  /// performs while peeking.
+  mutable QueueStats stats_;
+  /// Min-heap of future starts/completions; mutable so next_event() can
+  /// shed stale entries while it peeks.
+  mutable std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+      events_;
+  /// Satisfiability cache: signature of a match that failed -> its error
+  /// code, valid for the traverser mutation epoch `cache_epoch_`.
+  bool match_cache_enabled_ = true;
+  std::uint64_t cache_epoch_ = 0;
+  std::unordered_map<std::string, util::Errc> blocked_;
 };
 
 }  // namespace fluxion::queue

@@ -30,6 +30,10 @@ std::vector<TraceJob> generate_trace(const TraceConfig& config,
     const double d = min_dur_log + rng.uniform01() * (max_dur_log - min_dur_log);
     job.duration = std::max<util::Duration>(
         1, static_cast<util::Duration>(std::llround(std::exp(d))));
+    if (config.duration_quantum > 0) {
+      const util::Duration q = config.duration_quantum;
+      job.duration = ((job.duration + q - 1) / q) * q;
+    }
     trace.push_back(job);
   }
   return trace;

@@ -37,6 +37,11 @@ struct TraceConfig {
   /// Production queues are dominated by single-node jobs; this fraction is
   /// forced to nodes == 1 before the log-uniform draw for the rest.
   double single_node_fraction = 0.3;
+  /// When > 0, sampled durations are rounded up to a multiple of this
+  /// quantum (production users ask for round walltimes). Quantization
+  /// concentrates the trace on a few request shapes — the regime queue
+  /// optimisations like the satisfiability cache are measured against.
+  util::Duration duration_quantum = 0;
 };
 
 /// Draw a trace (deterministic in rng).

@@ -1115,6 +1115,9 @@ util::Expected<MatchResult> Traverser::match(const jobspec::Jobspec& js,
   const bool timed = obs::enabled() || obs::trace().enabled();
   const std::int64_t t0 = timed ? obs::trace().now_us() : 0;
   auto r = match_impl(js, op, now, job);
+  // Failed matches roll back completely, so only successes (committed
+  // spans + SDFU filter updates) move the epoch.
+  if (r && op != MatchOp::satisfiability) ++mutation_epoch_;
   if (timed) {
     const std::int64_t dur = obs::trace().now_us() - t0;
     const obs::Op o = to_obs_op(op);
@@ -1137,6 +1140,9 @@ util::Expected<MatchResult> Traverser::match(const jobspec::Jobspec& js,
 util::Status Traverser::cancel(JobId job) {
   const bool timed = obs::enabled() || obs::trace().enabled();
   const std::int64_t t0 = timed ? obs::trace().now_us() : 0;
+  // Cancel is best-effort: spans may be released even when the call
+  // reports corruption, so every attempt bumps the epoch.
+  ++mutation_epoch_;
   auto r = cancel_impl(job);
   if (timed) {
     const std::int64_t dur = obs::trace().now_us() - t0;
@@ -1158,6 +1164,7 @@ util::Status Traverser::cancel(JobId job) {
 
 util::Expected<MatchResult> Traverser::restore(const MatchResult& allocation) {
   auto r = restore_impl(allocation);
+  if (r) ++mutation_epoch_;
   if (audit_enabled_) {
     if (auto st = run_audit("restore"); !st) return st.error();
   }
@@ -1168,6 +1175,7 @@ util::Expected<MatchResult> Traverser::grow(JobId job,
                                             const jobspec::Jobspec& extra,
                                             TimePoint now) {
   auto r = grow_impl(job, extra, now);
+  if (r) ++mutation_epoch_;
   if (audit_enabled_) {
     if (auto st = run_audit("grow"); !st) return st.error();
   }
@@ -1175,6 +1183,10 @@ util::Expected<MatchResult> Traverser::grow(JobId job,
 }
 
 util::Status Traverser::shrink(JobId job, VertexId vertex) {
+  // Shrink and extend restore prior state on failure in the common case,
+  // but their repair paths are themselves best-effort; bump
+  // unconditionally (a spurious invalidation only costs a re-match).
+  ++mutation_epoch_;
   auto r = shrink_impl(job, vertex);
   if (audit_enabled_) {
     if (auto st = run_audit("shrink"); !st) return st;
@@ -1183,6 +1195,7 @@ util::Status Traverser::shrink(JobId job, VertexId vertex) {
 }
 
 util::Status Traverser::extend(JobId job, Duration extra) {
+  ++mutation_epoch_;
   auto r = extend_impl(job, extra);
   if (audit_enabled_) {
     if (auto st = run_audit("extend"); !st) return st;

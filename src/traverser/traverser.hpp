@@ -149,6 +149,20 @@ class Traverser {
 
   const TraverserStats& stats() const noexcept { return stats_; }
 
+  /// Monotone mutation epoch: bumped whenever committed scheduler state
+  /// may have changed — successful match/restore/grow, every
+  /// cancel/shrink/extend attempt (best-effort ops mutate even on
+  /// failure), and external graph changes reported via
+  /// note_external_mutation(). Consumers (the queue's satisfiability
+  /// cache) compare epochs to decide whether cached match failures are
+  /// still valid.
+  std::uint64_t mutation_epoch() const noexcept { return mutation_epoch_; }
+
+  /// Report a mutation the traverser cannot see (graph grow/shrink,
+  /// status flips) so epoch-based caches invalidate. Called by
+  /// dynamic::DynamicResources.
+  void note_external_mutation() noexcept { ++mutation_epoch_; }
+
   /// Zero the lifetime counters (the `clear-stats` command). The global
   /// obs::monitor() is reset separately by its owner.
   void clear_stats() noexcept { stats_ = TraverserStats{}; }
@@ -326,6 +340,7 @@ class Traverser {
   std::unordered_map<JobId, JobRecord> jobs_;
   std::map<TimePoint, int> release_times_;
   TraverserStats stats_;
+  std::uint64_t mutation_epoch_ = 0;
   bool audit_enabled_ = false;
   std::string fault_point_;
 };

@@ -1,7 +1,13 @@
 // Unit tests for the structured event trace (Chrome trace-event export).
 #include "obs/trace.hpp"
 
+#include <memory>
+
 #include <gtest/gtest.h>
+
+#include "grug/grug.hpp"
+#include "policy/policies.hpp"
+#include "queue/job_queue.hpp"
 
 namespace fluxion::obs {
 namespace {
@@ -116,6 +122,58 @@ TEST(TraceLog, ClearDropsEvents) {
 TEST(GlobalTrace, IsASingleInstance) {
   trace().clear();
   EXPECT_EQ(trace().size(), 0u);
+}
+
+// Sim-lane instants must come out in non-decreasing timestamp order even
+// when one advance dispatches several heap events and an overdue
+// reservation is clamped forward to now — the queue moves its clock with
+// each fired event precisely so the trace never runs backwards.
+TEST(GlobalTrace, SimInstantsAreMonotoneUnderEventDispatch) {
+  auto& tl = trace();
+  tl.clear();
+  tl.set_enabled(true);
+  {
+    graph::ResourceGraph g(0, 1 << 20);
+    auto recipe = grug::parse(
+        "filters node core\nfilter-at cluster\n"
+        "cluster count=1\n  node count=4\n    core count=4\n");
+    ASSERT_TRUE(recipe);
+    auto root = grug::build(g, *recipe);
+    ASSERT_TRUE(root);
+    policy::LowIdPolicy pol;
+    traverser::Traverser trav(g, *root, pol);
+    queue::JobQueue q(trav, queue::QueuePolicy::conservative_backfill);
+    auto whole = [](std::int64_t n, util::Duration d) {
+      auto js = jobspec::make(
+          {jobspec::slot(
+              n, {jobspec::xres("node", 1, {jobspec::res("core", 4)})})},
+          d);
+      EXPECT_TRUE(js);
+      return *js;
+    };
+    q.submit(whole(4, 50));
+    q.submit(whole(4, 30));                         // reserved at 50
+    const auto c = q.submit(whole(4, 20));          // reserved at 80
+    q.schedule();
+    ASSERT_TRUE(q.advance_to(60));  // fires complete@50 and start@50
+    // Overdue reservation: c's start is rewound into the past and must
+    // fire clamped to now, not stamp a timestamp behind the trace.
+    q.test_rewind_reservation(c, 10);
+    ASSERT_TRUE(q.run_to_completion());
+  }
+  std::size_t instants = 0;
+  std::int64_t last_ts = -1;
+  for (const auto& ev : tl.events()) {
+    if (ev.pid != TraceLog::kSimPid || ev.ph != 'i') continue;
+    EXPECT_GE(ev.ts, last_ts) << "instant #" << instants << " ('" << ev.name
+                              << "') runs backwards";
+    last_ts = ev.ts;
+    ++instants;
+  }
+  // 3 submits, 1 immediate + 2 fired starts, 2 reserves, 3 completes.
+  EXPECT_GE(instants, 11u);
+  tl.set_enabled(false);
+  tl.clear();
 }
 
 }  // namespace

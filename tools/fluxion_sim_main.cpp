@@ -13,6 +13,8 @@
 //               [--arrivals MEAN]       # Poisson arrivals (online replay)
 //               [--csv FILE]            # per-job schedule (default stdout)
 //               [--metrics FILE]        # counter/histogram catalogue (JSON)
+//               [--no-match-cache]      # disable the queue's
+//                                       # satisfiability cache (A/B runs)
 //               [--trace-out FILE]      # job lifecycle + match phases as
 //                                       # Chrome trace-event JSON (Perfetto)
 //
@@ -66,7 +68,7 @@ int usage(const char* argv0) {
       "          [--policy NAME]\n"
       "          [--queue fcfs|easy|conservative] [--perf-classes SEED]\n"
       "          [--arrivals MEAN] [--csv FILE] [--util FILE]\n"
-      "          [--metrics FILE] [--trace-out FILE]\n",
+      "          [--metrics FILE] [--trace-out FILE] [--no-match-cache]\n",
       argv0);
   return 2;
 }
@@ -86,6 +88,7 @@ int main(int argc, char** argv) {
   std::int64_t cores = 36;
   std::int64_t perf_seed = -1;
   double arrivals_mean = 0;
+  bool match_cache = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -115,6 +118,8 @@ int main(int argc, char** argv) {
       if (const char* v = next()) metrics_path = v;
     } else if (arg == "--trace-out") {
       if (const char* v = next()) trace_out_path = v;
+    } else if (arg == "--no-match-cache") {
+      match_cache = false;
     } else {
       return usage(argv[0]);
     }
@@ -201,6 +206,7 @@ int main(int argc, char** argv) {
   if (!trace_out_path.empty()) obs::trace().set_enabled(true);
 
   queue::JobQueue q((*rq)->traverser(), qp);
+  q.set_match_cache(match_cache);
   std::vector<traverser::JobId> ids;
   sim::ScenarioResult dyn_summary;
   if (!scenario_path.empty()) {
@@ -320,6 +326,14 @@ int main(int argc, char** argv) {
                m.avg_turnaround, s.total_match_seconds,
                static_cast<unsigned long long>(s.started_immediately),
                static_cast<unsigned long long>(s.reserved));
+  std::fprintf(stderr,
+               "fluxion-sim: %llu events fired (%llu heap pops) | "
+               "%llu matches, %llu skipped by cache, %llu invalidations\n",
+               static_cast<unsigned long long>(s.events_fired),
+               static_cast<unsigned long long>(s.heap_pops),
+               static_cast<unsigned long long>(s.match_calls),
+               static_cast<unsigned long long>(s.match_skipped),
+               static_cast<unsigned long long>(s.cache_invalidations));
   if (!scenario_path.empty()) {
     std::fprintf(stderr,
                  "fluxion-sim: dyn events %zu status, %zu grow, %zu shrink | "
