@@ -1,0 +1,174 @@
+// Speculative match pipeline bench (the queue's parallel probe phase).
+//
+// Replays a backlog-heavy trace (everything arrives at t=0) through the
+// EASY-backfill queue at 1, 2, 4 and 8 probe threads over identical
+// systems and traces. The serial run is the oracle: every parallel run
+// must place every job identically (exit 3 on divergence — speculation
+// may only overlap the read-only probe phase, never change an outcome).
+//
+// The headline numbers are the speculation-effectiveness counters, not
+// wall-clock: `hit_rate` (consumed probes / probes issued) is the
+// fraction of fanned-out search work that fed a real scheduling
+// decision, and `match_seconds` is the matcher time the queue observed
+// (probe + commit). Wall-clock speedup tracks hit_rate × available
+// cores; on a single-core host the pipeline degrades to serial speed
+// with the same placements, which is exactly the contract.
+//
+// Environment:
+//   FLUXION_PM_RACKS      — rack count (default 2)
+//   FLUXION_PM_JOBS       — trace length (default 10000)
+//   FLUXION_PM_QUANTUM    — duration quantum in seconds (default 3600)
+//   FLUXION_BENCH_METRICS — write a JSON summary (per-thread-count
+//                           counters plus the obs catalogue, including
+//                           per-worker probe latency histograms) to this
+//                           file; enables obs collection
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/resource_query.hpp"
+#include "grug/recipes.hpp"
+#include "obs/metrics.hpp"
+#include "queue/job_queue.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+using namespace fluxion;
+
+struct RunResult {
+  std::size_t threads = 1;
+  queue::QueueStats stats;
+  double seconds = 0;
+  std::vector<std::pair<traverser::JobId, util::TimePoint>> placements;
+};
+
+int env_int(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) return std::max(1, std::atoi(env));
+  return fallback;
+}
+
+bool run_once(int racks, const std::vector<sim::TraceJob>& trace,
+              std::size_t threads, RunResult& out) {
+  auto rq = core::ResourceQuery::create(grug::recipes::quartz(true, racks));
+  if (!rq) return false;
+  queue::JobQueue q((*rq)->traverser(), queue::QueuePolicy::easy_backfill);
+  q.set_match_threads(threads);
+  std::vector<traverser::JobId> ids;
+  for (const auto& tj : trace) {
+    auto js = sim::trace_jobspec(tj, 36);
+    if (!js) return false;
+    ids.push_back(q.submit(*js));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!q.run_to_completion()) return false;
+  const auto t1 = std::chrono::steady_clock::now();
+  out.threads = threads;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.stats = q.stats();
+  for (const auto id : ids) {
+    out.placements.emplace_back(id, q.find(id)->start_time);
+  }
+  return true;
+}
+
+double hit_rate(const queue::QueueStats& s) {
+  return s.spec_probes > 0 ? static_cast<double>(s.spec_hits) /
+                                 static_cast<double>(s.spec_probes)
+                           : 0.0;
+}
+
+void stats_json(std::string& out, const RunResult& r) {
+  const auto& s = r.stats;
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"threads\":%zu,\"match_calls\":%llu,\"spec_probes\":%llu,"
+      "\"spec_hits\":%llu,\"spec_misses\":%llu,\"spec_wasted\":%llu,"
+      "\"hit_rate\":%.3f,\"match_seconds\":%.3f,\"seconds\":%.3f}",
+      r.threads, static_cast<unsigned long long>(s.match_calls),
+      static_cast<unsigned long long>(s.spec_probes),
+      static_cast<unsigned long long>(s.spec_hits),
+      static_cast<unsigned long long>(s.spec_misses),
+      static_cast<unsigned long long>(s.spec_wasted), hit_rate(s),
+      s.total_match_seconds, r.seconds);
+  out += buf;
+}
+
+}  // namespace
+
+int main() {
+  const int racks = env_int("FLUXION_PM_RACKS", 2);
+  const int jobs = env_int("FLUXION_PM_JOBS", 10000);
+  const int quantum = env_int("FLUXION_PM_QUANTUM", 3600);
+  const char* metrics_path = std::getenv("FLUXION_BENCH_METRICS");
+  if (metrics_path != nullptr) obs::set_enabled(true);
+  const std::int64_t nodes = static_cast<std::int64_t>(racks) * 62;
+
+  sim::TraceConfig cfg;
+  cfg.job_count = static_cast<std::size_t>(jobs);
+  cfg.max_nodes = std::min<std::int64_t>(64, nodes);
+  cfg.duration_quantum = quantum;
+  util::Rng rng(20240601);
+  const auto trace = sim::generate_trace(cfg, rng);
+
+  std::printf("# Parallel match: %lld nodes, %d jobs (backlog at t=0), "
+              "EASY backfill, %ds walltime quantum\n",
+              static_cast<long long>(nodes), jobs, quantum);
+
+  std::vector<RunResult> runs;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    RunResult r;
+    if (!run_once(racks, trace, threads, r)) return 1;
+    if (!runs.empty() && r.placements != runs.front().placements) {
+      std::fprintf(stderr,
+                   "bench_parallel_match: PLACEMENT DIVERGENCE at "
+                   "threads=%zu vs serial — speculation is unsound\n",
+                   threads);
+      return 3;
+    }
+    runs.push_back(std::move(r));
+  }
+
+  std::printf("%-8s %12s %12s %10s %10s %10s %9s %10s %10s\n", "threads",
+              "matches", "probes", "hits", "misses", "wasted", "hit-rate",
+              "match[s]", "time[s]");
+  for (const auto& r : runs) {
+    const auto& s = r.stats;
+    std::printf("%-8zu %12llu %12llu %10llu %10llu %10llu %8.1f%% %10.3f "
+                "%10.3f\n",
+                r.threads, static_cast<unsigned long long>(s.match_calls),
+                static_cast<unsigned long long>(s.spec_probes),
+                static_cast<unsigned long long>(s.spec_hits),
+                static_cast<unsigned long long>(s.spec_misses),
+                static_cast<unsigned long long>(s.spec_wasted),
+                100.0 * hit_rate(s), s.total_match_seconds, r.seconds);
+  }
+  std::printf("\nplacements identical across all thread counts "
+              "(%zu jobs checked per run)\n",
+              runs.front().placements.size());
+
+  if (metrics_path != nullptr) {
+    std::string out = "{\"jobs\":" + std::to_string(jobs);
+    out += ",\"nodes\":" + std::to_string(nodes);
+    out += ",\"runs\":[";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (i > 0) out += ',';
+      stats_json(out, runs[i]);
+    }
+    out += "],\"obs\":";
+    out += obs::monitor().json();
+    out += "}\n";
+    std::ofstream mo(metrics_path);
+    if (!mo) {
+      std::fprintf(stderr, "bench_parallel_match: cannot write %s\n",
+                   metrics_path);
+      return 2;
+    }
+    mo << out;
+  }
+  return 0;
+}

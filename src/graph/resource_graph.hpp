@@ -109,6 +109,9 @@ class ResourceGraph {
     return types_.find(name);
   }
   const std::string& type_name(InternId id) const { return types_.name(id); }
+  /// Number of interned resource types; type ids are dense in
+  /// [0, type_count()), so dense per-type tables can size off this.
+  std::size_t type_count() const noexcept { return types_.size(); }
   const std::string& subsystem_name(InternId id) const {
     return subsystems_.name(id);
   }

@@ -53,6 +53,11 @@ void PerfMonitor::reset() {
   queue_jobs_scanned.reset();
   queue_match_skipped.reset();
   queue_cache_invalidations.reset();
+  queue_spec_probes.reset();
+  queue_spec_hits.reset();
+  queue_spec_misses.reset();
+  queue_spec_wasted.reset();
+  for (auto& h : probe_latency_us) h.reset();
   queue_depth.reset();
   queue_depth_samples.reset();
   job_wait.reset();
@@ -148,6 +153,16 @@ std::string PerfMonitor::json() const {
   kv(out, "jobs_scanned", queue_jobs_scanned.value());
   kv(out, "match_skipped", queue_match_skipped.value());
   kv(out, "cache_invalidations", queue_cache_invalidations.value());
+  kv(out, "spec_probes", queue_spec_probes.value());
+  kv(out, "spec_hits", queue_spec_hits.value());
+  kv(out, "spec_misses", queue_spec_misses.value());
+  kv(out, "spec_wasted", queue_spec_wasted.value());
+  out += ",\"probe_latency_us\":[";
+  for (std::size_t i = 0; i < probe_latency_us.size(); ++i) {
+    if (i > 0) out += ",";
+    out += probe_latency_us[i].json();
+  }
+  out += "]";
   kv(out, "depth", static_cast<std::uint64_t>(
                        queue_depth.value() < 0 ? 0 : queue_depth.value()));
   kv(out, "depth_max", static_cast<std::uint64_t>(
@@ -223,6 +238,19 @@ std::string PerfMonitor::render(bool verbose) const {
     line(out, "jobs-scanned", queue_jobs_scanned.value());
     line(out, "match-skipped", queue_match_skipped.value());
     line(out, "cache-invalidations", queue_cache_invalidations.value());
+    if (queue_spec_probes.value() > 0) {
+      line(out, "spec-probes", queue_spec_probes.value());
+      line(out, "spec-hits", queue_spec_hits.value());
+      line(out, "spec-misses", queue_spec_misses.value());
+      line(out, "spec-wasted", queue_spec_wasted.value());
+      for (std::size_t i = 0; i < probe_latency_us.size(); ++i) {
+        if (probe_latency_us[i].count() == 0) continue;
+        char label[48];
+        std::snprintf(label, sizeof label, "probe latency t%zu (us)", i);
+        hist_summary(out, label, probe_latency_us[i]);
+        if (verbose) out += probe_latency_us[i].render();
+      }
+    }
     line(out, "depth", static_cast<std::uint64_t>(
                            queue_depth.value() < 0 ? 0 : queue_depth.value()));
     line(out, "depth-max", static_cast<std::uint64_t>(

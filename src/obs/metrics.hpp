@@ -5,49 +5,67 @@
 //
 // Design constraints:
 //   * Instrumentation must be cheap enough to leave compiled in: every
-//     update is a plain increment behind the `enabled()` flag (one
-//     predictable branch on an inline global when disabled).
-//   * The engine is single-threaded per context (see capi/reapi.h), so
-//     counters are plain integers, not atomics.
+//     update is a relaxed atomic increment behind the `enabled()` flag
+//     (one predictable branch on an inline global when disabled).
+//   * Counters and gauges are relaxed atomics: the traverser's probe
+//     phase runs concurrently on the queue's worker pool and several
+//     probes may hit the same counter. Relaxed ordering is enough — the
+//     values are monotone tallies, never used for synchronisation.
+//     Histograms stay unsynchronised; concurrent paths write only
+//     per-thread histograms (see probe_latency_us below).
 //   * One process-wide monitor, not per-context: tools enable it, run,
 //     and export one metrics document (`PerfMonitor::json`).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/histogram.hpp"
 
 namespace fluxion::obs {
 
-/// Monotonic event count; reset only via clear-stats.
+/// Monotonic event count; reset only via clear-stats. Increments may
+/// come from concurrent probe threads, hence the relaxed atomic.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) noexcept { v_ += n; }
-  std::uint64_t value() const noexcept { return v_; }
-  void reset() noexcept { v_ = 0; }
+  void inc(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t v_ = 0;
+  std::atomic<std::uint64_t> v_{0};
 };
 
 /// Last-written value plus the high-water mark since the last reset.
 class Gauge {
  public:
   void set(std::int64_t v) noexcept {
-    v_ = v;
-    if (v > max_) max_ = v;
+    v_.store(v, std::memory_order_relaxed);
+    std::int64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < v &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
   }
-  std::int64_t value() const noexcept { return v_; }
-  std::int64_t max() const noexcept { return max_; }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  std::int64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
   void reset() noexcept {
-    v_ = 0;
-    max_ = 0;
+    v_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  std::int64_t v_ = 0;
-  std::int64_t max_ = 0;
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> max_{0};
 };
 
 /// Instrumented engine entry points: the four traverser match operations
@@ -114,10 +132,27 @@ struct PerfMonitor {
   Counter queue_jobs_scanned;    // event-heap pops (valid + stale entries)
   Counter queue_match_skipped;   // matches avoided by the satisfiability cache
   Counter queue_cache_invalidations;  // cache drops after a graph mutation
+  // Speculative parallel match pipeline (docs/extending.md, "Concurrency
+  // contract"): probe executions vs. how many were consumed at commit.
+  Counter queue_spec_probes;     // probe phases executed (incl. wasted ones)
+  Counter queue_spec_hits;       // speculative probes consumed at commit time
+  Counter queue_spec_misses;     // probes found stale at consume (re-probed)
+  Counter queue_spec_wasted;     // probes invalidated before being looked at
   Gauge queue_depth;              // pending jobs after the last queue event
   util::Histogram queue_depth_samples{0.0, 4096.0, 64};
   util::Histogram job_wait{0.0, 1048576.0, 64};        // simulated seconds
   util::Histogram job_turnaround{0.0, 1048576.0, 64};  // simulated seconds
+  /// Per-worker probe wall-clock latency. Sized serially (before any
+  /// batch runs) via ensure_probe_threads; worker w writes only
+  /// probe_latency_us[w], so the histograms need no synchronisation.
+  std::vector<util::Histogram> probe_latency_us;
+  /// Grow the per-worker histogram set to at least `n` entries. Must be
+  /// called from the serial path, never while a probe batch is running.
+  void ensure_probe_threads(std::size_t n) {
+    while (probe_latency_us.size() < n) {
+      probe_latency_us.emplace_back(0.0, 100000.0, 50);
+    }
+  }
 
   // --- dynamic resources (status flips, eviction, grow/shrink) -------------
   Counter dyn_status_flips;       // set_status calls that changed state

@@ -27,29 +27,33 @@ Planner::Planner(TimePoint base, Duration horizon, std::int64_t total,
   assert(horizon > 0);
   assert(total >= 0);
   // Pinned base point: the planner state is defined from base_time on.
-  auto p = std::make_unique<ScheduledPoint>();
+  ScheduledPoint* p = point_pool_.create();
   p->at = base_;
   p->in_use = 0;
   p->remaining = total_;
   p->ref_count = 1;  // never collected
-  p->et.point = p.get();
-  sp_tree_.insert(p.get());
+  p->et.point = p;
+  sp_tree_.insert(p);
   et_tree_.insert(&p->et);
-  points_.emplace(base_, std::move(p));
+  points_.emplace(base_, p);
 }
 
-Planner::~Planner() = default;
+Planner::~Planner() {
+  for (auto& [t, p] : points_) point_pool_.destroy(p);
+}
 
 ScheduledPoint* Planner::floor_point(TimePoint t) const {
   return sp_tree_.floor(t, cmp_time);
 }
 
 ScheduledPoint* Planner::get_or_create_point(TimePoint t) {
-  if (auto it = points_.find(t); it != points_.end()) return it->second.get();
+  if (auto it = points_.find(t); it != points_.end()) return it->second;
   ScheduledPoint* prev = floor_point(t);
   assert(prev != nullptr);  // base point pinned and t >= base checked earlier
-  auto p = std::make_unique<ScheduledPoint>();
-  ScheduledPoint* raw = p.get();
+  // Recycled slot from the slab pool: span add/remove churn turns over
+  // points constantly, and the pool turns that into pointer pops instead
+  // of allocator round-trips.
+  ScheduledPoint* raw = point_pool_.create();
   raw->at = t;
   raw->in_use = prev->in_use;  // state carries forward until changed
   raw->remaining = total_ - raw->in_use;
@@ -57,7 +61,7 @@ ScheduledPoint* Planner::get_or_create_point(TimePoint t) {
   raw->et.point = raw;
   sp_tree_.insert(raw);
   et_tree_.insert(&raw->et);
-  points_.emplace(t, std::move(p));
+  points_.emplace(t, raw);
   if (obs::enabled()) obs::monitor().planner_point_inserts.inc();
   return raw;
 }
@@ -72,6 +76,7 @@ void Planner::maybe_collect(ScheduledPoint* p) {
   sp_tree_.erase(p);
   et_tree_.erase(&p->et);
   points_.erase(p->at);
+  point_pool_.destroy(p);
   if (obs::enabled()) obs::monitor().planner_point_removes.inc();
 }
 
@@ -286,6 +291,41 @@ util::Expected<TimePoint> Planner::avail_time_first(TimePoint on_or_after,
     guard.rejected.push_back(e);
   }
   return result;
+}
+
+util::Expected<TimePoint> Planner::avail_time_first_ro(
+    TimePoint on_or_after, Duration duration, std::int64_t request) const {
+  if (obs::enabled()) obs::monitor().planner_avail_time_first.inc();
+  if (duration <= 0 || request < 0) {
+    return util::Error{Errc::invalid_argument,
+                       "avail_time_first: bad duration or request"};
+  }
+  if (request > total_) {
+    return util::Error{Errc::unsatisfiable,
+                       "avail_time_first: request exceeds pool total"};
+  }
+  on_or_after = std::max(on_or_after, base_);
+  if (on_or_after + duration > plan_end()) {
+    return util::Error{Errc::resource_busy,
+                       "avail_time_first: window leaves the horizon"};
+  }
+  if (avail_during(on_or_after, duration, request)) return on_or_after;
+
+  // Same candidate set as avail_time_first — feasibility can begin only
+  // at a scheduled point past on_or_after — but visited by walking the SP
+  // tree in time order, which needs no set-aside mutation of the ET tree.
+  // Both versions accept the first (earliest) candidate with a span_ok
+  // window, so the results are identical.
+  for (const ScheduledPoint* pt = floor_point(on_or_after); pt != nullptr;
+       pt = SpTree::next(pt)) {
+    if (pt->at <= on_or_after) continue;
+    if (pt->remaining < request) continue;
+    if (obs::enabled()) obs::monitor().planner_atf_probes.inc();
+    if (pt->at + duration > plan_end()) break;
+    if (span_ok(pt, duration, request)) return pt->at;
+  }
+  return util::Error{Errc::resource_busy,
+                     "avail_time_first: no feasible start within horizon"};
 }
 
 util::Status Planner::resize_total(std::int64_t new_total) {

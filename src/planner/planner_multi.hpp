@@ -21,6 +21,7 @@
 
 #include "planner/planner.hpp"
 #include "util/expected.hpp"
+#include "util/pool.hpp"
 
 namespace fluxion::planner {
 
@@ -69,6 +70,13 @@ class PlannerMulti {
                                              Duration duration,
                                              Counts counts);
 
+  /// Read-only avail_time_first for concurrent probes: same cross-type
+  /// anchor loop, but delegating to Planner::avail_time_first_ro so no
+  /// planner state is touched. Results identical to avail_time_first.
+  util::Expected<TimePoint> avail_time_first_ro(TimePoint on_or_after,
+                                                Duration duration,
+                                                Counts counts) const;
+
   std::size_t span_count() const noexcept { return spans_.size(); }
 
   bool validate() const;
@@ -79,7 +87,10 @@ class PlannerMulti {
   std::vector<std::unique_ptr<Planner>> planners_;
   std::unordered_map<std::string, std::size_t> index_;
   // Multi-span id -> per-planner span ids (kInvalidSpan where count was 0).
+  // Tail vectors cycle through the recycler so SDFU's add/rem churn reuses
+  // their heap buffers instead of reallocating one per filter span.
   std::unordered_map<SpanId, std::vector<SpanId>> spans_;
+  util::Recycler<SpanId> span_tails_;
   SpanId next_span_id_ = 0;
 };
 

@@ -21,6 +21,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <queue>
 #include <string>
@@ -30,6 +31,7 @@
 #include "jobspec/jobspec.hpp"
 #include "traverser/traverser.hpp"
 #include "util/expected.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fluxion::queue {
 
@@ -100,6 +102,13 @@ struct QueueStats {
   std::uint64_t match_calls = 0;     // traverser matches actually issued
   std::uint64_t match_skipped = 0;   // matches avoided by the cache
   std::uint64_t cache_invalidations = 0;  // cache drops after a mutation
+  // Speculative match pipeline (match_threads > 1). A probe is wasted when
+  // a commit invalidated it before any consumer looked at it; a miss is a
+  // consume-time mismatch (op/anchor/epoch) that forced a serial re-probe.
+  std::uint64_t spec_probes = 0;  // speculative probe phases executed
+  std::uint64_t spec_hits = 0;    // probes consumed by a matching commit
+  std::uint64_t spec_misses = 0;  // consume-time mismatches, re-probed
+  std::uint64_t spec_wasted = 0;  // probes invalidated before consumption
 };
 
 /// Derived schedule-quality metrics over terminal (completed) jobs.
@@ -178,6 +187,18 @@ class JobQueue {
   void set_match_cache(bool on);
   bool match_cache() const noexcept { return match_cache_enabled_; }
 
+  /// Size the speculative match pipeline. With n > 1, each scheduling
+  /// decision fans the *probe* phase of the next batch of pending jobs out
+  /// over n worker threads against the frozen graph; winners are committed
+  /// serially in policy order, and a probe whose mutation epoch moved
+  /// before its turn is transparently re-probed. Placements are therefore
+  /// byte-identical to n == 1 at any thread count — speculation only
+  /// overlaps the read-only search work. n <= 1 restores the plain serial
+  /// path (no pool, no per-probe overhead). Dropping or resizing the pool
+  /// discards in-flight speculations (counted as wasted).
+  void set_match_threads(std::size_t n);
+  std::size_t match_threads() const noexcept { return match_threads_; }
+
   /// Drop every cached match failure (counted in stats/obs when the
   /// cache was non-empty). Mutations visible to the traverser are picked
   /// up automatically via its mutation epoch; this exists for external
@@ -226,6 +247,20 @@ class JobQueue {
   void prune_stale_events() const;
 
   void try_place(Job& job, bool allow_reserve);
+  /// Issue the traverser work for one placement decision. Serial when
+  /// match_threads_ <= 1; otherwise consumes (or refills and consumes) the
+  /// speculation window. Updates match timing on the job and the stats.
+  util::Expected<traverser::MatchResult> run_match(Job& job,
+                                                   bool allow_reserve,
+                                                   TimePoint anchor);
+  /// Probe `head` plus up to 2*threads - 1 lookahead pending jobs on the
+  /// worker pool and park the results in spec_. Side-effect-free on queue
+  /// state (beyond stats and lazily-filled match signatures).
+  void speculate_batch(const Job& head, bool head_allow_reserve,
+                       TimePoint head_anchor);
+  /// Drop speculations whose probe epoch no longer matches the traverser
+  /// (a commit landed since they ran); counts them as wasted.
+  void drop_stale_speculations();
   util::Status fire_events_up_to(TimePoint t);
   /// Clear the cache when the traverser's mutation epoch moved since the
   /// last look; returns the cache key for (job, allow_reserve, anchor).
@@ -260,6 +295,18 @@ class JobQueue {
   bool match_cache_enabled_ = true;
   std::uint64_t cache_epoch_ = 0;
   std::unordered_map<std::string, util::Errc> blocked_;
+  /// One parked speculative probe, valid for consumption only while the
+  /// requested (op, anchor) and the traverser's mutation epoch still match
+  /// what the probe saw.
+  struct SpecEntry {
+    traverser::Traverser::Probe probe;
+    bool allow_reserve = false;
+    TimePoint anchor = 0;
+  };
+  std::size_t match_threads_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;  // null while match_threads_ <= 1
+  std::vector<traverser::MatchScratch> scratches_;  // one per worker
+  std::unordered_map<JobId, SpecEntry> spec_;
 };
 
 }  // namespace fluxion::queue

@@ -1,0 +1,144 @@
+// MatchScratch: caller-owned scratch arena for the traverser's probe phase.
+//
+// A probe (the side-effect-free half of a match, see traverser.hpp) needs
+// per-recursion-level working storage: the candidate list of the current
+// selection point, the parent chain recorded while collecting candidates,
+// and the aggregate per-type demand of the pending request. Historically
+// these were a std::map and two std::unordered_maps built from scratch on
+// every selection level of every match — allocator churn on the hottest
+// path in the engine. MatchScratch replaces them with dense, reusable
+// buffers:
+//
+//   * DenseDemand  — per-type amounts indexed by the graph's dense
+//     InternId, with a touched-list so clearing is O(types touched);
+//   * ParentMap    — parent-of-vertex indexed by VertexId, with a
+//     generation stamp so clearing is O(1) (no rebuild on re-probe);
+//   * Frame        — one (candidates, parent_of, demand) triple per
+//     jobspec recursion depth, so nested selection levels never clobber
+//     each other. Frames are heap-pinned (unique_ptr) because a frame
+//     reference stays live across the recursion that may grow the vector.
+//
+// Ownership and threading: a MatchScratch belongs to exactly one caller at
+// a time. The queue's speculative pipeline gives each probe worker its own
+// instance; the traverser keeps one for its serial path. The scratch also
+// carries the probe's TraverserStats delta, which the traverser folds into
+// its lifetime counters only when the probe is consumed — wasted
+// speculative probes leave no trace in TraverserStats.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/resource_graph.hpp"
+#include "util/interner.hpp"
+
+namespace fluxion::traverser {
+
+using graph::VertexId;
+
+struct TraverserStats {
+  std::uint64_t visits = 0;          // vertex visits, lifetime
+  std::uint64_t last_visits = 0;     // vertex visits, last match call
+  std::uint64_t pruned = 0;          // subtrees skipped by filters, lifetime
+  std::uint64_t status_pruned = 0;   // subtrees skipped as non-up, lifetime
+  std::uint64_t match_attempts = 0;  // full selection attempts, lifetime
+};
+
+/// Per-type demand amounts, dense over the graph's type intern ids.
+/// Replaces the per-match std::map<InternId, int64_t>: add/lookup are
+/// array indexing, and reset only zeroes the entries actually touched.
+class DenseDemand {
+ public:
+  /// Clear and make room for type ids in [0, type_count).
+  void reset(std::size_t type_count) {
+    for (util::InternId t : touched_) amounts_[t] = 0;
+    touched_.clear();
+    if (amounts_.size() < type_count) amounts_.resize(type_count, 0);
+  }
+
+  void add(util::InternId type, std::int64_t amount) {
+    if (amount == 0) return;
+    if (type >= amounts_.size()) amounts_.resize(type + 1, 0);
+    if (amounts_[type] == 0) touched_.push_back(type);
+    amounts_[type] += amount;
+  }
+
+  std::int64_t at(util::InternId type) const {
+    return type < amounts_.size() ? amounts_[type] : 0;
+  }
+
+  /// Types with a nonzero amount, in first-touched order.
+  const std::vector<util::InternId>& touched() const noexcept {
+    return touched_;
+  }
+
+ private:
+  std::vector<std::int64_t> amounts_;
+  std::vector<util::InternId> touched_;
+};
+
+/// parent-of relation over VertexId, cleared in O(1) by bumping a
+/// generation stamp instead of rebuilding a hash map per selection level.
+class ParentMap {
+ public:
+  /// Invalidate all entries and make room for ids in [0, vertex_count).
+  void reset(std::size_t vertex_count) {
+    if (parent_.size() < vertex_count) {
+      parent_.resize(vertex_count, graph::kInvalidVertex);
+      stamp_.resize(vertex_count, 0);
+    }
+    if (++gen_ == 0) {  // stamp wrapped: flush stale stamps for real
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      gen_ = 1;
+    }
+  }
+
+  bool contains(VertexId v) const {
+    return v < stamp_.size() && stamp_[v] == gen_;
+  }
+
+  void set(VertexId v, VertexId parent) {
+    stamp_[v] = gen_;
+    parent_[v] = parent;
+  }
+
+  /// Parent of v in the current generation; kInvalidVertex when absent.
+  VertexId find(VertexId v) const {
+    return contains(v) ? parent_[v] : graph::kInvalidVertex;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t gen_ = 0;
+};
+
+class MatchScratch {
+ public:
+  /// Working storage for one jobspec recursion depth.
+  struct Frame {
+    std::vector<VertexId> candidates;
+    ParentMap parent_of;
+    DenseDemand demand;
+  };
+
+  /// The frame for `depth`, created on first use. The reference stays
+  /// valid while deeper frames are created (frames are heap-pinned).
+  Frame& frame(std::size_t depth) {
+    while (frames_.size() <= depth) {
+      frames_.push_back(std::make_unique<Frame>());
+    }
+    return *frames_[depth];
+  }
+
+  /// Stats delta accumulated by the probe using this scratch; folded into
+  /// the traverser's lifetime counters when the probe is consumed.
+  TraverserStats stats;
+
+ private:
+  std::vector<std::unique_ptr<Frame>> frames_;
+};
+
+}  // namespace fluxion::traverser

@@ -117,12 +117,12 @@ bool Traverser::vertex_exclusively_claimable(VertexId v,
                                     graph::kSharedUseMax);
 }
 
-bool Traverser::filter_admits(
-    VertexId v, const util::TimeWindow& w,
-    const std::map<util::InternId, std::int64_t>& demand) const {
+bool Traverser::filter_admits(VertexId v, const util::TimeWindow& w,
+                              const DenseDemand& demand) const {
   const planner::PlannerMulti* filter = g_.vertex(v).filter.get();
   if (filter == nullptr) return true;
-  for (const auto& [type, amount] : demand) {
+  for (util::InternId type : demand.touched()) {
+    const std::int64_t amount = demand.at(type);
     if (amount <= 0) continue;
     const auto idx = filter->index_of(g_.type_name(type));
     if (!idx) continue;  // type untracked by this filter
@@ -133,21 +133,22 @@ bool Traverser::filter_admits(
   return true;
 }
 
-void Traverser::collect_candidates(
-    VertexId from, util::InternId type, const util::TimeWindow& w,
-    const Selection& sel,
-    const std::map<util::InternId, std::int64_t>& per_instance_demand,
-    std::vector<VertexId>& out,
-    std::unordered_map<VertexId, VertexId>& parent_of) {
-  ++stats_.visits;
-  ++stats_.last_visits;
+void Traverser::collect_candidates(VertexId from, util::InternId type,
+                                   const util::TimeWindow& w,
+                                   const Selection& sel,
+                                   const DenseDemand& per_instance_demand,
+                                   std::vector<VertexId>& out,
+                                   ParentMap& parent_of,
+                                   MatchScratch& sc) const {
+  ++sc.stats.visits;
+  ++sc.stats.last_visits;
   if (obs::enabled()) obs::monitor().trav_visits.inc();
   const graph::Vertex& vx = g_.vertex(from);
   // Preorder status pruning (dynamic-resource layer): a non-up vertex is
   // never matched and never descended into, so a downed or drained
   // subtree costs one visit, not a walk.
   if (vx.status != graph::ResourceStatus::up) {
-    ++stats_.status_pruned;
+    ++sc.stats.status_pruned;
     if (obs::enabled()) obs::monitor().trav_status_pruned.inc();
     return;
   }
@@ -172,48 +173,54 @@ void Traverser::collect_candidates(
       // least one instance of the pending demand (paper §3.4).
       if (!vertex_shareable(child, w, sel)) continue;
       if (!filter_admits(child, w, per_instance_demand)) {
-        ++stats_.pruned;
+        ++sc.stats.pruned;
         if (obs::enabled()) obs::monitor().trav_pruned.inc();
         continue;
       }
     }
-    parent_of[child] = from;
+    parent_of.set(child, from);
     collect_candidates(child, type, w, sel, per_instance_demand, out,
-                       parent_of);
+                       parent_of, sc);
   }
 }
 
-void Traverser::mark_chain(
-    VertexId candidate, VertexId stop_above,
-    const std::unordered_map<VertexId, VertexId>& parent_of, Selection& sel) {
-  auto it = parent_of.find(candidate);
-  while (it != parent_of.end() && it->second != stop_above) {
-    sel.mark_shared(it->second);
-    it = parent_of.find(it->second);
+void Traverser::mark_chain(VertexId candidate, VertexId stop_above,
+                           const ParentMap& parent_of, Selection& sel) const {
+  for (VertexId p = parent_of.find(candidate);
+       p != graph::kInvalidVertex && p != stop_above;
+       p = parent_of.find(p)) {
+    sel.mark_shared(p);
   }
 }
 
-std::map<util::InternId, std::int64_t> Traverser::instance_demand(
-    const jobspec::Resource& req) {
-  std::map<util::InternId, std::int64_t> demand;
+void Traverser::instance_demand(const jobspec::Resource& req,
+                                DenseDemand& out) const {
+  out.reset(g_.type_count());
   struct Rec {
-    graph::ResourceGraph& g;
-    std::map<util::InternId, std::int64_t>& demand;
+    const graph::ResourceGraph& g;
+    DenseDemand& demand;
     void walk(const jobspec::Resource& r, std::int64_t mult) {
       const std::int64_t total = mult * r.count;
-      if (!r.is_slot()) demand[g.intern_type(r.type)] += total;
+      if (!r.is_slot()) {
+        // find_type, not intern_type: the probe path must not mutate the
+        // interner. An unknown type has no vertices and no filter slot,
+        // so omitting it changes no outcome.
+        if (auto t = g.find_type(r.type)) demand.add(*t, total);
+      }
       for (const jobspec::Resource& c : r.with) walk(c, total);
     }
-  } rec{g_, demand};
+  } rec{g_, out};
   // One instance of req itself plus its multiplied children.
-  if (!req.is_slot()) demand[g_.intern_type(req.type)] += 1;
+  if (!req.is_slot()) {
+    if (auto t = g_.find_type(req.type)) out.add(*t, 1);
+  }
   for (const jobspec::Resource& c : req.with) rec.walk(c, 1);
-  return demand;
 }
 
 bool Traverser::satisfy(const jobspec::Resource& req, VertexId under,
                         std::int64_t needed, bool under_slot, bool under_excl,
-                        const util::TimeWindow& w, Selection& sel) {
+                        const util::TimeWindow& w, Selection& sel,
+                        std::size_t depth, MatchScratch& sc) const {
   // `needed` arrives as req.count x enclosing slot multipliers; recover
   // the multiplier to scale a moldable max (paper §5.5).
   const std::int64_t mult = req.count > 0 ? needed / req.count : 1;
@@ -222,10 +229,11 @@ bool Traverser::satisfy(const jobspec::Resource& req, VertexId under,
 
   if (req.is_slot()) {
     // A slot multiplies its children's demand; everything below is
-    // exclusively bound to the job (paper §4.2).
+    // exclusively bound to the job (paper §4.2). Children descend a
+    // scratch level: the enclosing selection frame stays live.
     for (const jobspec::Resource& c : req.with) {
       if (!satisfy(c, under, c.count * needed, /*under_slot=*/true,
-                   under_excl, w, sel)) {
+                   under_excl, w, sel, depth + 1, sc)) {
         return false;
       }
     }
@@ -235,7 +243,7 @@ bool Traverser::satisfy(const jobspec::Resource& req, VertexId under,
       bool ok = true;
       for (const jobspec::Resource& c : req.with) {
         if (!satisfy(c, under, c.count, /*under_slot=*/true, under_excl, w,
-                     sel)) {
+                     sel, depth + 1, sc)) {
           ok = false;
           break;
         }
@@ -250,35 +258,44 @@ bool Traverser::satisfy(const jobspec::Resource& req, VertexId under,
   const bool claiming = under_slot || req.exclusive;
   if (req.with.empty() && claiming) {
     return satisfy_units(req, under, needed, needed_max, /*exclusive=*/true,
-                         under_excl, w, sel);
+                         under_excl, w, sel, depth, sc);
   }
   return satisfy_instances(req, under, needed, needed_max, claiming,
-                           under_excl, w, sel);
+                           under_excl, w, sel, depth, sc);
 }
 
 bool Traverser::satisfy_instances(const jobspec::Resource& req,
                                   VertexId under, std::int64_t needed,
                                   std::int64_t needed_max, bool exclusive,
                                   bool under_excl, const util::TimeWindow& w,
-                                  Selection& sel) {
-  const auto type = g_.intern_type(req.type);
-  const auto demand = instance_demand(req);
-  std::vector<VertexId> candidates;
-  std::unordered_map<VertexId, VertexId> parent_of;
-  collect_candidates(under, type, w, sel, demand, candidates, parent_of);
-  if (static_cast<std::int64_t>(candidates.size()) < needed) return false;
-  policy_.plan_selection(g_, candidates, needed);
+                                  Selection& sel, std::size_t depth,
+                                  MatchScratch& sc) const {
+  // This frame stays live across the candidate loop below; child
+  // recursion uses depth + 1 so it can never clobber it.
+  MatchScratch::Frame& f = sc.frame(depth);
+  instance_demand(req, f.demand);
+  f.candidates.clear();
+  f.parent_of.reset(g_.vertex_count());
+  // find_type, not intern_type (probe path must not mutate the interner):
+  // a type the graph has never seen has no candidates, exactly as the
+  // walk would discover.
+  if (const auto type = g_.find_type(req.type)) {
+    collect_candidates(under, *type, w, sel, f.demand, f.candidates,
+                       f.parent_of, sc);
+  }
+  if (static_cast<std::int64_t>(f.candidates.size()) < needed) return false;
+  policy_.plan_selection(g_, f.candidates, needed);
 
   std::int64_t count = 0;
-  for (VertexId u : candidates) {
+  for (VertexId u : f.candidates) {
     if (count == needed_max) break;
     const auto cp = sel.checkpoint();
     const graph::Vertex& ux = g_.vertex(u);
     if (!meets_requirements(ux, req.requires_)) continue;
     if (exclusive) {
       if (!vertex_exclusively_claimable(u, w, sel)) continue;
-      if (!filter_admits(u, w, demand)) {
-        ++stats_.pruned;
+      if (!filter_admits(u, w, f.demand)) {
+        ++sc.stats.pruned;
         if (obs::enabled()) obs::monitor().trav_pruned.inc();
         continue;
       }
@@ -286,8 +303,8 @@ bool Traverser::satisfy_instances(const jobspec::Resource& req,
                            /*whole_instance=*/true, under_excl});
     } else {
       if (!vertex_shareable(u, w, sel)) continue;
-      if (!filter_admits(u, w, demand)) {
-        ++stats_.pruned;
+      if (!filter_admits(u, w, f.demand)) {
+        ++sc.stats.pruned;
         if (obs::enabled()) obs::monitor().trav_pruned.inc();
         continue;
       }
@@ -298,7 +315,7 @@ bool Traverser::satisfy_instances(const jobspec::Resource& req,
       // Children inherit the exclusivity context: inside a slot (or an
       // exclusive instance), everything below stays exclusive.
       if (!satisfy(c, u, c.count, /*under_slot=*/exclusive,
-                   under_excl || exclusive, w, sel)) {
+                   under_excl || exclusive, w, sel, depth + 1, sc)) {
         ok = false;
         break;
       }
@@ -308,7 +325,7 @@ bool Traverser::satisfy_instances(const jobspec::Resource& req,
       sel.rollback(cp);
       continue;
     }
-    mark_chain(u, under, parent_of, sel);
+    mark_chain(u, under, f.parent_of, sel);
     ++count;
   }
   return count >= needed;
@@ -317,17 +334,21 @@ bool Traverser::satisfy_instances(const jobspec::Resource& req,
 bool Traverser::satisfy_units(const jobspec::Resource& req, VertexId under,
                               std::int64_t needed, std::int64_t needed_max,
                               bool exclusive, bool under_excl,
-                              const util::TimeWindow& w, Selection& sel) {
-  const auto type = g_.intern_type(req.type);
-  std::map<util::InternId, std::int64_t> demand;
-  demand[type] = 1;
-  std::vector<VertexId> candidates;
-  std::unordered_map<VertexId, VertexId> parent_of;
-  collect_candidates(under, type, w, sel, demand, candidates, parent_of);
-  policy_.plan_selection(g_, candidates, needed);
+                              const util::TimeWindow& w, Selection& sel,
+                              std::size_t depth, MatchScratch& sc) const {
+  MatchScratch::Frame& f = sc.frame(depth);
+  f.demand.reset(g_.type_count());
+  f.candidates.clear();
+  f.parent_of.reset(g_.vertex_count());
+  if (const auto type = g_.find_type(req.type)) {
+    f.demand.add(*type, 1);
+    collect_candidates(under, *type, w, sel, f.demand, f.candidates,
+                       f.parent_of, sc);
+  }
+  policy_.plan_selection(g_, f.candidates, needed);
 
   std::int64_t remaining = needed_max;
-  for (VertexId u : candidates) {
+  for (VertexId u : f.candidates) {
     if (remaining == 0) break;
     if (sel.pending_excl.contains(u)) continue;
     const graph::Vertex& ux = g_.vertex(u);
@@ -349,7 +370,7 @@ bool Traverser::satisfy_units(const jobspec::Resource& req, VertexId under,
       sel.push_claim(Claim{u, take, exclusive, /*whole_instance=*/false,
                            under_excl});
     }
-    mark_chain(u, under, parent_of, sel);
+    mark_chain(u, under, f.parent_of, sel);
     remaining -= take;
   }
   // Success once the required minimum is covered; anything beyond it was
@@ -358,12 +379,13 @@ bool Traverser::satisfy_units(const jobspec::Resource& req, VertexId under,
 }
 
 bool Traverser::select_all(const jobspec::Jobspec& js,
-                           const util::TimeWindow& w, Selection& sel) {
-  ++stats_.match_attempts;
+                           const util::TimeWindow& w, Selection& sel,
+                           MatchScratch& sc) const {
+  ++sc.stats.match_attempts;
   if (obs::enabled()) obs::monitor().trav_match_attempts.inc();
   for (const jobspec::Resource& r : js.resources) {
     if (!satisfy(r, root_, r.count, /*under_slot=*/false,
-                 /*under_excl=*/false, w, sel)) {
+                 /*under_excl=*/false, w, sel, 0, sc)) {
       return false;
     }
   }
@@ -501,9 +523,8 @@ void Traverser::refresh_resources(JobRecord& rec) const {
   for (auto& [v, ru] : merged) rec.result.resources.push_back(ru);
 }
 
-util::Expected<MatchResult> Traverser::commit(JobId job,
-                                              const util::TimeWindow& w,
-                                              TimePoint now, Selection& sel) {
+util::Expected<MatchResult> Traverser::commit_selection(
+    JobId job, const util::TimeWindow& w, TimePoint now, Selection& sel) {
   JobRecord rec;
   rec.result.job = job;
   rec.result.at = w.start;
@@ -531,18 +552,20 @@ util::Expected<MatchResult> Traverser::grow_impl(JobId job,
     return util::Error{Errc::out_of_range, "grow: job window already over"};
   }
   const util::TimeWindow w{start, end - start};
-  stats_.last_visits = 0;
-  ++stats_.match_attempts;
+  scratch_.stats = TraverserStats{};
+  ++scratch_.stats.match_attempts;
   if (obs::enabled()) obs::monitor().trav_match_attempts.inc();
   Selection sel;
   for (const jobspec::Resource& r : extra.resources) {
     if (!satisfy(r, root_, r.count, /*under_slot=*/false,
-                 /*under_excl=*/false, w, sel)) {
+                 /*under_excl=*/false, w, sel, 0, scratch_)) {
+      fold_stats(scratch_.stats);
       return util::Error{Errc::resource_busy,
                          "grow: extra resources unavailable for the "
                          "remaining window"};
     }
   }
+  fold_stats(scratch_.stats);
   if (auto st = apply_selection(rec, w, sel); !st) return st.error();
   refresh_resources(rec);
   return rec.result;
@@ -916,10 +939,11 @@ util::Status Traverser::rebuild_filter_spans(JobRecord& rec) {
 }
 
 util::Expected<TimePoint> Traverser::next_candidate_time(
-    TimePoint after, Duration duration, const jobspec::Jobspec& js) {
+    TimePoint after, Duration duration, const jobspec::Jobspec& js) const {
   // Fast-forward with the root pruning filter when available: the earliest
   // time the *aggregate* demand fits is a lower bound for a full match.
-  planner::PlannerMulti* filter = g_.vertex(root_).filter.get();
+  // The _ro variant keeps this callable from concurrent probes.
+  const planner::PlannerMulti* filter = g_.vertex(root_).filter.get();
   if (filter == nullptr) return after;
   std::vector<std::int64_t> counts(filter->resource_count(), 0);
   bool any = false;
@@ -930,91 +954,125 @@ util::Expected<TimePoint> Traverser::next_candidate_time(
     }
   }
   if (!any) return after;
-  return filter->avail_time_first(after, duration, counts);
+  return filter->avail_time_first_ro(after, duration, counts);
 }
 
-util::Expected<MatchResult> Traverser::match_impl(const jobspec::Jobspec& js,
-                                                  MatchOp op, TimePoint now,
-                                                  JobId job) {
-  if (auto st = js.validate(); !st) return st.error();
-  if (jobs_.contains(job) && op != MatchOp::satisfiability) {
-    return util::Error{Errc::exists, "match: job id already active"};
-  }
-  stats_.last_visits = 0;
-  const Duration d = js.duration;
+Traverser::Probe Traverser::probe(const jobspec::Jobspec& js, MatchOp op,
+                                  TimePoint now, JobId job,
+                                  MatchScratch& sc) const {
+  Probe p;
+  p.job = job;
+  p.op = op;
+  p.now = now;
+  p.epoch = mutation_epoch_;
+  p.t0 = std::chrono::steady_clock::now();
 
-  if (op == MatchOp::satisfiability) {
-    // Probe an idle instant: after every committed span has ended.
-    TimePoint t = now;
-    if (!release_times_.empty()) {
-      t = std::max(t, release_times_.rbegin()->first);
+  [&] {
+    if (auto st = js.validate(); !st) {
+      p.error = st.error();
+      return;
     }
-    if (t + d > g_.plan_start() + g_.horizon()) {
-      return util::Error{Errc::out_of_range,
-                         "satisfiability: probe window leaves the horizon"};
+    if (jobs_.contains(job) && op != MatchOp::satisfiability) {
+      p.error = util::Error{Errc::exists, "match: job id already active"};
+      return;
     }
-    Selection sel;
-    if (!select_all(js, {t, d}, sel)) {
-      return util::Error{Errc::unsatisfiable,
-                         "satisfiability: request can never be matched"};
-    }
-    MatchResult r;
-    r.job = job;
-    r.at = t;
-    r.duration = d;
-    return r;  // nothing committed
-  }
+    p.ran = true;
+    sc.stats = TraverserStats{};
+    const Duration d = js.duration;
+    const TimePoint plan_end = g_.plan_start() + g_.horizon();
 
-  const TimePoint plan_end = g_.plan_start() + g_.horizon();
-  if (op == MatchOp::allocate || op == MatchOp::allocate_with_satisfiability) {
-    if (now + d > plan_end) {
-      return util::Error{Errc::out_of_range,
-                         "match: window leaves the planning horizon"};
-    }
-    Selection sel;
-    if (select_all(js, {now, d}, sel)) return commit(job, {now, d}, now, sel);
-    if (op == MatchOp::allocate_with_satisfiability) {
-      // Distinguish "busy now" from "can never run": probe an idle
-      // instant (what flux-sched's allocate_with_satisfiability reports).
-      TimePoint idle = now;
+    if (op == MatchOp::satisfiability) {
+      // Probe an idle instant: after every committed span has ended.
+      TimePoint t = now;
       if (!release_times_.empty()) {
-        idle = std::max(idle, release_times_.rbegin()->first);
+        t = std::max(t, release_times_.rbegin()->first);
       }
-      Selection probe;
-      if (idle + d > plan_end || !select_all(js, {idle, d}, probe)) {
-        return util::Error{Errc::unsatisfiable,
-                           "match: request can never be satisfied"};
+      if (t + d > plan_end) {
+        p.error = util::Error{Errc::out_of_range,
+                              "satisfiability: probe window leaves the "
+                              "horizon"};
+        return;
       }
+      if (!select_all(js, {t, d}, p.sel, sc)) {
+        p.error = util::Error{Errc::unsatisfiable,
+                              "satisfiability: request can never be matched"};
+        return;
+      }
+      p.ok = true;
+      p.window = {t, d};
+      return;
     }
-    return util::Error{Errc::resource_busy,
-                       "match: resources busy at the requested time"};
-  }
 
-  // ALLOCATE_ORELSE_RESERVE: resources only free up when a span ends, so
-  // feasible starts are `now` or a future release time; the root pruning
-  // filter fast-forwards over times where even the aggregate cannot fit.
-  TimePoint t = now;
-  while (true) {
-    auto jumped = next_candidate_time(t, d, js);
-    if (!jumped) {
-      // Aggregate demand can never fit; distinguish unsatisfiable.
-      return jumped.error();
+    if (op == MatchOp::allocate ||
+        op == MatchOp::allocate_with_satisfiability) {
+      if (now + d > plan_end) {
+        p.error = util::Error{Errc::out_of_range,
+                              "match: window leaves the planning horizon"};
+        return;
+      }
+      if (select_all(js, {now, d}, p.sel, sc)) {
+        p.ok = true;
+        p.window = {now, d};
+        return;
+      }
+      if (op == MatchOp::allocate_with_satisfiability) {
+        // Distinguish "busy now" from "can never run": probe an idle
+        // instant (what flux-sched's allocate_with_satisfiability reports).
+        TimePoint idle = now;
+        if (!release_times_.empty()) {
+          idle = std::max(idle, release_times_.rbegin()->first);
+        }
+        Selection idle_sel;
+        if (idle + d > plan_end || !select_all(js, {idle, d}, idle_sel, sc)) {
+          p.error = util::Error{Errc::unsatisfiable,
+                                "match: request can never be satisfied"};
+          return;
+        }
+      }
+      p.error = util::Error{Errc::resource_busy,
+                            "match: resources busy at the requested time"};
+      return;
     }
-    t = *jumped;
-    if (t + d > plan_end) {
-      return util::Error{Errc::resource_busy,
-                         "match: no feasible window within the horizon"};
+
+    // ALLOCATE_ORELSE_RESERVE: resources only free up when a span ends, so
+    // feasible starts are `now` or a future release time; the root pruning
+    // filter fast-forwards over times where even the aggregate cannot fit.
+    TimePoint t = now;
+    while (true) {
+      auto jumped = next_candidate_time(t, d, js);
+      if (!jumped) {
+        // Aggregate demand can never fit; distinguish unsatisfiable.
+        p.error = jumped.error();
+        return;
+      }
+      t = *jumped;
+      if (t + d > plan_end) {
+        p.error = util::Error{Errc::resource_busy,
+                              "match: no feasible window within the horizon"};
+        return;
+      }
+      p.sel = Selection{};  // discard the failed attempt's partial claims
+      if (select_all(js, {t, d}, p.sel, sc)) {
+        p.ok = true;
+        p.window = {t, d};
+        return;
+      }
+      auto it = release_times_.upper_bound(t);
+      if (it == release_times_.end()) {
+        p.error = util::Error{Errc::unsatisfiable,
+                              "match: request cannot be satisfied even on "
+                              "an idle system"};
+        return;
+      }
+      t = it->first;
     }
-    Selection sel;
-    if (select_all(js, {t, d}, sel)) return commit(job, {t, d}, now, sel);
-    auto it = release_times_.upper_bound(t);
-    if (it == release_times_.end()) {
-      return util::Error{Errc::unsatisfiable,
-                         "match: request cannot be satisfied even on an "
-                         "idle system"};
-    }
-    t = it->first;
-  }
+  }();
+
+  if (p.ran) p.delta = sc.stats;
+  p.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            p.t0)
+                  .count();
+  return p;
 }
 
 util::Expected<MatchResult> Traverser::restore_impl(
@@ -1109,32 +1167,83 @@ util::Status Traverser::cancel_impl(JobId job) {
 
 // --- public entry points: mutation body + optional post-mutation audit ------
 
+void Traverser::fold_stats(const TraverserStats& d) noexcept {
+  stats_.visits += d.visits;
+  stats_.last_visits = d.last_visits;
+  stats_.pruned += d.pruned;
+  stats_.status_pruned += d.status_pruned;
+  stats_.match_attempts += d.match_attempts;
+}
+
+util::Expected<MatchResult> Traverser::commit(Probe&& p) {
+  // Stats fold exactly once per *consumed* probe: wasted speculative
+  // probes are dropped before ever reaching here, so TraverserStats is
+  // identical to a serial run at any thread count.
+  if (p.ran) fold_stats(p.delta);
+
+  auto finish = [&](util::Expected<MatchResult> r)
+      -> util::Expected<MatchResult> {
+    const bool timed = obs::enabled() || obs::trace().enabled();
+    if (timed) {
+      // One op-accounting record per consumed probe, spanning probe start
+      // to commit end (for speculative probes that includes the time the
+      // result waited to be consumed).
+      const std::int64_t dur = std::chrono::duration_cast<
+          std::chrono::microseconds>(std::chrono::steady_clock::now() - p.t0)
+                                   .count();
+      const std::int64_t t0 = obs::trace().now_us() - dur;
+      const obs::Op o = to_obs_op(p.op);
+      if (obs::enabled()) {
+        auto& om = obs::monitor().op(o);
+        om.calls.inc();
+        if (!r) om.failures.inc();
+        om.latency_us.add(static_cast<double>(dur));
+      }
+      obs::trace().wall_span(obs::op_name(o), t0, dur,
+                             {{"job", std::to_string(p.job)},
+                              {"ok", r ? "true" : "false"}});
+    }
+    if (audit_enabled_) {
+      if (auto st = run_audit("match"); !st) return st.error();
+    }
+    return r;
+  };
+
+  if (!p.ok) return finish(p.error);
+  if (p.op == MatchOp::satisfiability) {
+    // Nothing to commit and no epoch movement: the probe's answer stands
+    // regardless of state changes since (it probed an idle system).
+    MatchResult r;
+    r.job = p.job;
+    r.at = p.window.start;
+    r.duration = p.window.duration;
+    return finish(r);
+  }
+  // Defensive re-validation: a probe is committable only against the
+  // exact state it saw. The queue's pipeline checks this before calling;
+  // this is the backstop.
+  if (p.epoch != mutation_epoch_) {
+    return finish(util::Error{Errc::resource_busy,
+                              "commit: probe is stale (scheduler state "
+                              "changed since probe time)"});
+  }
+  if (jobs_.contains(p.job)) {
+    return finish(util::Error{Errc::exists, "match: job id already active"});
+  }
+  auto r = commit_selection(p.job, p.window, p.now, p.sel);
+  // Failed commits roll back completely, so only successes (committed
+  // spans + SDFU filter updates) move the epoch.
+  if (r) ++mutation_epoch_;
+  return finish(std::move(r));
+}
+
 util::Expected<MatchResult> Traverser::match(const jobspec::Jobspec& js,
                                              MatchOp op, TimePoint now,
                                              JobId job) {
-  const bool timed = obs::enabled() || obs::trace().enabled();
-  const std::int64_t t0 = timed ? obs::trace().now_us() : 0;
-  auto r = match_impl(js, op, now, job);
-  // Failed matches roll back completely, so only successes (committed
-  // spans + SDFU filter updates) move the epoch.
-  if (r && op != MatchOp::satisfiability) ++mutation_epoch_;
-  if (timed) {
-    const std::int64_t dur = obs::trace().now_us() - t0;
-    const obs::Op o = to_obs_op(op);
-    if (obs::enabled()) {
-      auto& om = obs::monitor().op(o);
-      om.calls.inc();
-      if (!r) om.failures.inc();
-      om.latency_us.add(static_cast<double>(dur));
-    }
-    obs::trace().wall_span(obs::op_name(o), t0, dur,
-                           {{"job", std::to_string(job)},
-                            {"ok", r ? "true" : "false"}});
-  }
-  if (audit_enabled_) {
-    if (auto st = run_audit("match"); !st) return st.error();
-  }
-  return r;
+  // Serial matching IS the speculative pipeline with a window of one:
+  // probe into the member scratch, then commit. Identical placements at
+  // any thread count follow by construction.
+  return commit(probe(js, op, now, job, scratch_));
 }
 
 util::Status Traverser::cancel(JobId job) {

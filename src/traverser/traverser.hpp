@@ -19,8 +19,21 @@
 //
 // The match *policy* — which of several viable candidates to prefer — is a
 // callback object (paper §3.5); implementations live in policy/.
+//
+// Probe/commit split (speculative parallel matching): a match is two
+// phases. `probe()` is strictly read-only — it walks the frozen graph,
+// builds a Selection into a caller-owned MatchScratch, and captures the
+// mutation epoch it saw; several probes may run concurrently on worker
+// threads as long as NO mutation runs at the same time. `commit()` is
+// serial-only — it validates the probe's epoch, writes planner spans and
+// SDFU filter updates, and folds the probe's stats delta into the
+// traverser. `match()` is exactly probe()+commit() over the traverser's
+// own scratch, so serial and speculative execution produce byte-identical
+// placements by construction. See docs/extending.md, "Concurrency
+// contract".
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -30,6 +43,7 @@
 
 #include "graph/resource_graph.hpp"
 #include "jobspec/jobspec.hpp"
+#include "traverser/match_scratch.hpp"
 #include "util/expected.hpp"
 #include "util/time.hpp"
 
@@ -86,24 +100,78 @@ class MatchPolicy {
   }
 };
 
-struct TraverserStats {
-  std::uint64_t visits = 0;          // vertex visits, lifetime
-  std::uint64_t last_visits = 0;     // vertex visits, last match call
-  std::uint64_t pruned = 0;          // subtrees skipped by filters, lifetime
-  std::uint64_t status_pruned = 0;   // subtrees skipped as non-up, lifetime
-  std::uint64_t match_attempts = 0;  // full selection attempts, lifetime
-};
-
 class Traverser {
+ private:
+  // Declared ahead of the public section so Probe can embed a Selection;
+  // external code holds Probes opaquely and never names these types.
+  struct Claim {
+    VertexId vertex;
+    std::int64_t units;
+    bool exclusive;       // claimed under a slot / exclusive request
+    bool whole_instance;  // full-vertex claim: SDFU uses subtree counts
+    bool under_exclusive; // an ancestor claim already covers it for SDFU
+  };
+
+  struct Selection {
+    std::vector<Claim> claims;
+    std::vector<VertexId> shared_marks;  // deduplicated, ordered
+    std::unordered_map<VertexId, std::int64_t> pending_units;
+    std::unordered_set<VertexId> pending_excl;
+    std::unordered_set<VertexId> shared_set;
+
+    struct Checkpoint {
+      std::size_t claims;
+      std::size_t shared;
+    };
+    Checkpoint checkpoint() const {
+      return {claims.size(), shared_marks.size()};
+    }
+    void rollback(const Checkpoint& cp);
+    void push_claim(const Claim& c);
+    bool mark_shared(VertexId v);  // false if already marked
+  };
+
  public:
   /// The policy must outlive the traverser; the graph is mutated by
   /// match/cancel (planner spans, filter spans).
   Traverser(graph::ResourceGraph& g, VertexId root, const MatchPolicy& policy);
 
   /// Match a jobspec at time `now` per `op`. On success the resources are
-  /// committed under `job` until cancel(job).
+  /// committed under `job` until cancel(job). Implemented as
+  /// probe() + commit() over the traverser's own scratch.
   util::Expected<MatchResult> match(const jobspec::Jobspec& js, MatchOp op,
                                     TimePoint now, JobId job);
+
+  /// The read-only half of a match: the outcome of the full time search
+  /// and selection walk, captured against the mutation epoch it saw, with
+  /// nothing committed. Consumed exactly once by commit(). Thread-safety:
+  /// any number of probes may run concurrently (each with its own
+  /// MatchScratch), but never concurrently with ANY mutation — commit,
+  /// cancel, grow/shrink/extend, restore, or graph changes. The caller
+  /// (the queue's speculation pipeline) provides that barrier.
+  struct Probe {
+    JobId job = -1;
+    MatchOp op = MatchOp::allocate;
+    TimePoint now = 0;
+    std::uint64_t epoch = 0;   // mutation_epoch() observed by the probe
+    bool ran = false;          // passed validation; stats delta is live
+    bool ok = false;           // a feasible selection was found
+    util::TimeWindow window{}; // selected window when ok
+    util::Error error{};       // failure when !ok
+    TraverserStats delta{};    // this probe's stats contribution
+    double seconds = 0.0;      // wall-clock spent probing
+    std::chrono::steady_clock::time_point t0{};
+    Selection sel;             // the selection commit() will apply
+  };
+
+  Probe probe(const jobspec::Jobspec& js, MatchOp op, TimePoint now,
+              JobId job, MatchScratch& scratch) const;
+
+  /// The serial half: validate the probe against the current epoch, apply
+  /// its selection (planner spans + SDFU filter updates), fold its stats
+  /// delta, and run the op accounting/audit hooks. A stale probe (epoch
+  /// moved since probe time) fails with resource_busy — callers re-probe.
+  util::Expected<MatchResult> commit(Probe&& p);
 
   /// Release everything held by `job`.
   util::Status cancel(JobId job);
@@ -194,33 +262,6 @@ class Traverser {
   void fail_next(std::string point) { fault_point_ = std::move(point); }
 
  private:
-  struct Claim {
-    VertexId vertex;
-    std::int64_t units;
-    bool exclusive;       // claimed under a slot / exclusive request
-    bool whole_instance;  // full-vertex claim: SDFU uses subtree counts
-    bool under_exclusive; // an ancestor claim already covers it for SDFU
-  };
-
-  struct Selection {
-    std::vector<Claim> claims;
-    std::vector<VertexId> shared_marks;  // deduplicated, ordered
-    std::unordered_map<VertexId, std::int64_t> pending_units;
-    std::unordered_set<VertexId> pending_excl;
-    std::unordered_set<VertexId> shared_set;
-
-    struct Checkpoint {
-      std::size_t claims;
-      std::size_t shared;
-    };
-    Checkpoint checkpoint() const {
-      return {claims.size(), shared_marks.size()};
-    }
-    void rollback(const Checkpoint& cp);
-    void push_claim(const Claim& c);
-    bool mark_shared(VertexId v);  // false if already marked
-  };
-
   /// One committed claim: which vertex, how much, over which window (grow
   /// extensions may cover a suffix of the job window), and the schedule
   /// span backing it.
@@ -248,49 +289,55 @@ class Traverser {
     std::vector<FilterSpan> filter_spans;
   };
 
-  // --- selection ----------------------------------------------------------
+  // --- selection (probe path: const, scratch-backed, thread-safe under
+  // concurrent probes with no concurrent mutation) ---------------------------
   bool select_all(const jobspec::Jobspec& js, const util::TimeWindow& w,
-                  Selection& sel);
+                  Selection& sel, MatchScratch& sc) const;
   bool satisfy(const jobspec::Resource& req, VertexId under,
                std::int64_t multiplier, bool under_slot, bool under_excl,
-               const util::TimeWindow& w, Selection& sel);
+               const util::TimeWindow& w, Selection& sel, std::size_t depth,
+               MatchScratch& sc) const;
   bool satisfy_instances(const jobspec::Resource& req, VertexId under,
                          std::int64_t needed, std::int64_t needed_max,
                          bool exclusive, bool under_excl,
-                         const util::TimeWindow& w, Selection& sel);
+                         const util::TimeWindow& w, Selection& sel,
+                         std::size_t depth, MatchScratch& sc) const;
   bool satisfy_units(const jobspec::Resource& req, VertexId under,
                      std::int64_t needed, std::int64_t needed_max,
                      bool exclusive, bool under_excl,
-                     const util::TimeWindow& w, Selection& sel);
+                     const util::TimeWindow& w, Selection& sel,
+                     std::size_t depth, MatchScratch& sc) const;
 
   /// Vertices of `type` reachable from `from` (inclusive) by descending
   /// shareable, unpruned containment edges; records the pass-through
   /// chain so shared marks can be applied on selection.
   void collect_candidates(VertexId from, util::InternId type,
                           const util::TimeWindow& w, const Selection& sel,
-                          const std::map<util::InternId, std::int64_t>&
-                              per_instance_demand,
-                          std::vector<VertexId>& out,
-                          std::unordered_map<VertexId, VertexId>& parent_of);
+                          const DenseDemand& per_instance_demand,
+                          std::vector<VertexId>& out, ParentMap& parent_of,
+                          MatchScratch& sc) const;
 
   bool vertex_shareable(VertexId v, const util::TimeWindow& w,
                         const Selection& sel) const;
   bool vertex_exclusively_claimable(VertexId v, const util::TimeWindow& w,
                                     const Selection& sel) const;
   bool filter_admits(VertexId v, const util::TimeWindow& w,
-                     const std::map<util::InternId, std::int64_t>& demand)
-      const;
+                     const DenseDemand& demand) const;
   void mark_chain(VertexId candidate, VertexId stop_above,
-                  const std::unordered_map<VertexId, VertexId>& parent_of,
-                  Selection& sel);
+                  const ParentMap& parent_of, Selection& sel) const;
 
-  /// Aggregate per-type demand of one instance of req's subtree.
-  std::map<util::InternId, std::int64_t> instance_demand(
-      const jobspec::Resource& req);
+  /// Aggregate per-type demand of one instance of req's subtree, written
+  /// into `out` (cleared first). Types unknown to the graph are omitted:
+  /// no filter tracks them and no vertex carries them, so their absence
+  /// cannot change any admit/match outcome.
+  void instance_demand(const jobspec::Resource& req, DenseDemand& out) const;
 
   // --- commit / time search -------------------------------------------------
-  util::Expected<MatchResult> commit(JobId job, const util::TimeWindow& w,
-                                     TimePoint now, Selection& sel);
+  util::Expected<MatchResult> commit_selection(JobId job,
+                                               const util::TimeWindow& w,
+                                               TimePoint now, Selection& sel);
+  /// Fold a consumed probe's stats delta into the lifetime counters.
+  void fold_stats(const TraverserStats& d) noexcept;
   /// Turn a selection into committed spans appended to `rec` (schedule,
   /// shared-use and pruning-filter spans). Rolls `rec` back to its prior
   /// length on failure.
@@ -305,14 +352,15 @@ class Traverser {
   /// Release every span held by rec (best effort: keeps going past a
   /// failed removal, then reports it as Errc::internal).
   util::Status release_record(JobRecord& rec);
+  /// Earliest aggregate-feasible start per the root pruning filter (read
+  /// path: safe under concurrent probes).
   util::Expected<TimePoint> next_candidate_time(TimePoint after,
                                                 Duration duration,
-                                                const jobspec::Jobspec& js);
+                                                const jobspec::Jobspec& js)
+      const;
 
   // --- mutation bodies (public entry points wrap these with the audit
   // hook) --------------------------------------------------------------------
-  util::Expected<MatchResult> match_impl(const jobspec::Jobspec& js,
-                                         MatchOp op, TimePoint now, JobId job);
   util::Status cancel_impl(JobId job);
   util::Expected<MatchResult> restore_impl(const MatchResult& allocation);
   util::Expected<MatchResult> grow_impl(JobId job,
@@ -340,6 +388,7 @@ class Traverser {
   std::unordered_map<JobId, JobRecord> jobs_;
   std::map<TimePoint, int> release_times_;
   TraverserStats stats_;
+  MatchScratch scratch_;  // serial path (match/grow) scratch
   std::uint64_t mutation_epoch_ = 0;
   bool audit_enabled_ = false;
   std::string fault_point_;

@@ -1,0 +1,67 @@
+#include "util/thread_pool.hpp"
+
+namespace fluxion::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_batch(std::size_t n, const BatchFn& fn) {
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    batch_size_ = n;
+    next_item_.store(0, std::memory_order_relaxed);
+    workers_done_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return workers_done_ == workers_.size(); });
+  fn_ = nullptr;
+  batch_size_ = 0;
+}
+
+void ThreadPool::worker_main(std::size_t id) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const BatchFn* fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+      n = batch_size_;
+    }
+    // Claim items off the shared counter until the batch drains. Items
+    // are independent; ordering across workers is irrelevant to callers.
+    for (std::size_t item = next_item_.fetch_add(1, std::memory_order_relaxed);
+         item < n;
+         item = next_item_.fetch_add(1, std::memory_order_relaxed)) {
+      (*fn)(item, id);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace fluxion::util

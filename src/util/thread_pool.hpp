@@ -1,0 +1,62 @@
+// Fixed-size worker pool for fanning read-only work out over a batch.
+//
+// Built for the queue's speculative match pipeline: the caller hands a
+// batch of N independent items to run_batch(), the workers claim items
+// off a shared counter and invoke the callback with (item, worker)
+// indices, and run_batch() returns once every item has completed. The
+// worker index is stable for the lifetime of the pool, so callers can
+// give each worker its own scratch arena and write per-thread metrics
+// without synchronisation.
+//
+// Concurrency contract:
+//   * run_batch() is a full barrier: no callback runs before it is
+//     entered and none runs after it returns.
+//   * Only one batch runs at a time; run_batch() must not be re-entered
+//     from a callback.
+//   * The callback must be safe to invoke concurrently for distinct
+//     items — the pool adds no locking around it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fluxion::util {
+
+class ThreadPool {
+ public:
+  /// Callback invoked once per batch item: (item index, worker index).
+  using BatchFn = std::function<void(std::size_t, std::size_t)>;
+
+  /// Spawn `workers` persistent threads (at least 1).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Run fn(item, worker) for every item in [0, n); blocks until all
+  /// items have completed. n == 0 returns immediately.
+  void run_batch(std::size_t n, const BatchFn& fn);
+
+ private:
+  void worker_main(std::size_t id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const BatchFn* fn_ = nullptr;         // valid while a batch is live
+  std::size_t batch_size_ = 0;
+  std::atomic<std::size_t> next_item_{0};
+  std::size_t workers_done_ = 0;        // workers finished with this batch
+  std::uint64_t generation_ = 0;        // bumped per batch; wakes workers
+  bool stop_ = false;
+};
+
+}  // namespace fluxion::util

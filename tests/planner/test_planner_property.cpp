@@ -197,6 +197,50 @@ TEST(PlannerProperty, ResizeInterleavedWithChurn) {
   }
 }
 
+TEST(PlannerProperty, ReadOnlyEarliestFitAgreesWithMutatingVersion) {
+  // avail_time_first_ro backs the concurrent probe path: it must return
+  // exactly what the mutating (ET set-aside) version returns — value and
+  // success/failure alike — under random span churn, while touching no
+  // planner state (asserted by re-running the mutating query afterwards
+  // and by the structural validation).
+  util::Rng rng(4242);
+  constexpr Duration kHorizon = 256;
+  constexpr std::int64_t kTotal = 24;
+  Planner plan(0, kHorizon, kTotal, "res");
+  std::vector<SpanId> ids;
+  for (int step = 0; step < 3000; ++step) {
+    const double dice = rng.uniform01();
+    if (dice < 0.35 || ids.empty()) {
+      const auto amount = rng.uniform(1, kTotal);
+      const auto d = rng.uniform(1, 48);
+      const auto start = rng.uniform(0, kHorizon - d);
+      if (auto r = plan.add_span(start, d, amount)) ids.push_back(*r);
+    } else if (dice < 0.5) {
+      const auto i = rng.index(ids.size());
+      ASSERT_TRUE(plan.rem_span(ids[i]));
+      ids[i] = ids.back();
+      ids.pop_back();
+    } else {
+      const auto amount = rng.uniform(1, kTotal);
+      const auto d = rng.uniform(1, 64);
+      const auto after = rng.uniform(0, kHorizon - 1);
+      const auto ro = plan.avail_time_first_ro(after, d, amount);
+      const auto mut = plan.avail_time_first(after, d, amount);
+      ASSERT_EQ(static_cast<bool>(ro), static_cast<bool>(mut))
+          << "step " << step << " after=" << after << " d=" << d
+          << " amount=" << amount;
+      if (ro) {
+        ASSERT_EQ(*ro, *mut) << "step " << step << " after=" << after
+                             << " d=" << d << " amount=" << amount;
+      } else {
+        ASSERT_EQ(ro.error().code, mut.error().code) << "step " << step;
+      }
+      ASSERT_TRUE(plan.validate()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(plan.validate());
+}
+
 TEST(PlannerStress, ManySpansThenDrainToEmpty) {
   util::Rng rng(99);
   Planner plan(0, util::kTwelveHours, 128, "res");

@@ -15,6 +15,8 @@
 //               [--metrics FILE]        # counter/histogram catalogue (JSON)
 //               [--no-match-cache]      # disable the queue's
 //                                       # satisfiability cache (A/B runs)
+//               [--match-threads N]     # speculative probe workers;
+//                                       # placements identical at any N
 //               [--trace-out FILE]      # job lifecycle + match phases as
 //                                       # Chrome trace-event JSON (Perfetto)
 //
@@ -68,7 +70,8 @@ int usage(const char* argv0) {
       "          [--policy NAME]\n"
       "          [--queue fcfs|easy|conservative] [--perf-classes SEED]\n"
       "          [--arrivals MEAN] [--csv FILE] [--util FILE]\n"
-      "          [--metrics FILE] [--trace-out FILE] [--no-match-cache]\n",
+      "          [--metrics FILE] [--trace-out FILE] [--no-match-cache]\n"
+      "          [--match-threads N]\n",
       argv0);
   return 2;
 }
@@ -89,6 +92,7 @@ int main(int argc, char** argv) {
   std::int64_t perf_seed = -1;
   double arrivals_mean = 0;
   bool match_cache = true;
+  std::int64_t match_threads = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -120,6 +124,8 @@ int main(int argc, char** argv) {
       if (const char* v = next()) trace_out_path = v;
     } else if (arg == "--no-match-cache") {
       match_cache = false;
+    } else if (arg == "--match-threads") {
+      if (const char* v = next()) match_threads = std::atoll(v);
     } else {
       return usage(argv[0]);
     }
@@ -207,6 +213,9 @@ int main(int argc, char** argv) {
 
   queue::JobQueue q((*rq)->traverser(), qp);
   q.set_match_cache(match_cache);
+  if (match_threads > 1) {
+    q.set_match_threads(static_cast<std::size_t>(match_threads));
+  }
   std::vector<traverser::JobId> ids;
   sim::ScenarioResult dyn_summary;
   if (!scenario_path.empty()) {
@@ -334,6 +343,16 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(s.match_calls),
                static_cast<unsigned long long>(s.match_skipped),
                static_cast<unsigned long long>(s.cache_invalidations));
+  if (q.match_threads() > 1) {
+    std::fprintf(stderr,
+                 "fluxion-sim: %zu probe threads | %llu probes, %llu hits, "
+                 "%llu misses, %llu wasted\n",
+                 q.match_threads(),
+                 static_cast<unsigned long long>(s.spec_probes),
+                 static_cast<unsigned long long>(s.spec_hits),
+                 static_cast<unsigned long long>(s.spec_misses),
+                 static_cast<unsigned long long>(s.spec_wasted));
+  }
   if (!scenario_path.empty()) {
     std::fprintf(stderr,
                  "fluxion-sim: dyn events %zu status, %zu grow, %zu shrink | "
