@@ -1,15 +1,24 @@
-// Queue-policy ablation (DESIGN.md §6): FCFS vs EASY vs conservative
-// backfilling on the same trace and system.
+// Queue-policy ablation (DESIGN.md §6): FCFS vs EASY vs conservative vs
+// hybrid backfilling on the same trace and system.
 //
-// The resource model underneath is identical for all three (separation of
+// The resource model underneath is identical for all four (separation of
 // concerns, paper §3.5) — only the queue policy changes. Expected shape:
 // backfilling shrinks makespan and average wait versus strict FCFS;
 // conservative gives every job a start time up front at somewhat higher
-// match cost.
+// match cost; hybrid sits between EASY and conservative, trading match
+// cost for starvation protection via its bounded reservation depth.
+//
+// A run that completes zero jobs is a broken configuration, not a data
+// point: the bench exits non-zero and prints the offending config so A/B
+// drivers cannot silently average over an empty schedule.
 //
 // Environment:
 //   FLUXION_BF_RACKS      — rack count (default 4)
 //   FLUXION_BF_JOBS       — trace length (default 120)
+//   FLUXION_BF_DEPTH      — hybrid/conservative reservation depth
+//                           (default 4; 0 = unbounded)
+//   FLUXION_BF_FIRST_MATCH — nonzero: place with first-match traversal
+//                           instead of scored (A/B the traversal mode)
 //   FLUXION_BENCH_METRICS — write the obs counter/histogram catalogue as
 //                           JSON to this file (enables collection, which
 //                           perturbs the timings slightly)
@@ -25,28 +34,23 @@
 #include "queue/job_queue.hpp"
 #include "sim/workload.hpp"
 
-namespace {
-using namespace fluxion;
-
-const char* policy_name(queue::QueuePolicy p) {
-  switch (p) {
-    case queue::QueuePolicy::fcfs: return "fcfs";
-    case queue::QueuePolicy::easy_backfill: return "easy";
-    case queue::QueuePolicy::conservative_backfill: return "conservative";
-  }
-  return "?";
-}
-
-}  // namespace
-
 int main() {
+  using namespace fluxion;
   int racks = 4;
   int jobs = 120;
+  int depth = 4;
+  bool first_match = false;
   if (const char* env = std::getenv("FLUXION_BF_RACKS")) {
     racks = std::max(1, std::atoi(env));
   }
   if (const char* env = std::getenv("FLUXION_BF_JOBS")) {
     jobs = std::max(1, std::atoi(env));
+  }
+  if (const char* env = std::getenv("FLUXION_BF_DEPTH")) {
+    depth = std::max(0, std::atoi(env));
+  }
+  if (const char* env = std::getenv("FLUXION_BF_FIRST_MATCH")) {
+    first_match = std::atoi(env) != 0;
   }
   const char* metrics_path = std::getenv("FLUXION_BENCH_METRICS");
   if (metrics_path != nullptr) obs::set_enabled(true);
@@ -58,17 +62,24 @@ int main() {
   util::Rng rng(12345);
   const auto trace = sim::generate_trace(cfg, rng);
 
-  std::printf("# Backfill ablation: %lld nodes, %d jobs\n",
-              static_cast<long long>(nodes), jobs);
-  std::printf("%-14s %12s %12s %14s %12s %12s\n", "queue-policy",
+  std::printf("# Backfill ablation: %lld nodes, %d jobs, depth %d, "
+              "%s traversal\n",
+              static_cast<long long>(nodes), jobs, depth,
+              first_match ? "first-match" : "scored");
+  std::printf("%-14s %12s %12s %14s %12s %12s %12s\n", "queue-policy",
               "makespan[s]", "avg-wait[s]", "turnaround[s]", "util[%]",
-              "sched[s]");
+              "sched[s]", "matches/s");
   for (const auto policy : {queue::QueuePolicy::fcfs,
                             queue::QueuePolicy::easy_backfill,
-                            queue::QueuePolicy::conservative_backfill}) {
+                            queue::QueuePolicy::conservative_backfill,
+                            queue::QueuePolicy::hybrid_backfill}) {
     auto rq = core::ResourceQuery::create(grug::recipes::quartz(true, racks));
     if (!rq) return 1;
     queue::JobQueue q((*rq)->traverser(), policy);
+    q.set_reservation_depth(static_cast<std::size_t>(depth));
+    if (first_match) {
+      q.set_traversal_mode(traverser::TraversalMode::first_match);
+    }
     for (const auto& tj : trace) {
       auto js = sim::trace_jobspec(tj, 36);
       if (!js) return 1;
@@ -78,20 +89,33 @@ int main() {
     q.run_to_completion();
     const auto t1 = std::chrono::steady_clock::now();
     const auto m = q.metrics();
+    if (m.completed == 0) {
+      std::fprintf(stderr,
+                   "bench_backfill: ZERO COMPLETED JOBS for queue-policy=%s "
+                   "racks=%d jobs=%d depth=%d traversal=%s — broken "
+                   "configuration, refusing to report\n",
+                   queue::queue_policy_name(policy), racks, jobs, depth,
+                   first_match ? "first-match" : "scored");
+      return 4;
+    }
+    const double sched =
+        std::chrono::duration<double>(t1 - t0).count();
+    const double matches_per_sec =
+        sched > 0 ? static_cast<double>(q.stats().match_calls) / sched : 0.0;
     const double util =
         m.makespan > 0
             ? 100.0 * static_cast<double>(m.node_seconds) /
                   (static_cast<double>(nodes) *
                    static_cast<double>(m.makespan))
             : 0.0;
-    std::printf("%-14s %12lld %12.1f %14.1f %12.1f %12.3f\n",
-                policy_name(policy), static_cast<long long>(m.makespan),
-                m.avg_wait, m.avg_turnaround, util,
-                std::chrono::duration<double>(t1 - t0).count());
+    std::printf("%-14s %12lld %12.1f %14.1f %12.1f %12.3f %12.0f\n",
+                queue::queue_policy_name(policy),
+                static_cast<long long>(m.makespan), m.avg_wait,
+                m.avg_turnaround, util, sched, matches_per_sec);
   }
-  std::printf("\n# Expected shape: backfilling (easy/conservative) beats "
-              "fcfs on makespan and wait;\n"
-              "# all three share the same resource model underneath.\n");
+  std::printf("\n# Expected shape: backfilling (easy/conservative/hybrid) "
+              "beats fcfs on makespan and wait;\n"
+              "# all four share the same resource model underneath.\n");
   if (metrics_path != nullptr) {
     std::ofstream mo(metrics_path);
     if (!mo) {

@@ -15,6 +15,12 @@
 // job (exit 3 on divergence; the differential property test covers the
 // same invariant across policies and dynamic scenarios).
 //
+// A third run replays the same backlog under first-match traversal and
+// reports `fm_visit_ratio` (scored visits / first-match visits): the
+// traversal-work saving from stopping at the first feasible slot instead
+// of collecting and ranking every candidate. CI gates on this ratio —
+// a counter, not wall-clock, so it is stable on shared runners.
+//
 // Environment:
 //   FLUXION_QE_RACKS      — rack count (default 2)
 //   FLUXION_QE_JOBS       — trace length (default 10000)
@@ -43,6 +49,8 @@ using namespace fluxion;
 struct RunResult {
   queue::QueueStats stats;
   double seconds = 0;
+  std::uint64_t visits = 0;            // traverser vertex visits
+  std::uint64_t first_match_stops = 0; // early walk unwinds (fm mode only)
   std::vector<std::pair<traverser::JobId, util::TimePoint>> placements;
 };
 
@@ -52,12 +60,13 @@ int env_int(const char* name, int fallback) {
 }
 
 bool run_once(int racks, const std::vector<sim::TraceJob>& trace,
-              bool cache_on, RunResult& out) {
+              bool cache_on, traverser::TraversalMode mode, RunResult& out) {
   auto rq = core::ResourceQuery::create(grug::recipes::quartz(true, racks));
   if (!rq) return false;
   queue::JobQueue q((*rq)->traverser(),
                     queue::QueuePolicy::easy_backfill);
   q.set_match_cache(cache_on);
+  q.set_traversal_mode(mode);
   std::vector<traverser::JobId> ids;
   for (const auto& tj : trace) {
     auto js = sim::trace_jobspec(tj, 36);
@@ -69,6 +78,8 @@ bool run_once(int racks, const std::vector<sim::TraceJob>& trace,
   const auto t1 = std::chrono::steady_clock::now();
   out.seconds = std::chrono::duration<double>(t1 - t0).count();
   out.stats = q.stats();
+  out.visits = (*rq)->traverser().stats().visits;
+  out.first_match_stops = (*rq)->traverser().stats().first_match_stops;
   for (const auto id : ids) {
     out.placements.emplace_back(id, q.find(id)->start_time);
   }
@@ -81,12 +92,16 @@ void stats_json(std::string& out, const RunResult& r) {
   std::snprintf(buf, sizeof buf,
                 "{\"match_calls\":%llu,\"match_skipped\":%llu,"
                 "\"cache_invalidations\":%llu,\"events_fired\":%llu,"
-                "\"heap_pops\":%llu,\"seconds\":%.3f}",
+                "\"heap_pops\":%llu,\"visits\":%llu,"
+                "\"first_match_stops\":%llu,\"seconds\":%.3f}",
                 static_cast<unsigned long long>(s.match_calls),
                 static_cast<unsigned long long>(s.match_skipped),
                 static_cast<unsigned long long>(s.cache_invalidations),
                 static_cast<unsigned long long>(s.events_fired),
-                static_cast<unsigned long long>(s.heap_pops), r.seconds);
+                static_cast<unsigned long long>(s.heap_pops),
+                static_cast<unsigned long long>(r.visits),
+                static_cast<unsigned long long>(r.first_match_stops),
+                r.seconds);
   out += buf;
 }
 
@@ -110,26 +125,39 @@ int main() {
   std::printf("# Queue events: %lld nodes, %d jobs (backlog at t=0), "
               "EASY backfill, %ds walltime quantum\n",
               static_cast<long long>(nodes), jobs, quantum);
-  RunResult off, on;
-  if (!run_once(racks, trace, /*cache_on=*/false, off)) return 1;
-  if (!run_once(racks, trace, /*cache_on=*/true, on)) return 1;
+  RunResult off, on, fm;
+  if (!run_once(racks, trace, /*cache_on=*/false,
+                traverser::TraversalMode::scored, off)) {
+    return 1;
+  }
+  if (!run_once(racks, trace, /*cache_on=*/true,
+                traverser::TraversalMode::scored, on)) {
+    return 1;
+  }
   if (off.placements != on.placements) {
     std::fprintf(stderr,
                  "bench_queue_events: PLACEMENT DIVERGENCE cache-on vs "
                  "cache-off — the cache is unsound\n");
     return 3;
   }
+  // Third run: first-match traversal (cache on). Placements may
+  // legitimately differ from scored mode — the interesting number is the
+  // traverser-visit ratio, which the CI perf smoke gates on.
+  if (!run_once(racks, trace, /*cache_on=*/true,
+                traverser::TraversalMode::first_match, fm)) {
+    return 1;
+  }
 
-  std::printf("%-10s %12s %12s %12s %12s %10s\n", "cache", "matches",
-              "skipped", "events", "heap-pops", "time[s]");
-  for (const auto* r : {&off, &on}) {
-    std::printf("%-10s %12llu %12llu %12llu %12llu %10.3f\n",
-                r == &off ? "off" : "on",
+  std::printf("%-12s %12s %12s %12s %12s %14s %10s\n", "run", "matches",
+              "skipped", "events", "heap-pops", "trav-visits", "time[s]");
+  for (const auto* r : {&off, &on, &fm}) {
+    std::printf("%-12s %12llu %12llu %12llu %12llu %14llu %10.3f\n",
+                r == &off ? "cache-off" : r == &on ? "cache-on" : "first-match",
                 static_cast<unsigned long long>(r->stats.match_calls),
                 static_cast<unsigned long long>(r->stats.match_skipped),
                 static_cast<unsigned long long>(r->stats.events_fired),
                 static_cast<unsigned long long>(r->stats.heap_pops),
-                r->seconds);
+                static_cast<unsigned long long>(r->visits), r->seconds);
   }
   const double match_ratio =
       on.stats.match_calls > 0
@@ -141,10 +169,17 @@ int main() {
           ? static_cast<double>(on.stats.heap_pops) /
                 static_cast<double>(on.stats.events_fired)
           : 0.0;
+  const double fm_visit_ratio =
+      fm.visits > 0
+          ? static_cast<double>(on.visits) / static_cast<double>(fm.visits)
+          : 0.0;
   std::printf("\nmatch_ratio     %.2fx fewer traversal matches with the "
               "cache\npops_per_event  %.2f heap pops per fired event "
-              "(vs %d jobs rescanned per event before)\n",
-              match_ratio, pops_per_event, jobs);
+              "(vs %d jobs rescanned per event before)\n"
+              "fm_visit_ratio  %.2fx fewer traverser visits with "
+              "first-match (%llu early stops)\n",
+              match_ratio, pops_per_event, jobs, fm_visit_ratio,
+              static_cast<unsigned long long>(fm.first_match_stops));
 
   if (metrics_path != nullptr) {
     std::string out = "{\"jobs\":" + std::to_string(jobs);
@@ -153,10 +188,13 @@ int main() {
     stats_json(out, off);
     out += ",\"cache_on\":";
     stats_json(out, on);
-    char buf[96];
+    out += ",\"first_match\":";
+    stats_json(out, fm);
+    char buf[128];
     std::snprintf(buf, sizeof buf,
-                  ",\"match_ratio\":%.3f,\"pops_per_event\":%.3f",
-                  match_ratio, pops_per_event);
+                  ",\"match_ratio\":%.3f,\"pops_per_event\":%.3f,"
+                  "\"fm_visit_ratio\":%.3f",
+                  match_ratio, pops_per_event, fm_visit_ratio);
     out += buf;
     out += ",\"obs\":";
     out += obs::monitor().json();

@@ -101,6 +101,31 @@ reapi_status_t reapi_match(reapi_ctx_t* ctx, reapi_match_op_t op,
   return REAPI_OK;
 }
 
+reapi_status_t reapi_set_traversal_mode(reapi_ctx_t* ctx,
+                                        reapi_traversal_mode_t mode) {
+  if (ctx == nullptr) return REAPI_EINVAL;
+  switch (mode) {
+    case REAPI_TRAVERSAL_SCORED:
+      ctx->rq->traverser().set_traversal_mode(
+          fluxion::traverser::TraversalMode::scored);
+      return REAPI_OK;
+    case REAPI_TRAVERSAL_FIRST_MATCH:
+      ctx->rq->traverser().set_traversal_mode(
+          fluxion::traverser::TraversalMode::first_match);
+      return REAPI_OK;
+  }
+  return REAPI_EINVAL;
+}
+
+reapi_traversal_mode_t reapi_traversal_mode(const reapi_ctx_t* ctx) {
+  if (ctx != nullptr &&
+      ctx->rq->traverser().traversal_mode() ==
+          fluxion::traverser::TraversalMode::first_match) {
+    return REAPI_TRAVERSAL_FIRST_MATCH;
+  }
+  return REAPI_TRAVERSAL_SCORED;
+}
+
 reapi_status_t reapi_cancel(reapi_ctx_t* ctx, uint64_t jobid) {
   if (ctx == nullptr) return REAPI_EINVAL;
   auto st = ctx->rq->cancel(static_cast<fluxion::traverser::JobId>(jobid));

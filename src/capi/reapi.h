@@ -37,6 +37,16 @@ typedef enum {
   REAPI_MATCH_SATISFIABILITY = 2,
 } reapi_match_op_t;
 
+/* How matches walk the resource graph. SCORED (the default) collects
+ * every feasible candidate and ranks them with the context's match
+ * policy. FIRST_MATCH stops at the first feasible slot and never
+ * invokes the policy scorer — much cheaper, placements are
+ * feasibility-equivalent but not policy-optimal. */
+typedef enum {
+  REAPI_TRAVERSAL_SCORED = 0,
+  REAPI_TRAVERSAL_FIRST_MATCH = 1,
+} reapi_traversal_mode_t;
+
 /* Create a context from a GRUG recipe. policy: "low-id", "high-id",
  * "locality" or "variation-aware". Returns NULL on failure and, when
  * error_out is non-NULL, a malloc'd message the caller must free with
@@ -53,6 +63,14 @@ reapi_status_t reapi_match(reapi_ctx_t* ctx, reapi_match_op_t op,
                            const char* jobspec_yaml, int64_t now,
                            uint64_t* jobid_out, int64_t* at_out,
                            int* reserved_out, char** rlite_out);
+
+/* Set the traversal mode for subsequent reapi_match calls. Takes effect
+ * immediately; jobs already placed are unaffected. */
+reapi_status_t reapi_set_traversal_mode(reapi_ctx_t* ctx,
+                                        reapi_traversal_mode_t mode);
+
+/* The context's current traversal mode. */
+reapi_traversal_mode_t reapi_traversal_mode(const reapi_ctx_t* ctx);
 
 /* Release a job's resources. */
 reapi_status_t reapi_cancel(reapi_ctx_t* ctx, uint64_t jobid);

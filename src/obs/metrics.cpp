@@ -27,6 +27,7 @@ void PerfMonitor::reset() {
   trav_rollbacks.reset();
   trav_match_attempts.reset();
   trav_status_pruned.reset();
+  trav_first_match_stops.reset();
   for (auto& o : ops) {
     o.calls.reset();
     o.failures.reset();
@@ -57,6 +58,8 @@ void PerfMonitor::reset() {
   queue_spec_hits.reset();
   queue_spec_misses.reset();
   queue_spec_wasted.reset();
+  queue_reservations_made.reset();
+  queue_reservations_dropped.reset();
   for (auto& h : probe_latency_us) h.reset();
   queue_depth.reset();
   queue_depth_samples.reset();
@@ -117,6 +120,7 @@ std::string PerfMonitor::json() const {
   kv(out, "rollbacks", trav_rollbacks.value());
   kv(out, "match_attempts", trav_match_attempts.value());
   kv(out, "status_pruned", trav_status_pruned.value());
+  kv(out, "first_match_stops", trav_first_match_stops.value());
   out += "},\"ops\":{";
   for (std::size_t i = 0; i < kOpCount; ++i) {
     if (i > 0) out += ",";
@@ -157,6 +161,8 @@ std::string PerfMonitor::json() const {
   kv(out, "spec_hits", queue_spec_hits.value());
   kv(out, "spec_misses", queue_spec_misses.value());
   kv(out, "spec_wasted", queue_spec_wasted.value());
+  kv(out, "reservations_made", queue_reservations_made.value());
+  kv(out, "reservations_dropped", queue_reservations_dropped.value());
   out += ",\"probe_latency_us\":[";
   for (std::size_t i = 0; i < probe_latency_us.size(); ++i) {
     if (i > 0) out += ",";
@@ -194,6 +200,7 @@ std::string PerfMonitor::render(bool verbose) const {
   line(out, "rollbacks", trav_rollbacks.value());
   line(out, "match-attempts", trav_match_attempts.value());
   line(out, "status-pruned", trav_status_pruned.value());
+  line(out, "first-match-stops", trav_first_match_stops.value());
   out += "match ops:\n";
   for (std::size_t i = 0; i < kOpCount; ++i) {
     const auto& o = ops[i];
@@ -238,6 +245,8 @@ std::string PerfMonitor::render(bool verbose) const {
     line(out, "jobs-scanned", queue_jobs_scanned.value());
     line(out, "match-skipped", queue_match_skipped.value());
     line(out, "cache-invalidations", queue_cache_invalidations.value());
+    line(out, "reservations-made", queue_reservations_made.value());
+    line(out, "reservations-dropped", queue_reservations_dropped.value());
     if (queue_spec_probes.value() > 0) {
       line(out, "spec-probes", queue_spec_probes.value());
       line(out, "spec-hits", queue_spec_hits.value());

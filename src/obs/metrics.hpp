@@ -98,6 +98,7 @@ struct PerfMonitor {
   Counter trav_rollbacks;         // selection rollbacks (any cause)
   Counter trav_match_attempts;    // full selection attempts
   Counter trav_status_pruned;     // subtrees skipped for non-up status
+  Counter trav_first_match_stops; // first-match walks unwound early
   OpMetrics ops[kOpCount];
   OpMetrics& op(Op o) noexcept { return ops[static_cast<std::size_t>(o)]; }
   const OpMetrics& op(Op o) const noexcept {
@@ -138,6 +139,10 @@ struct PerfMonitor {
   Counter queue_spec_hits;       // speculative probes consumed at commit time
   Counter queue_spec_misses;     // probes found stale at consume (re-probed)
   Counter queue_spec_wasted;     // probes invalidated before being looked at
+  // Backfill reservations: planner spans granted to head-blocked jobs and
+  // spans released before running (hold/cancel/evict/replan).
+  Counter queue_reservations_made;
+  Counter queue_reservations_dropped;
   Gauge queue_depth;              // pending jobs after the last queue event
   util::Histogram queue_depth_samples{0.0, 4096.0, 64};
   util::Histogram job_wait{0.0, 1048576.0, 64};        // simulated seconds

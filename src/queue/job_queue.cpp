@@ -23,6 +23,16 @@ const char* job_state_name(JobState s) noexcept {
   return "unknown";
 }
 
+const char* queue_policy_name(QueuePolicy p) noexcept {
+  switch (p) {
+    case QueuePolicy::fcfs: return "fcfs";
+    case QueuePolicy::conservative_backfill: return "conservative";
+    case QueuePolicy::easy_backfill: return "easy";
+    case QueuePolicy::hybrid_backfill: return "hybrid";
+  }
+  return "unknown";
+}
+
 namespace {
 
 // Canonical one-line rendering of a request vertex. Everything the
@@ -136,7 +146,30 @@ std::string JobQueue::cache_key(Job& job, bool allow_reserve,
   std::string key = job.match_sig;
   key += allow_reserve ? "|R|" : "|A|";
   key += std::to_string(anchor);
+  // Everything else that shapes a match outcome must be part of the key:
+  // the match policy and traversal mode change which selections are even
+  // attempted, and the reservation depth changes which op the scheduling
+  // pass asks for. A verdict recorded under one configuration must never
+  // be replayed under another — a jobspec first-match cannot place may
+  // still be placeable by the scored walk (and vice versa after a policy
+  // swap), even within one mutation epoch.
+  key += '|';
+  key += traverser_.policy().name();
+  key += '|';
+  key += traverser::traversal_mode_name(traversal_mode_);
+  key += '|';
+  key += std::to_string(reservation_depth_);
   return key;
+}
+
+void JobQueue::set_traversal_mode(traverser::TraversalMode m) {
+  if (m == traversal_mode_) return;
+  traversal_mode_ = m;
+  // Parked probes walked under the old mode; committing one now would
+  // smuggle an old-mode placement into a new-mode schedule.
+  stats_.spec_wasted += spec_.size();
+  if (obs::enabled()) obs::monitor().queue_spec_wasted.inc(spec_.size());
+  spec_.clear();
 }
 
 void JobQueue::test_rewind_reservation(JobId id, TimePoint start) {
@@ -215,6 +248,7 @@ void JobQueue::try_place(Job& job, bool allow_reserve) {
     if (!gate) {
       job.state = JobState::rejected;
       ++stats_.rejected;
+      drop_speculation(job.id);
       return;
     }
     if (*gate == util::kMaxTime) return;  // stays pending
@@ -233,6 +267,7 @@ void JobQueue::try_place(Job& job, bool allow_reserve) {
       if (hit->second != Errc::resource_busy) {
         job.state = JobState::rejected;
         ++stats_.rejected;
+        drop_speculation(job.id);
       }
       return;  // resource_busy: stays pending
     }
@@ -247,6 +282,7 @@ void JobQueue::try_place(Job& job, bool allow_reserve) {
     if (r->at > now_) {
       job.state = JobState::reserved;
       ++stats_.reserved;
+      note_reservation_made();
       push_event(job.start_time, kEventStart, job.id);
       obs::trace().sim_instant(
           "reserve", static_cast<double>(now_), job.id,
@@ -271,6 +307,7 @@ void JobQueue::try_place(Job& job, bool allow_reserve) {
     default:
       job.state = JobState::rejected;
       ++stats_.rejected;
+      drop_speculation(job.id);
       break;
   }
 }
@@ -281,7 +318,7 @@ util::Expected<traverser::MatchResult> JobQueue::run_match(
       allow_reserve ? MatchOp::allocate_orelse_reserve : MatchOp::allocate;
   if (match_threads_ <= 1) {
     const auto t0 = std::chrono::steady_clock::now();
-    auto r = traverser_.match(job.spec, op, anchor, job.id);
+    auto r = traverser_.match(job.spec, op, anchor, job.id, traversal_mode_);
     const auto t1 = std::chrono::steady_clock::now();
     const double secs = std::chrono::duration<double>(t1 - t0).count();
     job.match_seconds += secs;
@@ -304,6 +341,7 @@ util::Expected<traverser::MatchResult> JobQueue::run_match(
     SpecEntry entry = std::move(it->second);
     spec_.erase(it);
     if (entry.allow_reserve == allow_reserve && entry.anchor == anchor &&
+        entry.probe.mode == traversal_mode_ &&
         entry.probe.epoch == traverser_.mutation_epoch()) {
       probe = std::move(entry.probe);
       hit = true;
@@ -318,7 +356,8 @@ util::Expected<traverser::MatchResult> JobQueue::run_match(
     // fall back to the serial probe the plain path would have run.
     ++stats_.spec_misses;
     if (obs::enabled()) obs::monitor().queue_spec_misses.inc();
-    probe = traverser_.probe(job.spec, op, anchor, job.id, scratches_[0]);
+    probe = traverser_.probe(job.spec, op, anchor, job.id, scratches_[0],
+                             traversal_mode_);
   }
   const double probe_secs = probe.seconds;
   const auto t0 = std::chrono::steady_clock::now();
@@ -379,7 +418,7 @@ void JobQueue::speculate_batch(const Job& head, bool head_allow_reserve,
         j.spec,
         item.allow_reserve ? MatchOp::allocate_orelse_reserve
                            : MatchOp::allocate,
-        item.anchor, item.id, scratches_[w]);
+        item.anchor, item.id, scratches_[w], traversal_mode_);
     if (obs::enabled()) {
       obs::monitor().probe_latency_us[w].add(probes[i].seconds * 1e6);
     }
@@ -405,6 +444,24 @@ void JobQueue::drop_stale_speculations() {
       ++it;
     }
   }
+}
+
+void JobQueue::drop_speculation(JobId id) {
+  auto it = spec_.find(id);
+  if (it == spec_.end()) return;
+  spec_.erase(it);
+  ++stats_.spec_wasted;
+  if (obs::enabled()) obs::monitor().queue_spec_wasted.inc();
+}
+
+void JobQueue::note_reservation_made() {
+  ++stats_.reservations_made;
+  if (obs::enabled()) obs::monitor().queue_reservations_made.inc();
+}
+
+void JobQueue::note_reservation_dropped() {
+  ++stats_.reservations_dropped;
+  if (obs::enabled()) obs::monitor().queue_reservations_dropped.inc();
 }
 
 void JobQueue::set_match_threads(std::size_t n) {
@@ -436,6 +493,7 @@ void JobQueue::schedule() {
         if (!gate) {
           job.state = JobState::rejected;
           ++stats_.rejected;
+          drop_speculation(job.id);
           pending_.pop_front();
           continue;
         }
@@ -450,6 +508,15 @@ void JobQueue::schedule() {
       // Every dependency-ready job gets an allocation or a firm
       // reservation, in order; repeat until a pass makes no progress so
       // freshly-placed dependencies unlock their dependents immediately.
+      // A reservation depth bounds how many reservations may be live at
+      // once: past it, jobs may still allocate immediately but no longer
+      // reserve, trading guarantee coverage for planner-span pressure.
+      std::size_t reservations = 0;
+      if (reservation_depth_ != 0) {
+        for (const auto& [id, job] : jobs_) {
+          if (job.state == JobState::reserved) ++reservations;
+        }
+      }
       bool progress = true;
       while (progress) {
         progress = false;
@@ -462,6 +529,7 @@ void JobQueue::schedule() {
           if (!gate) {
             job.state = JobState::rejected;
             ++stats_.rejected;
+            drop_speculation(id);
             progress = true;
             continue;
           }
@@ -469,7 +537,10 @@ void JobQueue::schedule() {
             still.push_back(id);  // a dependency has no end time yet
             continue;
           }
-          try_place(job, /*allow_reserve=*/true);
+          const bool may_reserve =
+              reservation_depth_ == 0 || reservations < reservation_depth_;
+          try_place(job, may_reserve);
+          if (job.state == JobState::reserved) ++reservations;
           if (job.state == JobState::pending) {
             still.push_back(id);
           } else {
@@ -481,15 +552,21 @@ void JobQueue::schedule() {
       }
       break;
     }
-    case QueuePolicy::easy_backfill: {
-      // One reservation for the head blocked job; the rest backfill.
-      bool have_reservation = false;
+    case QueuePolicy::easy_backfill:
+    case QueuePolicy::hybrid_backfill: {
+      // One opportunistic pass; blocked jobs may reserve up to a budget:
+      // exactly one for EASY (the head blocked job), reservation_depth_
+      // for hybrid (0 = every blocked job, conservative-strength
+      // guarantees with EASY's single-pass structure).
+      std::size_t reservations = 0;
       for (const auto& [id, job] : jobs_) {
-        if (job.state == JobState::reserved) {
-          have_reservation = true;
-          break;
-        }
+        if (job.state == JobState::reserved) ++reservations;
       }
+      const std::size_t budget =
+          policy_ == QueuePolicy::easy_backfill
+              ? 1
+              : (reservation_depth_ == 0 ? pending_.size() + reservations
+                                         : reservation_depth_);
       std::deque<JobId> still_pending;
       while (!pending_.empty()) {
         const JobId id = pending_.front();
@@ -499,6 +576,7 @@ void JobQueue::schedule() {
         if (!gate) {
           job.state = JobState::rejected;
           ++stats_.rejected;
+          drop_speculation(id);
           continue;
         }
         if (*gate > now_) {
@@ -507,9 +585,9 @@ void JobQueue::schedule() {
         }
         try_place(job, /*allow_reserve=*/false);
         if (job.state == JobState::pending) {
-          if (!have_reservation) {
+          if (reservations < budget) {
             try_place(job, /*allow_reserve=*/true);
-            if (job.state == JobState::reserved) have_reservation = true;
+            if (job.state == JobState::reserved) ++reservations;
           }
           if (job.state == JobState::pending) still_pending.push_back(id);
         }
@@ -612,6 +690,7 @@ util::Expected<TimePoint> JobQueue::run_to_completion() {
         Job& job = jobs_.at(pending_.front());
         job.state = JobState::rejected;
         ++stats_.rejected;
+        drop_speculation(job.id);
         pending_.pop_front();
         continue;
       }
@@ -640,6 +719,7 @@ util::Status JobQueue::hold(JobId id) {
       released = traverser_.cancel(id);
       // The reservation is gone; stats reflect a net un-reserve.
       --stats_.reserved;
+      note_reservation_dropped();
       job.start_time = -1;
       job.end_time = -1;
       job.resources.clear();
@@ -650,6 +730,10 @@ util::Status JobQueue::hold(JobId id) {
                          "hold: job not pending or reserved"};
   }
   job.state = JobState::held;
+  // A probe parked while the job was schedulable must not stay
+  // consumable: the job is out of contention until released, and the
+  // spec_hits/spec_wasted books must say so.
+  drop_speculation(id);
   return released;
 }
 
@@ -691,6 +775,7 @@ util::Status JobQueue::cancel(JobId id) {
     case JobState::running:
       // Best-effort: the job leaves the queue's books regardless; the
       // first release failure is reported after the cascade completes.
+      if (job.state == JobState::reserved) note_reservation_dropped();
       released = traverser_.cancel(id);
       break;
     default:
@@ -698,6 +783,12 @@ util::Status JobQueue::cancel(JobId id) {
                          "cancel: job already terminal"};
   }
   job.state = JobState::canceled;
+  // Sweep the canceled job's parked probe immediately. Cancelling a
+  // pending/held job does not move the mutation epoch (nothing was
+  // committed), so without this the probe would stay consumable — and a
+  // later resubmit-style id reuse or accounting read would see a phantom
+  // hit where a waste happened.
+  drop_speculation(id);
   obs::trace().sim_instant("cancel", static_cast<double>(now_), id);
   reject_broken_dependents(released);
   return released;
@@ -716,6 +807,7 @@ void JobQueue::reject_broken_dependents(util::Status& released) {
       if (j.depends_on.empty()) continue;
       if (dependency_gate(j)) continue;  // deps still fine
       if (j.state == JobState::reserved) {
+        note_reservation_dropped();
         auto st = traverser_.cancel(jid);
         if (!st && released) released = st;
       } else {
@@ -723,6 +815,7 @@ void JobQueue::reject_broken_dependents(util::Status& released) {
       }
       j.state = JobState::rejected;
       ++stats_.rejected;
+      drop_speculation(jid);
       changed = true;
     }
   }
@@ -779,6 +872,7 @@ EvictResult JobQueue::evict_on(graph::VertexId vertex, EvictPolicy policy) {
       // Reservation re-planned: the next schedule() pass finds it a new
       // start on the surviving resources.
       --stats_.reserved;
+      note_reservation_dropped();
       enqueue_pending(job);
       result.replanned.push_back(id);
       if (obs::enabled()) obs::monitor().dyn_replanned.inc();
@@ -816,6 +910,7 @@ std::vector<JobId> JobQueue::replan_reserved() {
     if (job.state != JobState::reserved) continue;
     (void)traverser_.cancel(id);
     --stats_.reserved;
+    note_reservation_dropped();
     enqueue_pending(job);
     replanned.push_back(id);
     if (obs::enabled()) obs::monitor().dyn_replanned.inc();

@@ -14,6 +14,15 @@
 //                             reservation; everything else allocates
 //                             opportunistically and is retried at each
 //                             completion event.
+//   * hybrid_backfill       — EASY's opportunistic pass, but up to
+//                             `reservation_depth` blocked jobs hold firm
+//                             reservations (0 = every blocked job, which
+//                             converges on conservative guarantees).
+//
+// `set_reservation_depth(k)` bounds how many reservations conservative
+// and hybrid backfill may hold at once; `set_traversal_mode` selects the
+// traverser mode (scored vs first-match) every placement decision —
+// serial or speculative — runs under.
 #pragma once
 
 #include <chrono>
@@ -39,7 +48,12 @@ using traverser::JobId;
 using util::Duration;
 using util::TimePoint;
 
-enum class QueuePolicy { fcfs, conservative_backfill, easy_backfill };
+enum class QueuePolicy {
+  fcfs,
+  conservative_backfill,
+  easy_backfill,
+  hybrid_backfill,
+};
 
 /// What to do with *running* jobs whose allocation intersects a downed or
 /// shrunk subtree (reserved jobs are always re-planned).
@@ -65,6 +79,7 @@ enum class JobState {
 };
 
 const char* job_state_name(JobState s) noexcept;
+const char* queue_policy_name(QueuePolicy p) noexcept;
 
 struct Job {
   JobId id = -1;
@@ -109,6 +124,12 @@ struct QueueStats {
   std::uint64_t spec_hits = 0;    // probes consumed by a matching commit
   std::uint64_t spec_misses = 0;  // consume-time mismatches, re-probed
   std::uint64_t spec_wasted = 0;  // probes invalidated before consumption
+  // Backfill reservation churn: monotone tallies of reservations granted
+  // and of reservations released before their start fired (hold, cancel,
+  // eviction re-plan, replan_reserved, broken-dependency reject). Unlike
+  // `reserved`, which is decremented on un-reserve, these never go down.
+  std::uint64_t reservations_made = 0;
+  std::uint64_t reservations_dropped = 0;
 };
 
 /// Derived schedule-quality metrics over terminal (completed) jobs.
@@ -199,6 +220,28 @@ class JobQueue {
   void set_match_threads(std::size_t n);
   std::size_t match_threads() const noexcept { return match_threads_; }
 
+  /// Traversal mode every placement decision runs under — serial matches
+  /// and speculative probes alike, so the pipeline stays byte-identical
+  /// at any thread count. Switching modes discards parked speculations
+  /// (counted as wasted): a probe walked under the old mode must never be
+  /// committed as if the new mode produced it. Cached match failures stay
+  /// — the cache key embeds the mode, so old-mode verdicts simply stop
+  /// matching.
+  void set_traversal_mode(traverser::TraversalMode m);
+  traverser::TraversalMode traversal_mode() const noexcept {
+    return traversal_mode_;
+  }
+
+  /// Bound on simultaneous backfill reservations for the conservative and
+  /// hybrid policies (0 = unbounded, the default). EASY ignores it (its
+  /// contract is exactly one); fcfs never reserves.
+  void set_reservation_depth(std::size_t k) noexcept {
+    reservation_depth_ = k;
+  }
+  std::size_t reservation_depth() const noexcept {
+    return reservation_depth_;
+  }
+
   /// Drop every cached match failure (counted in stats/obs when the
   /// cache was non-empty). Mutations visible to the traverser are picked
   /// up automatically via its mutation epoch; this exists for external
@@ -261,6 +304,14 @@ class JobQueue {
   /// Drop speculations whose probe epoch no longer matches the traverser
   /// (a commit landed since they ran); counts them as wasted.
   void drop_stale_speculations();
+  /// Drop one job's parked speculation, if any, counting it as wasted.
+  /// Called on every transition that takes a job out of contention
+  /// (cancel, hold, reject) — such probes would otherwise survive until
+  /// the next epoch bump and skew the spec accounting.
+  void drop_speculation(JobId id);
+  /// Mark a reservation granted / released-before-start in stats and obs.
+  void note_reservation_made();
+  void note_reservation_dropped();
   util::Status fire_events_up_to(TimePoint t);
   /// Clear the cache when the traverser's mutation epoch moved since the
   /// last look; returns the cache key for (job, allow_reserve, anchor).
@@ -278,6 +329,8 @@ class JobQueue {
 
   traverser::Traverser& traverser_;
   QueuePolicy policy_;
+  traverser::TraversalMode traversal_mode_ = traverser::TraversalMode::scored;
+  std::size_t reservation_depth_ = 0;  // 0 = unbounded
   TimePoint now_ = 0;
   JobId next_id_ = 1;
   std::unordered_map<JobId, Job> jobs_;

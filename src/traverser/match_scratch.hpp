@@ -38,12 +38,27 @@ namespace fluxion::traverser {
 
 using graph::VertexId;
 
+/// How the traverser picks among viable candidates at a selection point.
+/// `scored` is the full policy path: collect every candidate of the type,
+/// rank them (order_candidates / plan_selection), then claim best-first.
+/// `first_match` is the ultrafast path: claim candidates inline in
+/// depth-first discovery order and unwind the walk as soon as the request
+/// is covered — the policy scorer is never consulted. A first-match
+/// selection is always also a valid scored selection (the per-candidate
+/// feasibility checks are identical); only the preference order differs.
+enum class TraversalMode { scored, first_match };
+
+constexpr const char* traversal_mode_name(TraversalMode m) noexcept {
+  return m == TraversalMode::first_match ? "first-match" : "scored";
+}
+
 struct TraverserStats {
   std::uint64_t visits = 0;          // vertex visits, lifetime
   std::uint64_t last_visits = 0;     // vertex visits, last match call
   std::uint64_t pruned = 0;          // subtrees skipped by filters, lifetime
   std::uint64_t status_pruned = 0;   // subtrees skipped as non-up, lifetime
   std::uint64_t match_attempts = 0;  // full selection attempts, lifetime
+  std::uint64_t first_match_stops = 0;  // early walk unwinds, lifetime
 };
 
 /// Per-type demand amounts, dense over the graph's type intern ids.
@@ -136,6 +151,11 @@ class MatchScratch {
   /// Stats delta accumulated by the probe using this scratch; folded into
   /// the traverser's lifetime counters when the probe is consumed.
   TraverserStats stats;
+
+  /// Traversal mode of the probe currently using this scratch; set by
+  /// Traverser::probe() so the selection walk need not thread it through
+  /// every recursion level.
+  TraversalMode mode = TraversalMode::scored;
 
  private:
   std::vector<std::unique_ptr<Frame>> frames_;

@@ -184,6 +184,50 @@ void Traverser::collect_candidates(VertexId from, util::InternId type,
   }
 }
 
+bool Traverser::fm_search(VertexId from, util::InternId type,
+                          const util::TimeWindow& w, const Selection& sel,
+                          const DenseDemand& per_instance_demand,
+                          ParentMap& parent_of, MatchScratch& sc,
+                          const std::function<bool(VertexId)>& try_claim)
+    const {
+  ++sc.stats.visits;
+  ++sc.stats.last_visits;
+  if (obs::enabled()) obs::monitor().trav_visits.inc();
+  const graph::Vertex& vx = g_.vertex(from);
+  if (vx.status != graph::ResourceStatus::up) {
+    ++sc.stats.status_pruned;
+    if (obs::enabled()) obs::monitor().trav_status_pruned.inc();
+    return false;
+  }
+  if (vx.type == type) {
+    // Claim in discovery order; a covered request unwinds the whole walk.
+    return try_claim(from);
+  }
+  for (const graph::Edge& e : g_.out_edges(from)) {
+    if (e.relation != g_.contains_rel() ||
+        !g_.subsystem_visible(e.subsystem) || !g_.vertex(e.dst).alive) {
+      continue;
+    }
+    const VertexId child = e.dst;
+    if (parent_of.contains(child)) continue;
+    const graph::Vertex& cx = g_.vertex(child);
+    if (cx.type != type) {
+      if (!vertex_shareable(child, w, sel)) continue;
+      if (!filter_admits(child, w, per_instance_demand)) {
+        ++sc.stats.pruned;
+        if (obs::enabled()) obs::monitor().trav_pruned.inc();
+        continue;
+      }
+    }
+    parent_of.set(child, from);
+    if (fm_search(child, type, w, sel, per_instance_demand, parent_of, sc,
+                  try_claim)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void Traverser::mark_chain(VertexId candidate, VertexId stop_above,
                            const ParentMap& parent_of, Selection& sel) const {
   for (VertexId p = parent_of.find(candidate);
@@ -276,37 +320,30 @@ bool Traverser::satisfy_instances(const jobspec::Resource& req,
   instance_demand(req, f.demand);
   f.candidates.clear();
   f.parent_of.reset(g_.vertex_count());
-  // find_type, not intern_type (probe path must not mutate the interner):
-  // a type the graph has never seen has no candidates, exactly as the
-  // walk would discover.
-  if (const auto type = g_.find_type(req.type)) {
-    collect_candidates(under, *type, w, sel, f.demand, f.candidates,
-                       f.parent_of, sc);
-  }
-  if (static_cast<std::int64_t>(f.candidates.size()) < needed) return false;
-  policy_.plan_selection(g_, f.candidates, needed);
 
+  // One candidate attempt, shared by both modes: feasibility checks,
+  // claim, children recursion, pass-through marks. Returns whether the
+  // candidate was taken.
   std::int64_t count = 0;
-  for (VertexId u : f.candidates) {
-    if (count == needed_max) break;
+  auto attempt = [&](VertexId u) -> bool {
     const auto cp = sel.checkpoint();
     const graph::Vertex& ux = g_.vertex(u);
-    if (!meets_requirements(ux, req.requires_)) continue;
+    if (!meets_requirements(ux, req.requires_)) return false;
     if (exclusive) {
-      if (!vertex_exclusively_claimable(u, w, sel)) continue;
+      if (!vertex_exclusively_claimable(u, w, sel)) return false;
       if (!filter_admits(u, w, f.demand)) {
         ++sc.stats.pruned;
         if (obs::enabled()) obs::monitor().trav_pruned.inc();
-        continue;
+        return false;
       }
       sel.push_claim(Claim{u, ux.size, /*exclusive=*/true,
                            /*whole_instance=*/true, under_excl});
     } else {
-      if (!vertex_shareable(u, w, sel)) continue;
+      if (!vertex_shareable(u, w, sel)) return false;
       if (!filter_admits(u, w, f.demand)) {
         ++sc.stats.pruned;
         if (obs::enabled()) obs::monitor().trav_pruned.inc();
-        continue;
+        return false;
       }
       sel.mark_shared(u);
     }
@@ -323,10 +360,41 @@ bool Traverser::satisfy_instances(const jobspec::Resource& req,
     if (!ok) {
       if (obs::enabled()) obs::monitor().trav_postorder_rejects.inc();
       sel.rollback(cp);
-      continue;
+      return false;
     }
     mark_chain(u, under, f.parent_of, sel);
     ++count;
+    return true;
+  };
+
+  // find_type, not intern_type (probe path must not mutate the interner):
+  // a type the graph has never seen has no candidates, exactly as the
+  // walk would discover.
+  const auto type = g_.find_type(req.type);
+  if (sc.mode == TraversalMode::first_match) {
+    // Claim inline during the discovery walk and unwind once covered —
+    // no candidate list, no ranking, no policy call.
+    if (type && fm_search(under, *type, w, sel, f.demand, f.parent_of, sc,
+                          [&](VertexId u) {
+                            attempt(u);
+                            return count == needed_max;
+                          })) {
+      ++sc.stats.first_match_stops;
+      if (obs::enabled()) obs::monitor().trav_first_match_stops.inc();
+    }
+    return count >= needed;
+  }
+
+  if (type) {
+    collect_candidates(under, *type, w, sel, f.demand, f.candidates,
+                       f.parent_of, sc);
+  }
+  if (static_cast<std::int64_t>(f.candidates.size()) < needed) return false;
+  policy_.plan_selection(g_, f.candidates, needed);
+
+  for (VertexId u : f.candidates) {
+    if (count == needed_max) break;
+    attempt(u);
   }
   return count >= needed;
 }
@@ -340,30 +408,23 @@ bool Traverser::satisfy_units(const jobspec::Resource& req, VertexId under,
   f.demand.reset(g_.type_count());
   f.candidates.clear();
   f.parent_of.reset(g_.vertex_count());
-  if (const auto type = g_.find_type(req.type)) {
-    f.demand.add(*type, 1);
-    collect_candidates(under, *type, w, sel, f.demand, f.candidates,
-                       f.parent_of, sc);
-  }
-  policy_.plan_selection(g_, f.candidates, needed);
 
   std::int64_t remaining = needed_max;
-  for (VertexId u : f.candidates) {
-    if (remaining == 0) break;
-    if (sel.pending_excl.contains(u)) continue;
+  auto take_units = [&](VertexId u) -> bool {
+    if (sel.pending_excl.contains(u)) return false;
     const graph::Vertex& ux = g_.vertex(u);
-    if (!meets_requirements(ux, req.requires_)) continue;
+    if (!meets_requirements(ux, req.requires_)) return false;
     auto avail = ux.schedule->avail_resources_during(w.start, w.duration);
-    if (!avail) continue;
+    if (!avail) return false;
     std::int64_t free = *avail;
     if (auto it = sel.pending_units.find(u); it != sel.pending_units.end()) {
       free -= it->second;
     }
     const std::int64_t take = std::min(free, remaining);
-    if (take <= 0) continue;
+    if (take <= 0) return false;
     if (exclusive && take == ux.size) {
       // Whole-vertex exclusive claim: no shared walker may overlap.
-      if (!vertex_exclusively_claimable(u, w, sel)) continue;
+      if (!vertex_exclusively_claimable(u, w, sel)) return false;
       sel.push_claim(Claim{u, take, true, /*whole_instance=*/true,
                            under_excl});
     } else {
@@ -372,6 +433,35 @@ bool Traverser::satisfy_units(const jobspec::Resource& req, VertexId under,
     }
     mark_chain(u, under, f.parent_of, sel);
     remaining -= take;
+    return true;
+  };
+
+  const auto type = g_.find_type(req.type);
+  if (sc.mode == TraversalMode::first_match) {
+    if (type) {
+      f.demand.add(*type, 1);
+      if (fm_search(under, *type, w, sel, f.demand, f.parent_of, sc,
+                    [&](VertexId u) {
+                      take_units(u);
+                      return remaining == 0;
+                    })) {
+        ++sc.stats.first_match_stops;
+        if (obs::enabled()) obs::monitor().trav_first_match_stops.inc();
+      }
+    }
+    return needed_max - remaining >= needed;
+  }
+
+  if (type) {
+    f.demand.add(*type, 1);
+    collect_candidates(under, *type, w, sel, f.demand, f.candidates,
+                       f.parent_of, sc);
+  }
+  policy_.plan_selection(g_, f.candidates, needed);
+
+  for (VertexId u : f.candidates) {
+    if (remaining == 0) break;
+    take_units(u);
   }
   // Success once the required minimum is covered; anything beyond it was
   // the moldable bonus.
@@ -553,6 +643,7 @@ util::Expected<MatchResult> Traverser::grow_impl(JobId job,
   }
   const util::TimeWindow w{start, end - start};
   scratch_.stats = TraverserStats{};
+  scratch_.mode = mode_;
   ++scratch_.stats.match_attempts;
   if (obs::enabled()) obs::monitor().trav_match_attempts.inc();
   Selection sel;
@@ -960,11 +1051,19 @@ util::Expected<TimePoint> Traverser::next_candidate_time(
 Traverser::Probe Traverser::probe(const jobspec::Jobspec& js, MatchOp op,
                                   TimePoint now, JobId job,
                                   MatchScratch& sc) const {
+  return probe(js, op, now, job, sc, mode_);
+}
+
+Traverser::Probe Traverser::probe(const jobspec::Jobspec& js, MatchOp op,
+                                  TimePoint now, JobId job, MatchScratch& sc,
+                                  TraversalMode mode) const {
   Probe p;
   p.job = job;
   p.op = op;
   p.now = now;
   p.epoch = mutation_epoch_;
+  p.mode = mode;
+  sc.mode = mode;
   p.t0 = std::chrono::steady_clock::now();
 
   [&] {
@@ -1173,6 +1272,7 @@ void Traverser::fold_stats(const TraverserStats& d) noexcept {
   stats_.pruned += d.pruned;
   stats_.status_pruned += d.status_pruned;
   stats_.match_attempts += d.match_attempts;
+  stats_.first_match_stops += d.first_match_stops;
 }
 
 util::Expected<MatchResult> Traverser::commit(Probe&& p) {
@@ -1243,7 +1343,13 @@ util::Expected<MatchResult> Traverser::match(const jobspec::Jobspec& js,
   // Serial matching IS the speculative pipeline with a window of one:
   // probe into the member scratch, then commit. Identical placements at
   // any thread count follow by construction.
-  return commit(probe(js, op, now, job, scratch_));
+  return commit(probe(js, op, now, job, scratch_, mode_));
+}
+
+util::Expected<MatchResult> Traverser::match(const jobspec::Jobspec& js,
+                                             MatchOp op, TimePoint now,
+                                             JobId job, TraversalMode mode) {
+  return commit(probe(js, op, now, job, scratch_, mode));
 }
 
 util::Status Traverser::cancel(JobId job) {

@@ -35,6 +35,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -138,9 +139,15 @@ class Traverser {
 
   /// Match a jobspec at time `now` per `op`. On success the resources are
   /// committed under `job` until cancel(job). Implemented as
-  /// probe() + commit() over the traverser's own scratch.
+  /// probe() + commit() over the traverser's own scratch. The first
+  /// overload uses the traverser's default traversal mode; the second
+  /// selects the mode per call (how the queue lets speculative probes
+  /// inherit its configured mode).
   util::Expected<MatchResult> match(const jobspec::Jobspec& js, MatchOp op,
                                     TimePoint now, JobId job);
+  util::Expected<MatchResult> match(const jobspec::Jobspec& js, MatchOp op,
+                                    TimePoint now, JobId job,
+                                    TraversalMode mode);
 
   /// The read-only half of a match: the outcome of the full time search
   /// and selection walk, captured against the mutation epoch it saw, with
@@ -161,11 +168,14 @@ class Traverser {
     TraverserStats delta{};    // this probe's stats contribution
     double seconds = 0.0;      // wall-clock spent probing
     std::chrono::steady_clock::time_point t0{};
+    TraversalMode mode = TraversalMode::scored;  // mode the walk used
     Selection sel;             // the selection commit() will apply
   };
 
   Probe probe(const jobspec::Jobspec& js, MatchOp op, TimePoint now,
               JobId job, MatchScratch& scratch) const;
+  Probe probe(const jobspec::Jobspec& js, MatchOp op, TimePoint now,
+              JobId job, MatchScratch& scratch, TraversalMode mode) const;
 
   /// The serial half: validate the probe against the current epoch, apply
   /// its selection (planner spans + SDFU filter updates), fold its stats
@@ -234,6 +244,17 @@ class Traverser {
   /// Zero the lifetime counters (the `clear-stats` command). The global
   /// obs::monitor() is reset separately by its owner.
   void clear_stats() noexcept { stats_ = TraverserStats{}; }
+
+  /// Default traversal mode for match()/probe() calls that do not pass
+  /// one explicitly. First-match stops the selection walk at the first
+  /// feasible slot and never calls the policy scorer (see TraversalMode).
+  void set_traversal_mode(TraversalMode m) noexcept { mode_ = m; }
+  TraversalMode traversal_mode() const noexcept { return mode_; }
+
+  /// The match policy this traverser ranks candidates with (scored mode
+  /// only). Exposed so callers that key caches on match behaviour — the
+  /// queue's satisfiability cache — can fold the policy identity in.
+  const MatchPolicy& policy() const noexcept { return policy_; }
 
   const graph::ResourceGraph& graph() const noexcept { return g_; }
 
@@ -317,6 +338,18 @@ class Traverser {
                           std::vector<VertexId>& out, ParentMap& parent_of,
                           MatchScratch& sc) const;
 
+  /// First-match walk: the same DFS as collect_candidates (same visit
+  /// accounting, status pruning, pass-through shareability and filter
+  /// checks, parent recording), but each discovered candidate is handed
+  /// to `try_claim` immediately and the walk unwinds — returning true —
+  /// as soon as try_claim reports the request covered. The policy scorer
+  /// is never called on this path.
+  bool fm_search(VertexId from, util::InternId type,
+                 const util::TimeWindow& w, const Selection& sel,
+                 const DenseDemand& per_instance_demand, ParentMap& parent_of,
+                 MatchScratch& sc,
+                 const std::function<bool(VertexId)>& try_claim) const;
+
   bool vertex_shareable(VertexId v, const util::TimeWindow& w,
                         const Selection& sel) const;
   bool vertex_exclusively_claimable(VertexId v, const util::TimeWindow& w,
@@ -389,6 +422,7 @@ class Traverser {
   std::map<TimePoint, int> release_times_;
   TraverserStats stats_;
   MatchScratch scratch_;  // serial path (match/grow) scratch
+  TraversalMode mode_ = TraversalMode::scored;
   std::uint64_t mutation_epoch_ = 0;
   bool audit_enabled_ = false;
   std::string fault_point_;

@@ -237,4 +237,26 @@ TEST_F(ReapiTest, GrowAndShrinkRoundTrip) {
             REAPI_EINVAL);
 }
 
+TEST_F(ReapiTest, TraversalModeRoundTripAndMatch) {
+  EXPECT_EQ(reapi_traversal_mode(ctx), REAPI_TRAVERSAL_SCORED);
+  EXPECT_EQ(reapi_set_traversal_mode(ctx, REAPI_TRAVERSAL_FIRST_MATCH),
+            REAPI_OK);
+  EXPECT_EQ(reapi_traversal_mode(ctx), REAPI_TRAVERSAL_FIRST_MATCH);
+  EXPECT_EQ(reapi_set_traversal_mode(nullptr, REAPI_TRAVERSAL_SCORED),
+            REAPI_EINVAL);
+  EXPECT_EQ(reapi_traversal_mode(ctx), REAPI_TRAVERSAL_FIRST_MATCH);
+
+  // Matching still works in first-match mode, and the selection is a
+  // real allocation the audit accepts.
+  uint64_t job = 0;
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &job,
+                        nullptr, nullptr, nullptr),
+            REAPI_OK);
+  EXPECT_EQ(reapi_audit(ctx), REAPI_OK);
+  EXPECT_EQ(reapi_cancel(ctx, job), REAPI_OK);
+  EXPECT_EQ(reapi_set_traversal_mode(ctx, REAPI_TRAVERSAL_SCORED),
+            REAPI_OK);
+  EXPECT_EQ(reapi_traversal_mode(ctx), REAPI_TRAVERSAL_SCORED);
+}
+
 }  // namespace

@@ -196,6 +196,77 @@ TEST_F(QueueEventsFixture, CacheOffNeverSkips) {
   EXPECT_EQ(q.stats().completed, 3u);
 }
 
+// Regression: the blocked-signature cache key must include the active
+// traversal mode, match policy and reservation depth. Before the fix it
+// was only the request signature + op + anchor, so a verdict cached under
+// scored traversal was replayed after switching to first-match (or after
+// changing the reservation depth) even though those knobs change what a
+// match can return.
+TEST_F(QueueEventsFixture, CacheKeyIncludesTraversalModeAndDepth) {
+  JobQueue q(*trav, QueuePolicy::easy_backfill);
+  const JobId a = q.submit(whole_nodes(4, 100));
+  q.schedule();
+  EXPECT_EQ(q.find(a)->state, JobState::running);
+  const JobId head = q.submit(whole_nodes(4, 100));
+  q.schedule();  // head blocked: takes the one EASY reservation
+  ASSERT_EQ(q.find(head)->state, JobState::reserved);
+  const JobId c = q.submit(whole_nodes(2, 50));
+  q.schedule();  // c's failure is now cached under the scored-mode key
+  ASSERT_EQ(q.find(c)->state, JobState::pending);
+  const std::uint64_t calls = q.stats().match_calls;
+  const std::uint64_t skipped = q.stats().match_skipped;
+  q.schedule();  // same knobs: cache hit, no traversal
+  EXPECT_EQ(q.stats().match_calls, calls);
+  EXPECT_EQ(q.stats().match_skipped, skipped + 1);
+  // Switching the traversal mode changes the question being asked — the
+  // scored-mode verdict must not answer it.
+  q.set_traversal_mode(traverser::TraversalMode::first_match);
+  q.schedule();
+  EXPECT_EQ(q.stats().match_calls, calls + 1)
+      << "first-match must re-match, not replay the scored verdict";
+  EXPECT_EQ(q.stats().match_skipped, skipped + 1);
+  EXPECT_EQ(q.find(c)->state, JobState::pending) << "outcome is the same";
+  // So does the reservation depth (it changes how many reservations the
+  // pass may plant around the blocked job).
+  const std::uint64_t fm_calls = q.stats().match_calls;
+  q.set_reservation_depth(3);
+  q.schedule();
+  EXPECT_EQ(q.stats().match_calls, fm_calls + 1)
+      << "a depth change must invalidate prior verdicts";
+  ASSERT_TRUE(q.run_to_completion());
+  EXPECT_EQ(q.find(c)->state, JobState::completed);
+}
+
+// Regression: a speculative probe parked for a lookahead job used to
+// linger in the speculation store when that job was canceled while still
+// pending — a pending cancel moves no planner state, so the epoch check
+// never collected it and spec accounting under-reported wasted probes.
+// The job-state sweep must count it immediately.
+TEST_F(QueueEventsFixture, CancelWhileParkedCountsSpecWasted) {
+  JobQueue q(*trav, QueuePolicy::fcfs);
+  q.set_match_threads(2);
+  const JobId a = q.submit(whole_nodes(4, 100));
+  q.schedule();
+  EXPECT_EQ(q.find(a)->state, JobState::running);
+  const JobId b = q.submit(whole_nodes(4, 100));
+  const JobId c = q.submit(whole_nodes(2, 50));
+  q.schedule();  // head b blocked; c's lookahead probe stays parked
+  ASSERT_EQ(q.find(b)->state, JobState::pending);
+  ASSERT_EQ(q.find(c)->state, JobState::pending);
+  const std::uint64_t wasted = q.stats().spec_wasted;
+  ASSERT_TRUE(q.cancel(c));
+  EXPECT_EQ(q.find(c)->state, JobState::canceled);
+  EXPECT_EQ(q.stats().spec_wasted, wasted + 1)
+      << "the parked probe for the canceled job must be swept and counted";
+  ASSERT_TRUE(q.run_to_completion());
+  EXPECT_EQ(q.find(b)->state, JobState::completed);
+  // Every probe the pipeline ever ran is accounted for exactly once:
+  // consumed at commit, found stale at consume, or dropped unseen.
+  EXPECT_EQ(q.stats().spec_probes, q.stats().spec_hits +
+                                       q.stats().spec_misses +
+                                       q.stats().spec_wasted);
+}
+
 // Held and re-released reservations leave only stale heap entries
 // behind; nothing fires for a held job.
 TEST_F(QueueEventsFixture, HoldInvalidatesPendingStartEvent) {

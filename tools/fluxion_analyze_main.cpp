@@ -65,8 +65,13 @@ struct FileStats {
   std::size_t completed = 0;
   std::size_t rejected = 0;
   std::int64_t makespan = 0;
+  double fom_sum = 0;       // figure-of-merit total over jobs that carry one
+  std::size_t fom_n = 0;
+  double match_total_ms = 0;
   util::Histogram wait{0.0, 1048576.0, 64};   // simulated seconds
   util::Histogram match_ms{0.0, 1000.0, 50};  // wall milliseconds
+
+  double fom_mean() const { return fom_n > 0 ? fom_sum / fom_n : -1.0; }
 };
 
 int analyze(const std::string& path, FileStats* agg, obs::TraceLog* tl) {
@@ -152,6 +157,11 @@ int analyze(const std::string& path, FileStats* agg, obs::TraceLog* tl) {
     for (const Row& r : rows) {
       agg->wait.add(static_cast<double>(r.wait));
       agg->match_ms.add(r.match_ms);
+      agg->match_total_ms += r.match_ms;
+      if (r.fom >= 0) {
+        agg->fom_sum += r.fom;
+        ++agg->fom_n;
+      }
     }
   }
   if (tl != nullptr) {
@@ -206,11 +216,14 @@ std::string metrics_json(const std::vector<FileStats>& files) {
            ",\"completed\":" + std::to_string(f.completed) +
            ",\"rejected\":" + std::to_string(f.rejected) +
            ",\"makespan\":" + std::to_string(f.makespan) +
+           ",\"fom_mean\":" + std::to_string(f.fom_mean()) +
            ",\"wait\":" + f.wait.json() +
            ",\"match_ms\":" + f.match_ms.json() + "}";
     merged.jobs += f.jobs;
     merged.completed += f.completed;
     merged.rejected += f.rejected;
+    merged.fom_sum += f.fom_sum;
+    merged.fom_n += f.fom_n;
     merged.makespan = std::max(merged.makespan, f.makespan);
     // Same canonical layout everywhere, so merge cannot fail.
     (void)merged.wait.merge(f.wait);
@@ -220,9 +233,47 @@ std::string metrics_json(const std::vector<FileStats>& files) {
          ",\"completed\":" + std::to_string(merged.completed) +
          ",\"rejected\":" + std::to_string(merged.rejected) +
          ",\"makespan\":" + std::to_string(merged.makespan) +
+         ",\"fom_mean\":" + std::to_string(merged.fom_mean()) +
          ",\"wait\":" + merged.wait.json() +
          ",\"match_ms\":" + merged.match_ms.json() + "}}";
   return out;
+}
+
+/// Makespan-vs-figure-of-merit comparison across input schedules: the
+/// trade a backfill-policy or traversal-mode ablation is after. The first
+/// file is the baseline; deltas are relative to it. Printed whenever two
+/// or more schedules are given.
+void print_comparison(const std::vector<FileStats>& files) {
+  std::printf("== makespan vs figure-of-merit (baseline: %s) ==\n",
+              files[0].path.c_str());
+  std::printf("%-32s %12s %10s %10s %10s %12s\n", "schedule", "makespan[s]",
+              "vs-base", "mean-fom", "fom-delta", "match[ms]");
+  for (const FileStats& f : files) {
+    const double dm =
+        files[0].makespan > 0
+            ? 100.0 *
+                  (static_cast<double>(f.makespan) -
+                   static_cast<double>(files[0].makespan)) /
+                  static_cast<double>(files[0].makespan)
+            : 0.0;
+    char fom[32], dfom[32];
+    if (f.fom_n > 0) {
+      std::snprintf(fom, sizeof fom, "%.2f", f.fom_mean());
+      if (files[0].fom_n > 0) {
+        std::snprintf(dfom, sizeof dfom, "%+.2f",
+                      f.fom_mean() - files[0].fom_mean());
+      } else {
+        std::snprintf(dfom, sizeof dfom, "-");
+      }
+    } else {
+      std::snprintf(fom, sizeof fom, "-");
+      std::snprintf(dfom, sizeof dfom, "-");
+    }
+    std::printf("%-32s %12lld %+9.1f%% %10s %10s %12.1f\n", f.path.c_str(),
+                static_cast<long long>(f.makespan), dm, fom, dfom,
+                f.match_total_ms);
+  }
+  std::printf("\n");
 }
 
 int usage(const char* argv0) {
@@ -260,11 +311,12 @@ int main(int argc, char** argv) {
   std::vector<FileStats> files;
   for (const std::string& p : paths) {
     FileStats fs;
-    const int rc = analyze(p, metrics_path.empty() ? nullptr : &fs,
-                           trace_path.empty() ? nullptr : &tl);
+    fs.path = p;
+    const int rc = analyze(p, &fs, trace_path.empty() ? nullptr : &tl);
     if (rc != 0) return rc;
-    if (!metrics_path.empty()) files.push_back(std::move(fs));
+    files.push_back(std::move(fs));
   }
+  if (files.size() > 1) print_comparison(files);
   if (!metrics_path.empty()) {
     std::ofstream mo(metrics_path);
     if (!mo) {

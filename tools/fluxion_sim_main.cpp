@@ -8,7 +8,11 @@
 // Usage:
 //   fluxion-sim --grug SYSTEM.grug --trace TRACE.txt [--cores N]
 //               [--policy low-id|high-id|locality|variation-aware]
-//               [--queue fcfs|easy|conservative]
+//               [--queue fcfs|easy|conservative|hybrid]
+//               [--reservation-depth K] # bound on simultaneous backfill
+//                                       # reservations (0 = unbounded)
+//               [--first-match]         # first-match traversal: stop at the
+//                                       # first feasible slot, skip scoring
 //               [--perf-classes SEED]   # stamp Eq. 1 classes on nodes
 //               [--arrivals MEAN]       # Poisson arrivals (online replay)
 //               [--csv FILE]            # per-job schedule (default stdout)
@@ -68,7 +72,9 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --grug FILE (--trace FILE | --scenario FILE) [--cores N]\n"
       "          [--policy NAME]\n"
-      "          [--queue fcfs|easy|conservative] [--perf-classes SEED]\n"
+      "          [--queue fcfs|easy|conservative|hybrid]\n"
+      "          [--reservation-depth K] [--first-match]\n"
+      "          [--perf-classes SEED]\n"
       "          [--arrivals MEAN] [--csv FILE] [--util FILE]\n"
       "          [--metrics FILE] [--trace-out FILE] [--no-match-cache]\n"
       "          [--match-threads N]\n",
@@ -92,7 +98,9 @@ int main(int argc, char** argv) {
   std::int64_t perf_seed = -1;
   double arrivals_mean = 0;
   bool match_cache = true;
+  bool first_match = false;
   std::int64_t match_threads = 1;
+  std::int64_t reservation_depth = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -124,6 +132,10 @@ int main(int argc, char** argv) {
       if (const char* v = next()) trace_out_path = v;
     } else if (arg == "--no-match-cache") {
       match_cache = false;
+    } else if (arg == "--first-match") {
+      first_match = true;
+    } else if (arg == "--reservation-depth") {
+      if (const char* v = next()) reservation_depth = std::atoll(v);
     } else if (arg == "--match-threads") {
       if (const char* v = next()) match_threads = std::atoll(v);
     } else {
@@ -131,7 +143,7 @@ int main(int argc, char** argv) {
     }
   }
   if (grug_path.empty() || trace_path.empty() == scenario_path.empty() ||
-      cores < 1) {
+      cores < 1 || reservation_depth < 0) {
     return usage(argv[0]);
   }
   queue::QueuePolicy qp;
@@ -141,6 +153,8 @@ int main(int argc, char** argv) {
     qp = queue::QueuePolicy::easy_backfill;
   } else if (queue_name == "conservative") {
     qp = queue::QueuePolicy::conservative_backfill;
+  } else if (queue_name == "hybrid") {
+    qp = queue::QueuePolicy::hybrid_backfill;
   } else {
     return usage(argv[0]);
   }
@@ -213,6 +227,8 @@ int main(int argc, char** argv) {
 
   queue::JobQueue q((*rq)->traverser(), qp);
   q.set_match_cache(match_cache);
+  if (first_match) q.set_traversal_mode(traverser::TraversalMode::first_match);
+  q.set_reservation_depth(static_cast<std::size_t>(reservation_depth));
   if (match_threads > 1) {
     q.set_match_threads(static_cast<std::size_t>(match_threads));
   }
@@ -343,6 +359,14 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(s.match_calls),
                static_cast<unsigned long long>(s.match_skipped),
                static_cast<unsigned long long>(s.cache_invalidations));
+  if (first_match) {
+    const auto& ts = (*rq)->traverser().stats();
+    std::fprintf(stderr,
+                 "fluxion-sim: first-match mode | %llu visits, "
+                 "%llu early stops\n",
+                 static_cast<unsigned long long>(ts.visits),
+                 static_cast<unsigned long long>(ts.first_match_stops));
+  }
   if (q.match_threads() > 1) {
     std::fprintf(stderr,
                  "fluxion-sim: %zu probe threads | %llu probes, %llu hits, "

@@ -71,6 +71,9 @@ void print_help() {
       "  run-trace FILE CORES      — run a '<nodes> <duration>' trace with\n"
       "                              conservative backfilling, print metrics\n"
       "  find JOBID\n"
+      "  traversal-mode [scored|first-match] — show or set how matches\n"
+      "                              walk the graph (first-match stops at\n"
+      "                              the first feasible slot, no scoring)\n"
       "  info   — graph summary\n"
       "  stats [-v]  — match/planner counters (-v adds histograms)\n"
       "  clear-stats — zero every counter and histogram\n"
@@ -294,6 +297,21 @@ struct Cli {
       } else {
         emit_match(*job);
       }
+    } else if (cmd == "traversal-mode" && args.size() <= 2) {
+      if (args.size() == 2) {
+        if (args[1] == "scored") {
+          rq->traverser().set_traversal_mode(traverser::TraversalMode::scored);
+        } else if (args[1] == "first-match") {
+          rq->traverser().set_traversal_mode(
+              traverser::TraversalMode::first_match);
+        } else {
+          std::printf("error: traversal-mode takes scored|first-match\n");
+          return 0;
+        }
+      }
+      std::printf("traversal mode: %s\n",
+                  traverser::traversal_mode_name(
+                      rq->traverser().traversal_mode()));
     } else if (cmd == "tree") {
       std::printf("%s", writers::graph_to_pretty(rq->graph(),
                                                  rq->root()).c_str());
