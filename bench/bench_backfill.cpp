@@ -28,6 +28,9 @@
 #include <fstream>
 #include <vector>
 
+#include <string>
+
+#include "bench_json.hpp"
 #include "core/resource_query.hpp"
 #include "grug/recipes.hpp"
 #include "obs/metrics.hpp"
@@ -69,6 +72,8 @@ int main() {
   std::printf("%-14s %12s %12s %14s %12s %12s %12s\n", "queue-policy",
               "makespan[s]", "avg-wait[s]", "turnaround[s]", "util[%]",
               "sched[s]", "matches/s");
+  std::string policy_rows = "[";
+  double easy_matches_per_sec = 0.0;
   for (const auto policy : {queue::QueuePolicy::fcfs,
                             queue::QueuePolicy::easy_backfill,
                             queue::QueuePolicy::conservative_backfill,
@@ -112,17 +117,33 @@ int main() {
                 queue::queue_policy_name(policy),
                 static_cast<long long>(m.makespan), m.avg_wait,
                 m.avg_turnaround, util, sched, matches_per_sec);
+    if (policy == queue::QueuePolicy::easy_backfill) {
+      easy_matches_per_sec = matches_per_sec;
+    }
+    if (policy_rows.size() > 1) policy_rows += ',';
+    policy_rows += std::string("{\"policy\":\"") +
+                   queue::queue_policy_name(policy) +
+                   "\",\"makespan\":" + std::to_string(m.makespan) +
+                   ",\"avg_wait\":" + bench::Report::num(m.avg_wait) +
+                   ",\"avg_turnaround\":" +
+                   bench::Report::num(m.avg_turnaround) +
+                   ",\"util_pct\":" + bench::Report::num(util) +
+                   ",\"sched_seconds\":" + bench::Report::num(sched) +
+                   ",\"matches_per_s\":" +
+                   bench::Report::num(matches_per_sec) + "}";
   }
+  policy_rows += ']';
   std::printf("\n# Expected shape: backfilling (easy/conservative/hybrid) "
               "beats fcfs on makespan and wait;\n"
               "# all four share the same resource model underneath.\n");
-  if (metrics_path != nullptr) {
-    std::ofstream mo(metrics_path);
-    if (!mo) {
-      std::fprintf(stderr, "bench_backfill: cannot write %s\n", metrics_path);
-      return 2;
-    }
-    mo << obs::monitor().json() << "\n";
-  }
+  bench::Report rep("backfill");
+  rep.config_int("racks", racks);
+  rep.config_int("jobs", jobs);
+  rep.config_int("depth", depth);
+  rep.config_str("traversal", first_match ? "first-match" : "scored");
+  rep.matches_per_s(easy_matches_per_sec);
+  rep.extra("policies", std::move(policy_rows));
+  if (obs::enabled()) rep.extra("obs", obs::monitor().json());
+  if (!rep.write()) return 2;
   return 0;
 }

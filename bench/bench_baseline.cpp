@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "baseline/node_centric.hpp"
+#include "bench_json.hpp"
 #include "core/resource_query.hpp"
 #include "grug/recipes.hpp"
 #include "sim/workload.hpp"
@@ -88,5 +89,15 @@ int main() {
               "# the baseline cannot express pools, sharing, subsystems, "
               "or partial-node jobs at all.\n",
               base_secs > 0 ? fluxion_secs / base_secs : 0.0);
+  bench::Report rep("baseline");
+  rep.config_int("racks", racks);
+  rep.config_int("jobs", jobs);
+  rep.config_int("nodes", nodes);
+  rep.matches_per_s(fluxion_secs > 0 ? jobs / fluxion_secs : 0.0);
+  rep.ratio("generality_premium",
+            base_secs > 0 ? fluxion_secs / base_secs : 0.0);
+  rep.extra("fluxion_seconds", bench::Report::num(fluxion_secs));
+  rep.extra("baseline_seconds", bench::Report::num(base_secs));
+  if (!rep.write()) return 2;
   return 0;
 }

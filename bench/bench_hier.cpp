@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "grug/recipes.hpp"
 #include "hier/instance.hpp"
 
@@ -46,6 +47,8 @@ int main() {
   std::printf("%-12s %12s %14s %16s\n", "instances", "total[s]",
               "jobs/sec", "visits/job");
 
+  std::string run_rows = "[";
+  double flat_rate = 0.0, deepest_rate = 0.0;
   for (const int children : {1, 2, 4, 8}) {
     auto root = hier::Instance::create_root(grug::recipes::quartz(true, racks));
     if (!root) return 1;
@@ -98,13 +101,32 @@ int main() {
       visits1 += w->engine().traverser().stats().visits;
     }
     const double secs = std::chrono::duration<double>(t1 - t0).count();
-    std::printf("%-12d %12.3f %14.0f %16.1f\n", children, secs,
-                placed / secs,
-                static_cast<double>(visits1 - visits0) / placed);
+    const double rate = secs > 0 ? placed / secs : 0.0;
+    const double visits_per_job =
+        placed > 0 ? static_cast<double>(visits1 - visits0) / placed : 0.0;
+    std::printf("%-12d %12.3f %14.0f %16.1f\n", children, secs, rate,
+                visits_per_job);
+    if (children == 1) flat_rate = rate;
+    deepest_rate = rate;
+    if (run_rows.size() > 1) run_rows += ',';
+    run_rows += "{\"instances\":" + std::to_string(children) +
+                ",\"seconds\":" + bench::Report::num(secs) +
+                ",\"jobs_per_s\":" + bench::Report::num(rate) +
+                ",\"visits_per_job\":" + bench::Report::num(visits_per_job) +
+                "}";
   }
+  run_rows += ']';
   std::printf("\n# Expected shape: more (smaller) instances -> fewer vertex "
               "visits per job and higher\n"
               "# placement throughput; the paper's fully hierarchical model "
               "adds real parallelism on top.\n");
+  bench::Report rep("hier");
+  rep.config_int("racks", racks);
+  rep.config_int("jobs", jobs);
+  rep.config_int("nodes", nodes);
+  rep.matches_per_s(flat_rate);
+  rep.ratio("hier_speedup", flat_rate > 0 ? deepest_rate / flat_rate : 0.0);
+  rep.extra("runs", std::move(run_rows));
+  if (!rep.write()) return 2;
   return 0;
 }

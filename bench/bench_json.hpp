@@ -1,0 +1,107 @@
+// Shared BENCH_<name>.json writer: every bench_* binary emits one JSON
+// summary in a common envelope so runs can be archived and diffed with
+// `fluxion-analyze --bench-compare a.json b.json`.
+//
+// Schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",               // queue_events, sdfu, ...
+//     "config": { ... },               // the knobs the run used (racks,
+//                                      // jobs, quantum, ...)
+//     "matches_per_s": <double>,       // headline throughput; 0.0 when the
+//                                      // bench has no match loop
+//     "ratios": { ... },               // headline counter ratios
+//     ... bench-specific payload ...   // added via extra(); CI-gated keys
+//                                      // keep their historical names here
+//   }
+//
+// Every ratio is ALSO emitted as a top-level key (same name, same value):
+// the CI perf gates predate the envelope and read e.g. m['match_ratio']
+// at the top level, and the alias keeps them working unmodified.
+//
+// The file goes to $FLUXION_BENCH_METRICS when set (the historical knob),
+// else to BENCH_<name>.json in the working directory.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fluxion::bench {
+
+class Report {
+ public:
+  explicit Report(std::string name) : name_(std::move(name)) {}
+
+  void config_int(const std::string& key, long long v) {
+    config_.emplace_back(key, std::to_string(v));
+  }
+  void config_str(const std::string& key, const std::string& v) {
+    config_.emplace_back(key, "\"" + v + "\"");
+  }
+  void matches_per_s(double v) { matches_per_s_ = v; }
+  void ratio(const std::string& key, double v) {
+    ratios_.emplace_back(key, num(v));
+  }
+  /// Attach a bench-specific top-level entry; `json` must already be a
+  /// valid JSON fragment (object, array, number or quoted string).
+  void extra(const std::string& key, std::string json) {
+    extras_.emplace_back(key, std::move(json));
+  }
+
+  static std::string num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+  }
+
+  std::string json() const {
+    std::string out = "{\"schema_version\":1,\"bench\":\"" + name_ + "\"";
+    out += ",\"config\":{";
+    append_entries(out, config_);
+    out += "},\"matches_per_s\":" + num(matches_per_s_);
+    out += ",\"ratios\":{";
+    append_entries(out, ratios_);
+    out += "}";
+    for (const auto& [k, v] : ratios_) out += ",\"" + k + "\":" + v;
+    for (const auto& [k, v] : extras_) out += ",\"" + k + "\":" + v;
+    out += "}\n";
+    return out;
+  }
+
+  bool write() const {
+    const char* env = std::getenv("FLUXION_BENCH_METRICS");
+    const std::string path =
+        env != nullptr ? std::string(env) : "BENCH_" + name_ + ".json";
+    std::ofstream mo(path);
+    if (!mo) {
+      std::fprintf(stderr, "bench_%s: cannot write %s\n", name_.c_str(),
+                   path.c_str());
+      return false;
+    }
+    mo << json();
+    std::fprintf(stderr, "bench_%s: wrote %s\n", name_.c_str(), path.c_str());
+    return true;
+  }
+
+ private:
+  using Entries = std::vector<std::pair<std::string, std::string>>;
+
+  static void append_entries(std::string& out, const Entries& entries) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (i != 0) out += ',';
+      out += "\"" + entries[i].first + "\":" + entries[i].second;
+    }
+  }
+
+  std::string name_;
+  Entries config_;
+  Entries ratios_;
+  Entries extras_;
+  double matches_per_s_ = 0.0;
+};
+
+}  // namespace fluxion::bench

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/resource_query.hpp"
 #include "grug/recipes.hpp"
 #include "jobspec/jobspec.hpp"
@@ -106,5 +107,36 @@ int main() {
       "\n# Expected shape (paper): coarser LOD -> faster matching;\n"
       "# pruning helps at every LOD; Low2 (rack kept) prunes better than "
       "Low.\n");
+  bench::Report rep("lod");
+  rep.config_int("racks", racks);
+  rep.config_int("nodes_per_rack", nodes_per_rack);
+  std::string row_arr = "[";
+  double high_prune_rate = 0.0, high_noprune_secs = 0.0,
+         high_prune_secs = 0.0;
+  for (const auto& r : rows) {
+    if (row_arr.size() > 1) row_arr += ',';
+    row_arr += "{\"config\":\"" + r.name + "\",\"prune\":" +
+               (r.prune ? "true" : "false") +
+               ",\"jobs\":" + std::to_string(r.jobs) +
+               ",\"total_seconds\":" + bench::Report::num(r.total_seconds) +
+               ",\"avg_us\":" + bench::Report::num(r.avg_us) +
+               ",\"visits\":" + std::to_string(r.visits) +
+               ",\"pruned\":" + std::to_string(r.pruned) + "}";
+    if (r.name == "High") {
+      if (r.prune) {
+        high_prune_secs = r.total_seconds;
+        high_prune_rate =
+            r.total_seconds > 0 ? r.jobs / r.total_seconds : 0.0;
+      } else {
+        high_noprune_secs = r.total_seconds;
+      }
+    }
+  }
+  row_arr += ']';
+  rep.matches_per_s(high_prune_rate);
+  rep.ratio("prune_speedup_high",
+            high_prune_secs > 0 ? high_noprune_secs / high_prune_secs : 0.0);
+  rep.extra("runs", std::move(row_arr));
+  if (!rep.write()) return 2;
   return 0;
 }

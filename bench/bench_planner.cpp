@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "planner/planner.hpp"
 #include "util/rng.hpp"
 
@@ -196,4 +197,20 @@ BENCHMARK(BM_EarliestAtLinearBaseline)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run also emits the standard BENCH
+// envelope; the per-case timings live in google-benchmark's own output
+// (--benchmark_out / --benchmark_format for machine-readable form).
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  fluxion::bench::Report rep("planner");
+  rep.config_int("total_units", kTotal);
+  rep.config_int("max_duration_s", kMaxDuration);
+  rep.extra("note",
+            "\"per-case timings in google-benchmark output; pass "
+            "--benchmark_out=FILE for machine-readable results\"");
+  if (!rep.write()) return 2;
+  return 0;
+}

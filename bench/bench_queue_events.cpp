@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/resource_query.hpp"
 #include "grug/recipes.hpp"
 #include "obs/metrics.hpp"
@@ -181,31 +182,30 @@ int main() {
               match_ratio, pops_per_event, jobs, fm_visit_ratio,
               static_cast<unsigned long long>(fm.first_match_stops));
 
-  if (metrics_path != nullptr) {
-    std::string out = "{\"jobs\":" + std::to_string(jobs);
-    out += ",\"nodes\":" + std::to_string(nodes);
-    out += ",\"cache_off\":";
-    stats_json(out, off);
-    out += ",\"cache_on\":";
-    stats_json(out, on);
-    out += ",\"first_match\":";
-    stats_json(out, fm);
-    char buf[128];
-    std::snprintf(buf, sizeof buf,
-                  ",\"match_ratio\":%.3f,\"pops_per_event\":%.3f,"
-                  "\"fm_visit_ratio\":%.3f",
-                  match_ratio, pops_per_event, fm_visit_ratio);
-    out += buf;
-    out += ",\"obs\":";
-    out += obs::monitor().json();
-    out += "}\n";
-    std::ofstream mo(metrics_path);
-    if (!mo) {
-      std::fprintf(stderr, "bench_queue_events: cannot write %s\n",
-                   metrics_path);
-      return 2;
-    }
-    mo << out;
-  }
+  bench::Report rep("queue_events");
+  rep.config_int("racks", racks);
+  rep.config_int("jobs", jobs);
+  rep.config_int("quantum", quantum);
+  rep.config_int("nodes", nodes);
+  rep.matches_per_s(on.seconds > 0
+                        ? static_cast<double>(on.stats.match_calls) /
+                              on.seconds
+                        : 0.0);
+  rep.ratio("match_ratio", match_ratio);
+  rep.ratio("pops_per_event", pops_per_event);
+  rep.ratio("fm_visit_ratio", fm_visit_ratio);
+  // The CI perf gates read these keys; the legacy top-level jobs/nodes
+  // knobs moved into "config".
+  std::string runs;
+  stats_json(runs, off);
+  rep.extra("cache_off", std::move(runs));
+  runs.clear();
+  stats_json(runs, on);
+  rep.extra("cache_on", std::move(runs));
+  runs.clear();
+  stats_json(runs, fm);
+  rep.extra("first_match", std::move(runs));
+  if (obs::enabled()) rep.extra("obs", obs::monitor().json());
+  if (!rep.write()) return 2;
   return 0;
 }

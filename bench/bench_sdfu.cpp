@@ -19,6 +19,7 @@
 #include <fstream>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/resource_query.hpp"
 #include "grug/recipes.hpp"
 #include "obs/metrics.hpp"
@@ -103,13 +104,27 @@ int main() {
                                     static_cast<double>(on.visits)
                               : 0.0);
   }
-  if (metrics_path != nullptr) {
-    std::ofstream mo(metrics_path);
-    if (!mo) {
-      std::fprintf(stderr, "bench_sdfu: cannot write %s\n", metrics_path);
-      return 2;
-    }
-    mo << obs::monitor().json() << "\n";
-  }
+  auto run_json = [](const Run& r) {
+    return std::string("{\"seconds\":") + bench::Report::num(r.seconds) +
+           ",\"visits\":" + std::to_string(r.visits) +
+           ",\"pruned\":" + std::to_string(r.pruned) +
+           ",\"attempts\":" + std::to_string(r.attempts) +
+           ",\"reserved\":" + std::to_string(r.reserved) + "}";
+  };
+  bench::Report rep("sdfu");
+  rep.config_int("racks", racks);
+  rep.config_int("jobs", jobs);
+  rep.matches_per_s(on.seconds > 0
+                        ? static_cast<double>(on.attempts) / on.seconds
+                        : 0.0);
+  rep.ratio("prune_speedup", on.seconds > 0 ? off.seconds / on.seconds : 0.0);
+  rep.ratio("visit_ratio", on.visits > 0
+                               ? static_cast<double>(off.visits) /
+                                     static_cast<double>(on.visits)
+                               : 0.0);
+  rep.extra("filters_off", run_json(off));
+  rep.extra("filters_on", run_json(on));
+  if (obs::enabled()) rep.extra("obs", obs::monitor().json());
+  if (!rep.write()) return 2;
   return 0;
 }

@@ -22,6 +22,7 @@
 #include <fstream>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/resource_query.hpp"
 #include "dynamic/dynamic.hpp"
 #include "grug/recipes.hpp"
@@ -116,8 +117,10 @@ int main() {
               racks * 62, matches, period);
   std::printf("%-8s %12s %12s %12s %10s %14s\n", "mode", "total[s]",
               "matches/s", "matched", "flips", "status_pruned");
+  Run results[2];
   for (const bool churn : {false, true}) {
     const Run r = run_once(churn, racks, matches, period);
+    results[churn ? 1 : 0] = r;
     std::printf("%-8s %12.3f %12.0f %12llu %10llu %14llu\n",
                 churn ? "churn" : "steady", r.seconds,
                 r.seconds > 0 ? static_cast<double>(r.matched) / r.seconds
@@ -126,14 +129,25 @@ int main() {
                 static_cast<unsigned long long>(r.flips),
                 static_cast<unsigned long long>(r.status_pruned));
   }
-  if (metrics_path != nullptr) {
-    std::ofstream mo(metrics_path);
-    if (!mo) {
-      std::fprintf(stderr, "bench_status_flip: cannot write %s\n",
-                   metrics_path);
-      return 2;
-    }
-    mo << obs::monitor().json() << "\n";
-  }
+  auto rate = [](const Run& r) {
+    return r.seconds > 0 ? static_cast<double>(r.matched) / r.seconds : 0.0;
+  };
+  auto run_json = [](const Run& r) {
+    return std::string("{\"seconds\":") + bench::Report::num(r.seconds) +
+           ",\"matched\":" + std::to_string(r.matched) +
+           ",\"flips\":" + std::to_string(r.flips) +
+           ",\"status_pruned\":" + std::to_string(r.status_pruned) + "}";
+  };
+  bench::Report rep("status_flip");
+  rep.config_int("racks", racks);
+  rep.config_int("matches", matches);
+  rep.config_int("period", period);
+  rep.matches_per_s(rate(results[0]));
+  rep.ratio("churn_slowdown",
+            rate(results[1]) > 0 ? rate(results[0]) / rate(results[1]) : 0.0);
+  rep.extra("steady", run_json(results[0]));
+  rep.extra("churn", run_json(results[1]));
+  if (obs::enabled()) rep.extra("obs", obs::monitor().json());
+  if (!rep.write()) return 2;
   return 0;
 }

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/resource_query.hpp"
 #include "grug/recipes.hpp"
 #include "queue/job_queue.hpp"
@@ -162,5 +163,36 @@ int main() {
       "(2.8x/2.3x vs high/low id),\n"
       "# with near-zero jobs at fom>=3; scheduling time totals are similar "
       "across the policies.\n");
+  bench::Report rep("varaware");
+  rep.config_int("racks", racks);
+  rep.config_int("jobs", jobs);
+  rep.config_int("nodes", nodes);
+  rep.matches_per_s(runs[2].total_seconds > 0
+                        ? jobs / runs[2].total_seconds
+                        : 0.0);
+  if (runs[0].fom_histogram[0] > 0) {
+    rep.ratio("fom0_va_vs_high_id", va0 / runs[0].fom_histogram[0]);
+  }
+  if (runs[1].fom_histogram[0] > 0) {
+    rep.ratio("fom0_va_vs_low_id", va0 / runs[1].fom_histogram[0]);
+  }
+  std::string policy_rows = "[";
+  for (const auto& r : runs) {
+    if (policy_rows.size() > 1) policy_rows += ',';
+    policy_rows += "{\"policy\":\"" + r.policy +
+                   "\",\"total_seconds\":" +
+                   bench::Report::num(r.total_seconds) +
+                   ",\"immediate\":" + std::to_string(r.immediate) +
+                   ",\"reserved\":" + std::to_string(r.reserved) +
+                   ",\"fom_histogram\":[";
+    for (std::size_t f = 0; f < r.fom_histogram.size(); ++f) {
+      if (f != 0) policy_rows += ',';
+      policy_rows += std::to_string(r.fom_histogram[f]);
+    }
+    policy_rows += "]}";
+  }
+  policy_rows += ']';
+  rep.extra("policies", std::move(policy_rows));
+  if (!rep.write()) return 2;
   return 0;
 }

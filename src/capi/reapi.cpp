@@ -3,17 +3,32 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/resource_query.hpp"
 #include "dynamic/dynamic.hpp"
 #include "obs/metrics.hpp"
+#include "util/expected.hpp"
 #include "writers/rlite.hpp"
+
+/// The outcome of one reapi_match call, keyed by the job id it ran under;
+/// what reapi_explain_json renders. `args` holds the traverser's rejection
+/// attribution as (key, pre-encoded JSON fragment) pairs.
+struct reapi_attempt {
+  const char* op = "";
+  const char* code = "";
+  std::vector<std::pair<std::string, std::string>> args;
+};
 
 struct reapi_ctx {
   std::unique_ptr<fluxion::core::ResourceQuery> rq;
   /// Dynamic-resource layer over rq's graph + traverser (no queue: evicted
   /// jobs are killed).
   std::unique_ptr<fluxion::dynamic::DynamicResources> dyn;
+  std::unordered_map<uint64_t, reapi_attempt> attempts;
 };
 
 namespace {
@@ -89,7 +104,17 @@ reapi_status_t reapi_match(reapi_ctx_t* ctx, reapi_match_op_t op,
     default:
       return REAPI_EINVAL;
   }
+  const uint64_t attempt_id = static_cast<uint64_t>(ctx->rq->peek_job_id());
   auto r = ctx->rq->traverser().match(*js, mop, now, ctx->rq->next_job_id());
+  {
+    reapi_attempt& rec = ctx->attempts[attempt_id];
+    rec.op = op == REAPI_MATCH_ALLOCATE              ? "allocate"
+             : op == REAPI_MATCH_ALLOCATE_ORELSE_RESERVE
+                 ? "allocate_orelse_reserve"
+                 : "satisfiability";
+    rec.code = r ? "ok" : fluxion::util::errc_name(r.error().code);
+    rec.args = ctx->rq->traverser().explain_args();
+  }
   if (!r) return to_status(r.error().code);
   if (jobid_out != nullptr) *jobid_out = static_cast<uint64_t>(r->job);
   if (at_out != nullptr) *at_out = r->at;
@@ -205,6 +230,32 @@ reapi_status_t reapi_set_audit(reapi_ctx_t* ctx, int enabled) {
   return REAPI_OK;
 }
 
+reapi_status_t reapi_set_introspection(reapi_ctx_t* ctx, int enabled) {
+  if (ctx == nullptr) return REAPI_EINVAL;
+  ctx->rq->traverser().set_introspection(enabled != 0);
+  return REAPI_OK;
+}
+
+reapi_status_t reapi_explain_json(reapi_ctx_t* ctx, uint64_t jobid,
+                                  char** json_out) {
+  if (ctx == nullptr || json_out == nullptr) return REAPI_EINVAL;
+  *json_out = nullptr;
+  const auto it = ctx->attempts.find(jobid);
+  if (it == ctx->attempts.end()) return REAPI_ENOENT;
+  const reapi_attempt& rec = it->second;
+  std::string out = "{\"job\":" + std::to_string(jobid) + ",\"op\":\"" +
+                    rec.op + "\",\"code\":\"" + rec.code + "\"";
+  for (const auto& [key, value] : rec.args) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += value;  // already a JSON fragment (quoted string or number)
+  }
+  out += "}";
+  *json_out = dup_string(out);
+  return *json_out != nullptr ? REAPI_OK : REAPI_EINTERNAL;
+}
+
 reapi_status_t reapi_metrics_set_enabled(int enabled) {
   fluxion::obs::set_enabled(enabled != 0);
   return REAPI_OK;
@@ -214,6 +265,12 @@ reapi_status_t reapi_metrics_json(char** json_out) {
   if (json_out == nullptr) return REAPI_EINVAL;
   *json_out = dup_string(fluxion::obs::monitor().json());
   return *json_out != nullptr ? REAPI_OK : REAPI_EINTERNAL;
+}
+
+reapi_status_t reapi_metrics_prometheus(char** text_out) {
+  if (text_out == nullptr) return REAPI_EINVAL;
+  *text_out = dup_string(fluxion::obs::monitor().prometheus());
+  return *text_out != nullptr ? REAPI_OK : REAPI_EINTERNAL;
 }
 
 reapi_status_t reapi_metrics_clear(void) {

@@ -121,6 +121,24 @@ reapi_status_t reapi_audit(const reapi_ctx_t* ctx);
  * into REAPI_EINTERNAL. Debugging aid; off by default. */
 reapi_status_t reapi_set_audit(reapi_ctx_t* ctx, int enabled);
 
+/* Enable (nonzero) or disable match-failure introspection for this
+ * context: every match tallies which resource types rejected candidates
+ * and why, and reapi_explain_json can attribute failures. Off by
+ * default; when enabled the matcher pays one predictable branch per
+ * rejected candidate. */
+reapi_status_t reapi_set_introspection(reapi_ctx_t* ctx, int enabled);
+
+/* Explain the outcome of the match that ran under `jobid`: a one-level
+ * JSON object with "job", "op", "code" and — when introspection was on —
+ * "dominant" (the resource type that rejected the most candidates),
+ * one "<reason>": count entry per non-zero rejection reason
+ * (filter_pruned, status_pruned, busy, exclusivity, requirements,
+ * postorder) and "hint" (the planner's earliest-feasible start) when
+ * known. json_out is malloc'd; release with reapi_free_string. Returns
+ * REAPI_ENOENT when no match ran under that id. */
+reapi_status_t reapi_explain_json(reapi_ctx_t* ctx, uint64_t jobid,
+                                  char** json_out);
+
 /* Enable (nonzero) or disable the process-wide metrics collection
  * (counters and latency histograms in src/obs). Off by default; the
  * per-increment cost when enabled is a branch and an add. */
@@ -129,6 +147,12 @@ reapi_status_t reapi_metrics_set_enabled(int enabled);
 /* Serialize the process-wide metrics as a JSON document into json_out
  * (malloc'd; release with reapi_free_string). */
 reapi_status_t reapi_metrics_json(char** json_out);
+
+/* Serialize the process-wide metrics in Prometheus text exposition
+ * format (counters as fluxion_*_total, histograms as cumulative
+ * _bucket/_sum/_count series) into text_out (malloc'd; release with
+ * reapi_free_string). */
+reapi_status_t reapi_metrics_prometheus(char** text_out);
 
 /* Zero every metrics counter and histogram. */
 reapi_status_t reapi_metrics_clear(void);

@@ -92,6 +92,9 @@ class ResourceQuery {
   const traverser::MatchPolicy& policy() const noexcept { return *policy_; }
   graph::VertexId root() const noexcept { return root_; }
   JobId next_job_id() noexcept { return next_job_id_++; }
+  /// The id the next match will run under, without consuming it (the CLI
+  /// keys its per-job explain records on this).
+  JobId peek_job_id() const noexcept { return next_job_id_; }
 
  private:
   ResourceQuery() = default;

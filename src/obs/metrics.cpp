@@ -50,6 +50,10 @@ void PerfMonitor::reset() {
   sdfu_spans_per_commit.reset();
   queue_submitted.reset();
   queue_schedule_passes.reset();
+  queue_match_calls.reset();
+  queue_started_immediately.reset();
+  queue_completed.reset();
+  queue_rejected.reset();
   queue_events_fired.reset();
   queue_jobs_scanned.reset();
   queue_match_skipped.reset();
@@ -65,6 +69,10 @@ void PerfMonitor::reset() {
   queue_depth_samples.reset();
   job_wait.reset();
   job_turnaround.reset();
+  wait_resources.reset();
+  wait_reservation.reset();
+  wait_held.reset();
+  wait_dependency.reset();
   dyn_status_flips.reset();
   dyn_evicted_requeued.reset();
   dyn_evicted_killed.reset();
@@ -153,6 +161,10 @@ std::string PerfMonitor::json() const {
   out += "},\"queue\":{";
   kv(out, "submitted", queue_submitted.value(), true);
   kv(out, "schedule_passes", queue_schedule_passes.value());
+  kv(out, "match_calls", queue_match_calls.value());
+  kv(out, "started_immediately", queue_started_immediately.value());
+  kv(out, "completed", queue_completed.value());
+  kv(out, "rejected", queue_rejected.value());
   kv(out, "events_fired", queue_events_fired.value());
   kv(out, "jobs_scanned", queue_jobs_scanned.value());
   kv(out, "match_skipped", queue_match_skipped.value());
@@ -176,6 +188,10 @@ std::string PerfMonitor::json() const {
   kv_hist(out, "depth_samples", queue_depth_samples);
   kv_hist(out, "job_wait_s", job_wait);
   kv_hist(out, "job_turnaround_s", job_turnaround);
+  kv_hist(out, "wait_resources_s", wait_resources);
+  kv_hist(out, "wait_reservation_s", wait_reservation);
+  kv_hist(out, "wait_held_s", wait_held);
+  kv_hist(out, "wait_dependency_s", wait_dependency);
   out += "},\"dynamic\":{";
   kv(out, "status_flips", dyn_status_flips.value(), true);
   kv(out, "evicted_requeued", dyn_evicted_requeued.value());
@@ -188,6 +204,144 @@ std::string PerfMonitor::json() const {
   kv_hist(out, "grow_latency_us", dyn_grow_latency_us);
   kv_hist(out, "shrink_latency_us", dyn_shrink_latency_us);
   out += "}}";
+  return out;
+}
+
+namespace {
+
+std::string prom_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string PerfMonitor::prometheus() const {
+  std::string out;
+  auto counter = [&](const char* name, std::uint64_t v) {
+    std::string full = std::string("fluxion_") + name + "_total";
+    out += "# TYPE " + full + " counter\n";
+    out += full + " " + std::to_string(v) + "\n";
+  };
+  auto gauge = [&](const char* name, std::int64_t v) {
+    std::string full = std::string("fluxion_") + name;
+    out += "# TYPE " + full + " gauge\n";
+    out += full + " " + std::to_string(v) + "\n";
+  };
+  // One histogram series (cumulative buckets / sum / count). Underflow
+  // samples are folded into the first bucket — le means "<=", and every
+  // underflow sample is below the first boundary.
+  auto hist_series = [&](const std::string& full, const util::Histogram& h,
+                         const std::string& labels) {
+    const auto& bins = h.bins();
+    std::uint64_t cum = h.underflow();
+    auto bucket = [&](const std::string& le, std::uint64_t c) {
+      out += full + "_bucket{";
+      if (!labels.empty()) out += labels + ",";
+      out += "le=\"" + le + "\"} " + std::to_string(c) + "\n";
+    };
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+      cum += bins[i];
+      bucket(prom_num(h.bin_lo(i + 1)), cum);
+    }
+    bucket("+Inf", static_cast<std::uint64_t>(h.count()));
+    const std::string lbl = labels.empty() ? "" : "{" + labels + "}";
+    out += full + "_sum" + lbl + " " +
+           prom_num(h.mean() * static_cast<double>(h.count())) + "\n";
+    out += full + "_count" + lbl + " " + std::to_string(h.count()) + "\n";
+  };
+  auto hist = [&](const char* name, const util::Histogram& h) {
+    const std::string full = std::string("fluxion_") + name;
+    out += "# TYPE " + full + " histogram\n";
+    hist_series(full, h, "");
+  };
+
+  counter("traverser_visits", trav_visits.value());
+  counter("traverser_pruned", trav_pruned.value());
+  counter("traverser_postorder_rejects", trav_postorder_rejects.value());
+  counter("traverser_rollbacks", trav_rollbacks.value());
+  counter("traverser_match_attempts", trav_match_attempts.value());
+  counter("traverser_status_pruned", trav_status_pruned.value());
+  counter("traverser_first_match_stops", trav_first_match_stops.value());
+
+  out += "# TYPE fluxion_op_calls_total counter\n";
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    out += std::string("fluxion_op_calls_total{op=\"") +
+           op_name(static_cast<Op>(i)) + "\"} " +
+           std::to_string(ops[i].calls.value()) + "\n";
+  }
+  out += "# TYPE fluxion_op_failures_total counter\n";
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    out += std::string("fluxion_op_failures_total{op=\"") +
+           op_name(static_cast<Op>(i)) + "\"} " +
+           std::to_string(ops[i].failures.value()) + "\n";
+  }
+  out += "# TYPE fluxion_op_latency_us histogram\n";
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    hist_series("fluxion_op_latency_us", ops[i].latency_us,
+                std::string("op=\"") + op_name(static_cast<Op>(i)) + "\"");
+  }
+
+  counter("planner_point_inserts", planner_point_inserts.value());
+  counter("planner_point_removes", planner_point_removes.value());
+  counter("planner_rekeys", planner_rekeys.value());
+  counter("planner_span_adds", planner_span_adds.value());
+  counter("planner_span_removes", planner_span_removes.value());
+  counter("planner_avail_queries", planner_avail_queries.value());
+  counter("planner_avail_time_first", planner_avail_time_first.value());
+  counter("planner_atf_probes", planner_atf_probes.value());
+  counter("planner_multi_span_adds", multi_span_adds.value());
+  counter("planner_multi_span_removes", multi_span_removes.value());
+  counter("planner_multi_avail_time_first", multi_avail_time_first.value());
+  counter("planner_multi_atf_rounds", multi_atf_rounds.value());
+  counter("sdfu_commits", sdfu_commits.value());
+  counter("sdfu_spans", sdfu_spans.value());
+  hist("sdfu_spans_per_commit", sdfu_spans_per_commit);
+
+  counter("queue_submitted", queue_submitted.value());
+  counter("queue_schedule_passes", queue_schedule_passes.value());
+  counter("queue_match_calls", queue_match_calls.value());
+  counter("queue_started_immediately", queue_started_immediately.value());
+  counter("queue_completed", queue_completed.value());
+  counter("queue_rejected", queue_rejected.value());
+  counter("queue_events_fired", queue_events_fired.value());
+  counter("queue_jobs_scanned", queue_jobs_scanned.value());
+  counter("queue_match_skipped", queue_match_skipped.value());
+  counter("queue_cache_invalidations", queue_cache_invalidations.value());
+  counter("queue_spec_probes", queue_spec_probes.value());
+  counter("queue_spec_hits", queue_spec_hits.value());
+  counter("queue_spec_misses", queue_spec_misses.value());
+  counter("queue_spec_wasted", queue_spec_wasted.value());
+  counter("queue_reservations_made", queue_reservations_made.value());
+  counter("queue_reservations_dropped", queue_reservations_dropped.value());
+  gauge("queue_depth", queue_depth.value());
+  gauge("queue_depth_max", queue_depth.max());
+  hist("queue_depth_samples", queue_depth_samples);
+  hist("job_wait_seconds", job_wait);
+  hist("job_turnaround_seconds", job_turnaround);
+  hist("wait_resources_seconds", wait_resources);
+  hist("wait_reservation_seconds", wait_reservation);
+  hist("wait_held_seconds", wait_held);
+  hist("wait_dependency_seconds", wait_dependency);
+  if (!probe_latency_us.empty()) {
+    out += "# TYPE fluxion_probe_latency_us histogram\n";
+    for (std::size_t i = 0; i < probe_latency_us.size(); ++i) {
+      hist_series("fluxion_probe_latency_us", probe_latency_us[i],
+                  "thread=\"" + std::to_string(i) + "\"");
+    }
+  }
+
+  counter("dyn_status_flips", dyn_status_flips.value());
+  counter("dyn_evicted_requeued", dyn_evicted_requeued.value());
+  counter("dyn_evicted_killed", dyn_evicted_killed.value());
+  counter("dyn_replanned", dyn_replanned.value());
+  counter("dyn_grow_calls", dyn_grow_calls.value());
+  counter("dyn_shrink_calls", dyn_shrink_calls.value());
+  counter("dyn_vertices_added", dyn_vertices_added.value());
+  counter("dyn_vertices_removed", dyn_vertices_removed.value());
+  hist("dyn_grow_latency_us", dyn_grow_latency_us);
+  hist("dyn_shrink_latency_us", dyn_shrink_latency_us);
   return out;
 }
 
@@ -241,6 +395,10 @@ std::string PerfMonitor::render(bool verbose) const {
     out += "queue:\n";
     line(out, "submitted", queue_submitted.value());
     line(out, "schedule-passes", queue_schedule_passes.value());
+    line(out, "match-calls", queue_match_calls.value());
+    line(out, "started-immediately", queue_started_immediately.value());
+    line(out, "completed", queue_completed.value());
+    line(out, "rejected", queue_rejected.value());
     line(out, "events-fired", queue_events_fired.value());
     line(out, "jobs-scanned", queue_jobs_scanned.value());
     line(out, "match-skipped", queue_match_skipped.value());
@@ -268,6 +426,12 @@ std::string PerfMonitor::render(bool verbose) const {
     if (verbose && job_wait.count() > 0) out += job_wait.render();
     hist_summary(out, "job-turnaround (sim s)", job_turnaround);
     if (verbose && job_turnaround.count() > 0) out += job_turnaround.render();
+    if (wait_resources.count() > 0) {
+      hist_summary(out, "wait-resources (sim s)", wait_resources);
+      hist_summary(out, "wait-reservation (sim s)", wait_reservation);
+      hist_summary(out, "wait-held (sim s)", wait_held);
+      hist_summary(out, "wait-dependency (sim s)", wait_dependency);
+    }
   }
   if (dyn_status_flips.value() > 0 || dyn_grow_calls.value() > 0 ||
       dyn_shrink_calls.value() > 0) {

@@ -129,6 +129,13 @@ struct PerfMonitor {
   // --- queue / replay (simulated clock) ------------------------------------
   Counter queue_submitted;
   Counter queue_schedule_passes;
+  // Mirrors of the monotone QueueStats tallies (the lockstep is pinned by
+  // tests/queue/test_stats_mirror.cpp — a QueueStats field without a
+  // moving counter here is a bug).
+  Counter queue_match_calls;          // traverser matches actually issued
+  Counter queue_started_immediately;  // allocated at submit/schedule time
+  Counter queue_completed;            // jobs that ran to completion
+  Counter queue_rejected;             // jobs rejected as unsatisfiable/broken
   Counter queue_events_fired;    // starts + completions dispatched
   Counter queue_jobs_scanned;    // event-heap pops (valid + stale entries)
   Counter queue_match_skipped;   // matches avoided by the satisfiability cache
@@ -147,6 +154,13 @@ struct PerfMonitor {
   util::Histogram queue_depth_samples{0.0, 4096.0, 64};
   util::Histogram job_wait{0.0, 1048576.0, 64};        // simulated seconds
   util::Histogram job_turnaround{0.0, 1048576.0, 64};  // simulated seconds
+  // Wait-time decomposition of job_wait by cause (queue::WaitBreakdown,
+  // added per job at completion): blocked on resources, parked behind its
+  // own reservation, held, gated on dependencies.
+  util::Histogram wait_resources{0.0, 1048576.0, 64};
+  util::Histogram wait_reservation{0.0, 1048576.0, 64};
+  util::Histogram wait_held{0.0, 1048576.0, 64};
+  util::Histogram wait_dependency{0.0, 1048576.0, 64};
   /// Per-worker probe wall-clock latency. Sized serially (before any
   /// batch runs) via ensure_probe_threads; worker w writes only
   /// probe_latency_us[w], so the histograms need no synchronisation.
@@ -177,6 +191,13 @@ struct PerfMonitor {
   /// The whole catalogue as one JSON document (counters as integers,
   /// histograms via util::Histogram::json).
   std::string json() const;
+
+  /// The whole catalogue in Prometheus text exposition format (0.0.4):
+  /// counters as `fluxion_<name>_total`, gauges as `fluxion_<name>` plus
+  /// `_max`, histograms as cumulative `_bucket{le=...}` / `_sum` /
+  /// `_count` series. Scrape-ready for node_exporter's textfile collector
+  /// (`fluxion-sim --metrics-prom`, `reapi_metrics_prometheus`).
+  std::string prometheus() const;
 
   /// Human-readable summary; `verbose` appends ASCII histograms — what
   /// `resource-query`'s `stats` / `stats -v` print.

@@ -33,6 +33,30 @@ const char* queue_policy_name(QueuePolicy p) noexcept {
   return "unknown";
 }
 
+const char* wait_cause_name(WaitCause c) noexcept {
+  switch (c) {
+    case WaitCause::resources: return "resources";
+    case WaitCause::reservation: return "reservation";
+    case WaitCause::held: return "held";
+    case WaitCause::dependency: return "dependency";
+  }
+  return "unknown";
+}
+
+std::int64_t& WaitBreakdown::of(WaitCause c) noexcept {
+  switch (c) {
+    case WaitCause::reservation: return reservation;
+    case WaitCause::held: return held;
+    case WaitCause::dependency: return dependency;
+    case WaitCause::resources: break;
+  }
+  return resources;
+}
+
+std::int64_t WaitBreakdown::of(WaitCause c) const noexcept {
+  return const_cast<WaitBreakdown*>(this)->of(c);
+}
+
 namespace {
 
 // Canonical one-line rendering of a request vertex. Everything the
@@ -94,6 +118,51 @@ std::string spec_signature(const jobspec::Jobspec& js) {
 JobQueue::JobQueue(traverser::Traverser& traverser, QueuePolicy policy)
     : traverser_(traverser), policy_(policy) {
   cache_epoch_ = traverser_.mutation_epoch();
+}
+
+void JobQueue::set_eventlog(bool on) {
+  log_.set_enabled(on);
+  // Blocked events carry attribution only when the traverser tallies it;
+  // couple the two so `--eventlog` alone yields explainable output.
+  if (on) traverser_.set_introspection(true);
+}
+
+void JobQueue::record_event(
+    JobId id, const char* kind,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!log_.enabled()) return;
+  log_.record(now_, id, kind, std::move(args));
+}
+
+void JobQueue::mark_wait(Job& job, WaitCause next) {
+  job.wait.of(job.wait_cause) += now_ - job.wait_since;
+  job.wait_since = now_;
+  job.wait_cause = next;
+}
+
+void JobQueue::note_dependency_wait(Job& job) {
+  if (job.wait_cause != WaitCause::dependency) {
+    record_event(job.id, "depend");
+  }
+  mark_wait(job, WaitCause::dependency);
+}
+
+void JobQueue::reject_job(Job& job, const char* why) {
+  mark_wait(job, job.wait_cause);  // close the open wait interval
+  job.state = JobState::rejected;
+  ++stats_.rejected;
+  if (obs::enabled()) obs::monitor().queue_rejected.inc();
+  drop_speculation(job.id);
+  record_event(job.id, "reject", {{"why", obs::event_str(why)}});
+}
+
+std::vector<std::pair<std::string, std::string>> JobQueue::render_blocked(
+    util::Errc code) const {
+  std::vector<std::pair<std::string, std::string>> args;
+  args.emplace_back("code", obs::event_str(util::errc_name(code)));
+  if (!traverser_.introspection()) return args;
+  for (auto& kv : traverser_.explain_args()) args.push_back(std::move(kv));
+  return args;
 }
 
 void JobQueue::push_event(TimePoint time, int kind, JobId id) const {
@@ -191,6 +260,23 @@ JobId JobQueue::submit(jobspec::Jobspec spec, int priority,
   job.submit_time = now_;
   job.priority = priority;
   job.depends_on = std::move(depends_on);
+  job.wait_since = now_;
+  job.wait_cause =
+      job.depends_on.empty() ? WaitCause::resources : WaitCause::dependency;
+  if (log_.enabled()) {
+    std::vector<std::pair<std::string, std::string>> args;
+    args.emplace_back("priority", std::to_string(priority));
+    if (!job.depends_on.empty()) {
+      std::string deps = "[";
+      for (std::size_t i = 0; i < job.depends_on.size(); ++i) {
+        if (i) deps += ',';
+        deps += std::to_string(job.depends_on[i]);
+      }
+      deps += ']';
+      args.emplace_back("deps", std::move(deps));
+    }
+    record_event(id, "submit", std::move(args));
+  }
   jobs_.emplace(id, std::move(job));
   order_.push_back(id);
   // Keep pending_ ordered by (priority desc, submission order): insert
@@ -246,33 +332,47 @@ void JobQueue::try_place(Job& job, bool allow_reserve) {
     // dependency rejects the job, an unknown end time leaves it pending.
     const auto gate = dependency_gate(job);
     if (!gate) {
-      job.state = JobState::rejected;
-      ++stats_.rejected;
-      drop_speculation(job.id);
+      reject_job(job, "dependency_failed");
       return;
     }
-    if (*gate == util::kMaxTime) return;  // stays pending
+    if (*gate == util::kMaxTime) {
+      note_dependency_wait(job);
+      return;  // stays pending
+    }
     anchor = *gate;
   }
+  const char* op_label = allow_reserve ? "allocate_orelse_reserve" : "allocate";
   // Satisfiability cache: an identical request (spec + op + anchor) that
   // already failed since the last mutation will fail identically — skip
-  // the traversal and replay the recorded outcome. Failed matches are
-  // side-effect-free, so skipping one cannot change later placements.
+  // the traversal and replay the recorded outcome (including its rendered
+  // attribution, so the eventlog reads the same either way). Failed
+  // matches are side-effect-free, so skipping one cannot change later
+  // placements.
   std::string key;
   if (match_cache_enabled_) {
     key = cache_key(job, allow_reserve, anchor);
     if (auto hit = blocked_.find(key); hit != blocked_.end()) {
       ++stats_.match_skipped;
       if (obs::enabled()) obs::monitor().queue_match_skipped.inc();
-      if (hit->second != Errc::resource_busy) {
-        job.state = JobState::rejected;
-        ++stats_.rejected;
-        drop_speculation(job.id);
+      record_event(job.id, "probe",
+                   {{"op", obs::event_str(op_label)},
+                    {"anchor", std::to_string(anchor)}});
+      record_event(job.id, "blocked", hit->second.attrib);
+      job.last_blocked = hit->second.attrib;
+      job.last_blocked_time = now_;
+      if (hit->second.code != Errc::resource_busy) {
+        reject_job(job, util::errc_name(hit->second.code));
+      } else {
+        mark_wait(job, WaitCause::resources);
       }
       return;  // resource_busy: stays pending
     }
   }
   ++stats_.match_calls;
+  if (obs::enabled()) obs::monitor().queue_match_calls.inc();
+  record_event(job.id, "probe",
+               {{"op", obs::event_str(op_label)},
+                {"anchor", std::to_string(anchor)}});
   auto r = run_match(job, allow_reserve, anchor);
 
   if (r) {
@@ -283,31 +383,43 @@ void JobQueue::try_place(Job& job, bool allow_reserve) {
       job.state = JobState::reserved;
       ++stats_.reserved;
       note_reservation_made();
+      mark_wait(job, WaitCause::reservation);
       push_event(job.start_time, kEventStart, job.id);
+      record_event(job.id, "reserve",
+                   {{"start", std::to_string(job.start_time)},
+                    {"end", std::to_string(job.end_time)}});
       obs::trace().sim_instant(
           "reserve", static_cast<double>(now_), job.id,
           {{"start", std::to_string(job.start_time)}});
     } else {
       job.state = JobState::running;
       ++stats_.started_immediately;
+      if (obs::enabled()) obs::monitor().queue_started_immediately.inc();
+      mark_wait(job, WaitCause::resources);  // wait over; close the interval
       push_event(job.end_time, kEventCompletion, job.id);
+      record_event(job.id, "alloc",
+                   {{"end", std::to_string(job.end_time)}});
+      record_event(job.id, "start");
       obs::trace().sim_instant("start", static_cast<double>(job.start_time),
                                job.id);
     }
     return;
   }
   const Errc code = r.error().code;
+  auto attrib = render_blocked(code);
+  record_event(job.id, "blocked", attrib);
+  job.last_blocked = attrib;
+  job.last_blocked_time = now_;
   if (match_cache_enabled_ &&
       (code == Errc::resource_busy || code == Errc::unsatisfiable)) {
-    blocked_.emplace(std::move(key), code);
+    blocked_.emplace(std::move(key), BlockedVerdict{code, std::move(attrib)});
   }
   switch (code) {
     case Errc::resource_busy:
+      mark_wait(job, WaitCause::resources);
       break;  // stays pending
     default:
-      job.state = JobState::rejected;
-      ++stats_.rejected;
-      drop_speculation(job.id);
+      reject_job(job, util::errc_name(code));
       break;
   }
 }
@@ -491,13 +603,14 @@ void JobQueue::schedule() {
         Job& job = jobs_.at(pending_.front());
         const auto gate = dependency_gate(job);
         if (!gate) {
-          job.state = JobState::rejected;
-          ++stats_.rejected;
-          drop_speculation(job.id);
+          reject_job(job, "dependency_failed");
           pending_.pop_front();
           continue;
         }
-        if (*gate > now_) break;  // head waits on its dependencies
+        if (*gate > now_) {  // head waits on its dependencies
+          note_dependency_wait(job);
+          break;
+        }
         try_place(job, /*allow_reserve=*/false);
         if (job.state == JobState::pending) break;  // strict order
         pending_.pop_front();
@@ -527,13 +640,12 @@ void JobQueue::schedule() {
           Job& job = jobs_.at(id);
           const auto gate = dependency_gate(job);
           if (!gate) {
-            job.state = JobState::rejected;
-            ++stats_.rejected;
-            drop_speculation(id);
+            reject_job(job, "dependency_failed");
             progress = true;
             continue;
           }
           if (*gate == util::kMaxTime) {
+            note_dependency_wait(job);
             still.push_back(id);  // a dependency has no end time yet
             continue;
           }
@@ -574,12 +686,11 @@ void JobQueue::schedule() {
         Job& job = jobs_.at(id);
         const auto gate = dependency_gate(job);
         if (!gate) {
-          job.state = JobState::rejected;
-          ++stats_.rejected;
-          drop_speculation(id);
+          reject_job(job, "dependency_failed");
           continue;
         }
         if (*gate > now_) {
+          note_dependency_wait(job);
           still_pending.push_back(id);  // dependencies not done yet
           continue;
         }
@@ -643,17 +754,29 @@ util::Status JobQueue::fire_events_up_to(TimePoint t) {
     if (ev.kind == kEventStart) {
       job.state = JobState::running;
       job.start_time = fire_at;  // no-op unless the start was overdue
+      mark_wait(job, WaitCause::resources);  // close the reservation wait
       push_event(job.end_time, kEventCompletion, job.id);
+      record_event(ev.id, "start");
       obs::trace().sim_instant("start", static_cast<double>(fire_at), ev.id);
     } else {
       job.state = JobState::completed;
       job.end_time = fire_at;  // no-op unless the completion was overdue
       ++stats_.completed;
+      record_event(ev.id, "finish",
+                   {{"wait_resources", std::to_string(job.wait.resources)},
+                    {"wait_reservation", std::to_string(job.wait.reservation)},
+                    {"wait_held", std::to_string(job.wait.held)},
+                    {"wait_dependency", std::to_string(job.wait.dependency)}});
       if (obs::enabled()) {
         auto& m = obs::monitor();
+        m.queue_completed.inc();
         m.job_wait.add(static_cast<double>(job.start_time - job.submit_time));
         m.job_turnaround.add(static_cast<double>(job.end_time -
                                                  job.submit_time));
+        m.wait_resources.add(static_cast<double>(job.wait.resources));
+        m.wait_reservation.add(static_cast<double>(job.wait.reservation));
+        m.wait_held.add(static_cast<double>(job.wait.held));
+        m.wait_dependency.add(static_cast<double>(job.wait.dependency));
       }
       if (obs::trace().enabled()) {
         obs::trace().sim_span(
@@ -688,9 +811,7 @@ util::Expected<TimePoint> JobQueue::run_to_completion() {
       if (!pending_.empty()) {
         // Idle system yet unplaceable: the head job can never run.
         Job& job = jobs_.at(pending_.front());
-        job.state = JobState::rejected;
-        ++stats_.rejected;
-        drop_speculation(job.id);
+        reject_job(job, "never_satisfiable");
         pending_.pop_front();
         continue;
       }
@@ -730,6 +851,8 @@ util::Status JobQueue::hold(JobId id) {
                          "hold: job not pending or reserved"};
   }
   job.state = JobState::held;
+  mark_wait(job, WaitCause::held);
+  record_event(id, "hold");
   // A probe parked while the job was schedulable must not stay
   // consumable: the job is out of contention until released, and the
   // spec_hits/spec_wasted books must say so.
@@ -747,6 +870,10 @@ util::Status JobQueue::release(JobId id) {
     return util::Error{Errc::invalid_argument, "release: job not held"};
   }
   job.state = JobState::pending;
+  // Back to pending; the next schedule pass reclassifies to dependency
+  // wait if the gate defers.
+  mark_wait(job, WaitCause::resources);
+  record_event(id, "release");
   auto pos = pending_.end();
   for (auto p = pending_.begin(); p != pending_.end(); ++p) {
     if (jobs_.at(*p).priority < job.priority) {
@@ -782,13 +909,16 @@ util::Status JobQueue::cancel(JobId id) {
       return util::Error{Errc::invalid_argument,
                          "cancel: job already terminal"};
   }
+  const bool was_waiting = job.state != JobState::running;
   job.state = JobState::canceled;
+  if (was_waiting) mark_wait(job, job.wait_cause);  // close the open interval
   // Sweep the canceled job's parked probe immediately. Cancelling a
   // pending/held job does not move the mutation epoch (nothing was
   // committed), so without this the probe would stay consumable — and a
   // later resubmit-style id reuse or accounting read would see a phantom
   // hit where a waste happened.
   drop_speculation(id);
+  record_event(id, "cancel");
   obs::trace().sim_instant("cancel", static_cast<double>(now_), id);
   reject_broken_dependents(released);
   return released;
@@ -813,15 +943,22 @@ void JobQueue::reject_broken_dependents(util::Status& released) {
       } else {
         pending_.erase(std::find(pending_.begin(), pending_.end(), jid));
       }
-      j.state = JobState::rejected;
-      ++stats_.rejected;
-      drop_speculation(jid);
+      reject_job(j, "dependency_failed");
       changed = true;
     }
   }
 }
 
 void JobQueue::enqueue_pending(Job& job) {
+  // Charge whatever wait interval is open (none for a running job being
+  // requeued — its time since start was runtime, not wait), then start a
+  // fresh resource-wait segment.
+  if (job.state == JobState::reserved) {
+    mark_wait(job, WaitCause::resources);
+  } else {
+    job.wait_since = now_;
+    job.wait_cause = WaitCause::resources;
+  }
   job.state = JobState::pending;
   job.start_time = -1;
   job.end_time = -1;
@@ -876,12 +1013,16 @@ EvictResult JobQueue::evict_on(graph::VertexId vertex, EvictPolicy policy) {
       enqueue_pending(job);
       result.replanned.push_back(id);
       if (obs::enabled()) obs::monitor().dyn_replanned.inc();
+      record_event(id, "replan", {{"on", obs::event_str(prefix)}});
       obs::trace().sim_instant("replan", static_cast<double>(now_), id,
                                {{"on", obs::trace_str(prefix)}});
     } else if (policy == EvictPolicy::requeue) {
       enqueue_pending(job);
       result.requeued.push_back(id);
       if (obs::enabled()) obs::monitor().dyn_evicted_requeued.inc();
+      record_event(id, "evict",
+                   {{"on", obs::event_str(prefix)},
+                    {"action", obs::event_str("requeue")}});
       obs::trace().sim_instant("evict", static_cast<double>(now_), id,
                                {{"on", obs::trace_str(prefix)},
                                 {"action", obs::trace_str("requeue")}});
@@ -889,6 +1030,9 @@ EvictResult JobQueue::evict_on(graph::VertexId vertex, EvictPolicy policy) {
       job.state = JobState::canceled;
       result.killed.push_back(id);
       if (obs::enabled()) obs::monitor().dyn_evicted_killed.inc();
+      record_event(id, "evict",
+                   {{"on", obs::event_str(prefix)},
+                    {"action", obs::event_str("kill")}});
       obs::trace().sim_instant("evict", static_cast<double>(now_), id,
                                {{"on", obs::trace_str(prefix)},
                                 {"action", obs::trace_str("kill")}});
@@ -914,6 +1058,7 @@ std::vector<JobId> JobQueue::replan_reserved() {
     enqueue_pending(job);
     replanned.push_back(id);
     if (obs::enabled()) obs::monitor().dyn_replanned.inc();
+    record_event(id, "replan", {{"on", obs::event_str("grow")}});
     obs::trace().sim_instant("replan", static_cast<double>(now_), id,
                              {{"on", obs::trace_str("grow")}});
   }
@@ -923,6 +1068,103 @@ std::vector<JobId> JobQueue::replan_reserved() {
 const Job* JobQueue::find(JobId id) const {
   auto it = jobs_.find(id);
   return it == jobs_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Strip the JSON quoting off a rendered arg value for human output.
+std::string unquote(const std::string& v) {
+  if (v.size() >= 2 && v.front() == '"' && v.back() == '"') {
+    return v.substr(1, v.size() - 2);
+  }
+  return v;
+}
+
+const std::string* arg_value(
+    const std::vector<std::pair<std::string, std::string>>& args,
+    const char* key) {
+  for (const auto& [k, v] : args) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string JobQueue::explain(JobId id) const {
+  std::string out = "job " + std::to_string(id) + ": ";
+  const Job* job = find(id);
+  if (!job) {
+    out += "unknown\n";
+    return out;
+  }
+  out += job_state_name(job->state);
+  out += " (policy ";
+  out += queue_policy_name(policy_);
+  out += ", now t=" + std::to_string(now_) + ")\n";
+  out += "  submitted t=" + std::to_string(job->submit_time);
+  if (job->priority != 0) {
+    out += ", priority " + std::to_string(job->priority);
+  }
+  if (!job->depends_on.empty()) {
+    out += ", depends on";
+    for (JobId d : job->depends_on) out += " " + std::to_string(d);
+  }
+  out += "\n";
+  if (job->start_time >= 0) {
+    out += "  window t=" + std::to_string(job->start_time) + " .. t=" +
+           std::to_string(job->end_time) + "\n";
+  }
+  // Wait decomposition, including the interval still open for a job that
+  // is waiting right now.
+  WaitBreakdown w = job->wait;
+  const bool waiting = job->state == JobState::pending ||
+                       job->state == JobState::held ||
+                       job->state == JobState::reserved;
+  if (waiting) w.of(job->wait_cause) += now_ - job->wait_since;
+  out += "  waited " + std::to_string(w.total()) + "s:";
+  out += " resources " + std::to_string(w.resources) + "s,";
+  out += " reservation " + std::to_string(w.reservation) + "s,";
+  out += " held " + std::to_string(w.held) + "s,";
+  out += " dependency " + std::to_string(w.dependency) + "s";
+  if (waiting) {
+    out += " (now waiting on ";
+    out += wait_cause_name(job->wait_cause);
+    out += ")";
+  }
+  out += "\n";
+  if (!job->last_blocked.empty()) {
+    out += "  last blocked t=" + std::to_string(job->last_blocked_time);
+    if (const auto* code = arg_value(job->last_blocked, "code")) {
+      out += ": " + unquote(*code);
+    }
+    out += "\n";
+    if (const auto* dom = arg_value(job->last_blocked, "dominant")) {
+      out += "    dominant blocker: " + unquote(*dom) + "\n";
+    }
+    std::string tallies;
+    for (const auto& [k, v] : job->last_blocked) {
+      if (k == "code" || k == "dominant" || k == "hint") continue;
+      if (!tallies.empty()) tallies += ", ";
+      tallies += k + " " + v;
+    }
+    if (!tallies.empty()) out += "    rejections: " + tallies + "\n";
+    if (const auto* hint = arg_value(job->last_blocked, "hint")) {
+      out += "    earliest feasible: t=" + *hint + "\n";
+    } else if (traverser_.introspection()) {
+      out += "    earliest feasible: unknown\n";
+    }
+  } else if (!traverser_.introspection() && waiting) {
+    out += "  (enable introspection/eventlog for blocked-reason detail)\n";
+  }
+  if (log_.enabled()) {
+    const auto evs = log_.for_job(id);
+    out += "  events (" + std::to_string(evs.size()) + "):\n";
+    for (const obs::JobEvent* ev : evs) {
+      out += "    " + obs::EventLog::to_json(*ev) + "\n";
+    }
+  }
+  return out;
 }
 
 QueueMetrics JobQueue::metrics() const {

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "jobspec/jobspec.hpp"
+#include "obs/eventlog.hpp"
 #include "traverser/traverser.hpp"
 #include "util/expected.hpp"
 #include "util/thread_pool.hpp"
@@ -81,6 +82,33 @@ enum class JobState {
 const char* job_state_name(JobState s) noexcept;
 const char* queue_policy_name(QueuePolicy p) noexcept;
 
+/// Why a job is currently waiting. One cause is "in effect" at a time;
+/// the queue charges elapsed simulated time to it on every transition,
+/// decomposing each job's queue delay (submit -> start) into
+/// blocked-on-resources vs parked-behind-its-own-reservation vs
+/// held vs gated-on-dependencies.
+enum class WaitCause : std::uint8_t {
+  resources,    // pending, placement attempts fail (or not yet attempted)
+  reservation,  // holds a future reservation, waiting for its start
+  held,         // administratively held
+  dependency,   // pending behind unfinished dependencies
+};
+
+const char* wait_cause_name(WaitCause c) noexcept;
+
+/// Accumulated wait per cause, in simulated seconds.
+struct WaitBreakdown {
+  std::int64_t resources = 0;
+  std::int64_t reservation = 0;
+  std::int64_t held = 0;
+  std::int64_t dependency = 0;
+  std::int64_t total() const noexcept {
+    return resources + reservation + held + dependency;
+  }
+  std::int64_t& of(WaitCause c) noexcept;
+  std::int64_t of(WaitCause c) const noexcept;
+};
+
 struct Job {
   JobId id = -1;
   jobspec::Jobspec spec;
@@ -100,6 +128,18 @@ struct Job {
   /// Lazily-computed canonical signature of (spec, duration) for the
   /// satisfiability cache; empty until the first cached-path lookup.
   std::string match_sig;
+  /// Wait-time decomposition: `wait` holds closed intervals; the interval
+  /// [wait_since, now) is still open and charged to `wait_cause` at the
+  /// next transition (JobQueue::mark_wait).
+  WaitBreakdown wait;
+  TimePoint wait_since = 0;
+  WaitCause wait_cause = WaitCause::resources;
+  /// The last failed placement decision's rendered attribution — the same
+  /// key/value fragments the eventlog "blocked" event carries (code,
+  /// dominant blocker, per-reason tallies, earliest-feasible hint).
+  /// Empty until a probe fails; tallies require traverser introspection.
+  std::vector<std::pair<std::string, std::string>> last_blocked;
+  TimePoint last_blocked_time = -1;
 };
 
 struct QueueStats {
@@ -254,6 +294,24 @@ class JobQueue {
   /// used by the overdue-reservation regression tests.
   void test_rewind_reservation(JobId id, TimePoint start);
 
+  /// Per-job structured eventlog (submit -> depend/hold -> probe ->
+  /// blocked-with-reason -> reserve/alloc -> start -> evict/requeue ->
+  /// finish/cancel), stamped with simulated time. Enabling also turns the
+  /// traverser's match-failure introspection on so "blocked" events carry
+  /// attribution; disabling leaves recorded events in place (clear() to
+  /// drop them). Export with eventlog().jsonl().
+  void set_eventlog(bool on);
+  const obs::EventLog& eventlog() const noexcept { return log_; }
+  obs::EventLog& eventlog() noexcept { return log_; }
+
+  /// Human-readable account of one job: state, timeline, wait-time
+  /// decomposition (including the still-open interval), and — when the
+  /// job has a recorded blocked verdict — the dominant blocking resource
+  /// type, per-reason rejection tallies, and the planner's
+  /// earliest-feasible-time hint. The `resource-query explain` and
+  /// `reapi_explain_json` surfaces render from this plus eventlog().
+  std::string explain(JobId id) const;
+
   const Job* find(JobId id) const;
   QueueMetrics metrics() const;
   const traverser::Traverser& traverser() const noexcept {
@@ -312,6 +370,27 @@ class JobQueue {
   /// Mark a reservation granted / released-before-start in stats and obs.
   void note_reservation_made();
   void note_reservation_dropped();
+  /// Charge [wait_since, now) to the job's current wait cause, then make
+  /// `next` the cause in effect. Idempotent at a fixed now.
+  void mark_wait(Job& job, WaitCause next);
+  /// Dependency-gate deferral: switch the wait cause and record one
+  /// "depend" event on the transition (not per observation, so repeated
+  /// schedule passes don't spam the log).
+  void note_dependency_wait(Job& job);
+  /// Terminal-reject bookkeeping shared by every reject site: closes the
+  /// wait interval, flips the state, counts stats/obs, drops any parked
+  /// speculation and records the "reject" event. Callers still manage
+  /// pending_ membership and span release.
+  void reject_job(Job& job, const char* why);
+  /// Append one event to the job eventlog at the current simulated time
+  /// (no-op while the log is disabled).
+  void record_event(JobId id, const char* kind,
+                    std::vector<std::pair<std::string, std::string>> args = {});
+  /// Render the blocked-verdict attribution for a failed probe: the error
+  /// code always; dominant type, per-reason tallies and the
+  /// earliest-feasible hint when traverser introspection is on.
+  std::vector<std::pair<std::string, std::string>> render_blocked(
+      util::Errc code) const;
   util::Status fire_events_up_to(TimePoint t);
   /// Clear the cache when the traverser's mutation epoch moved since the
   /// last look; returns the cache key for (job, allow_reserve, anchor).
@@ -343,11 +422,21 @@ class JobQueue {
   /// shed stale entries while it peeks.
   mutable std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
       events_;
-  /// Satisfiability cache: signature of a match that failed -> its error
-  /// code, valid for the traverser mutation epoch `cache_epoch_`.
+  /// Satisfiability cache: signature of a match that failed -> the
+  /// verdict, valid for the traverser mutation epoch `cache_epoch_`. The
+  /// verdict carries the *rendered* attribution of the original failure
+  /// so a cache-hit replay emits a byte-identical "blocked" event — the
+  /// eventlog differential tests (cache on vs off) depend on this.
+  struct BlockedVerdict {
+    util::Errc code = util::Errc::internal;
+    std::vector<std::pair<std::string, std::string>> attrib;
+  };
   bool match_cache_enabled_ = true;
   std::uint64_t cache_epoch_ = 0;
-  std::unordered_map<std::string, util::Errc> blocked_;
+  std::unordered_map<std::string, BlockedVerdict> blocked_;
+  /// Job-lifecycle eventlog; recorded exclusively from the serial
+  /// decision path so exports are identical at any match_threads.
+  obs::EventLog log_;
   /// One parked speculative probe, valid for consumption only while the
   /// requested (op, anchor) and the traverser's mutation epoch still match
   /// what the probe saw.

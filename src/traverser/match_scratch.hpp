@@ -59,6 +59,141 @@ struct TraverserStats {
   std::uint64_t status_pruned = 0;   // subtrees skipped as non-up, lifetime
   std::uint64_t match_attempts = 0;  // full selection attempts, lifetime
   std::uint64_t first_match_stops = 0;  // early walk unwinds, lifetime
+  std::uint64_t postorder_rejects = 0;  // candidates dropped after descent
+};
+
+/// Why a vertex fell out of a selection walk. `none` means viable. The
+/// taxonomy mirrors the checks the walk actually performs, in order:
+/// pruning-filter rejection, non-up status, planner window conflicts
+/// (busy), exclusive-claim overlap, unmet property requirements, and
+/// post-order rejection (a candidate whose children could not be
+/// satisfied after it was claimed).
+enum class RejectReason : std::uint8_t {
+  none = 0,
+  filter,        // pruning filter cannot admit the pending demand
+  status,        // vertex (or walk entry) is not up
+  busy,          // planner time conflict in the requested window
+  exclusivity,   // exclusive-claim overlap (incl. non-up descendants)
+  requirements,  // property constraints unmet
+  postorder,     // children unsatisfiable after the claim
+};
+
+constexpr const char* reject_reason_name(RejectReason r) noexcept {
+  switch (r) {
+    case RejectReason::none: return "none";
+    case RejectReason::filter: return "filter_pruned";
+    case RejectReason::status: return "status_pruned";
+    case RejectReason::busy: return "busy";
+    case RejectReason::exclusivity: return "exclusivity";
+    case RejectReason::requirements: return "requirements";
+    case RejectReason::postorder: return "postorder";
+  }
+  return "unknown";
+}
+
+/// Match-failure attribution: per-resource-type tallies of candidates
+/// lost to each RejectReason during one probe, plus the planner's
+/// earliest-feasible-time hint for the request. Bounded by the graph's
+/// type count (dense over InternId) — never by walk size. Tallying is
+/// gated on `enabled` so the hot path pays one predictable branch when
+/// introspection is off (Traverser::set_introspection). The filter,
+/// status and postorder buckets are incremented at exactly the sites
+/// that feed TraverserStats::{pruned, status_pruned, postorder_rejects},
+/// so their totals reconcile with the stats delta of the same probe.
+struct RejectionProfile {
+  struct TypeTally {
+    std::uint64_t filter_pruned = 0;
+    std::uint64_t status_pruned = 0;
+    std::uint64_t busy = 0;
+    std::uint64_t exclusivity = 0;
+    std::uint64_t requirements = 0;
+    std::uint64_t postorder = 0;
+
+    std::uint64_t total() const noexcept {
+      return filter_pruned + status_pruned + busy + exclusivity +
+             requirements + postorder;
+    }
+    std::uint64_t of(RejectReason r) const noexcept {
+      switch (r) {
+        case RejectReason::filter: return filter_pruned;
+        case RejectReason::status: return status_pruned;
+        case RejectReason::busy: return busy;
+        case RejectReason::exclusivity: return exclusivity;
+        case RejectReason::requirements: return requirements;
+        case RejectReason::postorder: return postorder;
+        case RejectReason::none: return 0;
+      }
+      return 0;
+    }
+  };
+
+  bool enabled = false;
+  /// Planner's earliest aggregate-feasible start for the failed request
+  /// (root pruning filter lower bound); -1 when unknown/not applicable.
+  std::int64_t earliest_hint = -1;
+
+  void reset(std::size_t type_count) {
+    for (util::InternId t : touched_) by_type_[t] = TypeTally{};
+    touched_.clear();
+    earliest_hint = -1;
+    if (by_type_.size() < type_count) by_type_.resize(type_count);
+  }
+
+  void add(util::InternId type, RejectReason r) {
+    if (type >= by_type_.size()) by_type_.resize(type + 1);
+    TypeTally& t = by_type_[type];
+    if (t.total() == 0) touched_.push_back(type);
+    switch (r) {
+      case RejectReason::filter: ++t.filter_pruned; break;
+      case RejectReason::status: ++t.status_pruned; break;
+      case RejectReason::busy: ++t.busy; break;
+      case RejectReason::exclusivity: ++t.exclusivity; break;
+      case RejectReason::requirements: ++t.requirements; break;
+      case RejectReason::postorder: ++t.postorder; break;
+      case RejectReason::none: break;
+    }
+  }
+
+  const TypeTally& at(util::InternId type) const {
+    static const TypeTally kEmpty{};
+    return type < by_type_.size() ? by_type_[type] : kEmpty;
+  }
+
+  /// Types with at least one rejection, in first-rejection order.
+  const std::vector<util::InternId>& touched() const noexcept {
+    return touched_;
+  }
+
+  bool empty() const noexcept { return touched_.empty(); }
+
+  /// Sum of one reason's tallies across every type.
+  std::uint64_t total(RejectReason r) const noexcept {
+    std::uint64_t n = 0;
+    for (util::InternId t : touched_) n += by_type_[t].of(r);
+    return n;
+  }
+
+  /// The resource type that absorbed the most rejections — the walk's
+  /// dominant blocker. Ties break to the lowest InternId so the answer
+  /// is deterministic. Returns false when nothing was rejected.
+  bool dominant(util::InternId& type_out) const noexcept {
+    bool any = false;
+    std::uint64_t best = 0;
+    for (util::InternId t : touched_) {
+      const std::uint64_t n = by_type_[t].total();
+      if (n == 0) continue;
+      if (!any || n > best || (n == best && t < type_out)) {
+        any = true;
+        best = n;
+        type_out = t;
+      }
+    }
+    return any;
+  }
+
+ private:
+  std::vector<TypeTally> by_type_;
+  std::vector<util::InternId> touched_;
 };
 
 /// Per-type demand amounts, dense over the graph's type intern ids.
@@ -151,6 +286,12 @@ class MatchScratch {
   /// Stats delta accumulated by the probe using this scratch; folded into
   /// the traverser's lifetime counters when the probe is consumed.
   TraverserStats stats;
+
+  /// Match-failure attribution for the probe using this scratch. Carried
+  /// here (like `stats`) so the selection walk can tally rejections
+  /// without threading an extra parameter through every recursion level;
+  /// copied into the Probe when introspection is enabled.
+  RejectionProfile rejections;
 
   /// Traversal mode of the probe currently using this scratch; set by
   /// Traverser::probe() so the selection walk need not thread it through

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -85,36 +86,45 @@ Traverser::Traverser(graph::ResourceGraph& g, VertexId root,
                      const MatchPolicy& policy)
     : g_(g), root_(root), policy_(policy) {}
 
-bool Traverser::vertex_shareable(VertexId v, const util::TimeWindow& w,
-                                 const Selection& sel) const {
-  if (sel.pending_excl.contains(v)) return false;
+RejectReason Traverser::shareable_reason(VertexId v, const util::TimeWindow& w,
+                                         const Selection& sel) const {
+  if (sel.pending_excl.contains(v)) return RejectReason::exclusivity;
   const graph::Vertex& vx = g_.vertex(v);
-  if (vx.status != graph::ResourceStatus::up) return false;
+  if (vx.status != graph::ResourceStatus::up) return RejectReason::status;
   // A vertex is walkable by a shared job iff no exclusive claim holds any
   // of its units during the window.
-  return vx.schedule->avail_during(w.start, w.duration, vx.size);
+  if (!vx.schedule->avail_during(w.start, w.duration, vx.size)) {
+    return RejectReason::busy;
+  }
+  return RejectReason::none;
 }
 
-bool Traverser::vertex_exclusively_claimable(VertexId v,
-                                             const util::TimeWindow& w,
-                                             const Selection& sel) const {
+RejectReason Traverser::exclusive_reason(VertexId v, const util::TimeWindow& w,
+                                         const Selection& sel) const {
   if (sel.pending_excl.contains(v) || sel.shared_set.contains(v)) {
-    return false;
+    return RejectReason::exclusivity;
   }
   if (auto it = sel.pending_units.find(v);
       it != sel.pending_units.end() && it->second > 0) {
-    return false;
+    return RejectReason::exclusivity;
   }
   const graph::Vertex& vx = g_.vertex(v);
   // A whole-instance claim covers the containment subtree, so every
-  // vertex below must be up too — non_up_below makes that O(1).
+  // vertex below must be up too — non_up_below makes that O(1). A non-up
+  // descendant blocks the *exclusive* claim specifically, hence the
+  // exclusivity attribution rather than status.
   if (vx.status != graph::ResourceStatus::up || vx.non_up_below != 0) {
-    return false;
+    return RejectReason::exclusivity;
   }
-  if (!vx.schedule->avail_during(w.start, w.duration, vx.size)) return false;
+  if (!vx.schedule->avail_during(w.start, w.duration, vx.size)) {
+    return RejectReason::busy;
+  }
   // No shared walker may overlap the window either.
-  return vx.x_checker->avail_during(w.start, w.duration,
-                                    graph::kSharedUseMax);
+  if (!vx.x_checker->avail_during(w.start, w.duration,
+                                  graph::kSharedUseMax)) {
+    return RejectReason::exclusivity;
+  }
+  return RejectReason::none;
 }
 
 bool Traverser::filter_admits(VertexId v, const util::TimeWindow& w,
@@ -150,6 +160,7 @@ void Traverser::collect_candidates(VertexId from, util::InternId type,
   if (vx.status != graph::ResourceStatus::up) {
     ++sc.stats.status_pruned;
     if (obs::enabled()) obs::monitor().trav_status_pruned.inc();
+    if (sc.rejections.enabled) sc.rejections.add(vx.type, RejectReason::status);
     return;
   }
   if (vx.type == type) {
@@ -171,10 +182,23 @@ void Traverser::collect_candidates(VertexId from, util::InternId type,
       // Pass-through: the walk may continue only through vertices that a
       // shared job could use, and only where the pruning filter admits at
       // least one instance of the pending demand (paper §3.4).
-      if (!vertex_shareable(child, w, sel)) continue;
+      if (const RejectReason why = shareable_reason(child, w, sel);
+          why != RejectReason::none) {
+        if (why == RejectReason::status) {
+          // A non-up pass-through child is a subtree skipped as non-up,
+          // same as the preorder check above would have found.
+          ++sc.stats.status_pruned;
+          if (obs::enabled()) obs::monitor().trav_status_pruned.inc();
+        }
+        if (sc.rejections.enabled) sc.rejections.add(cx.type, why);
+        continue;
+      }
       if (!filter_admits(child, w, per_instance_demand)) {
         ++sc.stats.pruned;
         if (obs::enabled()) obs::monitor().trav_pruned.inc();
+        if (sc.rejections.enabled) {
+          sc.rejections.add(cx.type, RejectReason::filter);
+        }
         continue;
       }
     }
@@ -197,6 +221,7 @@ bool Traverser::fm_search(VertexId from, util::InternId type,
   if (vx.status != graph::ResourceStatus::up) {
     ++sc.stats.status_pruned;
     if (obs::enabled()) obs::monitor().trav_status_pruned.inc();
+    if (sc.rejections.enabled) sc.rejections.add(vx.type, RejectReason::status);
     return false;
   }
   if (vx.type == type) {
@@ -212,10 +237,21 @@ bool Traverser::fm_search(VertexId from, util::InternId type,
     if (parent_of.contains(child)) continue;
     const graph::Vertex& cx = g_.vertex(child);
     if (cx.type != type) {
-      if (!vertex_shareable(child, w, sel)) continue;
+      if (const RejectReason why = shareable_reason(child, w, sel);
+          why != RejectReason::none) {
+        if (why == RejectReason::status) {
+          ++sc.stats.status_pruned;
+          if (obs::enabled()) obs::monitor().trav_status_pruned.inc();
+        }
+        if (sc.rejections.enabled) sc.rejections.add(cx.type, why);
+        continue;
+      }
       if (!filter_admits(child, w, per_instance_demand)) {
         ++sc.stats.pruned;
         if (obs::enabled()) obs::monitor().trav_pruned.inc();
+        if (sc.rejections.enabled) {
+          sc.rejections.add(cx.type, RejectReason::filter);
+        }
         continue;
       }
     }
@@ -328,21 +364,40 @@ bool Traverser::satisfy_instances(const jobspec::Resource& req,
   auto attempt = [&](VertexId u) -> bool {
     const auto cp = sel.checkpoint();
     const graph::Vertex& ux = g_.vertex(u);
-    if (!meets_requirements(ux, req.requires_)) return false;
+    if (!meets_requirements(ux, req.requires_)) {
+      if (sc.rejections.enabled) {
+        sc.rejections.add(ux.type, RejectReason::requirements);
+      }
+      return false;
+    }
     if (exclusive) {
-      if (!vertex_exclusively_claimable(u, w, sel)) return false;
+      if (const RejectReason why = exclusive_reason(u, w, sel);
+          why != RejectReason::none) {
+        if (sc.rejections.enabled) sc.rejections.add(ux.type, why);
+        return false;
+      }
       if (!filter_admits(u, w, f.demand)) {
         ++sc.stats.pruned;
         if (obs::enabled()) obs::monitor().trav_pruned.inc();
+        if (sc.rejections.enabled) {
+          sc.rejections.add(ux.type, RejectReason::filter);
+        }
         return false;
       }
       sel.push_claim(Claim{u, ux.size, /*exclusive=*/true,
                            /*whole_instance=*/true, under_excl});
     } else {
-      if (!vertex_shareable(u, w, sel)) return false;
+      if (const RejectReason why = shareable_reason(u, w, sel);
+          why != RejectReason::none) {
+        if (sc.rejections.enabled) sc.rejections.add(ux.type, why);
+        return false;
+      }
       if (!filter_admits(u, w, f.demand)) {
         ++sc.stats.pruned;
         if (obs::enabled()) obs::monitor().trav_pruned.inc();
+        if (sc.rejections.enabled) {
+          sc.rejections.add(ux.type, RejectReason::filter);
+        }
         return false;
       }
       sel.mark_shared(u);
@@ -358,7 +413,11 @@ bool Traverser::satisfy_instances(const jobspec::Resource& req,
       }
     }
     if (!ok) {
+      ++sc.stats.postorder_rejects;
       if (obs::enabled()) obs::monitor().trav_postorder_rejects.inc();
+      if (sc.rejections.enabled) {
+        sc.rejections.add(ux.type, RejectReason::postorder);
+      }
       sel.rollback(cp);
       return false;
     }
@@ -411,20 +470,44 @@ bool Traverser::satisfy_units(const jobspec::Resource& req, VertexId under,
 
   std::int64_t remaining = needed_max;
   auto take_units = [&](VertexId u) -> bool {
-    if (sel.pending_excl.contains(u)) return false;
     const graph::Vertex& ux = g_.vertex(u);
-    if (!meets_requirements(ux, req.requires_)) return false;
+    if (sel.pending_excl.contains(u)) {
+      if (sc.rejections.enabled) {
+        sc.rejections.add(ux.type, RejectReason::exclusivity);
+      }
+      return false;
+    }
+    if (!meets_requirements(ux, req.requires_)) {
+      if (sc.rejections.enabled) {
+        sc.rejections.add(ux.type, RejectReason::requirements);
+      }
+      return false;
+    }
     auto avail = ux.schedule->avail_resources_during(w.start, w.duration);
-    if (!avail) return false;
+    if (!avail) {
+      if (sc.rejections.enabled) {
+        sc.rejections.add(ux.type, RejectReason::busy);
+      }
+      return false;
+    }
     std::int64_t free = *avail;
     if (auto it = sel.pending_units.find(u); it != sel.pending_units.end()) {
       free -= it->second;
     }
     const std::int64_t take = std::min(free, remaining);
-    if (take <= 0) return false;
+    if (take <= 0) {
+      if (sc.rejections.enabled) {
+        sc.rejections.add(ux.type, RejectReason::busy);
+      }
+      return false;
+    }
     if (exclusive && take == ux.size) {
       // Whole-vertex exclusive claim: no shared walker may overlap.
-      if (!vertex_exclusively_claimable(u, w, sel)) return false;
+      if (const RejectReason why = exclusive_reason(u, w, sel);
+          why != RejectReason::none) {
+        if (sc.rejections.enabled) sc.rejections.add(ux.type, why);
+        return false;
+      }
       sel.push_claim(Claim{u, take, true, /*whole_instance=*/true,
                            under_excl});
     } else {
@@ -1077,6 +1160,8 @@ Traverser::Probe Traverser::probe(const jobspec::Jobspec& js, MatchOp op,
     }
     p.ran = true;
     sc.stats = TraverserStats{};
+    sc.rejections.enabled = introspect_;
+    if (sc.rejections.enabled) sc.rejections.reset(g_.type_count());
     const Duration d = js.duration;
     const TimePoint plan_end = g_.plan_start() + g_.horizon();
 
@@ -1168,6 +1253,25 @@ Traverser::Probe Traverser::probe(const jobspec::Jobspec& js, MatchOp op,
   }();
 
   if (p.ran) p.delta = sc.stats;
+  if (p.ran && sc.rejections.enabled) {
+    if (!p.ok && op != MatchOp::satisfiability &&
+        sc.rejections.earliest_hint < 0) {
+      // Earliest-feasible hint for a blocked request: the root pruning
+      // filter's aggregate lower bound (read-only, so callable from
+      // concurrent probes). now itself means "aggregate fits but the
+      // shape does not"; the next release time is then the earliest
+      // instant anything can change.
+      if (auto jumped = next_candidate_time(now, js.duration, js)) {
+        TimePoint hint = *jumped;
+        if (hint <= now) {
+          auto it = release_times_.upper_bound(now);
+          hint = it != release_times_.end() ? it->first : -1;
+        }
+        sc.rejections.earliest_hint = hint;
+      }
+    }
+    p.rejections = sc.rejections;
+  }
   p.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             p.t0)
                   .count();
@@ -1266,6 +1370,28 @@ util::Status Traverser::cancel_impl(JobId job) {
 
 // --- public entry points: mutation body + optional post-mutation audit ------
 
+std::vector<std::pair<std::string, std::string>> Traverser::explain_args()
+    const {
+  std::vector<std::pair<std::string, std::string>> args;
+  const RejectionProfile& rp = last_rejections_;
+  util::InternId dom = 0;
+  if (rp.dominant(dom)) {
+    args.emplace_back("dominant", obs::event_str(g_.type_name(dom)));
+  }
+  for (RejectReason r :
+       {RejectReason::filter, RejectReason::status, RejectReason::busy,
+        RejectReason::exclusivity, RejectReason::requirements,
+        RejectReason::postorder}) {
+    if (const std::uint64_t n = rp.total(r); n != 0) {
+      args.emplace_back(reject_reason_name(r), std::to_string(n));
+    }
+  }
+  if (rp.earliest_hint >= 0) {
+    args.emplace_back("hint", std::to_string(rp.earliest_hint));
+  }
+  return args;
+}
+
 void Traverser::fold_stats(const TraverserStats& d) noexcept {
   stats_.visits += d.visits;
   stats_.last_visits = d.last_visits;
@@ -1273,6 +1399,7 @@ void Traverser::fold_stats(const TraverserStats& d) noexcept {
   stats_.status_pruned += d.status_pruned;
   stats_.match_attempts += d.match_attempts;
   stats_.first_match_stops += d.first_match_stops;
+  stats_.postorder_rejects += d.postorder_rejects;
 }
 
 util::Expected<MatchResult> Traverser::commit(Probe&& p) {
@@ -1280,6 +1407,10 @@ util::Expected<MatchResult> Traverser::commit(Probe&& p) {
   // probes are dropped before ever reaching here, so TraverserStats is
   // identical to a serial run at any thread count.
   if (p.ran) fold_stats(p.delta);
+  // Same contract for attribution: only the consumed probe's profile is
+  // kept, so explain surfaces describe the decision that actually
+  // happened regardless of speculation.
+  if (p.ran && introspect_) last_rejections_ = std::move(p.rejections);
 
   auto finish = [&](util::Expected<MatchResult> r)
       -> util::Expected<MatchResult> {

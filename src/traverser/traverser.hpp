@@ -170,6 +170,11 @@ class Traverser {
     std::chrono::steady_clock::time_point t0{};
     TraversalMode mode = TraversalMode::scored;  // mode the walk used
     Selection sel;             // the selection commit() will apply
+    /// Match-failure attribution for this probe's walk; populated only
+    /// when introspection is enabled (empty + disabled otherwise). Rides
+    /// in the probe so speculative probes carry their own attribution and
+    /// wasted ones leave no trace, exactly like `delta`.
+    RejectionProfile rejections;
   };
 
   Probe probe(const jobspec::Jobspec& js, MatchOp op, TimePoint now,
@@ -250,6 +255,31 @@ class Traverser {
   /// feasible slot and never calls the policy scorer (see TraversalMode).
   void set_traversal_mode(TraversalMode m) noexcept { mode_ = m; }
   TraversalMode traversal_mode() const noexcept { return mode_; }
+
+  /// Match-failure attribution gate. When on, every probe tallies a
+  /// RejectionProfile (per-type rejection reasons + the planner's
+  /// earliest-feasible hint) and commit() keeps the last consumed
+  /// probe's profile for last_rejections(). When off — the default —
+  /// the walk pays one predictable branch per rejection and nothing
+  /// else, so counter-gated perf baselines are unaffected.
+  void set_introspection(bool on) noexcept { introspect_ = on; }
+  bool introspection() const noexcept { return introspect_; }
+
+  /// Attribution of the most recently consumed (committed) probe —
+  /// meaningful after a failed match when introspection is on. The
+  /// profile of a successful match is typically sparse (rejections the
+  /// walk stepped over on its way to a selection).
+  const RejectionProfile& last_rejections() const noexcept {
+    return last_rejections_;
+  }
+
+  /// last_rejections() rendered as key/value JSON fragments — ("dominant",
+  /// quoted type name), one (reason, count) per non-zero reason bucket,
+  /// and ("hint", earliest-feasible time) when known. The shared currency
+  /// of the explain surfaces: the queue's eventlog "blocked" events,
+  /// `resource-query explain` and `reapi_explain_json` all carry exactly
+  /// these fragments.
+  std::vector<std::pair<std::string, std::string>> explain_args() const;
 
   /// The match policy this traverser ranks candidates with (scored mode
   /// only). Exposed so callers that key caches on match behaviour — the
@@ -350,10 +380,21 @@ class Traverser {
                  MatchScratch& sc,
                  const std::function<bool(VertexId)>& try_claim) const;
 
+  /// Why `v` cannot be walked/used shared (RejectReason::none = it can).
+  /// vertex_shareable() is the boolean view of the same checks.
+  RejectReason shareable_reason(VertexId v, const util::TimeWindow& w,
+                                const Selection& sel) const;
+  /// Why `v` cannot be claimed whole-and-exclusive (none = it can).
+  RejectReason exclusive_reason(VertexId v, const util::TimeWindow& w,
+                                const Selection& sel) const;
   bool vertex_shareable(VertexId v, const util::TimeWindow& w,
-                        const Selection& sel) const;
+                        const Selection& sel) const {
+    return shareable_reason(v, w, sel) == RejectReason::none;
+  }
   bool vertex_exclusively_claimable(VertexId v, const util::TimeWindow& w,
-                                    const Selection& sel) const;
+                                    const Selection& sel) const {
+    return exclusive_reason(v, w, sel) == RejectReason::none;
+  }
   bool filter_admits(VertexId v, const util::TimeWindow& w,
                      const DenseDemand& demand) const;
   void mark_chain(VertexId candidate, VertexId stop_above,
@@ -425,6 +466,8 @@ class Traverser {
   TraversalMode mode_ = TraversalMode::scored;
   std::uint64_t mutation_epoch_ = 0;
   bool audit_enabled_ = false;
+  bool introspect_ = false;
+  RejectionProfile last_rejections_;  // of the last consumed probe
   std::string fault_point_;
 };
 

@@ -237,6 +237,85 @@ TEST_F(ReapiTest, GrowAndShrinkRoundTrip) {
             REAPI_EINVAL);
 }
 
+TEST_F(ReapiTest, ExplainJsonAttributesABusyMatch) {
+  EXPECT_EQ(reapi_set_introspection(nullptr, 1), REAPI_EINVAL);
+  ASSERT_EQ(reapi_set_introspection(ctx, 1), REAPI_OK);
+  uint64_t a = 0, b = 0;
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &a, nullptr,
+                        nullptr, nullptr),
+            REAPI_OK);
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &b, nullptr,
+                        nullptr, nullptr),
+            REAPI_OK);
+  // Machine full: the next attempt fails but its verdict is kept under
+  // the id the job would have had.
+  EXPECT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, nullptr,
+                        nullptr, nullptr, nullptr),
+            REAPI_EBUSY);
+  char* doc = nullptr;
+  ASSERT_EQ(reapi_explain_json(ctx, b + 1, &doc), REAPI_OK);
+  ASSERT_NE(doc, nullptr);
+  const std::string json(doc);
+  reapi_free_string(doc);
+  EXPECT_NE(json.find("\"op\":\"allocate\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"code\":\"resource_busy\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"dominant\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hint\":100"), std::string::npos) << json;
+  // A successful attempt reads ok with no attribution payload.
+  doc = nullptr;
+  ASSERT_EQ(reapi_explain_json(ctx, a, &doc), REAPI_OK);
+  const std::string ok_json(doc);
+  reapi_free_string(doc);
+  EXPECT_NE(ok_json.find("\"code\":\"ok\""), std::string::npos) << ok_json;
+  EXPECT_EQ(ok_json.find("\"dominant\":"), std::string::npos) << ok_json;
+  // Unknown ids and bad arguments are reported, not rendered.
+  EXPECT_EQ(reapi_explain_json(ctx, 999, &doc), REAPI_ENOENT);
+  EXPECT_EQ(reapi_explain_json(ctx, a, nullptr), REAPI_EINVAL);
+  EXPECT_EQ(reapi_explain_json(nullptr, a, &doc), REAPI_EINVAL);
+}
+
+TEST_F(ReapiTest, ExplainJsonWithoutIntrospectionHasCodeOnly) {
+  uint64_t a = 0;
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &a, nullptr,
+                        nullptr, nullptr),
+            REAPI_OK);
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, nullptr,
+                        nullptr, nullptr, nullptr),
+            REAPI_OK);
+  EXPECT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, nullptr,
+                        nullptr, nullptr, nullptr),
+            REAPI_EBUSY);
+  char* doc = nullptr;
+  ASSERT_EQ(reapi_explain_json(ctx, a + 2, &doc), REAPI_OK);
+  const std::string json(doc);
+  reapi_free_string(doc);
+  EXPECT_NE(json.find("\"code\":\"resource_busy\""), std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("\"dominant\":"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"hint\":"), std::string::npos) << json;
+}
+
+TEST_F(ReapiTest, PrometheusExport) {
+  EXPECT_EQ(reapi_metrics_prometheus(nullptr), REAPI_EINVAL);
+  ASSERT_EQ(reapi_metrics_clear(), REAPI_OK);
+  ASSERT_EQ(reapi_metrics_set_enabled(1), REAPI_OK);
+  uint64_t job = 0;
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &job,
+                        nullptr, nullptr, nullptr),
+            REAPI_OK);
+  char* text = nullptr;
+  ASSERT_EQ(reapi_metrics_prometheus(&text), REAPI_OK);
+  ASSERT_NE(text, nullptr);
+  const std::string prom(text);
+  reapi_free_string(text);
+  ASSERT_EQ(reapi_metrics_set_enabled(0), REAPI_OK);
+  EXPECT_NE(prom.find("# TYPE fluxion_traverser_visits_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fluxion_op_calls_total{op=\"allocate\"} 1"),
+            std::string::npos);
+}
+
 TEST_F(ReapiTest, TraversalModeRoundTripAndMatch) {
   EXPECT_EQ(reapi_traversal_mode(ctx), REAPI_TRAVERSAL_SCORED);
   EXPECT_EQ(reapi_set_traversal_mode(ctx, REAPI_TRAVERSAL_FIRST_MATCH),

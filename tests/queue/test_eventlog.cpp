@@ -1,0 +1,228 @@
+// Per-job eventlog and wait-decomposition tests: the queue must narrate
+// every lifecycle transition (submit → probe → blocked/reserve/alloc →
+// start → finish) with simulated-time stamps, decompose each job's wait
+// into resources / reservation / held / dependency intervals, and render
+// a human explanation for a blocked job.
+#include "queue/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <string>
+
+#include "grug/grug.hpp"
+#include "policy/policies.hpp"
+#include "yaml/json.hpp"
+
+namespace fluxion::queue {
+namespace {
+
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+
+jobspec::Jobspec whole_nodes(std::int64_t n, util::Duration d) {
+  auto js = make({slot(n, {xres("node", 1, {res("core", 4)})})}, d);
+  EXPECT_TRUE(js);
+  return *js;
+}
+
+class EventlogFixture : public ::testing::Test {
+ protected:
+  EventlogFixture() : g(0, 1 << 20) {
+    auto recipe = grug::parse(
+        "filters node core\nfilter-at cluster\n"
+        "cluster count=1\n  node count=4\n    core count=4\n");
+    EXPECT_TRUE(recipe);
+    auto r = grug::build(g, *recipe);
+    EXPECT_TRUE(r);
+    trav = std::make_unique<traverser::Traverser>(g, *r, pol);
+  }
+  graph::ResourceGraph g;
+  policy::LowIdPolicy pol;
+  std::unique_ptr<traverser::Traverser> trav;
+};
+
+TEST_F(EventlogFixture, GoldenLifecycle) {
+  JobQueue q(*trav, QueuePolicy::easy_backfill);
+  q.set_eventlog(true);
+  const JobId a = q.submit(whole_nodes(4, 100));
+  const JobId b = q.submit(whole_nodes(2, 50));
+  ASSERT_EQ(a, 1);
+  ASSERT_EQ(b, 2);
+  ASSERT_TRUE(q.run_to_completion());
+  // EASY probes the head with plain allocate first; a blocked job is
+  // retried with allocate_orelse_reserve. Starts fire before completions
+  // at the same timestamp.
+  const std::string jsonl = q.eventlog().jsonl();
+  const char* expected_kinds[] = {
+      // clang-format off
+      "submit", "submit",           // both enqueued at t=0
+      "probe", "alloc", "start",    // job 1 allocates immediately
+      "probe", "blocked", "probe", "reserve",  // job 2: alloc fails, reserves
+      "start", "finish",            // t=100: job 2 starts, job 1 finishes
+      "finish",                     // t=150
+      // clang-format on
+  };
+  const auto& evs = q.eventlog().events();
+  ASSERT_EQ(evs.size(), std::size(expected_kinds));
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].kind, expected_kinds[i]) << "event " << i;
+  }
+  const std::string expected =
+      "{\"t\":0,\"job\":1,\"ev\":\"submit\",\"priority\":0}\n"
+      "{\"t\":0,\"job\":2,\"ev\":\"submit\",\"priority\":0}\n"
+      "{\"t\":0,\"job\":1,\"ev\":\"probe\",\"op\":\"allocate\","
+      "\"anchor\":0}\n"
+      "{\"t\":0,\"job\":1,\"ev\":\"alloc\",\"end\":100}\n"
+      "{\"t\":0,\"job\":1,\"ev\":\"start\"}\n"
+      "{\"t\":0,\"job\":2,\"ev\":\"probe\",\"op\":\"allocate\","
+      "\"anchor\":0}\n" +
+      obs::EventLog::to_json(evs[6]) + "\n" +  // blocked: tallies pinned below
+      "{\"t\":0,\"job\":2,\"ev\":\"probe\",\"op\":\"allocate_orelse_reserve\","
+      "\"anchor\":0}\n"
+      "{\"t\":0,\"job\":2,\"ev\":\"reserve\",\"start\":100,\"end\":150}\n"
+      "{\"t\":100,\"job\":2,\"ev\":\"start\"}\n"
+      "{\"t\":100,\"job\":1,\"ev\":\"finish\",\"wait_resources\":0,"
+      "\"wait_reservation\":0,\"wait_held\":0,\"wait_dependency\":0}\n"
+      "{\"t\":150,\"job\":2,\"ev\":\"finish\",\"wait_resources\":0,"
+      "\"wait_reservation\":100,\"wait_held\":0,\"wait_dependency\":0}\n";
+  EXPECT_EQ(jsonl, expected);
+  // The blocked line itself: resource_busy, with attribution and the
+  // t=100 release hint (eventlog enables introspection).
+  const std::string blocked = obs::EventLog::to_json(evs[6]);
+  EXPECT_NE(blocked.find("\"ev\":\"blocked\""), std::string::npos) << blocked;
+  EXPECT_NE(blocked.find("\"code\":\"resource_busy\""), std::string::npos)
+      << blocked;
+  EXPECT_NE(blocked.find("\"dominant\":"), std::string::npos) << blocked;
+  EXPECT_NE(blocked.find("\"hint\":100"), std::string::npos) << blocked;
+}
+
+TEST_F(EventlogFixture, EveryLineIsSchemaValidJson) {
+  JobQueue q(*trav, QueuePolicy::easy_backfill);
+  q.set_eventlog(true);
+  q.submit(whole_nodes(4, 100));
+  q.submit(whole_nodes(2, 50), /*priority=*/1);
+  ASSERT_TRUE(q.run_to_completion());
+  const std::string jsonl = q.eventlog().jsonl();
+  std::size_t pos = 0, lines = 0;
+  while (pos < jsonl.size()) {
+    const std::size_t eol = jsonl.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    const std::string line = jsonl.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lines;
+    auto doc = yaml::parse_json(line);
+    ASSERT_TRUE(doc) << line;
+    ASSERT_TRUE(doc->is_mapping()) << line;
+    EXPECT_TRUE(doc->get("t") != nullptr && doc->get("t")->as_i64());
+    EXPECT_TRUE(doc->get("job") != nullptr && doc->get("job")->as_i64());
+    EXPECT_TRUE(doc->get("ev") != nullptr && doc->get("ev")->is_scalar());
+  }
+  EXPECT_GT(lines, 0u);
+}
+
+TEST_F(EventlogFixture, DisabledRecordsNothing) {
+  JobQueue q(*trav, QueuePolicy::easy_backfill);
+  q.submit(whole_nodes(4, 100));
+  ASSERT_TRUE(q.run_to_completion());
+  EXPECT_FALSE(q.eventlog().enabled());
+  EXPECT_TRUE(q.eventlog().jsonl().empty());
+}
+
+TEST_F(EventlogFixture, BlockedEventCarriesAttribution) {
+  JobQueue q(*trav, QueuePolicy::fcfs);
+  q.set_eventlog(true);  // also enables traverser introspection
+  q.submit(whole_nodes(4, 100));
+  const JobId blocked = q.submit(whole_nodes(1, 10));
+  q.schedule();
+  ASSERT_EQ(q.find(blocked)->state, JobState::pending);
+  bool saw_blocked = false;
+  for (const auto* ev : q.eventlog().for_job(blocked)) {
+    if (ev->kind != "blocked") continue;
+    saw_blocked = true;
+    bool saw_code = false, saw_dominant = false, saw_hint = false;
+    for (const auto& [key, value] : ev->args) {
+      if (key == "code") {
+        saw_code = true;
+        EXPECT_EQ(value, "\"resource_busy\"");
+      }
+      if (key == "dominant") saw_dominant = true;
+      if (key == "hint") {
+        saw_hint = true;
+        EXPECT_EQ(value, "100");  // machine frees when job 1 ends
+      }
+    }
+    EXPECT_TRUE(saw_code);
+    EXPECT_TRUE(saw_dominant);
+    EXPECT_TRUE(saw_hint);
+  }
+  EXPECT_TRUE(saw_blocked);
+}
+
+TEST_F(EventlogFixture, ExplainNamesDominantBlockerAndHint) {
+  JobQueue q(*trav, QueuePolicy::fcfs);
+  q.set_eventlog(true);
+  q.submit(whole_nodes(4, 100));
+  const JobId blocked = q.submit(whole_nodes(1, 10));
+  q.schedule();
+  const std::string text = q.explain(blocked);
+  EXPECT_NE(text.find("resource_busy"), std::string::npos) << text;
+  EXPECT_NE(text.find("dominant blocker:"), std::string::npos) << text;
+  EXPECT_NE(text.find("earliest feasible: t=100"), std::string::npos) << text;
+  EXPECT_NE(text.find("waiting on resources"), std::string::npos) << text;
+}
+
+TEST_F(EventlogFixture, ExplainUnknownJob) {
+  JobQueue q(*trav, QueuePolicy::fcfs);
+  EXPECT_NE(q.explain(42).find("unknown"), std::string::npos);
+}
+
+TEST_F(EventlogFixture, WaitDecompositionChargesTheRightBuckets) {
+  JobQueue q(*trav, QueuePolicy::easy_backfill);
+  const JobId a = q.submit(whole_nodes(4, 100));
+  const JobId b = q.submit(whole_nodes(2, 50));
+  ASSERT_TRUE(q.run_to_completion());
+  // a started immediately: no wait at all.
+  EXPECT_EQ(q.find(a)->wait.total(), 0);
+  // b held a reservation from t=0 to its start at t=100.
+  EXPECT_EQ(q.find(b)->wait.reservation, 100);
+  EXPECT_EQ(q.find(b)->wait.resources, 0);
+  EXPECT_EQ(q.find(b)->wait.held, 0);
+  EXPECT_EQ(q.find(b)->wait.dependency, 0);
+}
+
+TEST_F(EventlogFixture, WaitDecompositionBlockedOnResources) {
+  JobQueue q(*trav, QueuePolicy::fcfs);
+  const JobId a = q.submit(whole_nodes(4, 100));
+  const JobId b = q.submit(whole_nodes(1, 10));
+  ASSERT_TRUE(q.run_to_completion());
+  EXPECT_EQ(q.find(a)->wait.total(), 0);
+  // fcfs keeps b pending (blocked on resources) until a finishes.
+  EXPECT_EQ(q.find(b)->wait.resources, 100);
+  EXPECT_EQ(q.find(b)->wait.reservation, 0);
+}
+
+TEST_F(EventlogFixture, WaitDecompositionDependencyAndHold) {
+  JobQueue q(*trav, QueuePolicy::easy_backfill);
+  const JobId a = q.submit(whole_nodes(1, 10));
+  ASSERT_TRUE(q.hold(a));
+  const JobId dep = q.submit(whole_nodes(1, 10), 0, {a});
+  q.schedule();  // a is held, so dep's dependency end is unknown
+  ASSERT_TRUE(q.advance_to(30));
+  ASSERT_TRUE(q.release(a));
+  ASSERT_TRUE(q.run_to_completion());
+  // a sat held for 30s, then started immediately.
+  EXPECT_EQ(q.find(a)->wait.held, 30);
+  EXPECT_EQ(q.find(a)->wait.resources, 0);
+  // dep was gated on a the whole time (EASY defers future-gated
+  // dependents instead of reserving), starting the instant a finished.
+  EXPECT_EQ(q.find(dep)->wait.dependency, 40);
+  EXPECT_EQ(q.find(dep)->wait.reservation, 0);
+  EXPECT_EQ(q.find(dep)->wait.total(), 40);
+  EXPECT_EQ(q.find(dep)->start_time, 40);
+}
+
+}  // namespace
+}  // namespace fluxion::queue

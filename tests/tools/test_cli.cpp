@@ -317,6 +317,43 @@ TEST_F(CliTest, DownNodeEvictsItsJob) {
       << out;
 }
 
+TEST_F(CliTest, ExplainAttributesMatchOutcomes) {
+  const std::string big = temp_dir() + "cli_full.yaml";
+  write_file(big,
+             "resources:\n"
+             "  - type: slot\n"
+             "    count: 1\n"
+             "    with:\n"
+             "      - type: node\n"
+             "        count: 4\n"
+             "        exclusive: true\n"
+             "attributes:\n"
+             "  system:\n"
+             "    duration: 500\n");
+  const std::string out = run_cli(
+      "--grug " + grug_,
+      "match allocate " + big + "\n"   // job 1 fills the machine until 500
+      "match allocate " + job_ + "\n"  // attempt 2: busy
+      "explain 1\n"
+      "explain last\n"
+      "explain 77\n"
+      "quit\n");
+  EXPECT_NE(out.find("job 1: match allocate -> ok"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("no rejections recorded; match succeeded"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("job 2: match allocate -> resource_busy"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("dominant blocker: "), std::string::npos) << out;
+  EXPECT_NE(out.find("rejections: "), std::string::npos) << out;
+  EXPECT_NE(out.find("earliest feasible: t=500"), std::string::npos) << out;
+  EXPECT_NE(out.find("no match attempt recorded for job 77"),
+            std::string::npos)
+      << out;
+}
+
 TEST_F(CliTest, GraphGrowAndShrink) {
   const std::string fragment = temp_dir() + "cli_rack.grug";
   write_file(fragment,

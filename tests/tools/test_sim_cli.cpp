@@ -211,6 +211,104 @@ TEST_F(SimCliTest, AnalyzeTraceRebuildsJobLifecycles) {
   }
 }
 
+TEST_F(SimCliTest, EventlogFlagWritesJsonlLifecycles) {
+  const std::string log = temp_dir() + "sim_events.jsonl";
+  std::string out;
+  ASSERT_EQ(run("--eventlog " + log, &out), 0) << out;
+  const std::string doc = slurp(log);
+  ASSERT_FALSE(doc.empty());
+  // One JSON object per line, covering the whole lifecycle of the trace.
+  EXPECT_EQ(doc.back(), '\n');
+  for (const char* frag :
+       {"\"ev\":\"submit\"", "\"ev\":\"probe\"", "\"ev\":\"alloc\"",
+        "\"ev\":\"start\"", "\"ev\":\"finish\"", "\"wait_resources\":"}) {
+    EXPECT_NE(doc.find(frag), std::string::npos) << frag << "\n" << doc;
+  }
+  std::size_t pos = 0;
+  while (pos < doc.size()) {
+    EXPECT_EQ(doc[pos], '{') << doc.substr(pos, 40);
+    pos = doc.find('\n', pos) + 1;
+  }
+
+  // Determinism: the export is byte-identical across thread counts and
+  // cache settings (the tool-level face of the differential tests).
+  const std::string log2 = temp_dir() + "sim_events2.jsonl";
+  ASSERT_EQ(run("--eventlog " + log2 + " --match-threads 8 --no-match-cache",
+                &out),
+            0)
+      << out;
+  EXPECT_EQ(slurp(log2), doc);
+}
+
+TEST_F(SimCliTest, MetricsPromFlagWritesPrometheusText) {
+  const std::string prom = temp_dir() + "sim_metrics.prom";
+  std::string out;
+  ASSERT_EQ(run("--metrics-prom " + prom, &out), 0) << out;
+  const std::string doc = slurp(prom);
+  EXPECT_NE(doc.find("# TYPE fluxion_traverser_visits_total counter"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("fluxion_queue_submitted_total 3"), std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("_bucket{le=\"+Inf\"}"), std::string::npos) << doc;
+}
+
+TEST_F(SimCliTest, AnalyzeEventlogReportsBlockedReasons) {
+  // fcfs keeps the 4-node job (and everything behind it) blocked until
+  // the head job finishes, so the eventlog carries blocked events with
+  // attribution for the analyzer to aggregate.
+  const std::string log = temp_dir() + "an_ev.jsonl";
+  std::string out;
+  ASSERT_EQ(run("--queue fcfs --eventlog " + log, &out), 0) << out;
+  const std::string an_out = temp_dir() + "an_ev_out.txt";
+  const std::string cmd = std::string(FLUXION_ANALYZE_BIN) + " --eventlog " +
+                          log + " > " + an_out + " 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << slurp(an_out);
+  const std::string report = slurp(an_out);
+  EXPECT_NE(report.find("== eventlog report"), std::string::npos) << report;
+  EXPECT_NE(report.find("blocked"), std::string::npos) << report;
+  EXPECT_NE(report.find("top blockers"), std::string::npos) << report;
+  EXPECT_NE(report.find("wait decomposition"), std::string::npos) << report;
+}
+
+TEST_F(SimCliTest, AnalyzeEventlogRejectsGarbage) {
+  const std::string bad = temp_dir() + "an_ev_bad.jsonl";
+  write_file(bad, "{\"t\":0,\"job\":1,\"ev\":\"submit\"}\nnot json\n");
+  const std::string cmd = std::string(FLUXION_ANALYZE_BIN) + " --eventlog " +
+                          bad + " > /dev/null 2>&1";
+  EXPECT_NE(std::system(cmd.c_str()), 0);
+}
+
+TEST_F(SimCliTest, BenchCompareDiffsTwoReports) {
+  const std::string a = temp_dir() + "bench_a.json";
+  const std::string b = temp_dir() + "bench_b.json";
+  write_file(a,
+             "{\"schema_version\":1,\"bench\":\"queue_events\","
+             "\"config\":{\"jobs\":100},\"matches_per_s\":1000,"
+             "\"ratios\":{\"match_ratio\":0.5}}\n");
+  write_file(b,
+             "{\"schema_version\":1,\"bench\":\"queue_events\","
+             "\"config\":{\"jobs\":100},\"matches_per_s\":1500,"
+             "\"ratios\":{\"match_ratio\":0.25}}\n");
+  const std::string out_path = temp_dir() + "bench_cmp.txt";
+  const std::string cmd = std::string(FLUXION_ANALYZE_BIN) +
+                          " --bench-compare " + a + " " + b + " > " +
+                          out_path + " 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << slurp(out_path);
+  const std::string report = slurp(out_path);
+  EXPECT_NE(report.find("matches_per_s"), std::string::npos) << report;
+  EXPECT_NE(report.find("+50"), std::string::npos) << report;  // +50% delta
+  EXPECT_NE(report.find("ratios.match_ratio"), std::string::npos) << report;
+
+  // A non-BENCH document is refused.
+  const std::string not_bench = temp_dir() + "bench_nb.json";
+  write_file(not_bench, "{\"hello\":1}\n");
+  const std::string bad_cmd = std::string(FLUXION_ANALYZE_BIN) +
+                              " --bench-compare " + a + " " + not_bench +
+                              " > /dev/null 2>&1";
+  EXPECT_NE(std::system(bad_cmd.c_str()), 0);
+}
+
 TEST_F(SimCliTest, BadArgsFail) {
   std::string out;
   EXPECT_NE(run("--queue bogus", &out), 0);

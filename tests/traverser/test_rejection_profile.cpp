@@ -1,0 +1,185 @@
+// Match-failure attribution oracle: the RejectionProfile a probe carries
+// must reconcile exactly with the TraverserStats counters incremented at
+// the same code sites — filter_pruned vs stats.pruned, status_pruned vs
+// stats.status_pruned, postorder vs stats.postorder_rejects — under both
+// scored and first-match traversal, and must leave no trace when
+// introspection is off.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dynamic/dynamic.hpp"
+#include "grug/grug.hpp"
+#include "jobspec/jobspec.hpp"
+#include "policy/policies.hpp"
+#include "traverser/traverser.hpp"
+
+namespace fluxion::traverser {
+namespace {
+
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+
+constexpr const char* kRecipe = R"(
+filters core memory
+filter-at cluster rack
+cluster count=1
+  rack count=2
+    node count=2
+      core count=4
+      memory count=2 size=16
+)";
+
+class RejectionProfileTest : public ::testing::Test {
+ protected:
+  RejectionProfileTest() : g(0, 100000) {
+    auto recipe = grug::parse(kRecipe);
+    EXPECT_TRUE(recipe);
+    auto r = grug::build(g, *recipe);
+    EXPECT_TRUE(r);
+    root = *r;
+    trav = std::make_unique<Traverser>(g, root, pol);
+  }
+
+  jobspec::Jobspec node_job(std::int64_t nodes, std::int64_t cores,
+                            util::Duration d) {
+    auto js = make({slot(nodes, {xres("node", 1, {res("core", cores)})})}, d);
+    EXPECT_TRUE(js);
+    return *js;
+  }
+
+  struct StatDelta {
+    std::uint64_t pruned, status_pruned, postorder;
+  };
+
+  StatDelta failing_match(const jobspec::Jobspec& js) {
+    const auto& s = trav->stats();
+    const StatDelta before{s.pruned, s.status_pruned, s.postorder_rejects};
+    EXPECT_FALSE(trav->match(js, MatchOp::allocate, 0, next_id++));
+    return {s.pruned - before.pruned, s.status_pruned - before.status_pruned,
+            s.postorder_rejects - before.postorder};
+  }
+
+  void expect_reconciled(const RejectionProfile& rp, const StatDelta& d) {
+    EXPECT_EQ(rp.total(RejectReason::filter), d.pruned);
+    EXPECT_EQ(rp.total(RejectReason::status), d.status_pruned);
+    EXPECT_EQ(rp.total(RejectReason::postorder), d.postorder);
+  }
+
+  graph::ResourceGraph g;
+  graph::VertexId root = graph::kInvalidVertex;
+  policy::LowIdPolicy pol;
+  std::unique_ptr<Traverser> trav;
+  JobId next_id = 1;
+};
+
+TEST_F(RejectionProfileTest, ReconcilesWithStatsOnFullMachine) {
+  trav->set_introspection(true);
+  ASSERT_TRUE(trav->match(node_job(4, 4, 100), MatchOp::allocate, 0, 99));
+  const StatDelta d = failing_match(node_job(1, 4, 10));
+  const RejectionProfile& rp = trav->last_rejections();
+  ASSERT_FALSE(rp.empty());
+  expect_reconciled(rp, d);
+  // Something must have been attributed for a machine-full failure.
+  EXPECT_GT(rp.total(RejectReason::filter) + rp.total(RejectReason::busy) +
+                rp.total(RejectReason::exclusivity),
+            0u);
+}
+
+TEST_F(RejectionProfileTest, ReconcilesWithDrainedNodes) {
+  trav->set_introspection(true);
+  dynamic::DynamicResources dyn(g, *trav);
+  const auto nodes = g.vertices_of_type(*g.find_type("node"));
+  ASSERT_EQ(nodes.size(), 4u);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    ASSERT_TRUE(dyn.set_status(nodes[i], graph::ResourceStatus::drained));
+  }
+  const StatDelta d = failing_match(node_job(2, 4, 10));
+  const RejectionProfile& rp = trav->last_rejections();
+  ASSERT_FALSE(rp.empty());
+  expect_reconciled(rp, d);
+}
+
+TEST_F(RejectionProfileTest, ReconcilesUnderFirstMatch) {
+  trav->set_introspection(true);
+  trav->set_traversal_mode(TraversalMode::first_match);
+  ASSERT_TRUE(trav->match(node_job(4, 4, 100), MatchOp::allocate, 0, 99));
+  const StatDelta d = failing_match(node_job(2, 4, 10));
+  const RejectionProfile& rp = trav->last_rejections();
+  ASSERT_FALSE(rp.empty());
+  expect_reconciled(rp, d);
+}
+
+TEST_F(RejectionProfileTest, DominantNamesTheHeaviestType) {
+  trav->set_introspection(true);
+  ASSERT_TRUE(trav->match(node_job(4, 4, 100), MatchOp::allocate, 0, 99));
+  failing_match(node_job(1, 4, 10));
+  const RejectionProfile& rp = trav->last_rejections();
+  util::InternId dom = 0;
+  ASSERT_TRUE(rp.dominant(dom));
+  // The dominant type's total must be the maximum across touched types.
+  const std::uint64_t dom_total = rp.at(dom).total();
+  for (const util::InternId t : rp.touched()) {
+    EXPECT_LE(rp.at(t).total(), dom_total);
+  }
+  EXPECT_GT(dom_total, 0u);
+}
+
+TEST_F(RejectionProfileTest, HintNamesTheNextReleaseTime) {
+  trav->set_introspection(true);
+  ASSERT_TRUE(trav->match(node_job(4, 4, 100), MatchOp::allocate, 0, 99));
+  failing_match(node_job(1, 4, 10));
+  // Everything frees at t=100, so the aggregate lower bound lands there.
+  EXPECT_EQ(trav->last_rejections().earliest_hint, 100);
+}
+
+TEST_F(RejectionProfileTest, ExplainArgsRenderDominantReasonsAndHint) {
+  trav->set_introspection(true);
+  ASSERT_TRUE(trav->match(node_job(4, 4, 100), MatchOp::allocate, 0, 99));
+  failing_match(node_job(1, 4, 10));
+  const auto args = trav->explain_args();
+  ASSERT_FALSE(args.empty());
+  bool saw_dominant = false, saw_hint = false, saw_reason = false;
+  for (const auto& [key, value] : args) {
+    if (key == "dominant") {
+      saw_dominant = true;
+      EXPECT_EQ(value.front(), '"');  // JSON string fragment
+    } else if (key == "hint") {
+      saw_hint = true;
+      EXPECT_EQ(value, "100");
+    } else {
+      saw_reason = true;  // per-reason tally, bare number
+      EXPECT_NE(value, "0");
+    }
+  }
+  EXPECT_TRUE(saw_dominant);
+  EXPECT_TRUE(saw_hint);
+  EXPECT_TRUE(saw_reason);
+}
+
+TEST_F(RejectionProfileTest, DisabledLeavesNoTrace) {
+  ASSERT_FALSE(trav->introspection());
+  ASSERT_TRUE(trav->match(node_job(4, 4, 100), MatchOp::allocate, 0, 99));
+  failing_match(node_job(1, 4, 10));
+  EXPECT_TRUE(trav->last_rejections().empty());
+  EXPECT_EQ(trav->last_rejections().earliest_hint, -1);
+  EXPECT_TRUE(trav->explain_args().empty());
+}
+
+TEST_F(RejectionProfileTest, SuccessfulMatchClearsTheProfile) {
+  trav->set_introspection(true);
+  ASSERT_TRUE(trav->match(node_job(4, 4, 100), MatchOp::allocate, 0, 99));
+  failing_match(node_job(1, 4, 10));
+  ASSERT_FALSE(trav->last_rejections().empty());
+  ASSERT_TRUE(trav->cancel(99));
+  ASSERT_TRUE(trav->match(node_job(1, 4, 10), MatchOp::allocate, 0, 100));
+  // A clean success may legitimately tally nothing; what matters is that
+  // the stored profile now describes the successful walk, not the old
+  // failure: no stale hint survives.
+  EXPECT_EQ(trav->last_rejections().earliest_hint, -1);
+}
+
+}  // namespace
+}  // namespace fluxion::traverser

@@ -10,9 +10,15 @@
 //                   [--metrics FILE]  # merged wait/match histograms (JSON)
 //                   [--trace FILE]    # job lifecycles re-derived from the
 //                                     # CSV as Chrome trace-event JSON
+//                   [--eventlog FILE] # blocked-reason report from a
+//                                     # fluxion-sim --eventlog JSONL file
+//   fluxion-analyze --bench-compare A.json B.json
+//                                     # diff two BENCH_<name>.json reports
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +26,7 @@
 #include "obs/trace.hpp"
 #include "util/histogram.hpp"
 #include "util/strings.hpp"
+#include "yaml/json.hpp"
 
 namespace {
 
@@ -276,11 +283,207 @@ void print_comparison(const std::vector<FileStats>& files) {
   std::printf("\n");
 }
 
+/// Blocked-reason report over a fluxion-sim --eventlog JSONL file: which
+/// resource types dominated the match failures, the per-reason rejection
+/// totals, and the wait decomposition of the jobs that finished. This is
+/// the fleet-level view of what `resource-query explain` shows per job.
+int eventlog_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "fluxion-analyze: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  static const char* kReasons[] = {"filter_pruned", "status_pruned",
+                                   "busy",          "exclusivity",
+                                   "requirements",  "postorder"};
+  std::size_t events = 0;
+  std::map<std::string, std::size_t> by_kind;
+  std::map<std::string, std::size_t> dominant;  // type -> blocked probes
+  std::map<std::string, long long> reasons;     // reason -> tally total
+  std::map<long long, std::size_t> blocked_by_job;
+  double wait[4] = {0, 0, 0, 0};  // resources, reservation, held, dependency
+  std::size_t finished = 0;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto doc = yaml::parse_json(line);
+    if (!doc || !doc->is_mapping()) {
+      std::fprintf(stderr, "fluxion-analyze: %s:%d: not a JSON event\n",
+                   path.c_str(), lineno);
+      return 2;
+    }
+    const yaml::Node* ev = doc->get("ev");
+    const yaml::Node* job = doc->get("job");
+    if (ev == nullptr || !ev->is_scalar() || job == nullptr ||
+        !job->as_i64()) {
+      std::fprintf(stderr,
+                   "fluxion-analyze: %s:%d: event missing ev/job keys\n",
+                   path.c_str(), lineno);
+      return 2;
+    }
+    ++events;
+    ++by_kind[ev->scalar()];
+    if (ev->scalar() == "blocked") {
+      ++blocked_by_job[*job->as_i64()];
+      if (const yaml::Node* d = doc->get("dominant")) {
+        ++dominant[d->scalar()];
+      }
+      for (const char* r : kReasons) {
+        if (const yaml::Node* n = doc->get(r)) {
+          if (const auto v = n->as_i64()) reasons[r] += *v;
+        }
+      }
+    } else if (ev->scalar() == "finish") {
+      ++finished;
+      static const char* kWaits[] = {"wait_resources", "wait_reservation",
+                                     "wait_held", "wait_dependency"};
+      for (int w = 0; w < 4; ++w) {
+        if (const yaml::Node* n = doc->get(kWaits[w])) {
+          if (const auto v = n->as_i64()) {
+            wait[w] += static_cast<double>(*v);
+          }
+        }
+      }
+    }
+  }
+
+  std::printf("== eventlog report: %s ==\n", path.c_str());
+  std::printf("events: %zu", events);
+  for (const auto& [kind, n] : by_kind) std::printf("  %s: %zu", kind.c_str(), n);
+  std::printf("\n");
+  const std::size_t blocked = by_kind.count("blocked") != 0
+                                  ? by_kind.at("blocked")
+                                  : std::size_t{0};
+  if (blocked > 0) {
+    std::printf("blocked probes: %zu across %zu jobs\n", blocked,
+                blocked_by_job.size());
+    if (!dominant.empty()) {
+      // Top blockers: the resource types that most often dominated a
+      // failed match's rejection profile.
+      std::vector<std::pair<std::string, std::size_t>> top(dominant.begin(),
+                                                           dominant.end());
+      std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+        return a.second != b.second ? a.second > b.second
+                                    : a.first < b.first;
+      });
+      std::printf("top blockers [type: dominated-probes (share)]:\n");
+      for (const auto& [type, n] : top) {
+        std::printf("  %-12s %8zu (%5.1f%%)\n", type.c_str(), n,
+                    100.0 * static_cast<double>(n) /
+                        static_cast<double>(blocked));
+      }
+    }
+    if (!reasons.empty()) {
+      std::printf("rejection reasons [reason: total tallies]:\n");
+      for (const char* r : kReasons) {
+        const auto it = reasons.find(r);
+        if (it == reasons.end()) continue;
+        std::printf("  %-14s %10lld\n", r,
+                    static_cast<long long>(it->second));
+      }
+    }
+  } else {
+    std::printf("no blocked events (introspection off, or nothing ever "
+                "waited)\n");
+  }
+  if (finished > 0) {
+    std::printf("wait decomposition over %zu finished jobs [mean s]:\n"
+                "  resources %.1f  reservation %.1f  held %.1f  "
+                "dependency %.1f\n",
+                finished, wait[0] / finished, wait[1] / finished,
+                wait[2] / finished, wait[3] / finished);
+  }
+  return 0;
+}
+
+/// Flatten every numeric leaf of a BENCH report to "a.b[2].c" -> value,
+/// skipping the top-level obs catalogue (hundreds of counters; diffing
+/// those is `--metrics` territory).
+void flatten_numbers(const yaml::Node& n, const std::string& prefix,
+                     std::map<std::string, double>& out) {
+  if (n.is_mapping()) {
+    for (const auto& [key, value] : n.entries()) {
+      if (prefix.empty() && key == "obs") continue;
+      flatten_numbers(value, prefix.empty() ? key : prefix + "." + key, out);
+    }
+  } else if (n.is_sequence()) {
+    for (std::size_t i = 0; i < n.items().size(); ++i) {
+      flatten_numbers(n.items()[i], prefix + "[" + std::to_string(i) + "]",
+                      out);
+    }
+  } else if (const auto d = n.as_double()) {
+    out[prefix] = *d;
+  }
+}
+
+/// Diff two BENCH_<name>.json reports (bench/bench_json.hpp schema): every
+/// numeric key side by side with the relative change. A is the baseline.
+int bench_compare(const std::string& path_a, const std::string& path_b) {
+  yaml::Node docs[2];
+  const std::string* paths[2] = {&path_a, &path_b};
+  for (int i = 0; i < 2; ++i) {
+    std::ifstream in(*paths[i]);
+    if (!in) {
+      std::fprintf(stderr, "fluxion-analyze: cannot read %s\n",
+                   paths[i]->c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    auto doc = yaml::parse_json(ss.str());
+    if (!doc || !doc->is_mapping() || !doc->has("schema_version")) {
+      std::fprintf(stderr,
+                   "fluxion-analyze: %s: not a BENCH report (missing "
+                   "schema_version)\n",
+                   paths[i]->c_str());
+      return 2;
+    }
+    docs[i] = std::move(*doc);
+  }
+  const yaml::Node* name_a = docs[0].get("bench");
+  const yaml::Node* name_b = docs[1].get("bench");
+  if (name_a != nullptr && name_b != nullptr &&
+      name_a->scalar() != name_b->scalar()) {
+    std::fprintf(stderr,
+                 "fluxion-analyze: warning: comparing different benches "
+                 "(%s vs %s)\n",
+                 name_a->scalar().c_str(), name_b->scalar().c_str());
+  }
+  std::map<std::string, double> a, b;
+  flatten_numbers(docs[0], "", a);
+  flatten_numbers(docs[1], "", b);
+
+  std::printf("== bench compare: %s (A, baseline) vs %s (B) ==\n",
+              path_a.c_str(), path_b.c_str());
+  std::printf("%-44s %14s %14s %10s\n", "key", "A", "B", "delta");
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : a) keys.push_back(k);
+  for (const auto& [k, v] : b) {
+    if (a.find(k) == a.end()) keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const std::string& k : keys) {
+    const auto ia = a.find(k), ib = b.find(k);
+    char va[32] = "-", vb[32] = "-", delta[32] = "-";
+    if (ia != a.end()) std::snprintf(va, sizeof va, "%.6g", ia->second);
+    if (ib != b.end()) std::snprintf(vb, sizeof vb, "%.6g", ib->second);
+    if (ia != a.end() && ib != b.end() && ia->second != 0.0) {
+      std::snprintf(delta, sizeof delta, "%+.1f%%",
+                    100.0 * (ib->second - ia->second) / ia->second);
+    }
+    std::printf("%-44s %14s %14s %10s\n", k.c_str(), va, vb, delta);
+  }
+  return 0;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s SCHEDULE.csv [MORE.csv ...] [--metrics FILE] "
-               "[--trace FILE]\n",
-               argv0);
+               "[--trace FILE] [--eventlog FILE]\n"
+               "       %s --bench-compare A.json B.json\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -290,6 +493,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::string metrics_path;
   std::string trace_path;
+  std::string eventlog_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--metrics") {
@@ -298,13 +502,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace") {
       if (i + 1 >= argc) return usage(argv[0]);
       trace_path = argv[++i];
+    } else if (arg == "--eventlog") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      eventlog_path = argv[++i];
+    } else if (arg == "--bench-compare") {
+      if (i + 2 >= argc) return usage(argv[0]);
+      return bench_compare(argv[i + 1], argv[i + 2]);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
     } else {
       paths.push_back(arg);
     }
   }
-  if (paths.empty()) return usage(argv[0]);
+  if (!eventlog_path.empty()) {
+    const int rc = eventlog_report(eventlog_path);
+    if (rc != 0 || paths.empty()) return rc;
+  } else if (paths.empty()) {
+    return usage(argv[0]);
+  }
 
   obs::TraceLog tl;
   if (!trace_path.empty()) tl.set_enabled(true);

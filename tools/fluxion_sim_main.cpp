@@ -23,6 +23,12 @@
 //                                       # placements identical at any N
 //               [--trace-out FILE]      # job lifecycle + match phases as
 //                                       # Chrome trace-event JSON (Perfetto)
+//               [--eventlog FILE]       # per-job lifecycle eventlog (JSONL,
+//                                       # one object per event; sim-time
+//                                       # stamps, byte-identical at any
+//                                       # --match-threads / cache setting)
+//               [--metrics-prom FILE]   # counters in Prometheus text
+//                                       # exposition format
 //
 // Traces may carry a third per-line field (arrival time); with arrivals —
 // from the file or --arrivals — jobs are submitted online on the
@@ -77,7 +83,7 @@ int usage(const char* argv0) {
       "          [--perf-classes SEED]\n"
       "          [--arrivals MEAN] [--csv FILE] [--util FILE]\n"
       "          [--metrics FILE] [--trace-out FILE] [--no-match-cache]\n"
-      "          [--match-threads N]\n",
+      "          [--match-threads N] [--eventlog FILE] [--metrics-prom FILE]\n",
       argv0);
   return 2;
 }
@@ -94,6 +100,8 @@ int main(int argc, char** argv) {
   std::string util_path;
   std::string metrics_path;
   std::string trace_out_path;
+  std::string eventlog_path;
+  std::string prom_path;
   std::int64_t cores = 36;
   std::int64_t perf_seed = -1;
   double arrivals_mean = 0;
@@ -130,6 +138,10 @@ int main(int argc, char** argv) {
       if (const char* v = next()) metrics_path = v;
     } else if (arg == "--trace-out") {
       if (const char* v = next()) trace_out_path = v;
+    } else if (arg == "--eventlog") {
+      if (const char* v = next()) eventlog_path = v;
+    } else if (arg == "--metrics-prom") {
+      if (const char* v = next()) prom_path = v;
     } else if (arg == "--no-match-cache") {
       match_cache = false;
     } else if (arg == "--first-match") {
@@ -222,10 +234,11 @@ int main(int argc, char** argv) {
       jobs.begin(), jobs.end(),
       [](const sim::TraceJob& j) { return j.arrival != 0; });
 
-  if (!metrics_path.empty()) obs::set_enabled(true);
+  if (!metrics_path.empty() || !prom_path.empty()) obs::set_enabled(true);
   if (!trace_out_path.empty()) obs::trace().set_enabled(true);
 
   queue::JobQueue q((*rq)->traverser(), qp);
+  if (!eventlog_path.empty()) q.set_eventlog(true);
   q.set_match_cache(match_cache);
   if (first_match) q.set_traversal_mode(traverser::TraversalMode::first_match);
   q.set_reservation_depth(static_cast<std::size_t>(reservation_depth));
@@ -337,6 +350,24 @@ int main(int argc, char** argv) {
       return 2;
     }
     to << obs::trace().chrome_json();
+  }
+  if (!eventlog_path.empty()) {
+    std::ofstream eo(eventlog_path);
+    if (!eo) {
+      std::fprintf(stderr, "fluxion-sim: cannot write %s\n",
+                   eventlog_path.c_str());
+      return 2;
+    }
+    eo << q.eventlog().jsonl();
+  }
+  if (!prom_path.empty()) {
+    std::ofstream po(prom_path);
+    if (!po) {
+      std::fprintf(stderr, "fluxion-sim: cannot write %s\n",
+                   prom_path.c_str());
+      return 2;
+    }
+    po << obs::monitor().prometheus();
   }
 
   const auto m = q.metrics();

@@ -23,6 +23,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/resource_query.hpp"
@@ -71,6 +72,10 @@ void print_help() {
       "  run-trace FILE CORES      — run a '<nodes> <duration>' trace with\n"
       "                              conservative backfilling, print metrics\n"
       "  find JOBID\n"
+      "  explain JOBID — why JOBID's match came out the way it did:\n"
+      "                              outcome, dominant blocking resource\n"
+      "                              type, per-reason rejection tallies and\n"
+      "                              the earliest-feasible-time hint\n"
       "  traversal-mode [scored|first-match] — show or set how matches\n"
       "                              walk the graph (first-match stops at\n"
       "                              the first feasible slot, no scoring)\n"
@@ -86,6 +91,18 @@ struct Cli {
   std::string format = "simple";
   /// Dynamic-resource layer; no queue here, so evictions kill jobs.
   std::unique_ptr<dynamic::DynamicResources> dyn;
+  /// One record per match command, keyed by the job id the match ran
+  /// under (failed matches consume an id for attribution purposes only).
+  /// Introspection is always on in the interactive tool, so `explain`
+  /// never comes up empty-handed.
+  struct Attempt {
+    std::string op;
+    bool ok = false;
+    std::string code;
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+  std::unordered_map<long long, Attempt> attempts;
+  long long last_attempt_id = -1;
 
   void emit_match(const core::MatchResult& r) const {
     if (format == "rlite") {
@@ -117,6 +134,8 @@ struct Cli {
     }
     util::Expected<core::MatchResult> r =
         util::Error{util::Errc::invalid_argument, "unknown match op"};
+    const long long attempt_id = static_cast<long long>(rq->peek_job_id());
+    bool dispatched = true;
     if (args[1] == "allocate") {
       r = rq->match_allocate(*js);
     } else if (args[1] == "allocate_with_satisfiability") {
@@ -127,10 +146,21 @@ struct Cli {
       r = rq->match_allocate_orelse_reserve(*js);
     } else if (args[1] == "satisfiability") {
       r = rq->satisfiability(*js);
-      if (r) {
-        std::printf("satisfiable\n");
-        return 0;
-      }
+    } else {
+      dispatched = false;
+    }
+    if (dispatched) {
+      Attempt a;
+      a.op = args[1];
+      a.ok = static_cast<bool>(r);
+      a.code = r ? "ok" : util::errc_name(r.error().code);
+      a.args = rq->traverser().explain_args();
+      attempts[attempt_id] = std::move(a);
+      last_attempt_id = attempt_id;
+    }
+    if (args[1] == "satisfiability" && r) {
+      std::printf("satisfiable\n");
+      return 0;
     }
     if (!r) {
       std::printf("MATCH FAILED (%s): %s\n",
@@ -138,6 +168,48 @@ struct Cli {
       return 0;
     }
     emit_match(*r);
+    return 0;
+  }
+
+  int handle_explain(const std::string& arg) {
+    long long id = last_attempt_id;
+    if (arg != "last") {
+      auto parsed = util::parse_i64(arg);
+      if (!parsed) {
+        std::printf("error: explain takes a job id or 'last'\n");
+        return 0;
+      }
+      id = *parsed;
+    }
+    auto it = attempts.find(id);
+    if (it == attempts.end()) {
+      std::printf("no match attempt recorded for job %lld\n", id);
+      return 0;
+    }
+    const Attempt& a = it->second;
+    std::printf("job %lld: match %s -> %s\n", id, a.op.c_str(),
+                a.code.c_str());
+    auto unquote = [](const std::string& v) {
+      return v.size() >= 2 && v.front() == '"' && v.back() == '"'
+                 ? v.substr(1, v.size() - 2)
+                 : v;
+    };
+    std::string tallies;
+    for (const auto& [k, v] : a.args) {
+      if (k == "dominant") {
+        std::printf("  dominant blocker: %s\n", unquote(v).c_str());
+      } else if (k == "hint") {
+        std::printf("  earliest feasible: t=%s\n", v.c_str());
+      } else {
+        if (!tallies.empty()) tallies += ", ";
+        tallies += k + " " + v;
+      }
+    }
+    if (!tallies.empty()) std::printf("  rejections: %s\n", tallies.c_str());
+    if (a.args.empty()) {
+      std::printf("  (no rejections recorded%s)\n",
+                  a.ok ? "; match succeeded" : "");
+    }
     return 0;
   }
 
@@ -288,6 +360,8 @@ struct Cli {
       }
       auto st = rq->graph().detach_subtree(*v);
       std::printf("%s\n", st ? "detached" : st.error().message.c_str());
+    } else if (cmd == "explain" && args.size() == 2) {
+      return handle_explain(args[1]);
     } else if (cmd == "find" && args.size() == 2) {
       auto id = util::parse_i64(args[1]);
       const core::MatchResult* job =
@@ -411,6 +485,9 @@ int main(int argc, char** argv) {
   // increment is noise next to terminal I/O, and `stats` should never be
   // silently empty.
   obs::set_enabled(true);
+  // Same reasoning for match-failure attribution: `explain` should always
+  // have an answer, and the per-rejection branch is noise here.
+  (*rq)->traverser().set_introspection(true);
   Cli cli{std::move(*rq), format};
   cli.dyn = std::make_unique<dynamic::DynamicResources>(
       cli.rq->graph(), cli.rq->traverser());
