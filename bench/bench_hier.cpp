@@ -1,16 +1,29 @@
-// Hierarchical scheduling throughput (paper §5.6).
+// Federated scheduling throughput (paper §5.6).
 //
 // The Flux design lets an instance spawn children, each owning a
 // partition, so high-throughput streams of small jobs are scheduled in
 // parallel-by-construction (no single scheduler walks the whole machine
-// per tiny job). This bench quantifies the effect in our single-process
-// setting: placing S small jobs through one flat instance versus through
-// K child instances each holding 1/K of the machine — the child graphs
-// are K times smaller, so each match walks far fewer vertices.
+// per tiny job). This bench drives the full federation subsystem — the
+// router, per-child queues and the lockstep clock — over a stream of
+// one-node jobs and compares three topologies on the same machine:
+//
+//   flat      the degenerate single-member federation (== flat engine)
+//   children  one level of K child instances
+//   tree      a 2-level tree (K mid instances, K leaves each)
+//
+// Columns: wall time, placement throughput, simulated makespan and
+// traverser visits per job. The child graphs are K (or K^2) times
+// smaller, so each match walks far fewer vertices — visits/job is the
+// machine-independent signal CI gates on; wall-clock never gates.
+//
+// Exit codes: 0 ok, 1 setup failure, 2 report write failure,
+// 3 divergence (a topology failed to complete the whole workload or
+// disagreed on the simulated makespan).
 //
 // Environment:
-//   FLUXION_HIER_RACKS — rack count (default 8)
-//   FLUXION_HIER_JOBS  — small jobs to place (default 2000)
+//   FLUXION_HIER_RACKS    — rack count (default 8)
+//   FLUXION_HIER_JOBS     — small jobs to place (default 10000)
+//   FLUXION_HIER_CHILDREN — K, leaf fan-out per level (default 4)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -18,104 +31,147 @@
 
 #include "bench_json.hpp"
 #include "grug/recipes.hpp"
-#include "hier/instance.hpp"
+#include "hier/federation.hpp"
+#include "sim/fed_replay.hpp"
+#include "sim/workload.hpp"
 
 namespace {
 using namespace fluxion;
-using jobspec::make;
-using jobspec::res;
-using jobspec::slot;
-using jobspec::xres;
+
+struct Topology {
+  const char* name;
+  std::size_t children;
+  std::size_t levels;
+};
+
+struct RunResult {
+  double seconds = 0;
+  double rate = 0;
+  double visits_per_job = 0;
+  std::int64_t makespan = 0;
+  std::size_t completed = 0;
+};
+
 }  // namespace
 
 int main() {
   int racks = 8;
-  int jobs = 2000;
+  int jobs = 10000;
+  int fanout = 4;
   if (const char* env = std::getenv("FLUXION_HIER_RACKS")) {
     racks = std::max(2, std::atoi(env));
   }
   if (const char* env = std::getenv("FLUXION_HIER_JOBS")) {
     jobs = std::max(1, std::atoi(env));
   }
+  if (const char* env = std::getenv("FLUXION_HIER_CHILDREN")) {
+    fanout = std::max(2, std::atoi(env));
+  }
   const int nodes = racks * 62;
-  auto tiny = make({res("node", 1, {slot(1, {res("core", 1)})})}, 10);
-  if (!tiny) return 1;
+  const auto k = static_cast<std::size_t>(fanout);
 
-  std::printf("# Hierarchical scheduling throughput: %d nodes, %d one-core "
-              "jobs\n",
-              nodes, jobs);
-  std::printf("%-12s %12s %14s %16s\n", "instances", "total[s]",
-              "jobs/sec", "visits/job");
+  // One-node one-core jobs, everything arriving up front: the §5.6
+  // "high-throughput stream of small jobs" regime.
+  std::vector<sim::TraceJob> trace(static_cast<std::size_t>(jobs),
+                                   sim::TraceJob{1, 10, 0});
+
+  const Topology topologies[] = {
+      {"flat", 1, 1},
+      {"children", k, 1},
+      {"tree", k, 2},
+  };
+
+  std::printf("# Federated scheduling throughput: %d nodes, %d one-core "
+              "jobs, K=%d\n",
+              nodes, jobs, fanout);
+  std::printf("%-10s %8s %12s %14s %12s %16s\n", "topology", "leaves",
+              "total[s]", "jobs/sec", "makespan", "visits/job");
 
   std::string run_rows = "[";
-  double flat_rate = 0.0, deepest_rate = 0.0;
-  for (const int children : {1, 2, 4, 8}) {
-    auto root = hier::Instance::create_root(grug::recipes::quartz(true, racks));
-    if (!root) return 1;
-    std::vector<hier::Instance*> workers;
-    if (children == 1) {
-      workers.push_back(root->get());
-    } else {
-      const int per = nodes / children;
-      auto grant =
-          make({slot(per, {xres("node", 1, {res("core", 36)})})}, 1 << 30);
-      if (!grant) return 1;
-      for (int c = 0; c < children; ++c) {
-        auto child = (*root)->spawn_child(*grant, {});
-        if (!child) {
-          std::fprintf(stderr, "grant failed: %s\n",
-                       child.error().message.c_str());
-          return 1;
-        }
-        workers.push_back(*child);
-      }
+  RunResult results[3];
+  for (int t = 0; t < 3; ++t) {
+    const Topology& topo = topologies[t];
+    hier::FederationConfig cfg;
+    cfg.children = topo.children;
+    cfg.levels = topo.levels;
+    cfg.route = hier::RoutePolicy::round_robin;
+    cfg.queue_policy = queue::QueuePolicy::fcfs;
+    auto fed = hier::Federation::create(
+        grug::recipes::quartz(true, racks), cfg);
+    if (!fed) {
+      std::fprintf(stderr, "bench_hier: %s: %s\n", topo.name,
+                   fed.error().message.c_str());
+      return 1;
     }
-    // Round-robin the job stream over the workers; count traversal work.
+
     std::uint64_t visits0 = 0;
-    for (auto* w : workers) {
-      visits0 += w->engine().traverser().stats().visits;
+    for (std::size_t m = 0; m < (*fed)->member_count(); ++m) {
+      visits0 += (*fed)->member(m).instance->engine().traverser().stats()
+                     .visits;
     }
     const auto t0 = std::chrono::steady_clock::now();
-    int placed = 0;
-    std::vector<std::vector<traverser::JobId>> placed_ids(workers.size());
-    for (int j = 0; j < jobs; ++j) {
-      auto& w = *workers[static_cast<std::size_t>(j) % workers.size()];
-      auto r = w.engine().match_allocate(*tiny);
-      if (r) {
-        ++placed;
-        placed_ids[static_cast<std::size_t>(j) % workers.size()].push_back(
-            r->job);
-      } else {
-        // Partition full: recycle the oldest job from this worker.
-        auto& ids = placed_ids[static_cast<std::size_t>(j) % workers.size()];
-        if (!ids.empty()) {
-          (void)w.engine().cancel(ids.front());
-          ids.erase(ids.begin());
-          if (w.engine().match_allocate(*tiny)) ++placed;
-        }
-      }
-    }
+    auto replayed = sim::replay_trace(**fed, trace, 36);
     const auto t1 = std::chrono::steady_clock::now();
-    std::uint64_t visits1 = 0;
-    for (auto* w : workers) {
-      visits1 += w->engine().traverser().stats().visits;
+    if (!replayed) {
+      std::fprintf(stderr, "bench_hier: %s: %s\n", topo.name,
+                   replayed.error().message.c_str());
+      return 1;
     }
-    const double secs = std::chrono::duration<double>(t1 - t0).count();
-    const double rate = secs > 0 ? placed / secs : 0.0;
-    const double visits_per_job =
-        placed > 0 ? static_cast<double>(visits1 - visits0) / placed : 0.0;
-    std::printf("%-12d %12.3f %14.0f %16.1f\n", children, secs, rate,
-                visits_per_job);
-    if (children == 1) flat_rate = rate;
-    deepest_rate = rate;
+    std::uint64_t visits1 = 0;
+    for (std::size_t m = 0; m < (*fed)->member_count(); ++m) {
+      visits1 += (*fed)->member(m).instance->engine().traverser().stats()
+                     .visits;
+    }
+
+    RunResult& r = results[t];
+    for (const hier::FedJobId id : replayed->ids) {
+      const queue::Job* job = (*fed)->find_job(id);
+      if (job == nullptr || job->state != queue::JobState::completed) {
+        continue;
+      }
+      ++r.completed;
+      r.makespan = std::max(r.makespan, job->end_time);
+    }
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.rate = r.seconds > 0 ? jobs / r.seconds : 0.0;
+    r.visits_per_job = static_cast<double>(visits1 - visits0) / jobs;
+    std::printf("%-10s %8zu %12.3f %14.0f %12lld %16.1f\n", topo.name,
+                (*fed)->leaf_count(), r.seconds, r.rate,
+                static_cast<long long>(r.makespan), r.visits_per_job);
     if (run_rows.size() > 1) run_rows += ',';
-    run_rows += "{\"instances\":" + std::to_string(children) +
-                ",\"seconds\":" + bench::Report::num(secs) +
-                ",\"jobs_per_s\":" + bench::Report::num(rate) +
-                ",\"visits_per_job\":" + bench::Report::num(visits_per_job) +
-                "}";
+    run_rows += std::string("{\"topology\":\"") + topo.name + "\"" +
+                ",\"leaves\":" + std::to_string((*fed)->leaf_count()) +
+                ",\"seconds\":" + bench::Report::num(r.seconds) +
+                ",\"jobs_per_s\":" + bench::Report::num(r.rate) +
+                ",\"makespan\":" + std::to_string(r.makespan) +
+                ",\"completed\":" + std::to_string(r.completed) +
+                ",\"visits_per_job\":" +
+                bench::Report::num(r.visits_per_job) + "}";
   }
   run_rows += ']';
+
+  // Divergence gate: every topology schedules the same machine and the
+  // same workload, so every job must complete and the simulated makespan
+  // must agree (round-robin over equal partitions of an all-at-t0 stream
+  // is capacity-symmetric).
+  bool diverged = false;
+  for (int t = 0; t < 3; ++t) {
+    if (results[t].completed != static_cast<std::size_t>(jobs)) {
+      std::fprintf(stderr,
+                   "bench_hier: DIVERGENCE: %s completed %zu of %d jobs\n",
+                   topologies[t].name, results[t].completed, jobs);
+      diverged = true;
+    }
+    if (results[t].makespan != results[0].makespan) {
+      std::fprintf(
+          stderr,
+          "bench_hier: DIVERGENCE: %s makespan %lld != flat %lld\n",
+          topologies[t].name, static_cast<long long>(results[t].makespan),
+          static_cast<long long>(results[0].makespan));
+      diverged = true;
+    }
+  }
+
   std::printf("\n# Expected shape: more (smaller) instances -> fewer vertex "
               "visits per job and higher\n"
               "# placement throughput; the paper's fully hierarchical model "
@@ -124,9 +180,23 @@ int main() {
   rep.config_int("racks", racks);
   rep.config_int("jobs", jobs);
   rep.config_int("nodes", nodes);
-  rep.matches_per_s(flat_rate);
-  rep.ratio("hier_speedup", flat_rate > 0 ? deepest_rate / flat_rate : 0.0);
+  rep.config_int("children", fanout);
+  rep.matches_per_s(results[1].rate);
+  rep.ratio("hier_speedup",
+            results[0].rate > 0 ? results[1].rate / results[0].rate : 0.0);
+  rep.ratio("tree_speedup",
+            results[0].rate > 0 ? results[2].rate / results[0].rate : 0.0);
+  // The CI gate: flat visits/job over K-child visits/job. Machine
+  // independent — pure counter ratio, never wall-clock.
+  rep.ratio("visit_ratio",
+            results[1].visits_per_job > 0
+                ? results[0].visits_per_job / results[1].visits_per_job
+                : 0.0);
+  rep.ratio("tree_visit_ratio",
+            results[2].visits_per_job > 0
+                ? results[0].visits_per_job / results[2].visits_per_job
+                : 0.0);
   rep.extra("runs", std::move(run_rows));
   if (!rep.write()) return 2;
-  return 0;
+  return diverged ? 3 : 0;
 }

@@ -10,6 +10,8 @@
 
 #include "core/resource_query.hpp"
 #include "dynamic/dynamic.hpp"
+#include "grug/grug.hpp"
+#include "hier/federation.hpp"
 #include "obs/metrics.hpp"
 #include "util/expected.hpp"
 #include "writers/rlite.hpp"
@@ -29,6 +31,10 @@ struct reapi_ctx {
   /// jobs are killed).
   std::unique_ptr<fluxion::dynamic::DynamicResources> dyn;
   std::unordered_map<uint64_t, reapi_attempt> attempts;
+};
+
+struct reapi_fed {
+  std::unique_ptr<fluxion::hier::Federation> fed;
 };
 
 namespace {
@@ -276,6 +282,137 @@ reapi_status_t reapi_metrics_prometheus(char** text_out) {
 reapi_status_t reapi_metrics_clear(void) {
   fluxion::obs::monitor().reset();
   return REAPI_OK;
+}
+
+reapi_fed_t* reapi_fed_create(const char* grug_text, int children, int levels,
+                              const char* route, const char* match_policy,
+                              double steal_threshold, char** error_out) {
+  if (error_out != nullptr) *error_out = nullptr;
+  if (grug_text == nullptr || children < 0 || levels < 1) {
+    if (error_out != nullptr) {
+      *error_out = dup_string("bad federation arguments");
+    }
+    return nullptr;
+  }
+  auto recipe = fluxion::grug::parse(grug_text);
+  if (!recipe) {
+    if (error_out != nullptr) *error_out = dup_string(recipe.error().message);
+    return nullptr;
+  }
+  fluxion::hier::FederationConfig cfg;
+  cfg.children = static_cast<std::size_t>(children);
+  cfg.levels = static_cast<std::size_t>(levels);
+  cfg.steal_threshold = steal_threshold;
+  if (route != nullptr) {
+    const auto parsed = fluxion::hier::parse_route_policy(route);
+    if (!parsed) {
+      if (error_out != nullptr) {
+        *error_out = dup_string(std::string("unknown route policy '") +
+                                route + "'");
+      }
+      return nullptr;
+    }
+    cfg.route = *parsed;
+  }
+  fluxion::core::Options opt;
+  if (match_policy != nullptr) opt.policy = match_policy;
+  auto fed = fluxion::hier::Federation::create(*recipe, cfg, opt);
+  if (!fed) {
+    if (error_out != nullptr) *error_out = dup_string(fed.error().message);
+    return nullptr;
+  }
+  auto* handle = new reapi_fed;
+  handle->fed = std::move(*fed);
+  return handle;
+}
+
+void reapi_fed_destroy(reapi_fed_t* fed) { delete fed; }
+
+reapi_status_t reapi_fed_submit(reapi_fed_t* fed, const char* jobspec_yaml,
+                                int priority, int64_t* jobid_out) {
+  if (fed == nullptr || jobspec_yaml == nullptr) return REAPI_EINVAL;
+  auto js = fluxion::jobspec::Jobspec::from_yaml(jobspec_yaml);
+  if (!js) return to_status(js.error().code);
+  const fluxion::hier::FedJobId id = fed->fed->submit(std::move(*js),
+                                                      priority);
+  if (jobid_out != nullptr) *jobid_out = id;
+  return REAPI_OK;
+}
+
+reapi_status_t reapi_fed_schedule(reapi_fed_t* fed) {
+  if (fed == nullptr) return REAPI_EINVAL;
+  fed->fed->schedule();
+  return REAPI_OK;
+}
+
+reapi_status_t reapi_fed_run_to_completion(reapi_fed_t* fed,
+                                           int64_t* end_out) {
+  if (fed == nullptr) return REAPI_EINVAL;
+  auto end = fed->fed->run_to_completion();
+  if (!end) return to_status(end.error().code);
+  if (end_out != nullptr) *end_out = *end;
+  return REAPI_OK;
+}
+
+reapi_status_t reapi_fed_job_info(reapi_fed_t* fed, int64_t jobid,
+                                  const char** state_out, char** member_out,
+                                  int64_t* start_out, int64_t* end_out) {
+  if (fed == nullptr) return REAPI_EINVAL;
+  if (member_out != nullptr) *member_out = nullptr;
+  const auto* ref = fed->fed->find(jobid);
+  const auto* job = fed->fed->find_job(jobid);
+  if (ref == nullptr || job == nullptr) {
+    // Distinguish "not yet routed" from "unknown id".
+    const auto& order = fed->fed->all_jobs();
+    for (const fluxion::hier::FedJobId known : order) {
+      if (known == jobid) return REAPI_EBUSY;
+    }
+    return REAPI_ENOENT;
+  }
+  if (state_out != nullptr) {
+    *state_out = fluxion::queue::job_state_name(job->state);
+  }
+  if (member_out != nullptr) {
+    *member_out = dup_string(fed->fed->member(ref->member).name);
+  }
+  if (start_out != nullptr) *start_out = job->start_time;
+  if (end_out != nullptr) *end_out = job->end_time;
+  return REAPI_OK;
+}
+
+reapi_status_t reapi_fed_stats_json(reapi_fed_t* fed, char** json_out) {
+  if (fed == nullptr || json_out == nullptr) return REAPI_EINVAL;
+  *json_out = nullptr;
+  const auto& s = fed->fed->stats();
+  std::string out = "{\"routed\":" + std::to_string(s.routed) +
+                    ",\"escalated\":" + std::to_string(s.escalated) +
+                    ",\"stolen\":" + std::to_string(s.stolen) +
+                    ",\"steal_passes\":" + std::to_string(s.steal_passes) +
+                    ",\"inbox\":" + std::to_string(fed->fed->inbox_size()) +
+                    ",\"members\":[";
+  for (std::size_t i = 0; i < fed->fed->member_count(); ++i) {
+    const auto& m = fed->fed->member(i);
+    const auto mm = m.queue->metrics();
+    const auto& ms = m.queue->stats();
+    if (i != 0) out += ',';
+    out += "{\"name\":\"" + m.name + "\"";
+    out += ",\"nodes\":" + std::to_string(m.capacity_nodes);
+    out += ",\"submitted\":" + std::to_string(ms.submitted);
+    out += ",\"completed\":" + std::to_string(mm.completed);
+    out += ",\"rejected\":" + std::to_string(ms.rejected);
+    out += ",\"pending\":" + std::to_string(m.queue->pending_jobs().size());
+    out += "}";
+  }
+  out += "]}";
+  *json_out = dup_string(out);
+  return *json_out != nullptr ? REAPI_OK : REAPI_EINTERNAL;
+}
+
+reapi_status_t reapi_fed_explain(reapi_fed_t* fed, int64_t jobid,
+                                 char** text_out) {
+  if (fed == nullptr || text_out == nullptr) return REAPI_EINVAL;
+  *text_out = dup_string(fed->fed->explain(jobid));
+  return *text_out != nullptr ? REAPI_OK : REAPI_EINTERNAL;
 }
 
 void reapi_free_string(char* s) { std::free(s); }

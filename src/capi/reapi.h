@@ -157,6 +157,63 @@ reapi_status_t reapi_metrics_prometheus(char** text_out);
 /* Zero every metrics counter and histogram. */
 reapi_status_t reapi_metrics_clear(void);
 
+/* --- Federated hierarchical scheduling (paper §5.6).
+ * A federation partitions the machine into `children` child instances
+ * (via coarse whole-node grants serialized through JGF), routes
+ * submitted jobspecs asynchronously to per-child queues, optionally
+ * rebalances by stealing queued jobs, and escalates jobs no child can
+ * satisfy to the root. children <= 1 degenerates to the flat engine.
+ * A federation handle must be driven from one thread at a time. */
+
+typedef struct reapi_fed reapi_fed_t;
+
+/* Create a federation from a GRUG recipe. route: "round-robin",
+ * "least-loaded" or "locality". match_policy as in reapi_create (NULL =
+ * default). steal_threshold <= 0 disables work stealing. On failure
+ * returns NULL and fills error_out (malloc'd; release with
+ * reapi_free_string) when non-NULL. */
+reapi_fed_t* reapi_fed_create(const char* grug_text, int children, int levels,
+                              const char* route, const char* match_policy,
+                              double steal_threshold, char** error_out);
+
+void reapi_fed_destroy(reapi_fed_t* fed);
+
+/* Submit a YAML jobspec into the router inbox; it is assigned to a
+ * member on the next scheduling pass. jobid_out receives the
+ * federation-scoped id (stable across steals). */
+reapi_status_t reapi_fed_submit(reapi_fed_t* fed, const char* jobspec_yaml,
+                                int priority, int64_t* jobid_out);
+
+/* One coordinator pass: drain the inbox (route/escalate), run the steal
+ * pass, then one scheduling pass per member. */
+reapi_status_t reapi_fed_schedule(reapi_fed_t* fed);
+
+/* Drive the simulated clock until every submitted job is terminal;
+ * end_out (optional) receives the final clock value. */
+reapi_status_t reapi_fed_run_to_completion(reapi_fed_t* fed,
+                                           int64_t* end_out);
+
+/* Look up a routed job: fills state_out with the queue state name
+ * ("pending", "running", "completed", ...; static storage, do not free),
+ * member_out with the owning member's name (malloc'd; release with
+ * reapi_free_string), and start/end times (-1 before placement). Returns
+ * REAPI_EBUSY while the job is still in the router inbox. */
+reapi_status_t reapi_fed_job_info(reapi_fed_t* fed, int64_t jobid,
+                                  const char** state_out, char** member_out,
+                                  int64_t* start_out, int64_t* end_out);
+
+/* Routing and member statistics as a one-level JSON document:
+ * routed/escalated/stolen/steal_passes counters plus a "members" array
+ * of {name, nodes, submitted, completed, rejected, pending}. json_out is
+ * malloc'd; release with reapi_free_string. */
+reapi_status_t reapi_fed_stats_json(reapi_fed_t* fed, char** json_out);
+
+/* Member-attributed account of a job's scheduling state (which member
+ * owns it or that it is unrouted, plus the member queue's blocked-reason
+ * rendering). text_out is malloc'd; release with reapi_free_string. */
+reapi_status_t reapi_fed_explain(reapi_fed_t* fed, int64_t jobid,
+                                 char** text_out);
+
 /* Free a string returned through an out-parameter. */
 void reapi_free_string(char* s);
 

@@ -23,6 +23,9 @@ void emit_vertex(const graph::ResourceGraph& g, const graph::Vertex& v,
       .set("uniq_id", v.uniq_id + 1)  // root reserves uniq_id 0
       .set("size", units)
       .set("paths", std::move(paths));
+  if (v.status != graph::ResourceStatus::up) {
+    meta.set("status", graph::status_name(v.status));
+  }
   if (!v.properties.empty()) {
     writers::Json props = writers::Json::object();
     for (const auto& [k, val] : v.properties) props.set(k, val);
@@ -135,6 +138,7 @@ util::Expected<Instance*> Instance::spawn_child(
   child->engine_ = std::move(*child_engine);
   child->parent_ = this;
   child->grant_job_ = alloc->job;
+  child->depth_ = depth_ + 1;
   children_.push_back(std::move(child));
   return children_.back().get();
 }

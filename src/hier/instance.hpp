@@ -54,9 +54,8 @@ class Instance {
   const std::vector<std::unique_ptr<Instance>>& children() const noexcept {
     return children_;
   }
-  std::size_t depth() const noexcept {
-    return parent_ == nullptr ? 0 : parent_->depth() + 1;
-  }
+  /// Distance from the hierarchy root; cached at spawn time.
+  std::size_t depth() const noexcept { return depth_; }
   /// Instances in this subtree, including this one.
   std::size_t tree_size() const noexcept;
 
@@ -66,6 +65,7 @@ class Instance {
   std::unique_ptr<core::ResourceQuery> engine_;
   Instance* parent_ = nullptr;
   traverser::JobId grant_job_ = -1;  // allocation id in the parent
+  std::size_t depth_ = 0;            // set once at spawn; root stays 0
   std::vector<std::unique_ptr<Instance>> children_;
 };
 

@@ -83,6 +83,12 @@ void PerfMonitor::reset() {
   dyn_vertices_removed.reset();
   dyn_grow_latency_us.reset();
   dyn_shrink_latency_us.reset();
+  hier_routed.reset();
+  hier_escalated.reset();
+  hier_stolen.reset();
+  hier_steal_passes.reset();
+  hier_route_latency_us.reset();
+  for (auto& g : hier_member_depth) g.reset();
 }
 
 namespace {
@@ -203,7 +209,23 @@ std::string PerfMonitor::json() const {
   kv(out, "vertices_removed", dyn_vertices_removed.value());
   kv_hist(out, "grow_latency_us", dyn_grow_latency_us);
   kv_hist(out, "shrink_latency_us", dyn_shrink_latency_us);
-  out += "}}";
+  out += "},\"hier\":{";
+  kv(out, "routed", hier_routed.value(), true);
+  kv(out, "escalated", hier_escalated.value());
+  kv(out, "stolen", hier_stolen.value());
+  kv(out, "steal_passes", hier_steal_passes.value());
+  kv_hist(out, "route_latency_us", hier_route_latency_us);
+  out += ",\"member_depth\":[";
+  for (std::size_t i = 0; i < hier_member_depth.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(hier_member_depth[i].value());
+  }
+  out += "],\"member_depth_max\":[";
+  for (std::size_t i = 0; i < hier_member_depth.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(hier_member_depth[i].max());
+  }
+  out += "]}}";
   return out;
 }
 
@@ -342,6 +364,24 @@ std::string PerfMonitor::prometheus() const {
   counter("dyn_vertices_removed", dyn_vertices_removed.value());
   hist("dyn_grow_latency_us", dyn_grow_latency_us);
   hist("dyn_shrink_latency_us", dyn_shrink_latency_us);
+
+  counter("hier_routed", hier_routed.value());
+  counter("hier_escalated", hier_escalated.value());
+  counter("hier_stolen", hier_stolen.value());
+  counter("hier_steal_passes", hier_steal_passes.value());
+  hist("hier_route_latency_us", hier_route_latency_us);
+  if (!hier_member_depth.empty()) {
+    out += "# TYPE fluxion_hier_member_depth gauge\n";
+    for (std::size_t i = 0; i < hier_member_depth.size(); ++i) {
+      out += "fluxion_hier_member_depth{member=\"" + std::to_string(i) +
+             "\"} " + std::to_string(hier_member_depth[i].value()) + "\n";
+    }
+    out += "# TYPE fluxion_hier_member_depth_max gauge\n";
+    for (std::size_t i = 0; i < hier_member_depth.size(); ++i) {
+      out += "fluxion_hier_member_depth_max{member=\"" + std::to_string(i) +
+             "\"} " + std::to_string(hier_member_depth[i].max()) + "\n";
+    }
+  }
   return out;
 }
 
@@ -451,6 +491,26 @@ std::string PerfMonitor::render(bool verbose) const {
     if (dyn_shrink_latency_us.count() > 0) {
       hist_summary(out, "shrink latency (us)", dyn_shrink_latency_us);
       if (verbose) out += dyn_shrink_latency_us.render();
+    }
+  }
+  if (hier_routed.value() > 0 || hier_escalated.value() > 0 ||
+      !hier_member_depth.empty()) {
+    out += "hier:\n";
+    line(out, "routed", hier_routed.value());
+    line(out, "escalated", hier_escalated.value());
+    line(out, "stolen", hier_stolen.value());
+    line(out, "steal-passes", hier_steal_passes.value());
+    if (hier_route_latency_us.count() > 0) {
+      hist_summary(out, "route latency (us)", hier_route_latency_us);
+      if (verbose) out += hier_route_latency_us.render();
+    }
+    for (std::size_t i = 0; i < hier_member_depth.size(); ++i) {
+      char label[48];
+      std::snprintf(label, sizeof label, "member %zu depth", i);
+      line(out, label,
+           static_cast<std::uint64_t>(hier_member_depth[i].value() < 0
+                                          ? 0
+                                          : hier_member_depth[i].value()));
     }
   }
   return out;

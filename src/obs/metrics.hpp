@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -184,6 +185,23 @@ struct PerfMonitor {
   Counter dyn_vertices_removed;   // vertices detached by shrink
   util::Histogram dyn_grow_latency_us{0.0, 100000.0, 50};
   util::Histogram dyn_shrink_latency_us{0.0, 100000.0, 50};
+
+  // --- hierarchy / federation (paper §5.6) ----------------------------------
+  Counter hier_routed;            // jobs routed to a child member
+  Counter hier_escalated;         // jobs no child could satisfy -> root
+  Counter hier_stolen;            // pending jobs moved by the steal pass
+  Counter hier_steal_passes;      // rebalance passes that moved >= 1 job
+  util::Histogram hier_route_latency_us{0.0, 100000.0, 50};
+  /// Pending-queue depth per federation member (index = member ordinal;
+  /// the root escalation queue rides at index member_count - 1 when
+  /// present). A deque because Gauge's atomics are not movable; grown
+  /// serially via ensure_hier_members so entries never relocate.
+  std::deque<Gauge> hier_member_depth;
+  /// Grow the per-member depth gauge set to at least `n` entries. Must be
+  /// called from the serial path (federation construction).
+  void ensure_hier_members(std::size_t n) {
+    while (hier_member_depth.size() < n) hier_member_depth.emplace_back();
+  }
 
   /// Zero every counter, gauge and histogram.
   void reset();

@@ -90,6 +90,8 @@ void sig_resource(const jobspec::Resource& r, std::string& out) {
   }
 }
 
+}  // namespace
+
 std::string spec_signature(const jobspec::Jobspec& js) {
   // Aggregate per-type totals lead (the quantity the pruning filters
   // reason about — a cheap, readable prefix), but the exact canonical
@@ -112,8 +114,6 @@ std::string spec_signature(const jobspec::Jobspec& js) {
   }
   return out;
 }
-
-}  // namespace
 
 JobQueue::JobQueue(traverser::Traverser& traverser, QueuePolicy policy)
     : traverser_(traverser), policy_(policy) {
@@ -160,6 +160,9 @@ std::vector<std::pair<std::string, std::string>> JobQueue::render_blocked(
     util::Errc code) const {
   std::vector<std::pair<std::string, std::string>> args;
   args.emplace_back("code", obs::event_str(util::errc_name(code)));
+  if (!label_.empty()) {
+    args.emplace_back("member", obs::event_str(label_));
+  }
   if (!traverser_.introspection()) return args;
   for (auto& kv : traverser_.explain_args()) args.push_back(std::move(kv));
   return args;
@@ -298,6 +301,112 @@ JobId JobQueue::submit(jobspec::Jobspec spec, int priority,
   }
   obs::trace().sim_instant("submit", static_cast<double>(now_), id);
   return id;
+}
+
+util::Expected<ExportedJob> JobQueue::export_pending(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return util::Error{util::Errc::not_found, "export: unknown job"};
+  }
+  Job& job = it->second;
+  if (job.state != JobState::pending) {
+    return util::Error{util::Errc::invalid_argument,
+                       std::string("export: job is ") +
+                           job_state_name(job.state) + ", not pending"};
+  }
+  if (!job.depends_on.empty()) {
+    return util::Error{util::Errc::invalid_argument,
+                       "export: job has dependencies (queue-local ids)"};
+  }
+  for (const auto& [other_id, other] : jobs_) {
+    if (other.state == JobState::completed ||
+        other.state == JobState::canceled ||
+        other.state == JobState::rejected) {
+      continue;
+    }
+    for (JobId dep : other.depends_on) {
+      if (dep == id) {
+        return util::Error{util::Errc::invalid_argument,
+                           "export: job " + std::to_string(other_id) +
+                               " depends on it"};
+      }
+    }
+  }
+  mark_wait(job, job.wait_cause);  // close the open wait interval
+  drop_speculation(id);
+  record_event(id, "export",
+               label_.empty()
+                   ? std::vector<std::pair<std::string, std::string>>{}
+                   : std::vector<std::pair<std::string, std::string>>{
+                         {"member", obs::event_str(label_)}});
+  ExportedJob out;
+  out.spec = std::move(job.spec);
+  out.priority = job.priority;
+  out.submit_time = job.submit_time;
+  out.wait = job.wait;
+  for (const obs::JobEvent* ev : log_.for_job(id)) out.history.push_back(*ev);
+  pending_.erase(std::find(pending_.begin(), pending_.end(), id));
+  order_.erase(std::find(order_.begin(), order_.end(), id));
+  jobs_.erase(it);
+  if (obs::enabled()) {
+    auto& m = obs::monitor();
+    m.queue_depth.set(static_cast<std::int64_t>(pending_.size()));
+  }
+  return out;
+}
+
+JobId JobQueue::import_job(ExportedJob in) {
+  const JobId id = next_id_++;
+  Job job;
+  job.id = id;
+  job.spec = std::move(in.spec);
+  job.submit_time = in.submit_time;
+  job.priority = in.priority;
+  job.wait = in.wait;
+  job.wait_since = now_;
+  job.wait_cause = WaitCause::resources;
+  if (log_.enabled()) {
+    // Replay the carried history under the new id so this queue's log
+    // tells the job's whole story, then stamp the arrival.
+    for (obs::JobEvent& ev : in.history) {
+      log_.record(ev.time, id, std::move(ev.kind), std::move(ev.args));
+    }
+    record_event(id, "import",
+                 label_.empty()
+                     ? std::vector<std::pair<std::string, std::string>>{}
+                     : std::vector<std::pair<std::string, std::string>>{
+                           {"member", obs::event_str(label_)}});
+  }
+  const int priority = job.priority;
+  jobs_.emplace(id, std::move(job));
+  order_.push_back(id);
+  auto pos = pending_.end();
+  for (auto p = pending_.begin(); p != pending_.end(); ++p) {
+    if (jobs_.at(*p).priority < priority) {
+      pos = p;
+      break;
+    }
+  }
+  pending_.insert(pos, id);
+  ++stats_.submitted;
+  if (obs::enabled()) {
+    auto& m = obs::monitor();
+    m.queue_submitted.inc();
+    m.queue_depth.set(static_cast<std::int64_t>(pending_.size()));
+    m.queue_depth_samples.add(static_cast<double>(pending_.size()));
+  }
+  return id;
+}
+
+std::int64_t JobQueue::pending_work() const {
+  std::int64_t work = 0;
+  for (JobId id : pending_) {
+    const Job& job = jobs_.at(id);
+    std::int64_t units = 0;
+    for (const auto& [type, n] : job.spec.aggregate_counts()) units += n;
+    work += units * job.spec.duration;
+  }
+  return work;
 }
 
 std::optional<TimePoint> JobQueue::dependency_gate(const Job& job) const {
@@ -808,18 +917,21 @@ util::Expected<TimePoint> JobQueue::run_to_completion() {
     schedule();
     const TimePoint t = next_event();
     if (t == util::kMaxTime) {
-      if (!pending_.empty()) {
-        // Idle system yet unplaceable: the head job can never run.
-        Job& job = jobs_.at(pending_.front());
-        reject_job(job, "never_satisfiable");
-        pending_.pop_front();
-        continue;
-      }
+      // Idle system yet unplaceable: the head job can never run.
+      if (reject_head_never_satisfiable()) continue;
       break;
     }
     if (auto st = advance_to(t); !st) return st.error();
   }
   return now_;
+}
+
+bool JobQueue::reject_head_never_satisfiable() {
+  if (pending_.empty()) return false;
+  Job& job = jobs_.at(pending_.front());
+  reject_job(job, "never_satisfiable");
+  pending_.pop_front();
+  return true;
 }
 
 util::Status JobQueue::hold(JobId id) {
@@ -1102,6 +1214,7 @@ std::string JobQueue::explain(JobId id) const {
   out += " (policy ";
   out += queue_policy_name(policy_);
   out += ", now t=" + std::to_string(now_) + ")\n";
+  if (!label_.empty()) out += "  member " + label_ + "\n";
   out += "  submitted t=" + std::to_string(job->submit_time);
   if (job->priority != 0) {
     out += ", priority " + std::to_string(job->priority);

@@ -82,6 +82,12 @@ enum class JobState {
 const char* job_state_name(JobState s) noexcept;
 const char* queue_policy_name(QueuePolicy p) noexcept;
 
+/// Canonical signature of (spec shape, duration) — the key the
+/// satisfiability cache uses, also the federation router's per-member
+/// verdict-cache and locality-hash key. Two jobspecs with equal
+/// signatures are interchangeable for satisfiability purposes.
+std::string spec_signature(const jobspec::Jobspec& js);
+
 /// Why a job is currently waiting. One cause is "in effect" at a time;
 /// the queue charges elapsed simulated time to it on every transition,
 /// decomposing each job's queue delay (submit -> start) into
@@ -140,6 +146,21 @@ struct Job {
   /// Empty until a probe fails; tallies require traverser introspection.
   std::vector<std::pair<std::string, std::string>> last_blocked;
   TimePoint last_blocked_time = -1;
+};
+
+/// A pending job lifted out of one queue for import into another
+/// (federation work stealing / rebalancing). Carries everything needed
+/// for accounting continuity across queues: the spec, priority, the
+/// *original* submit time, the wait decomposition accumulated so far, and
+/// the job's event history so the destination eventlog tells the whole
+/// story (the ids inside `history` are source-queue ids; import re-stamps
+/// them with the new id).
+struct ExportedJob {
+  jobspec::Jobspec spec;
+  int priority = 0;
+  TimePoint submit_time = 0;
+  WaitBreakdown wait;
+  std::vector<obs::JobEvent> history;
 };
 
 struct QueueStats {
@@ -214,6 +235,13 @@ class JobQueue {
   /// terminal state (or no further progress is possible). Returns the
   /// final simulated time, or the first internal error encountered.
   util::Expected<TimePoint> run_to_completion();
+
+  /// Reject the head pending job as never satisfiable. The drain step
+  /// run_to_completion applies when the clock runs dry; exposed so a
+  /// hierarchy coordinator driving several queues in lockstep can apply
+  /// it too — without the duplicate schedule pass a nested
+  /// run_to_completion would add. Returns false when nothing is pending.
+  bool reject_head_never_satisfiable();
 
   /// Cancel a pending/held/reserved/running job.
   util::Status cancel(JobId id);
@@ -312,6 +340,38 @@ class JobQueue {
   /// `reapi_explain_json` surfaces render from this plus eventlog().
   std::string explain(JobId id) const;
 
+  /// Lift a *pending* job out of this queue for import elsewhere
+  /// (federation work stealing). Refused for jobs in any other state, for
+  /// jobs with dependencies, and for jobs that other live jobs depend on
+  /// — dependency ids are queue-local and would dangle across queues.
+  /// Closes the open wait interval, records an "export" event, removes
+  /// the job from this queue entirely, and returns it with its event
+  /// history attached.
+  util::Expected<ExportedJob> export_pending(JobId id);
+
+  /// Admit an exported job under a fresh id in this queue, preserving its
+  /// original submit time, priority and accumulated wait. Carried history
+  /// is replayed into this queue's eventlog re-stamped with the new id,
+  /// followed by an "import" event; the job then competes in normal
+  /// (priority desc, arrival) order.
+  JobId import_job(ExportedJob job);
+
+  /// Pending job ids in scheduling order (head first).
+  const std::deque<JobId>& pending_jobs() const noexcept { return pending_; }
+
+  /// Backlog estimate: sum over pending jobs of requested units (all
+  /// resource types) x duration. The federation's least-loaded router and
+  /// its steal pass compare this across members; it is a static property
+  /// of the queued specs, so identical queues always agree.
+  std::int64_t pending_work() const;
+
+  /// Label this queue as one federation member. When set, blocked-event
+  /// attribution and explain() carry a "member" entry so rejections name
+  /// the member that produced them; empty (the default) leaves every
+  /// rendering byte-identical to a flat queue.
+  void set_instance_label(std::string label) { label_ = std::move(label); }
+  const std::string& instance_label() const noexcept { return label_; }
+
   const Job* find(JobId id) const;
   QueueMetrics metrics() const;
   const traverser::Traverser& traverser() const noexcept {
@@ -408,6 +468,7 @@ class JobQueue {
 
   traverser::Traverser& traverser_;
   QueuePolicy policy_;
+  std::string label_;  // federation member name; empty = flat queue
   traverser::TraversalMode traversal_mode_ = traverser::TraversalMode::scored;
   std::size_t reservation_depth_ = 0;  // 0 = unbounded
   TimePoint now_ = 0;

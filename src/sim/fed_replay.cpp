@@ -1,0 +1,215 @@
+#include "sim/fed_replay.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <optional>
+
+#include "dynamic/dynamic.hpp"
+#include "util/strings.hpp"
+
+namespace fluxion::sim {
+
+using util::Errc;
+
+util::Expected<FedReplayResult> replay_trace(
+    hier::Federation& fed, const std::vector<TraceJob>& trace,
+    std::int64_t cores_per_node) {
+  if (fed.now() != 0 || !fed.all_jobs().empty()) {
+    return util::Error{Errc::invalid_argument,
+                       "replay_trace: federation already used"};
+  }
+  std::vector<std::size_t> order(trace.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return trace[a].arrival < trace[b].arrival;
+                   });
+
+  FedReplayResult result;
+  result.ids.resize(trace.size(), -1);
+  for (std::size_t k = 0; k < order.size();) {
+    const util::TimePoint at = trace[order[k]].arrival;
+    while (true) {
+      const util::TimePoint ev = fed.next_event();
+      if (ev >= at) break;
+      if (auto st = fed.advance_to(ev); !st) return st.error();
+      fed.schedule();
+    }
+    if (auto st = fed.advance_to(std::max(fed.now(), at)); !st) {
+      return st.error();
+    }
+    while (k < order.size() && trace[order[k]].arrival <= fed.now()) {
+      const std::size_t idx = order[k];
+      auto js = trace_jobspec(trace[idx], cores_per_node);
+      if (!js) return js.error();
+      result.ids[idx] = fed.submit(*js);
+      ++k;
+    }
+    fed.schedule();
+  }
+  auto end = fed.run_to_completion();
+  if (!end) return end.error();
+  result.end_time = *end;
+  return result;
+}
+
+namespace {
+
+struct Act {
+  util::TimePoint at = 0;
+  bool is_job = false;
+  std::size_t idx = 0;
+};
+
+struct Owner {
+  std::size_t member = 0;
+  graph::VertexId vertex = graph::kInvalidVertex;
+};
+
+/// Resolve `path` in one member's graph. Child graphs re-root granted
+/// vertices directly under their synthetic cluster ("/cluster0/<node>"),
+/// so a machine path like "/cluster0/rack1/node7" is also tried with the
+/// levels between the cluster root and the granted vertex stripped
+/// (names are unique machine-wide, so a suffix hit is unambiguous).
+std::optional<graph::VertexId> resolve_path(const graph::ResourceGraph& g,
+                                            const std::string& path) {
+  if (const auto v = g.find_by_path(path)) return *v;
+  const auto parts = util::split(path, '/');  // leading '/' -> parts[0] == ""
+  for (std::size_t k = 2; k < parts.size(); ++k) {
+    std::string candidate = "/cluster0";
+    for (std::size_t i = k; i < parts.size(); ++i) {
+      candidate += '/';
+      candidate += parts[i];
+    }
+    if (const auto v = g.find_by_path(candidate)) return *v;
+  }
+  return std::nullopt;
+}
+
+/// The member owning `path`: the first leaf whose graph resolves it, the
+/// root as fallback (the root graph holds the whole machine, so a path
+/// no leaf owns — e.g. a rack or the cluster root — lands there).
+util::Expected<Owner> owning_member(const hier::Federation& fed,
+                                    const std::string& path) {
+  for (std::size_t i = 0; i < fed.member_count(); ++i) {
+    if (fed.member(i).is_root) continue;
+    const auto& g = fed.member(i).instance->engine().graph();
+    if (const auto v = resolve_path(g, path)) return Owner{i, *v};
+  }
+  for (std::size_t i = 0; i < fed.member_count(); ++i) {
+    if (!fed.member(i).is_root) continue;
+    const auto& g = fed.member(i).instance->engine().graph();
+    if (const auto v = g.find_by_path(path)) return Owner{i, *v};
+  }
+  return util::Error{Errc::not_found,
+                     "scenario event: no member owns '" + path + "'"};
+}
+
+util::Status apply_event(hier::Federation& fed,
+                         std::vector<std::unique_ptr<dynamic::DynamicResources>>& dyns,
+                         const DynEvent& event, const RecipeResolver& resolver,
+                         FedScenarioResult& result) {
+  auto owner = owning_member(fed, event.path);
+  if (!owner) return owner.error();
+  dynamic::DynamicResources& dyn = *dyns[owner->member];
+  const graph::VertexId v = owner->vertex;
+  switch (event.kind) {
+    case DynEventKind::status: {
+      auto change = dyn.set_status(v, event.status, event.policy);
+      if (!change) return change.error();
+      ++result.status_events;
+      break;
+    }
+    case DynEventKind::grow: {
+      if (!resolver) {
+        return util::Status(util::Error{
+            Errc::invalid_argument,
+            "scenario grow event needs a recipe resolver"});
+      }
+      auto text = resolver(event.recipe_ref);
+      if (!text) return text.error();
+      auto sub = dyn.grow(v, *text);
+      if (!sub) return sub.error();
+      ++result.grow_events;
+      break;
+    }
+    case DynEventKind::shrink: {
+      auto r = dyn.shrink(v, event.policy);
+      if (!r) return r.error();
+      ++result.shrink_events;
+      break;
+    }
+  }
+  // Member capacity changed: cached satisfiability verdicts are void.
+  fed.invalidate_sat_cache();
+  return util::Status::ok();
+}
+
+}  // namespace
+
+util::Expected<FedScenarioResult> replay_scenario(
+    hier::Federation& fed, const Scenario& scenario,
+    std::int64_t cores_per_node, const RecipeResolver& resolver) {
+  if (fed.now() != 0 || !fed.all_jobs().empty()) {
+    return util::Error{Errc::invalid_argument,
+                       "replay_scenario: federation already used"};
+  }
+  std::vector<std::unique_ptr<dynamic::DynamicResources>> dyns;
+  for (std::size_t i = 0; i < fed.member_count(); ++i) {
+    hier::Member& m = fed.member(i);
+    dyns.push_back(std::make_unique<dynamic::DynamicResources>(
+        m.instance->engine().graph(), m.instance->engine().traverser(),
+        m.queue.get()));
+  }
+
+  std::vector<Act> acts;
+  acts.reserve(scenario.jobs.size() + scenario.events.size());
+  for (std::size_t i = 0; i < scenario.events.size(); ++i) {
+    acts.push_back({scenario.events[i].at, false, i});
+  }
+  for (std::size_t i = 0; i < scenario.jobs.size(); ++i) {
+    acts.push_back({scenario.jobs[i].arrival, true, i});
+  }
+  std::stable_sort(acts.begin(), acts.end(), [](const Act& a, const Act& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return !a.is_job && b.is_job;
+  });
+
+  FedScenarioResult result;
+  result.ids.resize(scenario.jobs.size(), -1);
+  for (std::size_t k = 0; k < acts.size();) {
+    const util::TimePoint at = acts[k].at;
+    while (true) {
+      const util::TimePoint ev = fed.next_event();
+      if (ev >= at) break;
+      if (auto st = fed.advance_to(ev); !st) return st.error();
+      fed.schedule();
+    }
+    if (auto st = fed.advance_to(std::max(fed.now(), at)); !st) {
+      return st.error();
+    }
+    while (k < acts.size() && acts[k].at <= fed.now()) {
+      const Act& act = acts[k];
+      if (act.is_job) {
+        auto js = trace_jobspec(scenario.jobs[act.idx], cores_per_node);
+        if (!js) return js.error();
+        result.ids[act.idx] = fed.submit(*js);
+      } else {
+        if (auto st = apply_event(fed, dyns, scenario.events[act.idx],
+                                  resolver, result);
+            !st) {
+          return st.error();
+        }
+      }
+      ++k;
+    }
+    fed.schedule();
+  }
+  auto end = fed.run_to_completion();
+  if (!end) return end.error();
+  result.end_time = *end;
+  return result;
+}
+
+}  // namespace fluxion::sim

@@ -1,0 +1,271 @@
+// Federation coordinator: routing policies, escalation, work stealing,
+// queue export/import continuity, member labels and cached depths — the
+// §5.6 multi-instance subsystem's unit surface.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "grug/recipes.hpp"
+#include "hier/federation.hpp"
+#include "sim/fed_replay.hpp"
+#include "sim/workload.hpp"
+
+namespace fluxion::hier {
+namespace {
+
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+
+// 1 rack x 16 nodes x 4 cores: divides evenly into 2, 4 or 8 leaves.
+grug::Recipe small_system() { return grug::recipes::quartz(true, 1, 16, 4); }
+
+jobspec::Jobspec node_job(std::int64_t nodes, std::int64_t cores = 1,
+                          util::Duration duration = 10) {
+  auto js = make({slot(nodes, {xres("node", 1, {res("core", cores)})})},
+                 duration);
+  EXPECT_TRUE(js);
+  return *js;
+}
+
+std::unique_ptr<Federation> make_fed(FederationConfig cfg) {
+  auto fed = Federation::create(small_system(), cfg);
+  EXPECT_TRUE(fed) << (fed ? "" : fed.error().message);
+  return fed ? std::move(*fed) : nullptr;
+}
+
+TEST(Federation, FlatDegenerateIsSingleUnlabelledMember) {
+  FederationConfig cfg;
+  cfg.children = 1;
+  auto fed = make_fed(cfg);
+  ASSERT_NE(fed, nullptr);
+  EXPECT_EQ(fed->member_count(), 1u);
+  EXPECT_EQ(fed->leaf_count(), 1u);
+  EXPECT_TRUE(fed->member(0).is_root);
+  // No label: the degenerate path must render byte-identically to a
+  // plain JobQueue (no "member" attribution anywhere).
+  EXPECT_TRUE(fed->member(0).queue->instance_label().empty());
+
+  const FedJobId id = fed->submit(node_job(2));
+  EXPECT_EQ(fed->inbox_size(), 1u);
+  EXPECT_EQ(fed->find(id), nullptr);  // unrouted until the next pass
+  fed->schedule();
+  EXPECT_EQ(fed->inbox_size(), 0u);
+  ASSERT_NE(fed->find(id), nullptr);
+  EXPECT_EQ(fed->stats().routed, 1u);
+  auto end = fed->run_to_completion();
+  ASSERT_TRUE(end);
+  const queue::Job* job = fed->find_job(id);
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->state, queue::JobState::completed);
+}
+
+TEST(Federation, RoundRobinCyclesOverLeaves) {
+  FederationConfig cfg;
+  cfg.children = 4;
+  cfg.route = RoutePolicy::round_robin;
+  auto fed = make_fed(cfg);
+  ASSERT_NE(fed, nullptr);
+  EXPECT_EQ(fed->leaf_count(), 4u);
+
+  std::vector<FedJobId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(fed->submit(node_job(1)));
+  fed->schedule();
+  for (int i = 0; i < 8; ++i) {
+    const Federation::JobRef* ref = fed->find(ids[static_cast<std::size_t>(i)]);
+    ASSERT_NE(ref, nullptr);
+    EXPECT_EQ(ref->member, static_cast<std::size_t>(i % 4)) << "job " << i;
+  }
+  EXPECT_EQ(fed->stats().routed, 8u);
+  EXPECT_EQ(fed->stats().escalated, 0u);
+}
+
+TEST(Federation, LeastLoadedBalancesPendingWork) {
+  FederationConfig cfg;
+  cfg.children = 2;
+  cfg.route = RoutePolicy::least_loaded;
+  auto fed = make_fed(cfg);
+  ASSERT_NE(fed, nullptr);
+
+  // Four whole-partition jobs: the router sees the pending work pile up
+  // member by member as the inbox drains, so they alternate.
+  std::vector<FedJobId> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(fed->submit(node_job(8)));
+  fed->schedule();
+  std::size_t counts[2] = {0, 0};
+  for (const FedJobId id : ids) {
+    const Federation::JobRef* ref = fed->find(id);
+    ASSERT_NE(ref, nullptr);
+    ASSERT_LT(ref->member, 2u);
+    ++counts[ref->member];
+  }
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(Federation, LocalityPinsIdenticalSpecsToOneLeaf) {
+  FederationConfig cfg;
+  cfg.children = 4;
+  cfg.route = RoutePolicy::locality;
+  auto fed = make_fed(cfg);
+  ASSERT_NE(fed, nullptr);
+
+  std::vector<FedJobId> ids;
+  for (int i = 0; i < 6; ++i) ids.push_back(fed->submit(node_job(1)));
+  fed->schedule();
+  std::set<std::size_t> homes;
+  for (const FedJobId id : ids) {
+    const Federation::JobRef* ref = fed->find(id);
+    ASSERT_NE(ref, nullptr);
+    homes.insert(ref->member);
+  }
+  EXPECT_EQ(homes.size(), 1u) << "identical specs spread across leaves";
+}
+
+TEST(Federation, UnsatisfiableEverywhereEscalatesToRootAndRejects) {
+  FederationConfig cfg;
+  cfg.children = 4;  // 4 nodes per leaf; root keeps no remainder
+  auto fed = make_fed(cfg);
+  ASSERT_NE(fed, nullptr);
+
+  const FedJobId big = fed->submit(node_job(20));  // > whole machine
+  fed->schedule();
+  const Federation::JobRef* ref = fed->find(big);
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(ref->member, fed->member_count() - 1);
+  EXPECT_TRUE(fed->member(ref->member).is_root);
+  EXPECT_EQ(fed->stats().escalated, 1u);
+  auto end = fed->run_to_completion();
+  ASSERT_TRUE(end);
+  const queue::Job* job = fed->find_job(big);
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->state, queue::JobState::rejected);
+  // The member-attributed account names the escalation queue.
+  EXPECT_NE(fed->explain(big).find("root"), std::string::npos);
+}
+
+TEST(Federation, StealPassRebalancesLocalityHotspot) {
+  FederationConfig cfg;
+  cfg.children = 2;
+  cfg.route = RoutePolicy::locality;  // piles identical specs on one leaf
+  cfg.steal_threshold = 1.5;
+  cfg.steal_batch = 8;
+  cfg.eventlog = true;
+  auto fed = make_fed(cfg);
+  ASSERT_NE(fed, nullptr);
+
+  std::vector<FedJobId> ids;
+  for (int i = 0; i < 6; ++i) ids.push_back(fed->submit(node_job(8)));
+  fed->schedule();
+  EXPECT_GT(fed->stats().stolen, 0u);
+  EXPECT_GT(fed->stats().steal_passes, 0u);
+  // Both leaves now hold work, and every federation id still resolves.
+  std::set<std::size_t> owners;
+  for (const FedJobId id : ids) {
+    const Federation::JobRef* ref = fed->find(id);
+    ASSERT_NE(ref, nullptr);
+    owners.insert(ref->member);
+  }
+  EXPECT_EQ(owners.size(), 2u);
+
+  auto end = fed->run_to_completion();
+  ASSERT_TRUE(end);
+  for (const FedJobId id : ids) {
+    const queue::Job* job = fed->find_job(id);
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(job->state, queue::JobState::completed);
+  }
+  // Eventlog continuity: the moved jobs carry export/import markers and
+  // member attribution.
+  const std::string log = fed->eventlog_jsonl();
+  EXPECT_NE(log.find("\"ev\":\"export\""), std::string::npos);
+  EXPECT_NE(log.find("\"ev\":\"import\""), std::string::npos);
+  EXPECT_NE(log.find("\"member\":"), std::string::npos);
+}
+
+TEST(Federation, NoStealBelowThreshold) {
+  FederationConfig cfg;
+  cfg.children = 2;
+  cfg.route = RoutePolicy::round_robin;
+  cfg.steal_threshold = 1.5;
+  auto fed = make_fed(cfg);
+  ASSERT_NE(fed, nullptr);
+  for (int i = 0; i < 6; ++i) (void)fed->submit(node_job(8));
+  fed->schedule();  // round-robin keeps the backlogs balanced
+  EXPECT_EQ(fed->stats().stolen, 0u);
+}
+
+TEST(Federation, TwoLevelTreeSpawnsGrandchildrenWithCachedDepth) {
+  FederationConfig cfg;
+  cfg.children = 2;
+  cfg.levels = 2;  // 4 leaves behind 2 mid instances
+  auto fed = make_fed(cfg);
+  ASSERT_NE(fed, nullptr);
+  EXPECT_EQ(fed->leaf_count(), 4u);
+  for (std::size_t i = 0; i < fed->member_count(); ++i) {
+    const Member& m = fed->member(i);
+    if (m.is_root) {
+      EXPECT_EQ(m.instance->depth(), 0u);
+    } else {
+      // Leaves hang off mid-level instances: depth cached at spawn.
+      EXPECT_EQ(m.instance->depth(), 2u) << m.name;
+    }
+  }
+  // The tree still schedules: run a small stream through it.
+  std::vector<FedJobId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(fed->submit(node_job(1)));
+  auto end = fed->run_to_completion();
+  ASSERT_TRUE(end);
+  for (const FedJobId id : ids) {
+    const queue::Job* job = fed->find_job(id);
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(job->state, queue::JobState::completed);
+  }
+}
+
+TEST(Federation, MembersCarryInstanceLabels) {
+  FederationConfig cfg;
+  cfg.children = 2;
+  auto fed = make_fed(cfg);
+  ASSERT_NE(fed, nullptr);
+  EXPECT_EQ(fed->member(0).queue->instance_label(), "child0");
+  EXPECT_EQ(fed->member(1).queue->instance_label(), "child1");
+  EXPECT_EQ(fed->member(2).queue->instance_label(), "root");
+}
+
+TEST(Federation, ExplainReportsUnroutedThenMember) {
+  FederationConfig cfg;
+  cfg.children = 2;
+  auto fed = make_fed(cfg);
+  ASSERT_NE(fed, nullptr);
+  const FedJobId id = fed->submit(node_job(1));
+  EXPECT_NE(fed->explain(id).find("unrouted"), std::string::npos);
+  fed->schedule();
+  const std::string after = fed->explain(id);
+  EXPECT_NE(after.find("child"), std::string::npos);
+  EXPECT_EQ(fed->explain(9999).find("unrouted"), std::string::npos);
+}
+
+TEST(Federation, DirectMatchNamesTheMember) {
+  FederationConfig cfg;
+  cfg.children = 2;
+  auto fed = make_fed(cfg);
+  ASSERT_NE(fed, nullptr);
+  auto r = fed->match_allocate(node_job(1));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(fed->last_member().substr(0, 5), "child");
+  bool member_arg = false;
+  for (const auto& [k, v] : fed->last_args()) member_arg |= k == "member";
+  EXPECT_TRUE(member_arg);
+
+  auto bad = fed->match_allocate(node_job(20));
+  EXPECT_FALSE(bad);
+  EXPECT_EQ(fed->last_member(), "root");  // escalated, still failed
+}
+
+}  // namespace
+}  // namespace fluxion::hier

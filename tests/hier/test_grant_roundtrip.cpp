@@ -1,0 +1,123 @@
+// grant_to_jgf round-trip property: a grant serialized out of the parent
+// graph and rebuilt as a child graph must preserve the resource totals
+// per type, the parent-side vertex names, and every vertex's status —
+// the contract the federation's grant -> JGF -> child-instance chain
+// (paper §5.6) rests on.
+#include <map>
+#include <string_view>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "grug/recipes.hpp"
+#include "hier/instance.hpp"
+#include "util/rng.hpp"
+
+namespace fluxion::hier {
+namespace {
+
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+
+/// (vertex count, unit sum) per resource type, skipping the synthetic
+/// cluster root so parent-side claims and child graphs are comparable.
+std::map<std::string, std::pair<std::size_t, std::int64_t>> type_totals(
+    const graph::ResourceGraph& g, bool skip_cluster) {
+  std::map<std::string, std::pair<std::size_t, std::int64_t>> out;
+  for (const char* type : {"cluster", "rack", "node", "core"}) {
+    if (skip_cluster && std::string_view(type) == "cluster") continue;
+    const auto t = g.find_type(type);
+    if (!t) continue;
+    auto& [n, units] = out[type];
+    for (const auto v : g.vertices_of_type(*t)) {
+      ++n;
+      units += g.vertex(v).size;
+    }
+  }
+  return out;
+}
+
+TEST(GrantRoundTrip, PreservesTotalsPathsAndStatus) {
+  util::Rng rng(7);
+  for (int round = 0; round < 8; ++round) {
+    auto root_r =
+        Instance::create_root(grug::recipes::quartz(true, 1, 16, 4));
+    ASSERT_TRUE(root_r);
+    Instance& root = **root_r;
+    auto& g = root.engine().graph();
+
+    const std::int64_t ask = rng.uniform(2, 8);
+    auto grant =
+        make({slot(ask, {xres("node", 1, {res("core", 4)})})}, 1 << 20);
+    ASSERT_TRUE(grant);
+    auto r = root.engine().match_allocate(*grant);
+    ASSERT_TRUE(r) << r.error().message;
+
+    // Flip some granted capacity after allocation: serialization must
+    // carry the live status, not assume everything is up.
+    const auto node_type = g.find_type("node");
+    ASSERT_TRUE(node_type);
+    for (const auto v : g.vertices_of_type(*node_type)) {
+      if (rng.chance(0.25)) {
+        ASSERT_TRUE(g.set_status(v, graph::ResourceStatus::drained));
+      }
+    }
+
+    const std::string jgf = grant_to_jgf(g, *r);
+    auto child = core::ResourceQuery::create_from_jgf(
+        jgf, {}, {"node", "core"}, {"cluster"});
+    ASSERT_TRUE(child) << child.error().message;
+    const auto& cg = (*child)->graph();
+
+    // Totals: exactly the granted nodes and their full core subtrees.
+    const auto totals = type_totals(cg, /*skip_cluster=*/true);
+    ASSERT_TRUE(totals.count("node"));
+    ASSERT_TRUE(totals.count("core"));
+    EXPECT_EQ(totals.at("node").first, static_cast<std::size_t>(ask));
+    EXPECT_EQ(totals.at("node").second, ask);
+    EXPECT_EQ(totals.at("core").second, ask * 4);
+
+    // Identity: the grant re-roots the child under a synthetic cluster
+    // ("/cluster0/<node>"), but every node keeps its parent-side *name*,
+    // and its live status rides along per vertex — not just in
+    // aggregate.
+    std::map<std::string, graph::ResourceStatus> parent_status;
+    for (const auto v : g.vertices_of_type(*node_type)) {
+      parent_status[g.vertex(v).name] = g.vertex(v).status;
+    }
+    std::size_t child_drained = 0;
+    for (const auto v : cg.vertices_of_type(*cg.find_type("node"))) {
+      const auto& vert = cg.vertex(v);
+      EXPECT_EQ(vert.path, "/cluster0/" + vert.name);
+      const auto it = parent_status.find(vert.name);
+      ASSERT_NE(it, parent_status.end()) << vert.name;
+      EXPECT_EQ(vert.status, it->second) << vert.name;
+      if (vert.status == graph::ResourceStatus::drained) ++child_drained;
+    }
+    // A drained node drains its subtree: node + 4 cores = 5 vertices.
+    EXPECT_EQ(cg.status_count(graph::ResourceStatus::drained),
+              child_drained * 5);
+
+    // Second hop: serializing a grant inside the child and rebuilding
+    // again still preserves totals (the levels=2 chain).
+    auto subgrant =
+        make({slot(1, {xres("node", 1, {res("core", 4)})})}, 1 << 20);
+    ASSERT_TRUE(subgrant);
+    auto sub = (*child)->match_allocate(*subgrant);
+    if (sub) {
+      const std::string sub_jgf = grant_to_jgf(cg, *sub);
+      auto grandchild = core::ResourceQuery::create_from_jgf(
+          sub_jgf, {}, {"node", "core"}, {"cluster"});
+      ASSERT_TRUE(grandchild) << grandchild.error().message;
+      const auto sub_totals =
+          type_totals((*grandchild)->graph(), /*skip_cluster=*/true);
+      EXPECT_EQ(sub_totals.at("node").second, 1);
+      EXPECT_EQ(sub_totals.at("core").second, 4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fluxion::hier

@@ -1,0 +1,257 @@
+// Federation differential properties (paper §5.6).
+//
+// Two contracts pin the federation to the flat engine:
+//
+//   1. Flat parity. A single-child federation with stealing disabled IS
+//      the flat engine: same placements (state/start/end per job) and a
+//      byte-identical eventlog, across every queue policy and with the
+//      satisfiability cache on or off — for trace replays and dynamic
+//      drain/recover scenario replays alike.
+//
+//   2. Determinism. For fixed inputs, a multi-child federation under any
+//      routing policy (with or without work stealing) reproduces its own
+//      placements and eventlog byte-for-byte on a rerun. Routing and
+//      stealing decisions never depend on wall-clock or iteration-order
+//      accidents.
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dynamic/dynamic.hpp"
+#include "grug/recipes.hpp"
+#include "hier/federation.hpp"
+#include "policy/policies.hpp"
+#include "sim/fed_replay.hpp"
+#include "sim/replay.hpp"
+#include "sim/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace fluxion {
+namespace {
+
+// 1 rack x 16 nodes x 4 cores: divides evenly into 2 or 4 leaves.
+grug::Recipe system_recipe() { return grug::recipes::quartz(true, 1, 16, 4); }
+constexpr std::int64_t kCores = 4;
+
+// The flat reference stack, configured exactly like a federation member:
+// no audit, default traversal, eventlog on.
+struct Flat {
+  graph::ResourceGraph g{0, 1 << 20};
+  graph::VertexId root = graph::kInvalidVertex;
+  policy::LowIdPolicy pol;
+  std::unique_ptr<traverser::Traverser> trav;
+  std::unique_ptr<queue::JobQueue> q;
+  std::unique_ptr<dynamic::DynamicResources> dyn;
+
+  Flat(queue::QueuePolicy qp, bool cache) {
+    const auto recipe = system_recipe();
+    auto r = grug::build(g, recipe);
+    EXPECT_TRUE(r);
+    root = *r;
+    trav = std::make_unique<traverser::Traverser>(g, root, pol);
+    q = std::make_unique<queue::JobQueue>(*trav, qp);
+    q->set_match_cache(cache);
+    q->set_eventlog(true);
+    dyn = std::make_unique<dynamic::DynamicResources>(g, *trav, q.get());
+  }
+};
+
+std::unique_ptr<hier::Federation> make_fed(queue::QueuePolicy qp, bool cache,
+                                           hier::FederationConfig cfg) {
+  cfg.queue_policy = qp;
+  cfg.match_cache = cache;
+  cfg.eventlog = true;
+  auto fed = hier::Federation::create(system_recipe(), cfg);
+  EXPECT_TRUE(fed) << (fed ? "" : fed.error().message);
+  return fed ? std::move(*fed) : nullptr;
+}
+
+// A mixed trace: mostly small jobs, some wide, one unsatisfiable (20
+// nodes on a 16-node system -> rejection path), staggered arrivals.
+std::vector<sim::TraceJob> mixed_trace(std::uint64_t seed,
+                                       std::size_t count = 40) {
+  util::Rng rng(seed);
+  std::vector<sim::TraceJob> trace;
+  util::TimePoint at = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    sim::TraceJob j;
+    j.nodes = rng.chance(0.2) ? rng.uniform(5, 9) : rng.uniform(1, 4);
+    if (i == count / 2) j.nodes = 20;  // never satisfiable
+    j.duration = rng.uniform(5, 60);
+    at += rng.uniform(0, 7);
+    j.arrival = at;
+    trace.push_back(j);
+  }
+  return trace;
+}
+
+// What a user observes per job, in trace order.
+using Placements =
+    std::vector<std::tuple<queue::JobState, util::TimePoint, util::TimePoint>>;
+
+Placements flat_placements(const queue::JobQueue& q,
+                           const std::vector<queue::JobId>& ids) {
+  Placements out;
+  for (const auto id : ids) {
+    const queue::Job* job = q.find(id);
+    EXPECT_NE(job, nullptr);
+    if (job == nullptr) continue;
+    out.emplace_back(job->state, job->start_time, job->end_time);
+  }
+  return out;
+}
+
+Placements fed_placements(const hier::Federation& fed,
+                          const std::vector<hier::FedJobId>& ids) {
+  Placements out;
+  for (const auto id : ids) {
+    const queue::Job* job = fed.find_job(id);
+    EXPECT_NE(job, nullptr);
+    if (job == nullptr) continue;
+    out.emplace_back(job->state, job->start_time, job->end_time);
+  }
+  return out;
+}
+
+struct Case {
+  queue::QueuePolicy qp;
+  const char* name;
+};
+constexpr Case kCases[] = {
+    {queue::QueuePolicy::fcfs, "fcfs"},
+    {queue::QueuePolicy::easy_backfill, "easy"},
+    {queue::QueuePolicy::conservative_backfill, "conservative"},
+    {queue::QueuePolicy::hybrid_backfill, "hybrid"},
+};
+
+TEST(FederationDifferential, SoleMemberMatchesFlatEngineByteForByte) {
+  const auto trace = mixed_trace(17);
+  for (const Case& c : kCases) {
+    for (const bool cache : {false, true}) {
+      SCOPED_TRACE(std::string(c.name) + (cache ? "/cache" : "/nocache"));
+
+      Flat flat(c.qp, cache);
+      auto flat_r = sim::replay_trace(*flat.q, trace, kCores);
+      ASSERT_TRUE(flat_r) << flat_r.error().message;
+
+      hier::FederationConfig cfg;
+      cfg.children = 1;  // sole member, stealing off
+      auto fed = make_fed(c.qp, cache, cfg);
+      ASSERT_NE(fed, nullptr);
+      auto fed_r = sim::replay_trace(*fed, trace, kCores);
+      ASSERT_TRUE(fed_r) << fed_r.error().message;
+
+      EXPECT_EQ(flat_r->end_time, fed_r->end_time);
+      EXPECT_EQ(flat_placements(*flat.q, flat_r->ids),
+                fed_placements(*fed, fed_r->ids));
+      // The strongest form: the event streams are byte-identical. The
+      // degenerate member is unlabelled, so no "member" tag sneaks in.
+      EXPECT_EQ(flat.q->eventlog().jsonl(), fed->eventlog_jsonl());
+    }
+  }
+}
+
+TEST(FederationDifferential, SoleMemberMatchesFlatUnderDynamicScenario) {
+  // Drain two nodes mid-stream (requeueing their jobs), recover one
+  // later — exercising eviction, replanning and cache invalidation
+  // identically on both sides.
+  std::string text;
+  for (const sim::TraceJob& j : mixed_trace(23, 24)) {
+    text += std::to_string(j.nodes) + " " + std::to_string(j.duration) +
+            " " + std::to_string(j.arrival) + "\n";
+  }
+  text += "@ 20 status /cluster0/rack0/node3 down requeue\n";
+  text += "@ 25 status /cluster0/rack0/node7 drained requeue\n";
+  text += "@ 60 status /cluster0/rack0/node3 up\n";
+  auto scenario = sim::parse_scenario(text);
+  ASSERT_TRUE(scenario) << scenario.error().message;
+  const auto resolver = [](const std::string& ref) {
+    return util::Expected<std::string>(
+        util::Error{util::Errc::not_found, "no recipe: " + ref});
+  };
+
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.name);
+    Flat flat(c.qp, true);
+    auto flat_r =
+        sim::replay_scenario(*flat.q, *flat.dyn, *scenario, kCores, resolver);
+    ASSERT_TRUE(flat_r) << flat_r.error().message;
+
+    hier::FederationConfig cfg;
+    cfg.children = 1;
+    auto fed = make_fed(c.qp, true, cfg);
+    ASSERT_NE(fed, nullptr);
+    auto fed_r = sim::replay_scenario(*fed, *scenario, kCores, resolver);
+    ASSERT_TRUE(fed_r) << fed_r.error().message;
+
+    EXPECT_EQ(flat_r->status_events, fed_r->status_events);
+    EXPECT_EQ(flat_r->end_time, fed_r->end_time);
+    EXPECT_EQ(flat_placements(*flat.q, flat_r->ids),
+              fed_placements(*fed, fed_r->ids));
+    EXPECT_EQ(flat.q->eventlog().jsonl(), fed->eventlog_jsonl());
+  }
+}
+
+TEST(FederationDifferential, MultiChildReplayIsDeterministicPerRoutePolicy) {
+  const auto trace = mixed_trace(31);
+  const hier::RoutePolicy routes[] = {hier::RoutePolicy::round_robin,
+                                      hier::RoutePolicy::least_loaded,
+                                      hier::RoutePolicy::locality};
+  std::vector<std::string> logs;  // also: policies genuinely differ below
+  for (const auto route : routes) {
+    std::string first_log;
+    Placements first_placements;
+    for (int run = 0; run < 2; ++run) {
+      hier::FederationConfig cfg;
+      cfg.children = 4;
+      cfg.route = route;
+      auto fed = make_fed(queue::QueuePolicy::fcfs, true, cfg);
+      ASSERT_NE(fed, nullptr);
+      auto r = sim::replay_trace(*fed, trace, kCores);
+      ASSERT_TRUE(r) << r.error().message;
+      if (run == 0) {
+        first_log = fed->eventlog_jsonl();
+        first_placements = fed_placements(*fed, r->ids);
+        EXPECT_FALSE(first_log.empty());
+        logs.push_back(first_log);
+      } else {
+        EXPECT_EQ(fed->eventlog_jsonl(), first_log)
+            << "route policy " << static_cast<int>(route);
+        EXPECT_EQ(fed_placements(*fed, r->ids), first_placements);
+      }
+    }
+  }
+  // Sanity: the three policies are not accidentally the same router.
+  EXPECT_NE(logs[0], logs[2]);
+}
+
+TEST(FederationDifferential, StealingReplayIsDeterministic) {
+  const auto trace = mixed_trace(47);
+  std::string first_log;
+  std::uint64_t first_stolen = 0;
+  for (int run = 0; run < 2; ++run) {
+    hier::FederationConfig cfg;
+    cfg.children = 2;
+    cfg.route = hier::RoutePolicy::locality;  // hotspots -> steals fire
+    cfg.steal_threshold = 1.2;
+    cfg.steal_batch = 4;
+    auto fed = make_fed(queue::QueuePolicy::fcfs, true, cfg);
+    ASSERT_NE(fed, nullptr);
+    auto r = sim::replay_trace(*fed, trace, kCores);
+    ASSERT_TRUE(r) << r.error().message;
+    if (run == 0) {
+      first_log = fed->eventlog_jsonl();
+      first_stolen = fed->stats().stolen;
+      EXPECT_GT(first_stolen, 0u) << "workload never triggered a steal";
+    } else {
+      EXPECT_EQ(fed->eventlog_jsonl(), first_log);
+      EXPECT_EQ(fed->stats().stolen, first_stolen);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fluxion

@@ -1,0 +1,140 @@
+// Pending-job export/import: the queue-level primitive federation work
+// stealing is built on. Moving a job must preserve its spec, priority,
+// submission time and eventlog history, refuse anything that is not
+// cleanly movable (running jobs, dependency-entangled jobs), and keep
+// both queues' counters coherent.
+#include "queue/job_queue.hpp"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "grug/grug.hpp"
+#include "policy/policies.hpp"
+
+namespace fluxion::queue {
+namespace {
+
+using jobspec::make;
+using jobspec::res;
+using jobspec::slot;
+using jobspec::xres;
+
+jobspec::Jobspec whole_nodes(std::int64_t n, util::Duration d) {
+  auto js = make({slot(n, {xres("node", 1, {res("core", 4)})})}, d);
+  EXPECT_TRUE(js);
+  return *js;
+}
+
+/// One standalone engine (graph + traverser + queue): export/import
+/// crosses two of these, like two federation members.
+struct Engine {
+  graph::ResourceGraph g{0, 1 << 20};
+  policy::LowIdPolicy pol;
+  std::unique_ptr<traverser::Traverser> trav;
+  std::unique_ptr<JobQueue> q;
+
+  Engine() {
+    auto recipe = grug::parse(
+        "filters node core\nfilter-at cluster\n"
+        "cluster count=1\n  node count=4\n    core count=4\n");
+    EXPECT_TRUE(recipe);
+    auto r = grug::build(g, *recipe);
+    EXPECT_TRUE(r);
+    trav = std::make_unique<traverser::Traverser>(g, *r, pol);
+    q = std::make_unique<JobQueue>(*trav, QueuePolicy::fcfs);
+    q->set_eventlog(true);
+  }
+};
+
+TEST(ExportImport, MovesPendingJobWithHistoryAndTimes) {
+  Engine a, b;
+  // Highest-priority filler takes the machine; the priority-3 job waits.
+  (void)a.q->submit(whole_nodes(4, 100), 10);
+  const JobId pending = a.q->submit(whole_nodes(4, 50), 3);
+  a.q->schedule();
+  ASSERT_EQ(a.q->find(pending)->state, JobState::pending);
+  const auto submitted_before = a.q->stats().submitted;
+
+  auto exported = a.q->export_pending(pending);
+  ASSERT_TRUE(exported) << exported.error().message;
+  EXPECT_EQ(exported->priority, 3);
+  EXPECT_EQ(exported->submit_time, 0);
+  EXPECT_FALSE(exported->history.empty());
+  // Gone from the source: lookup fails, pending list shrinks.
+  EXPECT_EQ(a.q->find(pending), nullptr);
+  EXPECT_TRUE(a.q->pending_jobs().empty());
+  EXPECT_EQ(a.q->stats().submitted, submitted_before);
+
+  const JobId imported = b.q->import_job(std::move(*exported));
+  const Job* job = b.q->find(imported);
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->state, JobState::pending);
+  EXPECT_EQ(job->priority, 3);
+  EXPECT_EQ(job->submit_time, 0);  // original submission time rides along
+  EXPECT_EQ(b.q->stats().submitted, 1u);
+
+  // The destination's eventlog carries the job's past (re-stamped with
+  // the new id) plus the import marker.
+  const std::string log = b.q->eventlog().jsonl();
+  EXPECT_NE(log.find("\"ev\":\"submit\""), std::string::npos);
+  EXPECT_NE(log.find("\"ev\":\"import\""), std::string::npos);
+
+  auto end = b.q->run_to_completion();
+  ASSERT_TRUE(end);
+  EXPECT_EQ(b.q->find(imported)->state, JobState::completed);
+}
+
+TEST(ExportImport, RefusesRunningAndUnknownJobs) {
+  Engine a;
+  const JobId running = a.q->submit(whole_nodes(2, 100));
+  a.q->schedule();
+  ASSERT_EQ(a.q->find(running)->state, JobState::running);
+  auto r = a.q->export_pending(running);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, util::Errc::invalid_argument);
+  auto missing = a.q->export_pending(9999);
+  ASSERT_FALSE(missing);
+  EXPECT_EQ(missing.error().code, util::Errc::not_found);
+}
+
+TEST(ExportImport, RefusesDependencyEntangledJobs) {
+  Engine a;
+  (void)a.q->submit(whole_nodes(4, 100));  // occupy the machine
+  const JobId parent = a.q->submit(whole_nodes(1, 10));
+  const JobId child = a.q->submit(whole_nodes(1, 10), 0, {parent});
+  a.q->schedule();
+  // The child depends on another job; the parent has a live dependent.
+  auto c = a.q->export_pending(child);
+  ASSERT_FALSE(c);
+  EXPECT_EQ(c.error().code, util::Errc::invalid_argument);
+  auto p = a.q->export_pending(parent);
+  ASSERT_FALSE(p);
+  EXPECT_EQ(p.error().code, util::Errc::invalid_argument);
+}
+
+TEST(ExportImport, PendingWorkTracksQueuedUnits) {
+  Engine a;
+  EXPECT_EQ(a.q->pending_work(), 0);
+  const auto spec = whole_nodes(2, 30);
+  std::int64_t units = 0;
+  for (const auto& [type, count] : spec.aggregate_counts()) units += count;
+  (void)a.q->submit(spec);
+  (void)a.q->submit(spec);
+  // Nothing scheduled yet: both jobs count.
+  EXPECT_EQ(a.q->pending_work(), 2 * units * 30);
+  a.q->schedule();  // both fit and start; pending work drains
+  EXPECT_EQ(a.q->pending_work(), 0);
+}
+
+TEST(ExportImport, InstanceLabelSurfacesInExplain) {
+  Engine a;
+  a.q->set_instance_label("child7");
+  const JobId id = a.q->submit(whole_nodes(1, 10));
+  const std::string out = a.q->explain(id);
+  EXPECT_NE(out.find("member child7"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace fluxion::queue

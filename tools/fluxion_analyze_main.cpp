@@ -42,11 +42,13 @@ struct Row {
   std::int64_t wait = 0;
   int fom = -1;
   double match_ms = 0;
+  std::string member;  // federation member (10-column hier CSVs only)
 };
 
 bool parse_row(std::string_view line, Row& row) {
   const auto f = util::split(line, ',');
-  if (f.size() != 9) return false;
+  // 9 columns from flat runs; a 10th "member" column from --hier runs.
+  if (f.size() != 9 && f.size() != 10) return false;
   const auto job = util::parse_i64(f[0]);
   const auto nodes = util::parse_i64(f[1]);
   const auto duration = util::parse_i64(f[2]);
@@ -60,7 +62,8 @@ bool parse_row(std::string_view line, Row& row) {
     return false;
   }
   row = {*job,   *nodes, *duration, std::string(f[3]), *start,
-         *end,   *wait,  static_cast<int>(*fom), *ms};
+         *end,   *wait,  static_cast<int>(*fom), *ms,
+         f.size() == 10 ? std::string(f[9]) : std::string()};
   return true;
 }
 
@@ -200,6 +203,54 @@ int analyze(const std::string& path, FileStats* agg, obs::TraceLog* tl) {
                 size_wait[b] / size_count[b], size_count[b]);
   }
   std::printf("\n");
+  // Per-instance breakdown for federated (--hier) schedules: how the
+  // router spread the work and what each member delivered.
+  struct MemberStats {
+    std::size_t jobs = 0, completed = 0, rejected = 0;
+    double wait_sum = 0;
+    double node_seconds = 0;  // committed capacity: sum nodes x runtime
+    double fom_sum = 0;
+    std::size_t fom_n = 0;
+  };
+  std::map<std::string, MemberStats> members;
+  double total_node_seconds = 0;
+  for (const Row& r : rows) {
+    if (r.member.empty()) continue;
+    MemberStats& m = members[r.member];
+    ++m.jobs;
+    if (r.state == "completed") ++m.completed;
+    if (r.state == "rejected") ++m.rejected;
+    m.wait_sum += static_cast<double>(r.wait >= 0 ? r.wait : 0);
+    if (r.start >= 0 && r.end > r.start) {
+      const double ns =
+          static_cast<double>(r.nodes) * static_cast<double>(r.end - r.start);
+      m.node_seconds += ns;
+      total_node_seconds += ns;
+    }
+    if (r.fom >= 0) {
+      m.fom_sum += r.fom;
+      ++m.fom_n;
+    }
+  }
+  if (!members.empty()) {
+    std::printf("per-member breakdown [member: jobs completed rejected "
+                "mean-wait node-s share fom]:\n");
+    for (const auto& [name, m] : members) {
+      const double share = total_node_seconds > 0
+                               ? 100.0 * m.node_seconds / total_node_seconds
+                               : 0.0;
+      char fom[32];
+      if (m.fom_n > 0) {
+        std::snprintf(fom, sizeof fom, "%.2f", m.fom_sum / m.fom_n);
+      } else {
+        std::snprintf(fom, sizeof fom, "-");
+      }
+      std::printf("  %-10s %6zu %9zu %8zu %9.1f %10.0f %5.1f%% %6s\n",
+                  name.c_str(), m.jobs, m.completed, m.rejected,
+                  m.jobs > 0 ? m.wait_sum / static_cast<double>(m.jobs) : 0.0,
+                  m.node_seconds, share, fom);
+    }
+  }
   if (!fom_hist.empty()) {
     std::printf("fom histogram:");
     for (std::size_t f = 0; f < fom_hist.size(); ++f) {
@@ -301,6 +352,9 @@ int eventlog_report(const std::string& path) {
   std::map<std::string, std::size_t> dominant;  // type -> blocked probes
   std::map<std::string, long long> reasons;     // reason -> tally total
   std::map<long long, std::size_t> blocked_by_job;
+  // Federation attribution (hier eventlogs tag every line with "member").
+  std::map<std::string, std::size_t> by_member;          // member -> events
+  std::map<std::string, std::size_t> blocked_by_member;  // member -> blocked
   double wait[4] = {0, 0, 0, 0};  // resources, reservation, held, dependency
   std::size_t finished = 0;
   std::string line;
@@ -325,8 +379,15 @@ int eventlog_report(const std::string& path) {
     }
     ++events;
     ++by_kind[ev->scalar()];
+    const yaml::Node* member = doc->get("member");
+    if (member != nullptr && member->is_scalar()) {
+      ++by_member[member->scalar()];
+    }
     if (ev->scalar() == "blocked") {
       ++blocked_by_job[*job->as_i64()];
+      if (member != nullptr && member->is_scalar()) {
+        ++blocked_by_member[member->scalar()];
+      }
       if (const yaml::Node* d = doc->get("dominant")) {
         ++dominant[d->scalar()];
       }
@@ -387,6 +448,15 @@ int eventlog_report(const std::string& path) {
   } else {
     std::printf("no blocked events (introspection off, or nothing ever "
                 "waited)\n");
+  }
+  if (!by_member.empty()) {
+    std::printf("per-member activity [member: events blocked]:\n");
+    for (const auto& [name, n] : by_member) {
+      const auto bit = blocked_by_member.find(name);
+      std::printf("  %-10s %8zu %8zu\n", name.c_str(), n,
+                  bit != blocked_by_member.end() ? bit->second
+                                                 : std::size_t{0});
+    }
   }
   if (finished > 0) {
     std::printf("wait decomposition over %zu finished jobs [mean s]:\n"

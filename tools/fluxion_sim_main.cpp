@@ -29,6 +29,16 @@
 //                                       # --match-threads / cache setting)
 //               [--metrics-prom FILE]   # counters in Prometheus text
 //                                       # exposition format
+//               [--hier K]              # federated mode: route jobs across
+//                                       # K child instances (1 = flat
+//                                       # degenerate federation)
+//               [--levels N]            # grant nesting depth; leaves = K^N
+//               [--route POLICY]        # round-robin|least-loaded|locality
+//               [--steal-threshold X]   # rebalance when max backlog/node >
+//                                       # X * min backlog/node (0 = off)
+//               [--steal-batch N]       # max jobs moved per steal pass
+//               [--nodes-per-child N]   # whole nodes granted per leaf
+//                                       # (0 = floor(total / leaves))
 //
 // Traces may carry a third per-line field (arrival time); with arrivals —
 // from the file or --arrivals — jobs are submitted online on the
@@ -48,9 +58,12 @@
 
 #include "core/resource_query.hpp"
 #include "dynamic/dynamic.hpp"
+#include "grug/grug.hpp"
+#include "hier/federation.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "queue/job_queue.hpp"
+#include "sim/fed_replay.hpp"
 #include "sim/perf_classes.hpp"
 #include "sim/scenario.hpp"
 #include "sim/utilization.hpp"
@@ -83,7 +96,10 @@ int usage(const char* argv0) {
       "          [--perf-classes SEED]\n"
       "          [--arrivals MEAN] [--csv FILE] [--util FILE]\n"
       "          [--metrics FILE] [--trace-out FILE] [--no-match-cache]\n"
-      "          [--match-threads N] [--eventlog FILE] [--metrics-prom FILE]\n",
+      "          [--match-threads N] [--eventlog FILE] [--metrics-prom FILE]\n"
+      "          [--hier K] [--levels N] [--route POLICY]\n"
+      "          [--steal-threshold X] [--steal-batch N]\n"
+      "          [--nodes-per-child N]\n",
       argv0);
   return 2;
 }
@@ -109,6 +125,12 @@ int main(int argc, char** argv) {
   bool first_match = false;
   std::int64_t match_threads = 1;
   std::int64_t reservation_depth = 0;
+  std::int64_t hier = 0;  // 0 = flat engine; >= 1 = federated mode
+  std::int64_t levels = 1;
+  std::string route_name = "round-robin";
+  double steal_threshold = 0.0;
+  std::int64_t steal_batch = 4;
+  std::int64_t nodes_per_child = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -150,12 +172,25 @@ int main(int argc, char** argv) {
       if (const char* v = next()) reservation_depth = std::atoll(v);
     } else if (arg == "--match-threads") {
       if (const char* v = next()) match_threads = std::atoll(v);
+    } else if (arg == "--hier") {
+      if (const char* v = next()) hier = std::atoll(v);
+    } else if (arg == "--levels") {
+      if (const char* v = next()) levels = std::atoll(v);
+    } else if (arg == "--route") {
+      if (const char* v = next()) route_name = v;
+    } else if (arg == "--steal-threshold") {
+      if (const char* v = next()) steal_threshold = std::atof(v);
+    } else if (arg == "--steal-batch") {
+      if (const char* v = next()) steal_batch = std::atoll(v);
+    } else if (arg == "--nodes-per-child") {
+      if (const char* v = next()) nodes_per_child = std::atoll(v);
     } else {
       return usage(argv[0]);
     }
   }
   if (grug_path.empty() || trace_path.empty() == scenario_path.empty() ||
-      cores < 1 || reservation_depth < 0) {
+      cores < 1 || reservation_depth < 0 || hier < 0 || levels < 1 ||
+      steal_batch < 1 || nodes_per_child < 0) {
     return usage(argv[0]);
   }
   queue::QueuePolicy qp;
@@ -203,6 +238,205 @@ int main(int argc, char** argv) {
     scenario = std::move(*parsed);
   }
   std::vector<sim::TraceJob>& jobs = scenario.jobs;
+
+  if (hier > 0) {
+    // Federated mode: partition the machine into child instances and
+    // route the workload through a hier::Federation instead of one flat
+    // queue. Shares the trace/scenario front-end and the CSV/eventlog
+    // back-ends; the CSV gains a trailing "member" column.
+    if (perf_seed >= 0 || !util_path.empty()) {
+      std::fprintf(stderr,
+                   "fluxion-sim: --perf-classes/--util are not supported "
+                   "with --hier\n");
+      return 2;
+    }
+    const auto route = hier::parse_route_policy(route_name);
+    if (!route) {
+      std::fprintf(stderr, "fluxion-sim: unknown route policy '%s'\n",
+                   route_name.c_str());
+      return 2;
+    }
+    auto recipe = grug::parse(grug_text);
+    if (!recipe) {
+      std::fprintf(stderr, "fluxion-sim: %s\n",
+                   recipe.error().message.c_str());
+      return 2;
+    }
+    if (arrivals_mean > 0) {
+      util::Rng arr_rng(20231113);
+      sim::stamp_poisson_arrivals(jobs, arrivals_mean, arr_rng);
+    }
+    if (!metrics_path.empty() || !prom_path.empty()) obs::set_enabled(true);
+    if (!trace_out_path.empty()) obs::trace().set_enabled(true);
+
+    hier::FederationConfig fcfg;
+    fcfg.children = static_cast<std::size_t>(hier);
+    fcfg.levels = static_cast<std::size_t>(levels);
+    fcfg.route = *route;
+    fcfg.queue_policy = qp;
+    fcfg.nodes_per_leaf = nodes_per_child;
+    fcfg.steal_threshold = steal_threshold;
+    fcfg.steal_batch = static_cast<std::size_t>(steal_batch);
+    fcfg.eventlog = !eventlog_path.empty();
+    fcfg.match_cache = match_cache;
+    fcfg.match_threads =
+        match_threads > 1 ? static_cast<std::size_t>(match_threads) : 1;
+    fcfg.traversal_mode = first_match ? traverser::TraversalMode::first_match
+                                      : traverser::TraversalMode::scored;
+    fcfg.reservation_depth = static_cast<std::size_t>(reservation_depth);
+    core::Options fopt;
+    fopt.policy = policy;
+    auto fed = hier::Federation::create(*recipe, fcfg, fopt);
+    if (!fed) {
+      std::fprintf(stderr, "fluxion-sim: %s\n", fed.error().message.c_str());
+      return 2;
+    }
+
+    std::vector<hier::FedJobId> fed_ids;
+    sim::FedScenarioResult fed_dyn;
+    if (!scenario_path.empty()) {
+      const auto slash = scenario_path.find_last_of('/');
+      const std::string dir =
+          slash == std::string::npos ? "" : scenario_path.substr(0, slash + 1);
+      auto resolver =
+          [&](const std::string& ref) -> util::Expected<std::string> {
+        bool read_ok = false;
+        std::string text = read_file(dir + ref, read_ok);
+        if (!read_ok) text = read_file(ref, read_ok);
+        if (!read_ok) {
+          return util::Error{util::Errc::not_found,
+                             "cannot read recipe '" + ref + "'"};
+        }
+        return text;
+      };
+      auto replayed = sim::replay_scenario(**fed, scenario, cores, resolver);
+      if (!replayed) {
+        std::fprintf(stderr, "fluxion-sim: %s\n",
+                     replayed.error().message.c_str());
+        return 2;
+      }
+      fed_ids = replayed->ids;
+      fed_dyn = std::move(*replayed);
+    } else {
+      auto replayed = sim::replay_trace(**fed, jobs, cores);
+      if (!replayed) {
+        std::fprintf(stderr, "fluxion-sim: %s\n",
+                     replayed.error().message.c_str());
+        return 2;
+      }
+      fed_ids = std::move(replayed->ids);
+    }
+
+    FILE* csv = stdout;
+    if (!csv_path.empty()) {
+      csv = std::fopen(csv_path.c_str(), "w");
+      if (csv == nullptr) {
+        std::fprintf(stderr, "fluxion-sim: cannot write %s\n",
+                     csv_path.c_str());
+        return 2;
+      }
+    }
+    std::fprintf(
+        csv, "job,nodes,duration,state,start,end,wait,fom,match_ms,member\n");
+    std::size_t completed = 0;
+    util::TimePoint makespan = 0;
+    for (std::size_t i = 0; i < fed_ids.size(); ++i) {
+      const auto* ref = (*fed)->find(fed_ids[i]);
+      const queue::Job* job = (*fed)->find_job(fed_ids[i]);
+      if (ref == nullptr || job == nullptr) continue;
+      if (job->state == queue::JobState::completed) {
+        ++completed;
+        makespan = std::max(makespan, job->end_time);
+      }
+      std::fprintf(csv, "%lld,%lld,%lld,%s,%lld,%lld,%lld,%d,%.3f,%s\n",
+                   static_cast<long long>(fed_ids[i]),
+                   static_cast<long long>(jobs[i].nodes),
+                   static_cast<long long>(jobs[i].duration),
+                   queue::job_state_name(job->state),
+                   static_cast<long long>(job->start_time),
+                   static_cast<long long>(job->end_time),
+                   static_cast<long long>(
+                       job->start_time >= 0
+                           ? job->start_time - job->submit_time
+                           : -1),
+                   -1, job->match_seconds * 1e3,
+                   (*fed)->member(ref->member).name.c_str());
+    }
+    if (csv != stdout) std::fclose(csv);
+
+    if (!eventlog_path.empty()) {
+      std::ofstream eo(eventlog_path);
+      if (!eo) {
+        std::fprintf(stderr, "fluxion-sim: cannot write %s\n",
+                     eventlog_path.c_str());
+        return 2;
+      }
+      eo << (*fed)->eventlog_jsonl();
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream mo(metrics_path);
+      if (!mo) {
+        std::fprintf(stderr, "fluxion-sim: cannot write %s\n",
+                     metrics_path.c_str());
+        return 2;
+      }
+      mo << obs::monitor().json() << "\n";
+    }
+    if (!prom_path.empty()) {
+      std::ofstream po(prom_path);
+      if (!po) {
+        std::fprintf(stderr, "fluxion-sim: cannot write %s\n",
+                     prom_path.c_str());
+        return 2;
+      }
+      po << obs::monitor().prometheus();
+    }
+    if (!trace_out_path.empty()) {
+      std::ofstream to(trace_out_path);
+      if (!to) {
+        std::fprintf(stderr, "fluxion-sim: cannot write %s\n",
+                     trace_out_path.c_str());
+        return 2;
+      }
+      to << obs::trace().chrome_json();
+    }
+
+    const auto& fs = (*fed)->stats();
+    std::fprintf(stderr,
+                 "fluxion-sim: hier children=%lld levels=%lld route=%s | "
+                 "%zu jobs, %zu completed, makespan %lld\n",
+                 static_cast<long long>(hier), static_cast<long long>(levels),
+                 hier::route_policy_name(*route), fed_ids.size(), completed,
+                 static_cast<long long>(makespan));
+    std::fprintf(stderr,
+                 "fluxion-sim: %llu routed, %llu escalated, %llu stolen "
+                 "(%llu steal passes)\n",
+                 static_cast<unsigned long long>(fs.routed),
+                 static_cast<unsigned long long>(fs.escalated),
+                 static_cast<unsigned long long>(fs.stolen),
+                 static_cast<unsigned long long>(fs.steal_passes));
+    for (std::size_t m = 0; m < (*fed)->member_count(); ++m) {
+      const auto& mem = (*fed)->member(m);
+      const auto mm = mem.queue->metrics();
+      const auto& ms = mem.queue->stats();
+      std::fprintf(stderr,
+                   "fluxion-sim:   %-8s %lld nodes | %llu submitted, "
+                   "%zu completed, %llu rejected | %llu matches\n",
+                   mem.name.c_str(),
+                   static_cast<long long>(mem.capacity_nodes),
+                   static_cast<unsigned long long>(ms.submitted), mm.completed,
+                   static_cast<unsigned long long>(ms.rejected),
+                   static_cast<unsigned long long>(ms.match_calls));
+    }
+    if (!scenario_path.empty()) {
+      std::fprintf(stderr,
+                   "fluxion-sim: dyn events %zu status, %zu grow, %zu shrink\n",
+                   fed_dyn.status_events, fed_dyn.grow_events,
+                   fed_dyn.shrink_events);
+    }
+    return 0;
+  }
+
   core::Options opt;
   opt.policy = policy;
   auto rq = core::ResourceQuery::create_from_text(grug_text, opt);

@@ -28,6 +28,8 @@
 
 #include "core/resource_query.hpp"
 #include "dynamic/dynamic.hpp"
+#include "grug/grug.hpp"
+#include "hier/federation.hpp"
 #include "obs/metrics.hpp"
 #include "queue/job_queue.hpp"
 #include "sim/workload.hpp"
@@ -91,6 +93,11 @@ struct Cli {
   std::string format = "simple";
   /// Dynamic-resource layer; no queue here, so evictions kill jobs.
   std::unique_ptr<dynamic::DynamicResources> dyn;
+  /// Federated mode (--hier): matches route through the federation and
+  /// `explain` names the member that produced the verdict. rq/dyn stay
+  /// null; only the federation command subset is available.
+  std::unique_ptr<hier::Federation> fed;
+  long long next_fed_attempt = 1;
   /// One record per match command, keyed by the job id the match ran
   /// under (failed matches consume an id for attribution purposes only).
   /// Introspection is always on in the interactive tool, so `explain`
@@ -196,7 +203,9 @@ struct Cli {
     };
     std::string tallies;
     for (const auto& [k, v] : a.args) {
-      if (k == "dominant") {
+      if (k == "member") {
+        std::printf("  member: %s\n", unquote(v).c_str());
+      } else if (k == "dominant") {
         std::printf("  dominant blocker: %s\n", unquote(v).c_str());
       } else if (k == "hint") {
         std::printf("  earliest feasible: t=%s\n", v.c_str());
@@ -213,12 +222,143 @@ struct Cli {
     return 0;
   }
 
+  /// Federated-mode match: route through the federation, escalating to
+  /// the root when no leaf fits; the attempt record carries the member
+  /// attribution so `explain` can name where the verdict came from.
+  int handle_fed_match(const std::vector<std::string>& args) {
+    if (args.size() != 3) {
+      std::printf("error: match needs an op and a jobspec path\n");
+      return 0;
+    }
+    bool ok = false;
+    const std::string text = read_file(args[2], ok);
+    if (!ok) {
+      std::printf("error: cannot read '%s'\n", args[2].c_str());
+      return 0;
+    }
+    auto js = jobspec::Jobspec::from_yaml(text);
+    if (!js) {
+      std::printf("error: %s\n", js.error().message.c_str());
+      return 0;
+    }
+    if (args[1] == "satisfiability") {
+      // Whole-federation verdict: which members could ever run it.
+      std::string sat;
+      for (std::size_t i = 0; i < fed->member_count(); ++i) {
+        if (fed->member(i).instance->engine().satisfiability(*js)) {
+          if (!sat.empty()) sat += ", ";
+          sat += fed->member(i).name;
+        }
+      }
+      if (sat.empty()) {
+        std::printf("unsatisfiable on every member\n");
+      } else {
+        std::printf("satisfiable on: %s\n", sat.c_str());
+      }
+      return 0;
+    }
+    if (args[1] != "allocate") {
+      std::printf("error: federated mode supports match allocate and "
+                  "match satisfiability\n");
+      return 0;
+    }
+    const long long attempt_id = next_fed_attempt++;
+    auto r = fed->match_allocate(*js);
+    Attempt a;
+    a.op = "allocate";
+    a.ok = static_cast<bool>(r);
+    a.code = r ? "ok" : util::errc_name(r.error().code);
+    a.args = fed->last_args();
+    attempts[attempt_id] = std::move(a);
+    last_attempt_id = attempt_id;
+    if (!r) {
+      std::printf("MATCH FAILED (%s) on member %s: %s\n",
+                  util::errc_name(r.error().code), fed->last_member().c_str(),
+                  r.error().message.c_str());
+      return 0;
+    }
+    // Render against the graph of the member that placed the job.
+    for (std::size_t i = 0; i < fed->member_count(); ++i) {
+      if (fed->member(i).name != fed->last_member()) continue;
+      const auto& g = fed->member(i).instance->engine().graph();
+      std::printf("member %s:\n", fed->last_member().c_str());
+      if (format == "rlite") {
+        std::printf("%s\n", writers::match_rlite_string(g, *r).c_str());
+      } else if (format == "jgf") {
+        std::printf("%s\n", writers::match_to_jgf(g, *r).pretty().c_str());
+      } else {
+        std::printf("%s", writers::match_to_pretty(g, *r).c_str());
+      }
+      break;
+    }
+    return 0;
+  }
+
+  /// The federated-mode command subset. Commands that mutate or inspect
+  /// one flat graph (grow, shrink, cancel, jgf, ...) are not routed.
+  int run_fed_command(const std::vector<std::string>& args) {
+    const std::string& cmd = args[0];
+    if (cmd == "quit" || cmd == "exit") return 1;
+    if (cmd == "help") {
+      std::printf(
+          "federated-mode commands:\n"
+          "  match allocate JOBSPEC.yaml       — route + match; failures\n"
+          "                                      name the member\n"
+          "  match satisfiability JOBSPEC.yaml — per-member verdicts\n"
+          "  explain JOBID|last — member-attributed match outcome\n"
+          "  info   — federation topology and routing counters\n"
+          "  stats  — routing/steal counters and member queue stats\n"
+          "  quit\n");
+    } else if (cmd == "match") {
+      return handle_fed_match(args);
+    } else if (cmd == "explain" && args.size() == 2) {
+      return handle_explain(args[1]);
+    } else if (cmd == "info") {
+      const auto& cfg = fed->config();
+      std::printf("federation: %zu members (%zu leaves), route=%s, "
+                  "levels=%zu\n",
+                  fed->member_count(), fed->leaf_count(),
+                  hier::route_policy_name(cfg.route), cfg.levels);
+      for (std::size_t i = 0; i < fed->member_count(); ++i) {
+        const auto& m = fed->member(i);
+        std::printf("  %-8s %s, %lld nodes, %zu vertices, depth %zu\n",
+                    m.name.c_str(), m.is_root ? "root" : "leaf",
+                    static_cast<long long>(m.capacity_nodes),
+                    m.instance->engine().graph().live_vertex_count(),
+                    m.instance->depth());
+      }
+    } else if (cmd == "stats") {
+      const auto& s = fed->stats();
+      std::printf("routed: %llu, escalated: %llu, stolen: %llu "
+                  "(%llu steal passes)\n",
+                  static_cast<unsigned long long>(s.routed),
+                  static_cast<unsigned long long>(s.escalated),
+                  static_cast<unsigned long long>(s.stolen),
+                  static_cast<unsigned long long>(s.steal_passes));
+      for (std::size_t i = 0; i < fed->member_count(); ++i) {
+        const auto& m = fed->member(i);
+        const auto& ts = m.instance->engine().traverser().stats();
+        std::printf("  %-8s visits: %llu, match attempts: %llu, "
+                    "jobs: %zu\n",
+                    m.name.c_str(),
+                    static_cast<unsigned long long>(ts.visits),
+                    static_cast<unsigned long long>(ts.match_attempts),
+                    m.instance->engine().traverser().job_count());
+      }
+    } else {
+      std::printf("error: unknown federated-mode command '%s' "
+                  "(try 'help')\n", cmd.c_str());
+    }
+    return 0;
+  }
+
   int run_command(const std::string& line) {
     std::vector<std::string> args;
     for (auto tok : util::split(line, ' ')) {
       if (!util::trim(tok).empty()) args.emplace_back(util::trim(tok));
     }
     if (args.empty()) return 0;
+    if (fed != nullptr) return run_fed_command(args);
     const std::string& cmd = args[0];
     if (cmd == "quit" || cmd == "exit") return 1;
     if (cmd == "help") {
@@ -429,6 +569,8 @@ int main(int argc, char** argv) {
   std::string jgf_path;
   std::string policy = "low-id";
   std::string format = "simple";
+  std::int64_t hier = 0;
+  std::string route_name = "round-robin";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -442,9 +584,14 @@ int main(int argc, char** argv) {
       if (const char* v = next()) policy = v;
     } else if (arg == "--format") {
       if (const char* v = next()) format = v;
+    } else if (arg == "--hier") {
+      if (const char* v = next()) hier = std::atoll(v);
+    } else if (arg == "--route") {
+      if (const char* v = next()) route_name = v;
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: resource-query (--grug FILE | --jgf FILE) "
-                  "[--policy NAME] [--format simple|pretty|rlite|jgf]\n");
+                  "[--policy NAME] [--format simple|pretty|rlite|jgf]\n"
+                  "                      [--hier K] [--route POLICY]\n");
       print_help();
       return 0;
     } else {
@@ -473,6 +620,52 @@ int main(int argc, char** argv) {
   }
   core::Options opt;
   opt.policy = policy;
+  if (hier > 0) {
+    // Federated mode: partition into child instances; matches route
+    // through the federation and rejections name the member.
+    if (grug_path.empty()) {
+      std::fprintf(stderr, "resource-query: --hier requires --grug\n");
+      return 2;
+    }
+    const auto route = hier::parse_route_policy(route_name);
+    if (!route) {
+      std::fprintf(stderr, "resource-query: unknown route policy '%s'\n",
+                   route_name.c_str());
+      return 2;
+    }
+    auto recipe = grug::parse(text);
+    if (!recipe) {
+      std::fprintf(stderr, "resource-query: %s\n",
+                   recipe.error().message.c_str());
+      return 2;
+    }
+    hier::FederationConfig fcfg;
+    fcfg.children = static_cast<std::size_t>(hier);
+    fcfg.route = *route;
+    auto fed = hier::Federation::create(*recipe, fcfg, opt);
+    if (!fed) {
+      std::fprintf(stderr, "resource-query: %s\n",
+                   fed.error().message.c_str());
+      return 2;
+    }
+    obs::set_enabled(true);
+    for (std::size_t i = 0; i < (*fed)->member_count(); ++i) {
+      (*fed)->member(i).instance->engine().traverser().set_introspection(
+          true);
+    }
+    Cli cli;
+    cli.format = format;
+    cli.fed = std::move(*fed);
+    std::printf("resource-query: federation of %zu members (%zu leaves), "
+                "route=%s (type 'help')\n",
+                cli.fed->member_count(), cli.fed->leaf_count(),
+                hier::route_policy_name(cli.fed->config().route));
+    std::string fed_line;
+    while (std::getline(std::cin, fed_line)) {
+      if (cli.run_command(fed_line) != 0) break;
+    }
+    return 0;
+  }
   auto rq = grug_path.empty()
                 ? core::ResourceQuery::create_from_jgf(
                       text, opt, {"node", "core"}, {"cluster"})
