@@ -13,6 +13,8 @@
 #include "grug/grug.hpp"
 #include "hier/federation.hpp"
 #include "obs/metrics.hpp"
+#include "snapshot/replica.hpp"
+#include "snapshot/snapshot.hpp"
 #include "util/expected.hpp"
 #include "writers/rlite.hpp"
 
@@ -35,6 +37,10 @@ struct reapi_ctx {
 
 struct reapi_fed {
   std::unique_ptr<fluxion::hier::Federation> fed;
+};
+
+struct reapi_replica {
+  std::unique_ptr<fluxion::snapshot::Replica> rep;
 };
 
 namespace {
@@ -414,6 +420,134 @@ reapi_status_t reapi_fed_explain(reapi_fed_t* fed, int64_t jobid,
   *text_out = dup_string(fed->fed->explain(jobid));
   return *text_out != nullptr ? REAPI_OK : REAPI_EINTERNAL;
 }
+
+reapi_status_t reapi_fed_member_snapshot(reapi_fed_t* fed, int member,
+                                         char** bytes_out,
+                                         uint64_t* len_out) {
+  if (fed == nullptr || bytes_out == nullptr || len_out == nullptr ||
+      member < 0 ||
+      static_cast<std::size_t>(member) >= fed->fed->member_count()) {
+    return REAPI_EINVAL;
+  }
+  const std::string bytes =
+      fed->fed->member_snapshot(static_cast<std::size_t>(member));
+  char* out = static_cast<char*>(std::malloc(bytes.size()));
+  if (out == nullptr) return REAPI_EINTERNAL;
+  std::memcpy(out, bytes.data(), bytes.size());
+  *bytes_out = out;
+  *len_out = bytes.size();
+  return REAPI_OK;
+}
+
+reapi_status_t reapi_snapshot_save(reapi_ctx_t* ctx, char** bytes_out,
+                                   uint64_t* len_out) {
+  if (ctx == nullptr || bytes_out == nullptr || len_out == nullptr) {
+    return REAPI_EINVAL;
+  }
+  const std::string bytes = fluxion::snapshot::save_engine(
+      ctx->rq->graph(), ctx->rq->traverser(), nullptr);
+  char* out = static_cast<char*>(std::malloc(bytes.size()));
+  if (out == nullptr) return REAPI_EINTERNAL;
+  std::memcpy(out, bytes.data(), bytes.size());
+  *bytes_out = out;
+  *len_out = bytes.size();
+  return REAPI_OK;
+}
+
+reapi_ctx_t* reapi_snapshot_load(const char* bytes, uint64_t len,
+                                 char** error_out) {
+  if (error_out != nullptr) *error_out = nullptr;
+  if (bytes == nullptr) {
+    if (error_out != nullptr) *error_out = dup_string("bytes is NULL");
+    return nullptr;
+  }
+  auto eng = fluxion::snapshot::load_engine(
+      std::string_view(bytes, static_cast<std::size_t>(len)));
+  if (!eng) {
+    if (error_out != nullptr) *error_out = dup_string(eng.error().message);
+    return nullptr;
+  }
+  // A context schedules without a queue; any restored queue state is
+  // released here (its jobs remain committed in the traverser).
+  (*eng)->queue.reset();
+  auto* ctx = new reapi_ctx;
+  ctx->rq = fluxion::core::ResourceQuery::adopt(
+      std::move((*eng)->graph), std::move((*eng)->policy),
+      std::move((*eng)->traverser), (*eng)->root, (*eng)->next_job_id);
+  ctx->dyn = std::make_unique<fluxion::dynamic::DynamicResources>(
+      ctx->rq->graph(), ctx->rq->traverser());
+  return ctx;
+}
+
+uint64_t reapi_mutation_epoch(const reapi_ctx_t* ctx) {
+  if (ctx == nullptr) return 0;
+  return ctx->rq->traverser().mutation_epoch();
+}
+
+reapi_replica_t* reapi_replica_open(const char* bytes, uint64_t len,
+                                    char** error_out) {
+  if (error_out != nullptr) *error_out = nullptr;
+  if (bytes == nullptr) {
+    if (error_out != nullptr) *error_out = dup_string("bytes is NULL");
+    return nullptr;
+  }
+  auto rep = fluxion::snapshot::Replica::open(
+      std::string_view(bytes, static_cast<std::size_t>(len)));
+  if (!rep) {
+    if (error_out != nullptr) *error_out = dup_string(rep.error().message);
+    return nullptr;
+  }
+  auto* out = new reapi_replica;
+  out->rep = std::move(*rep);
+  return out;
+}
+
+reapi_status_t reapi_replica_refresh(reapi_replica_t* rep, const char* bytes,
+                                     uint64_t len) {
+  if (rep == nullptr || bytes == nullptr) return REAPI_EINVAL;
+  auto st = rep->rep->refresh(
+      std::string_view(bytes, static_cast<std::size_t>(len)));
+  return st ? REAPI_OK : to_status(st.error().code);
+}
+
+uint64_t reapi_replica_epoch(const reapi_replica_t* rep) {
+  if (rep == nullptr) return 0;
+  return rep->rep->epoch();
+}
+
+int reapi_replica_stale(const reapi_replica_t* rep, uint64_t writer_epoch) {
+  if (rep == nullptr) return 0;
+  return rep->rep->stale_against(writer_epoch) ? 1 : 0;
+}
+
+reapi_status_t reapi_replica_satisfiable(reapi_replica_t* rep,
+                                         const char* jobspec_yaml,
+                                         int* satisfiable_out) {
+  if (rep == nullptr || jobspec_yaml == nullptr ||
+      satisfiable_out == nullptr) {
+    return REAPI_EINVAL;
+  }
+  auto js = fluxion::jobspec::Jobspec::from_yaml(jobspec_yaml);
+  if (!js) return to_status(js.error().code);
+  *satisfiable_out = rep->rep->satisfiable(*js) ? 1 : 0;
+  return REAPI_OK;
+}
+
+reapi_status_t reapi_replica_earliest_start(reapi_replica_t* rep,
+                                            const char* jobspec_yaml,
+                                            int64_t now, int64_t* at_out) {
+  if (rep == nullptr || jobspec_yaml == nullptr || at_out == nullptr) {
+    return REAPI_EINVAL;
+  }
+  auto js = fluxion::jobspec::Jobspec::from_yaml(jobspec_yaml);
+  if (!js) return to_status(js.error().code);
+  auto at = rep->rep->earliest_start(*js, now);
+  if (!at) return to_status(at.error().code);
+  *at_out = *at;
+  return REAPI_OK;
+}
+
+void reapi_replica_destroy(reapi_replica_t* rep) { delete rep; }
 
 void reapi_free_string(char* s) { std::free(s); }
 

@@ -214,6 +214,76 @@ reapi_status_t reapi_fed_stats_json(reapi_fed_t* fed, char** json_out);
 reapi_status_t reapi_fed_explain(reapi_fed_t* fed, int64_t jobid,
                                  char** text_out);
 
+/* Binary engine snapshot of member i (its graph, committed claims and
+ * queue) — the bytes load with reapi_snapshot_load or serve reads via
+ * reapi_replica_open. Members snapshot per leaf; there is no
+ * whole-federation image (router inbox and steal state are transient).
+ * bytes_out is malloc'd (may contain NULs; length in *len_out); release
+ * with reapi_free_string. */
+reapi_status_t reapi_fed_member_snapshot(reapi_fed_t* fed, int member,
+                                         char** bytes_out, uint64_t* len_out);
+
+/* --- Binary engine snapshots and warm read replicas (src/snapshot).
+ * A snapshot is a versioned binary image of the whole engine (graph,
+ * planner spans, committed claims). Restoring one yields an engine whose
+ * observable behaviour is identical to the writer's at save time.
+ * Replicas are read-only engine clones rebuilt from snapshot bytes: one
+ * writer keeps committing while N replicas (one per thread) absorb
+ * satisfiability / earliest-start queries, each stamped with the
+ * writer's mutation epoch at save time. */
+
+typedef struct reapi_replica reapi_replica_t;
+
+/* Serialize the context's engine. bytes_out receives a malloc'd buffer
+ * (binary, not NUL-terminated; release with reapi_free_string) and
+ * len_out its length. */
+reapi_status_t reapi_snapshot_save(reapi_ctx_t* ctx, char** bytes_out,
+                                   uint64_t* len_out);
+
+/* Rebuild a context from snapshot bytes. Any job-queue state in the
+ * snapshot is dropped (a context schedules without a queue). Returns
+ * NULL on failure and fills error_out (malloc'd; release with
+ * reapi_free_string) when non-NULL. */
+reapi_ctx_t* reapi_snapshot_load(const char* bytes, uint64_t len,
+                                 char** error_out);
+
+/* The context's monotone mutation epoch: bumped on every successful
+ * state-changing operation. Compare against reapi_replica_epoch to
+ * decide whether a replica needs a refresh. */
+uint64_t reapi_mutation_epoch(const reapi_ctx_t* ctx);
+
+/* Open a read-only replica from snapshot bytes. A replica must be driven
+ * from one thread at a time; open one per thread from the same bytes. */
+reapi_replica_t* reapi_replica_open(const char* bytes, uint64_t len,
+                                    char** error_out);
+
+/* Swap in newer snapshot bytes. On failure the replica keeps serving its
+ * current (older) state and the call reports why. */
+reapi_status_t reapi_replica_refresh(reapi_replica_t* rep, const char* bytes,
+                                     uint64_t len);
+
+/* The writer epoch captured in the snapshot this replica serves. */
+uint64_t reapi_replica_epoch(const reapi_replica_t* rep);
+
+/* Nonzero when writer_epoch has moved past the replica's epoch (the
+ * replica's answers describe an older committed state). */
+int reapi_replica_stale(const reapi_replica_t* rep, uint64_t writer_epoch);
+
+/* Could the jobspec ever run on an idle version of the replica's graph?
+ * Fills satisfiable_out with 0/1. */
+reapi_status_t reapi_replica_satisfiable(reapi_replica_t* rep,
+                                         const char* jobspec_yaml,
+                                         int* satisfiable_out);
+
+/* Earliest feasible start at or after `now` against the replica's
+ * committed state; agrees exactly with the writer at the same epoch.
+ * REAPI_ENOTSUP when the spec can never fit. */
+reapi_status_t reapi_replica_earliest_start(reapi_replica_t* rep,
+                                            const char* jobspec_yaml,
+                                            int64_t now, int64_t* at_out);
+
+void reapi_replica_destroy(reapi_replica_t* rep);
+
 /* Free a string returned through an out-parameter. */
 void reapi_free_string(char* s);
 

@@ -80,6 +80,20 @@ util::Expected<std::unique_ptr<ResourceQuery>> ResourceQuery::create_from_jgf(
   return rq;
 }
 
+std::unique_ptr<ResourceQuery> ResourceQuery::adopt(
+    std::unique_ptr<graph::ResourceGraph> graph,
+    std::unique_ptr<traverser::MatchPolicy> policy,
+    std::unique_ptr<traverser::Traverser> traverser, graph::VertexId root,
+    JobId next_job_id) {
+  auto rq = std::unique_ptr<ResourceQuery>(new ResourceQuery);
+  rq->graph_ = std::move(graph);
+  rq->policy_ = std::move(policy);
+  rq->traverser_ = std::move(traverser);
+  rq->root_ = root;
+  rq->next_job_id_ = next_job_id;
+  return rq;
+}
+
 util::Expected<MatchResult> ResourceQuery::match_allocate(
     const jobspec::Jobspec& js, TimePoint now) {
   return traverser_->match(js, traverser::MatchOp::allocate, now,

@@ -57,6 +57,15 @@ class ResourceQuery {
       const std::vector<std::string>& filter_types = {},
       const std::vector<std::string>& filter_at = {});
 
+  /// Wrap pre-built engine components (e.g. a snapshot::RestoredEngine)
+  /// in the front door. The traverser must already reference `graph` and
+  /// `policy`; `next_job_id` seeds the id counter past any restored jobs.
+  static std::unique_ptr<ResourceQuery> adopt(
+      std::unique_ptr<graph::ResourceGraph> graph,
+      std::unique_ptr<traverser::MatchPolicy> policy,
+      std::unique_ptr<traverser::Traverser> traverser, graph::VertexId root,
+      JobId next_job_id);
+
   // --- match operations (paper Figure 1c step 3-7) -------------------------
   /// Allocate at `now` or fail with resource_busy.
   util::Expected<MatchResult> match_allocate(const jobspec::Jobspec& js,

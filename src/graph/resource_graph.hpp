@@ -33,6 +33,10 @@
 #include "util/interner.hpp"
 #include "util/time.hpp"
 
+namespace fluxion::snapshot {
+class EngineSnapshot;
+}
+
 namespace fluxion::graph {
 
 using util::Duration;
@@ -218,6 +222,11 @@ class ResourceGraph {
   bool validate() const;
 
  private:
+  /// The binary snapshot codec reads and rebuilds exact private state
+  /// (vertex slots including dead ones, by_type_ buckets, interner
+  /// tables) that no public construction sequence can reproduce.
+  friend class fluxion::snapshot::EngineSnapshot;
+
   util::Status resize_ancestor_filters(VertexId from,
                                        const std::map<InternId, std::int64_t>&
                                            delta,

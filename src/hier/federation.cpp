@@ -5,6 +5,7 @@
 
 #include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
+#include "snapshot/snapshot.hpp"
 #include "util/time.hpp"
 
 namespace fluxion::hier {
@@ -483,6 +484,12 @@ std::string Federation::eventlog_jsonl() const {
 
 void Federation::invalidate_sat_cache() {
   for (auto& c : sat_cache_) c.clear();
+}
+
+std::string Federation::member_snapshot(std::size_t i) {
+  Member& m = member(i);
+  core::ResourceQuery& eng = m.instance->engine();
+  return snapshot::save_engine(eng.graph(), eng.traverser(), m.queue.get());
 }
 
 }  // namespace fluxion::hier

@@ -175,6 +175,12 @@ class Federation {
   /// cannot).
   void invalidate_sat_cache();
 
+  /// Binary engine snapshot of member `i` (its graph, committed claims
+  /// and queue) — loadable as a warm engine or a read Replica
+  /// (src/snapshot). Members snapshot per leaf; there is no whole-
+  /// federation image (the router inbox and steal state are transient).
+  std::string member_snapshot(std::size_t i);
+
  private:
   Federation() = default;
 

@@ -89,6 +89,13 @@ void PerfMonitor::reset() {
   hier_steal_passes.reset();
   hier_route_latency_us.reset();
   for (auto& g : hier_member_depth) g.reset();
+  snap_saves.reset();
+  snap_loads.reset();
+  snap_bytes.reset();
+  snap_save_us.reset();
+  snap_load_us.reset();
+  replica_queries.reset();
+  replica_stale.reset();
 }
 
 namespace {
@@ -225,7 +232,15 @@ std::string PerfMonitor::json() const {
     if (i > 0) out += ",";
     out += std::to_string(hier_member_depth[i].max());
   }
-  out += "]}}";
+  out += "]},\"snapshot\":{";
+  kv(out, "saves", snap_saves.value(), true);
+  kv(out, "loads", snap_loads.value());
+  kv(out, "bytes", snap_bytes.value());
+  kv_hist(out, "save_us", snap_save_us);
+  kv_hist(out, "load_us", snap_load_us);
+  kv(out, "replica_queries", replica_queries.value());
+  kv(out, "replica_stale", replica_stale.value());
+  out += "}}";
   return out;
 }
 
@@ -382,6 +397,14 @@ std::string PerfMonitor::prometheus() const {
              "\"} " + std::to_string(hier_member_depth[i].max()) + "\n";
     }
   }
+
+  counter("snap_saves", snap_saves.value());
+  counter("snap_loads", snap_loads.value());
+  counter("snap_bytes", snap_bytes.value());
+  hist("snap_save_us", snap_save_us);
+  hist("snap_load_us", snap_load_us);
+  counter("replica_queries", replica_queries.value());
+  counter("replica_stale", replica_stale.value());
   return out;
 }
 
@@ -512,6 +535,23 @@ std::string PerfMonitor::render(bool verbose) const {
                                           ? 0
                                           : hier_member_depth[i].value()));
     }
+  }
+  if (snap_saves.value() > 0 || snap_loads.value() > 0 ||
+      replica_queries.value() > 0) {
+    out += "snapshot:\n";
+    line(out, "saves", snap_saves.value());
+    line(out, "loads", snap_loads.value());
+    line(out, "bytes", snap_bytes.value());
+    if (snap_save_us.count() > 0) {
+      hist_summary(out, "save latency (us)", snap_save_us);
+      if (verbose) out += snap_save_us.render();
+    }
+    if (snap_load_us.count() > 0) {
+      hist_summary(out, "load latency (us)", snap_load_us);
+      if (verbose) out += snap_load_us.render();
+    }
+    line(out, "replica-queries", replica_queries.value());
+    line(out, "replica-stale", replica_stale.value());
   }
   return out;
 }

@@ -203,6 +203,15 @@ struct PerfMonitor {
     while (hier_member_depth.size() < n) hier_member_depth.emplace_back();
   }
 
+  // --- snapshot / replicas (src/snapshot) -----------------------------------
+  Counter snap_saves;             // engine snapshots serialised
+  Counter snap_loads;             // engines rebuilt from snapshot bytes
+  Counter snap_bytes;             // total snapshot bytes produced
+  util::Histogram snap_save_us{0.0, 100000.0, 50};
+  util::Histogram snap_load_us{0.0, 100000.0, 50};
+  Counter replica_queries;        // queries served by read replicas
+  Counter replica_stale;          // staleness checks finding the writer ahead
+
   /// Zero every counter, gauge and histogram.
   void reset();
 

@@ -43,6 +43,10 @@
 #include "util/expected.hpp"
 #include "util/thread_pool.hpp"
 
+namespace fluxion::snapshot {
+class EngineSnapshot;
+}
+
 namespace fluxion::queue {
 
 using traverser::JobId;
@@ -382,6 +386,11 @@ class JobQueue {
   const QueueStats& stats() const noexcept { return stats_; }
 
  private:
+  /// The binary snapshot codec restores jobs, the pending order, the
+  /// simulated clock and the eventlog, and rebuilds the event heap
+  /// canonically from job state (stale entries are not preserved).
+  friend class fluxion::snapshot::EngineSnapshot;
+
   /// One entry in the lazy-deletion event heap. Entries are immutable
   /// once pushed; a state transition that moves or cancels an event
   /// simply leaves the old entry behind to be recognised as stale on pop

@@ -3,6 +3,7 @@
 // as opposed to §6.3's submit-everything-then-schedule snapshot replay.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "queue/job_queue.hpp"
@@ -21,6 +22,32 @@ struct ReplayResult {
 /// arrivals, firing starts/completions and re-scheduling), then run the
 /// queue dry. The queue must be freshly constructed (clock at 0).
 util::Expected<ReplayResult> replay_trace(queue::JobQueue& q,
+                                          const std::vector<TraceJob>& trace,
+                                          std::int64_t cores_per_node);
+
+/// Invoked exactly once, at the first arrival-batch boundary past the
+/// checkpoint time: every arrival <= that boundary has been submitted and
+/// scheduled, and no later arrival has been looked at. `submitted` is the
+/// number of trace jobs in the queue — the resume cursor. The callback
+/// runs at a point the unchecked replay also passes through, so
+/// snapshotting here perturbs nothing.
+using CheckpointFn =
+    std::function<void(queue::JobQueue& q, std::size_t submitted)>;
+
+/// replay_trace, firing `on_checkpoint` once when the next arrival batch
+/// would start after `checkpoint_at` (or just before the final drain when
+/// `checkpoint_at` is at/past the last arrival).
+util::Expected<ReplayResult> replay_trace_checkpoint(
+    queue::JobQueue& q, const std::vector<TraceJob>& trace,
+    std::int64_t cores_per_node, util::TimePoint checkpoint_at,
+    const CheckpointFn& on_checkpoint);
+
+/// Continue a trace on a queue restored from a mid-replay snapshot: the
+/// queue must already hold the first `stats().submitted` arrivals (in
+/// arrival order) and sit at the checkpoint clock. Replays the remaining
+/// suffix and runs the queue dry; ids for the prefix are recovered from
+/// the restored queue, so the result is aligned with the full trace.
+util::Expected<ReplayResult> resume_trace(queue::JobQueue& q,
                                           const std::vector<TraceJob>& trace,
                                           std::int64_t cores_per_node);
 

@@ -209,16 +209,7 @@ util::Status apply_event(queue::JobQueue& q, dynamic::DynamicResources& dyn,
   return util::Status::ok();
 }
 
-}  // namespace
-
-util::Expected<ScenarioResult> replay_scenario(
-    queue::JobQueue& q, dynamic::DynamicResources& dyn,
-    const Scenario& scenario, std::int64_t cores_per_node,
-    const RecipeResolver& resolver) {
-  if (q.now() != 0 || q.stats().submitted != 0) {
-    return util::Error{Errc::invalid_argument,
-                       "replay_scenario: queue already used"};
-  }
+std::vector<Act> act_order(const Scenario& scenario) {
   std::vector<Act> acts;
   acts.reserve(scenario.jobs.size() + scenario.events.size());
   for (std::size_t i = 0; i < scenario.events.size(); ++i) {
@@ -231,11 +222,43 @@ util::Expected<ScenarioResult> replay_scenario(
     if (a.at != b.at) return a.at < b.at;
     return !a.is_job && b.is_job;
   });
+  return acts;
+}
 
+/// Shared scenario driver. Starts at act index `k0` (0 for a fresh
+/// queue). When `on_checkpoint` is set it fires once, at the batch
+/// boundary right before the first act later than `checkpoint_at` — a
+/// state the plain replay also passes through, so checkpointed and
+/// straight runs stay act-for-act identical.
+util::Expected<ScenarioResult> drive(queue::JobQueue& q,
+                                     dynamic::DynamicResources& dyn,
+                                     const Scenario& scenario,
+                                     std::int64_t cores_per_node,
+                                     const RecipeResolver& resolver,
+                                     const std::vector<Act>& acts,
+                                     std::size_t k0,
+                                     util::TimePoint checkpoint_at,
+                                     const ScenarioCheckpointFn* on_checkpoint) {
   ScenarioResult result;
   result.ids.resize(scenario.jobs.size(), -1);
-  for (std::size_t k = 0; k < acts.size();) {
+  // On resume the prefix's job acts already live in the queue; ids were
+  // assigned in act (= submit) order.
+  std::size_t restored = 0;
+  for (std::size_t k = 0; k < k0; ++k) {
+    if (acts[k].is_job) result.ids[acts[k].idx] = q.all_jobs()[restored++];
+  }
+  if (restored != static_cast<std::size_t>(q.stats().submitted)) {
+    return util::Error{Errc::invalid_argument,
+                       "resume_scenario: queue job count disagrees with the "
+                       "scenario prefix"};
+  }
+  bool pending_checkpoint = on_checkpoint != nullptr;
+  for (std::size_t k = k0; k < acts.size();) {
     const util::TimePoint at = acts[k].at;
+    if (pending_checkpoint && at > checkpoint_at) {
+      (*on_checkpoint)(q);
+      pending_checkpoint = false;
+    }
     // Fire queue events (completions free resources) on the way there.
     while (true) {
       const util::TimePoint ev = q.next_event();
@@ -261,10 +284,61 @@ util::Expected<ScenarioResult> replay_scenario(
     }
     q.schedule();
   }
+  if (pending_checkpoint) (*on_checkpoint)(q);
   auto end = q.run_to_completion();
   if (!end) return end.error();
   result.end_time = *end;
   return result;
+}
+
+}  // namespace
+
+util::Expected<ScenarioResult> replay_scenario(
+    queue::JobQueue& q, dynamic::DynamicResources& dyn,
+    const Scenario& scenario, std::int64_t cores_per_node,
+    const RecipeResolver& resolver) {
+  if (q.now() != 0 || q.stats().submitted != 0) {
+    return util::Error{Errc::invalid_argument,
+                       "replay_scenario: queue already used"};
+  }
+  return drive(q, dyn, scenario, cores_per_node, resolver, act_order(scenario),
+               0, 0, nullptr);
+}
+
+util::Expected<ScenarioResult> replay_scenario_checkpoint(
+    queue::JobQueue& q, dynamic::DynamicResources& dyn,
+    const Scenario& scenario, std::int64_t cores_per_node,
+    const RecipeResolver& resolver, util::TimePoint checkpoint_at,
+    const ScenarioCheckpointFn& on_checkpoint) {
+  if (q.now() != 0 || q.stats().submitted != 0) {
+    return util::Error{Errc::invalid_argument,
+                       "replay_scenario: queue already used"};
+  }
+  if (!on_checkpoint) {
+    return util::Error{Errc::invalid_argument,
+                       "replay_scenario: null checkpoint callback"};
+  }
+  if (checkpoint_at < 0) {
+    // A pre-first-act snapshot is indistinguishable from a t=0 boundary
+    // on resume; just replay from scratch instead.
+    return util::Error{Errc::invalid_argument,
+                       "replay_scenario: checkpoint time must be >= 0"};
+  }
+  return drive(q, dyn, scenario, cores_per_node, resolver, act_order(scenario),
+               0, checkpoint_at, &on_checkpoint);
+}
+
+util::Expected<ScenarioResult> resume_scenario(
+    queue::JobQueue& q, dynamic::DynamicResources& dyn,
+    const Scenario& scenario, std::int64_t cores_per_node,
+    const RecipeResolver& resolver) {
+  // The checkpoint fired at a batch boundary: every act at or before the
+  // restored clock was applied, every later act was not.
+  const std::vector<Act> acts = act_order(scenario);
+  std::size_t k0 = 0;
+  while (k0 < acts.size() && acts[k0].at <= q.now()) ++k0;
+  return drive(q, dyn, scenario, cores_per_node, resolver, acts, k0, 0,
+               nullptr);
 }
 
 }  // namespace fluxion::sim

@@ -78,4 +78,29 @@ util::Expected<ScenarioResult> replay_scenario(
     const Scenario& scenario, std::int64_t cores_per_node,
     const RecipeResolver& resolver);
 
+/// Fired exactly once, at the first act-batch boundary past the
+/// checkpoint time: every job/event act at or before the boundary has
+/// been applied and scheduled, none after. A state the unchecked replay
+/// also passes through, so snapshotting here perturbs nothing.
+using ScenarioCheckpointFn = std::function<void(queue::JobQueue& q)>;
+
+/// replay_scenario, firing `on_checkpoint` once when the next act batch
+/// would start after `checkpoint_at` (or just before the final drain when
+/// `checkpoint_at` is at/past the last act).
+util::Expected<ScenarioResult> replay_scenario_checkpoint(
+    queue::JobQueue& q, dynamic::DynamicResources& dyn,
+    const Scenario& scenario, std::int64_t cores_per_node,
+    const RecipeResolver& resolver, util::TimePoint checkpoint_at,
+    const ScenarioCheckpointFn& on_checkpoint);
+
+/// Continue a scenario on a queue restored from a mid-replay snapshot:
+/// acts strictly after the restored clock are replayed, then the queue
+/// runs dry. Prefix job ids are recovered from the restored queue; the
+/// event tallies and evicted/replanned lists cover only the resumed
+/// suffix (the prefix's were consumed by the checkpointing run).
+util::Expected<ScenarioResult> resume_scenario(
+    queue::JobQueue& q, dynamic::DynamicResources& dyn,
+    const Scenario& scenario, std::int64_t cores_per_node,
+    const RecipeResolver& resolver);
+
 }  // namespace fluxion::sim

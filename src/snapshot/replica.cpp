@@ -1,0 +1,61 @@
+#include "snapshot/replica.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace fluxion::snapshot {
+
+util::Expected<std::unique_ptr<Replica>> Replica::open(
+    std::string_view bytes) {
+  auto eng = load_engine(bytes);
+  if (!eng) return eng.error();
+  return std::unique_ptr<Replica>(new Replica(std::move(*eng)));
+}
+
+util::Status Replica::refresh(std::string_view bytes) {
+  auto eng = load_engine(bytes);
+  if (!eng) return eng.error();
+  eng_ = std::move(*eng);
+  return util::Status::ok();
+}
+
+std::uint64_t Replica::epoch() const noexcept {
+  return eng_->traverser->mutation_epoch();
+}
+
+bool Replica::stale_against(std::uint64_t writer_epoch) const {
+  const bool stale = writer_epoch != epoch();
+  if (stale && obs::enabled()) obs::monitor().replica_stale.inc();
+  return stale;
+}
+
+void Replica::note_query() const {
+  ++queries_;
+  if (obs::enabled()) obs::monitor().replica_queries.inc();
+}
+
+bool Replica::satisfiable(const jobspec::Jobspec& js) const {
+  note_query();
+  const util::TimePoint now =
+      eng_->queue != nullptr ? eng_->queue->now() : graph().plan_start();
+  auto p = eng_->traverser->probe(js, traverser::MatchOp::satisfiability, now,
+                                  -1, scratch_);
+  return p.ok;
+}
+
+util::Expected<util::TimePoint> Replica::earliest_start(
+    const jobspec::Jobspec& js, util::TimePoint now) const {
+  note_query();
+  auto p = eng_->traverser->probe(
+      js, traverser::MatchOp::allocate_orelse_reserve, now, -1, scratch_);
+  if (!p.ok) return p.error;
+  return p.window.start;
+}
+
+std::string Replica::explain(queue::JobId id) const {
+  note_query();
+  if (eng_->queue == nullptr) return "";
+  if (eng_->queue->find(id) == nullptr) return "";
+  return eng_->queue->explain(id);
+}
+
+}  // namespace fluxion::snapshot

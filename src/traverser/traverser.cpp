@@ -1486,10 +1486,13 @@ util::Expected<MatchResult> Traverser::match(const jobspec::Jobspec& js,
 util::Status Traverser::cancel(JobId job) {
   const bool timed = obs::enabled() || obs::trace().enabled();
   const std::int64_t t0 = timed ? obs::trace().now_us() : 0;
-  // Cancel is best-effort: spans may be released even when the call
-  // reports corruption, so every attempt bumps the epoch.
-  ++mutation_epoch_;
+  // Cancel is best-effort once it finds the job: spans may be released
+  // even when the call reports corruption (Errc::internal), so those
+  // attempts bump the epoch. A not_found attempt touched nothing —
+  // bumping would evict still-valid cached verdicts and parked
+  // speculative probes for no reason.
   auto r = cancel_impl(job);
+  if (r || r.error().code == Errc::internal) ++mutation_epoch_;
   if (timed) {
     const std::int64_t dur = obs::trace().now_us() - t0;
     if (obs::enabled()) {
@@ -1529,11 +1532,13 @@ util::Expected<MatchResult> Traverser::grow(JobId job,
 }
 
 util::Status Traverser::shrink(JobId job, VertexId vertex) {
-  // Shrink and extend restore prior state on failure in the common case,
-  // but their repair paths are themselves best-effort; bump
-  // unconditionally (a spurious invalidation only costs a re-match).
-  ++mutation_epoch_;
+  // Shrink and extend restore prior state on clean failures
+  // (not_found / resource_busy); only their best-effort repair paths can
+  // leave state moved, and those report Errc::internal. Bump the epoch
+  // exactly for success-or-internal so failed attempts stop evicting
+  // still-valid cache entries and parked speculations.
   auto r = shrink_impl(job, vertex);
+  if (r || r.error().code == Errc::internal) ++mutation_epoch_;
   if (audit_enabled_) {
     if (auto st = run_audit("shrink"); !st) return st;
   }
@@ -1541,8 +1546,8 @@ util::Status Traverser::shrink(JobId job, VertexId vertex) {
 }
 
 util::Status Traverser::extend(JobId job, Duration extra) {
-  ++mutation_epoch_;
   auto r = extend_impl(job, extra);
+  if (r || r.error().code == Errc::internal) ++mutation_epoch_;
   if (audit_enabled_) {
     if (auto st = run_audit("extend"); !st) return st;
   }

@@ -48,6 +48,10 @@
 #include "util/expected.hpp"
 #include "util/time.hpp"
 
+namespace fluxion::snapshot {
+class EngineSnapshot;
+}
+
 namespace fluxion::traverser {
 
 using graph::VertexId;
@@ -233,12 +237,14 @@ class Traverser {
   const TraverserStats& stats() const noexcept { return stats_; }
 
   /// Monotone mutation epoch: bumped whenever committed scheduler state
-  /// may have changed — successful match/restore/grow, every
-  /// cancel/shrink/extend attempt (best-effort ops mutate even on
-  /// failure), and external graph changes reported via
-  /// note_external_mutation(). Consumers (the queue's satisfiability
-  /// cache) compare epochs to decide whether cached match failures are
-  /// still valid.
+  /// may have changed — successful match/restore/grow/cancel/shrink/
+  /// extend, a cancel/shrink/extend that failed with Errc::internal
+  /// (best-effort repair may have left spans moved), and external graph
+  /// changes reported via note_external_mutation(). Cleanly failed
+  /// attempts (not_found, resource_busy) touch nothing and do NOT move
+  /// the epoch. Consumers (the queue's satisfiability cache, parked
+  /// speculative probes) compare epochs to decide whether cached match
+  /// failures are still valid.
   std::uint64_t mutation_epoch() const noexcept { return mutation_epoch_; }
 
   /// Report a mutation the traverser cannot see (graph grow/shrink,
@@ -313,6 +319,10 @@ class Traverser {
   void fail_next(std::string point) { fault_point_ = std::move(point); }
 
  private:
+  /// The binary snapshot codec serialises job records (claims, shared
+  /// marks, filter spans) and re-commits them span by span on load.
+  friend class fluxion::snapshot::EngineSnapshot;
+
   /// One committed claim: which vertex, how much, over which window (grow
   /// extensions may cover a suffix of the job window), and the schedule
   /// span backing it.

@@ -159,8 +159,16 @@ util::Expected<JgfGraph> read_jgf(std::string_view text,
       auto s = by_jgf_id.find(spec.source);
       auto t = by_jgf_id.find(spec.target);
       if (s == by_jgf_id.end() || t == by_jgf_id.end()) {
-        return util::Error{Errc::invalid_argument,
-                           "jgf: edge references unknown node"};
+        // Name the offending endpoint(s): "unknown node" alone is useless
+        // against a machine-generated JGF with thousands of edges.
+        std::string msg = "jgf: edge '" + spec.source + "' -> '" +
+                          spec.target + "' references unknown node";
+        if (s == by_jgf_id.end()) msg += " '" + spec.source + "'";
+        if (t == by_jgf_id.end()) {
+          msg += s == by_jgf_id.end() ? " and '" : " '";
+          msg += spec.target + "'";
+        }
+        return util::Error{Errc::invalid_argument, msg};
       }
       if (spec.subsystem == "containment") {
         if (spec.relation == "contains") {

@@ -338,4 +338,107 @@ TEST_F(ReapiTest, TraversalModeRoundTripAndMatch) {
   EXPECT_EQ(reapi_traversal_mode(ctx), REAPI_TRAVERSAL_SCORED);
 }
 
+TEST_F(ReapiTest, SnapshotSaveLoadRoundTrip) {
+  uint64_t job = 0;
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &job,
+                        nullptr, nullptr, nullptr),
+            REAPI_OK);
+
+  char* bytes = nullptr;
+  uint64_t len = 0;
+  ASSERT_EQ(reapi_snapshot_save(ctx, &bytes, &len), REAPI_OK);
+  ASSERT_NE(bytes, nullptr);
+  ASSERT_GT(len, 0u);
+
+  char* err = nullptr;
+  reapi_ctx_t* restored = reapi_snapshot_load(bytes, len, &err);
+  ASSERT_NE(restored, nullptr) << (err != nullptr ? err : "?");
+  reapi_free_string(err);
+  // The restored engine carries the claim: cancelling the same job id
+  // works, and the audit accepts the state.
+  EXPECT_EQ(reapi_audit(restored), REAPI_OK);
+  EXPECT_EQ(reapi_mutation_epoch(restored), reapi_mutation_epoch(ctx));
+  EXPECT_EQ(reapi_cancel(restored, job), REAPI_OK);
+  reapi_destroy(restored);
+
+  // Corrupt bytes are refused with a diagnostic, never half-loaded.
+  err = nullptr;
+  EXPECT_EQ(reapi_snapshot_load("garbage", 7, &err), nullptr);
+  ASSERT_NE(err, nullptr);
+  reapi_free_string(err);
+  reapi_free_string(bytes);
+}
+
+TEST_F(ReapiTest, ReplicaServesReadsAndTracksStaleness) {
+  uint64_t job = 0;
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &job,
+                        nullptr, nullptr, nullptr),
+            REAPI_OK);
+  char* bytes = nullptr;
+  uint64_t len = 0;
+  ASSERT_EQ(reapi_snapshot_save(ctx, &bytes, &len), REAPI_OK);
+
+  char* err = nullptr;
+  reapi_replica_t* rep = reapi_replica_open(bytes, len, &err);
+  ASSERT_NE(rep, nullptr) << (err != nullptr ? err : "?");
+  reapi_free_string(err);
+  EXPECT_EQ(reapi_replica_epoch(rep), reapi_mutation_epoch(ctx));
+  EXPECT_EQ(reapi_replica_stale(rep, reapi_mutation_epoch(ctx)), 0);
+
+  int sat = -1;
+  ASSERT_EQ(reapi_replica_satisfiable(rep, kJobspec, &sat), REAPI_OK);
+  EXPECT_EQ(sat, 1);
+  int64_t at = -1;
+  ASSERT_EQ(reapi_replica_earliest_start(rep, kJobspec, 0, &at), REAPI_OK);
+  EXPECT_EQ(at, 0);  // the second node is free right now
+
+  // Writer commits again: the replica is stale until refreshed.
+  uint64_t job2 = 0;
+  ASSERT_EQ(reapi_match(ctx, REAPI_MATCH_ALLOCATE, kJobspec, 0, &job2,
+                        nullptr, nullptr, nullptr),
+            REAPI_OK);
+  EXPECT_EQ(reapi_replica_stale(rep, reapi_mutation_epoch(ctx)), 1);
+  reapi_free_string(bytes);
+  bytes = nullptr;
+  ASSERT_EQ(reapi_snapshot_save(ctx, &bytes, &len), REAPI_OK);
+  ASSERT_EQ(reapi_replica_refresh(rep, bytes, len), REAPI_OK);
+  EXPECT_EQ(reapi_replica_stale(rep, reapi_mutation_epoch(ctx)), 0);
+  // Both nodes now busy until t=100: the replica sees the later start.
+  ASSERT_EQ(reapi_replica_earliest_start(rep, kJobspec, 0, &at), REAPI_OK);
+  EXPECT_EQ(at, 100);
+
+  reapi_replica_destroy(rep);
+  reapi_free_string(bytes);
+}
+
+TEST_F(ReapiTest, FedMemberSnapshotLoadsAsReplica) {
+  constexpr const char* kFedGrug =
+      "filters core\nfilter-at cluster\n"
+      "cluster count=1\n  node count=4\n    core count=4\n";
+  char* err = nullptr;
+  reapi_fed_t* fed =
+      reapi_fed_create(kFedGrug, 2, 1, "round_robin", "low-id", 0.0, &err);
+  ASSERT_NE(fed, nullptr) << (err != nullptr ? err : "?");
+  reapi_free_string(err);
+
+  char* bytes = nullptr;
+  uint64_t len = 0;
+  ASSERT_EQ(reapi_fed_member_snapshot(fed, 0, &bytes, &len), REAPI_OK);
+  ASSERT_GT(len, 0u);
+  EXPECT_EQ(reapi_fed_member_snapshot(fed, 99, &bytes, &len), REAPI_EINVAL);
+
+  err = nullptr;
+  reapi_replica_t* rep = reapi_replica_open(bytes, len, &err);
+  ASSERT_NE(rep, nullptr) << (err != nullptr ? err : "?");
+  reapi_free_string(err);
+  // The leaf owns 2 of the 4 nodes: a 1-node job fits, 3 nodes never do.
+  int sat = -1;
+  ASSERT_EQ(reapi_replica_satisfiable(rep, kJobspec, &sat), REAPI_OK);
+  EXPECT_EQ(sat, 1);
+
+  reapi_replica_destroy(rep);
+  reapi_free_string(bytes);
+  reapi_fed_destroy(fed);
+}
+
 }  // namespace

@@ -151,6 +151,63 @@ TEST(ParserRobustness, JgfWithStatusNeverCrashes) {
   }
 }
 
+TEST(ParserRobustness, JgfUnknownEdgeEndpointsNamed) {
+  // The unknown-endpoint diagnostic must name the offending id(s):
+  // against a machine-generated JGF with thousands of edges, an
+  // unattributed "unknown node" is undebuggable.
+  const std::string prefix =
+      R"({"graph":{"nodes":[)"
+      R"({"id":"0","metadata":{"type":"cluster","name":"c0","size":1}},)"
+      R"({"id":"1","metadata":{"type":"node","name":"n0","size":1}}],)";
+  {
+    auto r = writers::read_jgf(
+        prefix + R"("edges":[{"source":"0","target":"ghost"}]}})", 0, 1000);
+    ASSERT_FALSE(r);
+    EXPECT_NE(r.error().message.find("'ghost'"), std::string::npos)
+        << r.error().message;
+  }
+  {
+    auto r = writers::read_jgf(
+        prefix + R"("edges":[{"source":"bad-src","target":"1"}]}})", 0, 1000);
+    ASSERT_FALSE(r);
+    EXPECT_NE(r.error().message.find("'bad-src'"), std::string::npos)
+        << r.error().message;
+  }
+  {
+    auto r = writers::read_jgf(
+        prefix + R"("edges":[{"source":"lhs","target":"rhs"}]}})", 0, 1000);
+    ASSERT_FALSE(r);
+    EXPECT_NE(r.error().message.find("'lhs'"), std::string::npos)
+        << r.error().message;
+    EXPECT_NE(r.error().message.find("'rhs'"), std::string::npos)
+        << r.error().message;
+  }
+}
+
+TEST(ParserRobustness, JgfMalformedEdgesNeverCrash) {
+  // Mutation fuzzing over seeds that are *already* malformed (dangling
+  // endpoints, missing fields, self-edges): the reader must keep
+  // rejecting cleanly, never crash, and anything it does accept must
+  // validate as a graph.
+  const std::vector<std::string> seeds = {
+      R"({"graph":{"nodes":[{"id":"0","metadata":{"type":"cluster",)"
+      R"("name":"c0","size":1}}],)"
+      R"("edges":[{"source":"0","target":"missing"}]}})",
+      R"({"graph":{"nodes":[{"id":"0","metadata":{"type":"cluster",)"
+      R"("name":"c0","size":1}}],"edges":[{"source":"0"}]}})",
+      R"({"graph":{"nodes":[{"id":"0","metadata":{"type":"cluster",)"
+      R"("name":"c0","size":1}}],"edges":[{"source":"0","target":"0"}]}})",
+  };
+  util::Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string input = mutate(seeds[rng.index(seeds.size())], rng);
+    auto r = writers::read_jgf(input, 0, 1000);
+    if (r) {
+      EXPECT_TRUE(r->graph->validate());
+    }
+  }
+}
+
 TEST(ParserRobustness, ScenarioNeverCrashes) {
   const std::string seed =
       "2 100\n1 50 10\n"

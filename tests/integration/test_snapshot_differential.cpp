@@ -1,0 +1,218 @@
+// Snapshot replay differential: the restore contract pinned end to end.
+// A run that checkpoints mid-replay (save → load → resume the suffix)
+// must be observably identical to one that never snapshotted — same
+// placements (state, start, end per job), same end time, byte-identical
+// eventlog — across every queue policy and across dynamic
+// drain/grow/shrink scenarios with the checkpoint taken mid-stream.
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dynamic/dynamic.hpp"
+#include "grug/grug.hpp"
+#include "policy/policies.hpp"
+#include "sim/replay.hpp"
+#include "sim/scenario.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace fluxion {
+namespace {
+
+constexpr const char* kSystem = R"(
+filters node core
+filter-at cluster rack
+cluster count=1
+  rack count=2
+    node count=4
+      core count=4
+)";
+
+constexpr const char* kRackFragment = R"(
+filters node core
+filter-at rack
+rack count=1
+  node count=4
+    core count=4
+)";
+
+struct World {
+  graph::ResourceGraph g{0, 1 << 20};
+  graph::VertexId root = graph::kInvalidVertex;
+  policy::LowIdPolicy pol;
+  std::unique_ptr<traverser::Traverser> trav;
+  std::unique_ptr<queue::JobQueue> q;
+  std::unique_ptr<dynamic::DynamicResources> dyn;
+
+  explicit World(queue::QueuePolicy qp) {
+    auto recipe = grug::parse(kSystem);
+    EXPECT_TRUE(recipe);
+    auto r = grug::build(g, *recipe);
+    EXPECT_TRUE(r);
+    root = *r;
+    trav = std::make_unique<traverser::Traverser>(g, root, pol);
+    q = std::make_unique<queue::JobQueue>(*trav, qp);
+    q->set_eventlog(true);
+    dyn = std::make_unique<dynamic::DynamicResources>(g, *trav, q.get());
+  }
+};
+
+using Placements =
+    std::map<queue::JobId,
+             std::tuple<queue::JobState, util::TimePoint, util::TimePoint>>;
+
+Placements placements(const queue::JobQueue& q,
+                      const std::vector<queue::JobId>& ids) {
+  Placements out;
+  for (const auto id : ids) {
+    const auto* job = q.find(id);
+    EXPECT_NE(job, nullptr) << "job " << id;
+    if (job == nullptr) continue;
+    out[id] = {job->state, job->start_time, job->end_time};
+  }
+  return out;
+}
+
+void expect_eq_placements(const Placements& straight,
+                          const Placements& resumed) {
+  ASSERT_EQ(straight.size(), resumed.size());
+  for (const auto& [id, expected] : straight) {
+    const auto it = resumed.find(id);
+    ASSERT_NE(it, resumed.end()) << "job " << id << " missing after resume";
+    EXPECT_EQ(it->second, expected)
+        << "job " << id << " diverged after snapshot resume";
+  }
+}
+
+// Online trace exercising waits, backfill windows and a rejection.
+std::vector<sim::TraceJob> demo_trace() {
+  return {
+      {4, 400, 0},    {2, 300, 0},    {8, 200, 50},  {1, 100, 120},
+      {3, 250, 300},  {16, 60, 350},  {2, 500, 400}, {6, 150, 700},
+      {1, 50, 900},   {8, 300, 950},  {4, 120, 1200}, {2, 80, 1300},
+  };
+}
+
+class SnapshotDifferential
+    : public ::testing::TestWithParam<queue::QueuePolicy> {};
+
+TEST_P(SnapshotDifferential, TraceResumeMatchesStraightReplay) {
+  const auto trace = demo_trace();
+
+  World straight(GetParam());
+  const auto r_straight = sim::replay_trace(*straight.q, trace, 4);
+  ASSERT_TRUE(r_straight) << r_straight.error().message;
+
+  // Checkpoint mid-replay (several arrivals before and after t=600).
+  World writer(GetParam());
+  std::string bytes;
+  const auto r_chk = sim::replay_trace_checkpoint(
+      *writer.q, trace, 4, 600,
+      [&](queue::JobQueue& q, std::size_t) {
+        bytes = snapshot::save_engine(writer.g, *writer.trav, &q);
+      });
+  ASSERT_TRUE(r_chk) << r_chk.error().message;
+  ASSERT_FALSE(bytes.empty());
+  // The checkpointing run itself is unperturbed.
+  ASSERT_EQ(r_chk->ids, r_straight->ids);
+  EXPECT_EQ(straight.q->eventlog().jsonl(), writer.q->eventlog().jsonl());
+
+  // Restore and replay only the suffix.
+  auto eng = snapshot::load_engine(bytes);
+  ASSERT_TRUE(eng) << eng.error().message;
+  ASSERT_NE((*eng)->queue, nullptr);
+  const auto prefix = (*eng)->queue->stats().submitted;
+  ASSERT_GT(prefix, 0u);
+  ASSERT_LT(prefix, trace.size());
+  const auto r_resume = sim::resume_trace(*(*eng)->queue, trace, 4);
+  ASSERT_TRUE(r_resume) << r_resume.error().message;
+
+  ASSERT_EQ(r_resume->ids, r_straight->ids);
+  EXPECT_EQ(r_resume->end_time, r_straight->end_time);
+  expect_eq_placements(placements(*straight.q, r_straight->ids),
+                       placements(*(*eng)->queue, r_resume->ids));
+  EXPECT_EQ((*eng)->queue->eventlog().jsonl(),
+            straight.q->eventlog().jsonl());
+}
+
+TEST_P(SnapshotDifferential, ScenarioResumeAcrossDrainGrowShrink) {
+  // Drain hits at 300 (mid-run jobs evicted/requeued), the checkpoint at
+  // 450 lands between the drain and the grow, then a rack grows at 600
+  // and shrinks away again at 900 — the restored engine must carry the
+  // drained filters forward and apply the suffix events itself.
+  sim::Scenario sc;
+  sc.jobs = {{4, 400, 0}, {2, 300, 0}, {3, 500, 100}, {6, 200, 500},
+             {2, 150, 650}, {8, 120, 700}, {1, 90, 1000}};
+  sc.events = {
+      {300, sim::DynEventKind::status, "/cluster0/rack0",
+       graph::ResourceStatus::drained, queue::EvictPolicy::requeue, ""},
+      {600, sim::DynEventKind::grow, "/cluster0",
+       graph::ResourceStatus::up, queue::EvictPolicy::requeue, "rack"},
+      {800, sim::DynEventKind::status, "/cluster0/rack0",
+       graph::ResourceStatus::up, queue::EvictPolicy::requeue, ""},
+      {900, sim::DynEventKind::shrink, "/cluster0/rack2",
+       graph::ResourceStatus::up, queue::EvictPolicy::requeue, ""},
+  };
+  const sim::RecipeResolver resolver =
+      [](const std::string& ref) -> util::Expected<std::string> {
+    if (ref == "rack") return std::string(kRackFragment);
+    return util::Error{util::Errc::not_found, "unknown recipe " + ref};
+  };
+
+  World straight(GetParam());
+  const auto r_straight = sim::replay_scenario(*straight.q, *straight.dyn,
+                                               sc, 4, resolver);
+  ASSERT_TRUE(r_straight) << r_straight.error().message;
+
+  World writer(GetParam());
+  std::string bytes;
+  const auto r_chk = sim::replay_scenario_checkpoint(
+      *writer.q, *writer.dyn, sc, 4, resolver, 450,
+      [&](queue::JobQueue& q) {
+        bytes = snapshot::save_engine(writer.g, *writer.trav, &q);
+      });
+  ASSERT_TRUE(r_chk) << r_chk.error().message;
+  ASSERT_FALSE(bytes.empty());
+  ASSERT_EQ(r_chk->ids, r_straight->ids);
+
+  auto eng = snapshot::load_engine(bytes);
+  ASSERT_TRUE(eng) << eng.error().message;
+  ASSERT_NE((*eng)->queue, nullptr);
+  dynamic::DynamicResources rdyn(*(*eng)->graph, *(*eng)->traverser,
+                                 (*eng)->queue.get());
+  const auto r_resume = sim::resume_scenario(*(*eng)->queue, rdyn, sc, 4,
+                                             resolver);
+  ASSERT_TRUE(r_resume) << r_resume.error().message;
+
+  ASSERT_EQ(r_resume->ids, r_straight->ids);
+  EXPECT_EQ(r_resume->end_time, r_straight->end_time);
+  // Only the suffix events replay on resume: the grow and the shrink.
+  EXPECT_EQ(r_resume->grow_events, 1u);
+  EXPECT_EQ(r_resume->shrink_events, 1u);
+  expect_eq_placements(placements(*straight.q, r_straight->ids),
+                       placements(*(*eng)->queue, r_resume->ids));
+  EXPECT_EQ((*eng)->queue->eventlog().jsonl(),
+            straight.q->eventlog().jsonl());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, SnapshotDifferential,
+    ::testing::Values(queue::QueuePolicy::fcfs,
+                      queue::QueuePolicy::conservative_backfill,
+                      queue::QueuePolicy::easy_backfill,
+                      queue::QueuePolicy::hybrid_backfill),
+    [](const ::testing::TestParamInfo<queue::QueuePolicy>& info) {
+      switch (info.param) {
+        case queue::QueuePolicy::fcfs: return "fcfs";
+        case queue::QueuePolicy::conservative_backfill: return "conservative";
+        case queue::QueuePolicy::easy_backfill: return "easy";
+        case queue::QueuePolicy::hybrid_backfill: return "hybrid";
+      }
+      return "unknown";
+    });
+
+}  // namespace
+}  // namespace fluxion

@@ -309,6 +309,32 @@ TEST_F(SimCliTest, BenchCompareDiffsTwoReports) {
   EXPECT_NE(std::system(bad_cmd.c_str()), 0);
 }
 
+TEST_F(SimCliTest, BenchCompareZeroBaselineIsNa) {
+  // A zero baseline counter used to divide by zero; the delta is
+  // undefined, printed as "n/a" (distinct from "-" = key missing on one
+  // side), with exit 0 and no inf/nan anywhere in the report.
+  const std::string a = temp_dir() + "bench_z_a.json";
+  const std::string b = temp_dir() + "bench_z_b.json";
+  write_file(a,
+             "{\"schema_version\":1,\"bench\":\"queue_events\","
+             "\"spec_wasted\":0,\"only_in_a\":3}\n");
+  write_file(b,
+             "{\"schema_version\":1,\"bench\":\"queue_events\","
+             "\"spec_wasted\":12,\"only_in_b\":5}\n");
+  const std::string out_path = temp_dir() + "bench_z_cmp.txt";
+  const std::string cmd = std::string(FLUXION_ANALYZE_BIN) +
+                          " --bench-compare " + a + " " + b + " > " +
+                          out_path + " 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << slurp(out_path);
+  const std::string report = slurp(out_path);
+  EXPECT_NE(report.find("n/a"), std::string::npos) << report;
+  EXPECT_EQ(report.find("inf"), std::string::npos) << report;
+  EXPECT_EQ(report.find("nan"), std::string::npos) << report;
+  // Keys present on only one side still get "-" for the missing value.
+  EXPECT_NE(report.find("only_in_a"), std::string::npos) << report;
+  EXPECT_NE(report.find("only_in_b"), std::string::npos) << report;
+}
+
 TEST_F(SimCliTest, BadArgsFail) {
   std::string out;
   EXPECT_NE(run("--queue bogus", &out), 0);

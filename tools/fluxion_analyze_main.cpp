@@ -539,9 +539,17 @@ int bench_compare(const std::string& path_a, const std::string& path_b) {
     char va[32] = "-", vb[32] = "-", delta[32] = "-";
     if (ia != a.end()) std::snprintf(va, sizeof va, "%.6g", ia->second);
     if (ib != b.end()) std::snprintf(vb, sizeof vb, "%.6g", ib->second);
-    if (ia != a.end() && ib != b.end() && ia->second != 0.0) {
-      std::snprintf(delta, sizeof delta, "%+.1f%%",
-                    100.0 * (ib->second - ia->second) / ia->second);
+    if (ia != a.end() && ib != b.end()) {
+      if (ia->second != 0.0) {
+        std::snprintf(delta, sizeof delta, "%+.1f%%",
+                      100.0 * (ib->second - ia->second) / ia->second);
+      } else {
+        // Zero baseline: the relative delta is undefined, not missing.
+        // "n/a" distinguishes it from "-" (key absent on one side) and
+        // keeps the divide out of the path entirely — no inf/nan ever
+        // reaches the report.
+        std::snprintf(delta, sizeof delta, "n/a");
+      }
     }
     std::printf("%-44s %14s %14s %10s\n", k.c_str(), va, vb, delta);
   }

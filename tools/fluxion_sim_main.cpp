@@ -39,6 +39,16 @@
 //               [--steal-batch N]       # max jobs moved per steal pass
 //               [--nodes-per-child N]   # whole nodes granted per leaf
 //                                       # (0 = floor(total / leaves))
+//               [--snapshot-out FILE]   # write a binary engine snapshot at
+//                                       # the first arrival batch after
+//                                       # --snapshot-at (flat engine only)
+//               [--snapshot-at T]       # checkpoint time for --snapshot-out
+//                                       # (default 0)
+//               [--warm-start FILE]     # restore graph+planners+queue from
+//                                       # a snapshot and replay the rest of
+//                                       # the trace/scenario; the snapshot's
+//                                       # policy/queue/cache settings win
+//                                       # over the corresponding flags
 //
 // Traces may carry a third per-line field (arrival time); with arrivals —
 // from the file or --arrivals — jobs are submitted online on the
@@ -52,6 +62,7 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -69,6 +80,7 @@
 #include "sim/utilization.hpp"
 #include "sim/replay.hpp"
 #include "sim/workload.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace {
 
@@ -99,7 +111,9 @@ int usage(const char* argv0) {
       "          [--match-threads N] [--eventlog FILE] [--metrics-prom FILE]\n"
       "          [--hier K] [--levels N] [--route POLICY]\n"
       "          [--steal-threshold X] [--steal-batch N]\n"
-      "          [--nodes-per-child N]\n",
+      "          [--nodes-per-child N]\n"
+      "          [--snapshot-out FILE] [--snapshot-at T]\n"
+      "          [--warm-start FILE]\n",
       argv0);
   return 2;
 }
@@ -131,6 +145,9 @@ int main(int argc, char** argv) {
   double steal_threshold = 0.0;
   std::int64_t steal_batch = 4;
   std::int64_t nodes_per_child = 0;
+  std::string snapshot_out;
+  std::int64_t snapshot_at = 0;
+  std::string warm_start_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -184,14 +201,34 @@ int main(int argc, char** argv) {
       if (const char* v = next()) steal_batch = std::atoll(v);
     } else if (arg == "--nodes-per-child") {
       if (const char* v = next()) nodes_per_child = std::atoll(v);
+    } else if (arg == "--snapshot-out") {
+      if (const char* v = next()) snapshot_out = v;
+    } else if (arg == "--snapshot-at") {
+      if (const char* v = next()) snapshot_at = std::atoll(v);
+    } else if (arg == "--warm-start") {
+      if (const char* v = next()) warm_start_path = v;
     } else {
       return usage(argv[0]);
     }
   }
-  if (grug_path.empty() || trace_path.empty() == scenario_path.empty() ||
+  if ((grug_path.empty() && warm_start_path.empty()) ||
+      trace_path.empty() == scenario_path.empty() ||
       cores < 1 || reservation_depth < 0 || hier < 0 || levels < 1 ||
-      steal_batch < 1 || nodes_per_child < 0) {
+      steal_batch < 1 || nodes_per_child < 0 || snapshot_at < 0) {
     return usage(argv[0]);
+  }
+  if (!warm_start_path.empty() &&
+      (hier > 0 || perf_seed >= 0 || !snapshot_out.empty())) {
+    std::fprintf(stderr,
+                 "fluxion-sim: --warm-start cannot be combined with --hier, "
+                 "--perf-classes, or --snapshot-out\n");
+    return 2;
+  }
+  if (!snapshot_out.empty() && hier > 0) {
+    std::fprintf(stderr,
+                 "fluxion-sim: --snapshot-out needs a flat engine (no "
+                 "--hier)\n");
+    return 2;
   }
   queue::QueuePolicy qp;
   if (queue_name == "fcfs") {
@@ -207,10 +244,13 @@ int main(int argc, char** argv) {
   }
 
   bool ok = false;
-  const std::string grug_text = read_file(grug_path, ok);
-  if (!ok) {
-    std::fprintf(stderr, "fluxion-sim: cannot read %s\n", grug_path.c_str());
-    return 2;
+  std::string grug_text;
+  if (warm_start_path.empty()) {
+    grug_text = read_file(grug_path, ok);
+    if (!ok) {
+      std::fprintf(stderr, "fluxion-sim: cannot read %s\n", grug_path.c_str());
+      return 2;
+    }
   }
   const std::string& jobs_path =
       scenario_path.empty() ? trace_path : scenario_path;
@@ -437,29 +477,6 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  core::Options opt;
-  opt.policy = policy;
-  auto rq = core::ResourceQuery::create_from_text(grug_text, opt);
-  if (!rq) {
-    std::fprintf(stderr, "fluxion-sim: %s\n", rq.error().message.c_str());
-    return 2;
-  }
-  auto& g = (*rq)->graph();
-  if (perf_seed >= 0) {
-    const auto node_type = g.find_type("node");
-    if (!node_type) {
-      std::fprintf(stderr, "fluxion-sim: no node vertices for classes\n");
-      return 2;
-    }
-    util::Rng rng(static_cast<std::uint64_t>(perf_seed));
-    const auto classes = sim::classes_from_tnorm(sim::synthesize_tnorm(
-        g.vertices_of_type(*node_type).size(), rng));
-    if (auto st = sim::apply_performance_classes(g, classes); !st) {
-      std::fprintf(stderr, "fluxion-sim: %s\n", st.error().message.c_str());
-      return 2;
-    }
-  }
-
   if (arrivals_mean > 0) {
     util::Rng arr_rng(20231113);
     sim::stamp_poisson_arrivals(jobs, arrivals_mean, arr_rng);
@@ -471,18 +488,93 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty() || !prom_path.empty()) obs::set_enabled(true);
   if (!trace_out_path.empty()) obs::trace().set_enabled(true);
 
-  queue::JobQueue q((*rq)->traverser(), qp);
-  if (!eventlog_path.empty()) q.set_eventlog(true);
-  q.set_match_cache(match_cache);
-  if (first_match) q.set_traversal_mode(traverser::TraversalMode::first_match);
-  q.set_reservation_depth(static_cast<std::size_t>(reservation_depth));
-  if (match_threads > 1) {
-    q.set_match_threads(static_cast<std::size_t>(match_threads));
+  // Cold start: build graph + queue from GRUG and flags. Warm start:
+  // restore everything (graph, planners, traverser claims, queue,
+  // eventlog) from the snapshot, whose recorded policy/queue/cache
+  // settings take precedence over the corresponding flags.
+  std::unique_ptr<core::ResourceQuery> rq;
+  std::optional<queue::JobQueue> cold_q;
+  std::unique_ptr<snapshot::RestoredEngine> eng;
+  if (!warm_start_path.empty()) {
+    const std::string bytes = read_file(warm_start_path, ok);
+    if (!ok) {
+      std::fprintf(stderr, "fluxion-sim: cannot read %s\n",
+                   warm_start_path.c_str());
+      return 2;
+    }
+    auto loaded = snapshot::load_engine(bytes);
+    if (!loaded) {
+      std::fprintf(stderr, "fluxion-sim: %s\n",
+                   loaded.error().message.c_str());
+      return 2;
+    }
+    eng = std::move(*loaded);
+    if (!eng->queue) {
+      std::fprintf(stderr,
+                   "fluxion-sim: snapshot %s has no queue section\n",
+                   warm_start_path.c_str());
+      return 2;
+    }
+    // Only settings the snapshot does not carry are re-applied here.
+    if (match_threads > 1) {
+      eng->queue->set_match_threads(static_cast<std::size_t>(match_threads));
+    }
+    if (!eventlog_path.empty()) eng->queue->set_eventlog(true);
+  } else {
+    core::Options opt;
+    opt.policy = policy;
+    auto created = core::ResourceQuery::create_from_text(grug_text, opt);
+    if (!created) {
+      std::fprintf(stderr, "fluxion-sim: %s\n",
+                   created.error().message.c_str());
+      return 2;
+    }
+    rq = std::move(*created);
+    if (perf_seed >= 0) {
+      auto& pg = rq->graph();
+      const auto node_type = pg.find_type("node");
+      if (!node_type) {
+        std::fprintf(stderr, "fluxion-sim: no node vertices for classes\n");
+        return 2;
+      }
+      util::Rng rng(static_cast<std::uint64_t>(perf_seed));
+      const auto classes = sim::classes_from_tnorm(sim::synthesize_tnorm(
+          pg.vertices_of_type(*node_type).size(), rng));
+      if (auto st = sim::apply_performance_classes(pg, classes); !st) {
+        std::fprintf(stderr, "fluxion-sim: %s\n", st.error().message.c_str());
+        return 2;
+      }
+    }
+    cold_q.emplace(rq->traverser(), qp);
+    if (!eventlog_path.empty()) cold_q->set_eventlog(true);
+    cold_q->set_match_cache(match_cache);
+    if (first_match) {
+      cold_q->set_traversal_mode(traverser::TraversalMode::first_match);
+    }
+    cold_q->set_reservation_depth(static_cast<std::size_t>(reservation_depth));
+    if (match_threads > 1) {
+      cold_q->set_match_threads(static_cast<std::size_t>(match_threads));
+    }
   }
+  graph::ResourceGraph& g = eng ? *eng->graph : rq->graph();
+  traverser::Traverser& t = eng ? *eng->traverser : rq->traverser();
+  queue::JobQueue& q = eng ? *eng->queue : *cold_q;
+
+  std::string snap_err;
+  auto write_snapshot = [&](queue::JobQueue& cq) {
+    const std::string bytes = snapshot::save_engine(g, t, &cq);
+    std::ofstream out(snapshot_out, std::ios::binary);
+    if (!out ||
+        !out.write(bytes.data(),
+                   static_cast<std::streamsize>(bytes.size()))) {
+      snap_err = "cannot write " + snapshot_out;
+    }
+  };
+
   std::vector<traverser::JobId> ids;
   sim::ScenarioResult dyn_summary;
   if (!scenario_path.empty()) {
-    dynamic::DynamicResources dyn(g, (*rq)->traverser(), &q);
+    dynamic::DynamicResources dyn(g, t, &q);
     // Grow events name recipe files relative to the scenario file.
     const auto slash = scenario_path.find_last_of('/');
     const std::string dir =
@@ -498,7 +590,16 @@ int main(int argc, char** argv) {
       }
       return text;
     };
-    auto replayed = sim::replay_scenario(q, dyn, scenario, cores, resolver);
+    auto replayed = [&]() {
+      if (eng) return sim::resume_scenario(q, dyn, scenario, cores, resolver);
+      if (!snapshot_out.empty()) {
+        const sim::ScenarioCheckpointFn cb =
+            [&](queue::JobQueue& cq) { write_snapshot(cq); };
+        return sim::replay_scenario_checkpoint(q, dyn, scenario, cores,
+                                               resolver, snapshot_at, cb);
+      }
+      return sim::replay_scenario(q, dyn, scenario, cores, resolver);
+    }();
     if (!replayed) {
       std::fprintf(stderr, "fluxion-sim: %s\n",
                    replayed.error().message.c_str());
@@ -506,6 +607,27 @@ int main(int argc, char** argv) {
     }
     ids = replayed->ids;
     dyn_summary = std::move(*replayed);
+  } else if (eng) {
+    auto replayed = sim::resume_trace(q, jobs, cores);
+    if (!replayed) {
+      std::fprintf(stderr, "fluxion-sim: %s\n",
+                   replayed.error().message.c_str());
+      return 2;
+    }
+    ids = std::move(replayed->ids);
+  } else if (!snapshot_out.empty()) {
+    // Checkpointing implies the online replay loop even for batch traces,
+    // so the snapshot lands at a well-defined arrival-batch boundary.
+    const sim::CheckpointFn cb = [&](queue::JobQueue& cq,
+                                     std::size_t) { write_snapshot(cq); };
+    auto replayed =
+        sim::replay_trace_checkpoint(q, jobs, cores, snapshot_at, cb);
+    if (!replayed) {
+      std::fprintf(stderr, "fluxion-sim: %s\n",
+                   replayed.error().message.c_str());
+      return 2;
+    }
+    ids = std::move(replayed->ids);
   } else if (online) {
     auto replayed = sim::replay_trace(q, jobs, cores);
     if (!replayed) {
@@ -525,6 +647,14 @@ int main(int argc, char** argv) {
       ids.push_back(q.submit(*js));
     }
     q.run_to_completion();
+  }
+  if (!snapshot_out.empty()) {
+    if (!snap_err.empty()) {
+      std::fprintf(stderr, "fluxion-sim: %s\n", snap_err.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "fluxion-sim: snapshot written to %s (t=%lld)\n",
+                 snapshot_out.c_str(), static_cast<long long>(snapshot_at));
   }
 
   FILE* csv = stdout;
@@ -625,7 +755,7 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(s.match_skipped),
                static_cast<unsigned long long>(s.cache_invalidations));
   if (first_match) {
-    const auto& ts = (*rq)->traverser().stats();
+    const auto& ts = t.stats();
     std::fprintf(stderr,
                  "fluxion-sim: first-match mode | %llu visits, "
                  "%llu early stops\n",

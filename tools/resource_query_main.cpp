@@ -33,6 +33,8 @@
 #include "obs/metrics.hpp"
 #include "queue/job_queue.hpp"
 #include "sim/workload.hpp"
+#include "snapshot/replica.hpp"
+#include "snapshot/snapshot.hpp"
 #include "util/strings.hpp"
 #include "graph/graph_stats.hpp"
 #include "writers/jgf.hpp"
@@ -85,6 +87,13 @@ void print_help() {
       "  stats [-v]  — match/planner counters (-v adds histograms)\n"
       "  clear-stats — zero every counter and histogram\n"
       "  jgf    — dump the resource graph as JSON Graph Format\n"
+      "  save FILE — write a binary engine snapshot (graph + claims)\n"
+      "  load FILE — replace the engine with a restored snapshot\n"
+      "  replica open|refresh FILE — serve read-only queries from a\n"
+      "                              snapshot alongside this writer\n"
+      "  replica status            — replica epoch vs. writer epoch\n"
+      "  replica satisfiability JOBSPEC.yaml\n"
+      "  replica earliest JOBSPEC.yaml [T] — earliest feasible start\n"
       "  quit\n");
 }
 
@@ -110,6 +119,9 @@ struct Cli {
   };
   std::unordered_map<long long, Attempt> attempts;
   long long last_attempt_id = -1;
+  /// Read-only engine clone serving queries next to the writer (`replica`
+  /// commands); rebuilt from snapshot bytes, never mutated.
+  std::unique_ptr<snapshot::Replica> replica;
 
   void emit_match(const core::MatchResult& r) const {
     if (format == "rlite") {
@@ -291,6 +303,105 @@ struct Cli {
       }
       break;
     }
+    return 0;
+  }
+
+  int handle_replica(const std::vector<std::string>& args) {
+    const std::string sub = args.size() > 1 ? args[1] : "";
+    if ((sub == "open" || sub == "refresh") && args.size() == 3) {
+      bool ok = false;
+      const std::string bytes = read_file(args[2], ok);
+      if (!ok) {
+        std::printf("error: cannot read '%s'\n", args[2].c_str());
+        return 0;
+      }
+      if (sub == "open") {
+        auto rep = snapshot::Replica::open(bytes);
+        if (!rep) {
+          std::printf("REPLICA OPEN FAILED: %s\n",
+                      rep.error().message.c_str());
+          return 0;
+        }
+        replica = std::move(*rep);
+      } else {
+        if (!replica) {
+          std::printf("error: no replica open (use 'replica open FILE')\n");
+          return 0;
+        }
+        auto st = replica->refresh(bytes);
+        if (!st) {
+          std::printf("REPLICA REFRESH FAILED (still serving epoch %llu): "
+                      "%s\n",
+                      static_cast<unsigned long long>(replica->epoch()),
+                      st.error().message.c_str());
+          return 0;
+        }
+      }
+      std::printf("replica serving epoch %llu (policy %s, %zu vertices)\n",
+                  static_cast<unsigned long long>(replica->epoch()),
+                  replica->policy_name().c_str(),
+                  replica->graph().live_vertex_count());
+      return 0;
+    }
+    if (!replica) {
+      std::printf("error: no replica open (use 'replica open FILE')\n");
+      return 0;
+    }
+    if (sub == "status" && args.size() == 2) {
+      const std::uint64_t writer = rq->traverser().mutation_epoch();
+      const bool stale = replica->stale_against(writer);
+      std::printf("replica epoch %llu, writer epoch %llu -> %s | "
+                  "%llu queries served\n",
+                  static_cast<unsigned long long>(replica->epoch()),
+                  static_cast<unsigned long long>(writer),
+                  stale ? "STALE (refresh to catch up)" : "current",
+                  static_cast<unsigned long long>(replica->queries()));
+      return 0;
+    }
+    if ((sub == "satisfiability" || sub == "earliest") &&
+        (args.size() == 3 || (sub == "earliest" && args.size() == 4))) {
+      bool ok = false;
+      const std::string text = read_file(args[2], ok);
+      if (!ok) {
+        std::printf("error: cannot read '%s'\n", args[2].c_str());
+        return 0;
+      }
+      auto js = jobspec::Jobspec::from_yaml(text);
+      if (!js) {
+        std::printf("error: %s\n", js.error().message.c_str());
+        return 0;
+      }
+      if (sub == "satisfiability") {
+        std::printf("%s (at replica epoch %llu)\n",
+                    replica->satisfiable(*js) ? "satisfiable"
+                                              : "unsatisfiable",
+                    static_cast<unsigned long long>(replica->epoch()));
+        return 0;
+      }
+      util::TimePoint now = 0;
+      if (args.size() == 4) {
+        auto parsed = util::parse_i64(args[3]);
+        if (!parsed || *parsed < 0) {
+          std::printf("error: earliest takes a non-negative time\n");
+          return 0;
+        }
+        now = *parsed;
+      }
+      auto t0 = replica->earliest_start(*js, now);
+      if (!t0) {
+        std::printf("EARLIEST FAILED (%s): %s\n",
+                    util::errc_name(t0.error().code),
+                    t0.error().message.c_str());
+      } else {
+        std::printf("earliest feasible start: t=%lld (at replica epoch "
+                    "%llu)\n",
+                    static_cast<long long>(*t0),
+                    static_cast<unsigned long long>(replica->epoch()));
+      }
+      return 0;
+    }
+    std::printf("error: replica takes open|refresh FILE, status, "
+                "satisfiability JOBSPEC, or earliest JOBSPEC [T]\n");
     return 0;
   }
 
@@ -555,6 +666,52 @@ struct Cli {
       std::printf("stats cleared\n");
     } else if (cmd == "jgf") {
       std::printf("%s\n", writers::graph_jgf_string(rq->graph()).c_str());
+    } else if (cmd == "save" && args.size() == 2) {
+      const std::string bytes =
+          snapshot::save_engine(rq->graph(), rq->traverser(), nullptr);
+      std::ofstream out(args[1], std::ios::binary);
+      if (!out ||
+          !out.write(bytes.data(),
+                     static_cast<std::streamsize>(bytes.size()))) {
+        std::printf("error: cannot write '%s'\n", args[1].c_str());
+        return 0;
+      }
+      std::printf("saved %zu bytes (epoch %llu, %zu jobs)\n", bytes.size(),
+                  static_cast<unsigned long long>(
+                      rq->traverser().mutation_epoch()),
+                  rq->traverser().job_count());
+    } else if (cmd == "load" && args.size() == 2) {
+      bool ok = false;
+      const std::string bytes = read_file(args[1], ok);
+      if (!ok) {
+        std::printf("error: cannot read '%s'\n", args[1].c_str());
+        return 0;
+      }
+      auto eng = snapshot::load_engine(bytes);
+      if (!eng) {
+        std::printf("LOAD FAILED: %s\n", eng.error().message.c_str());
+        return 0;
+      }
+      if ((*eng)->queue) {
+        std::printf("note: snapshot carried a job queue; resource-query "
+                    "serves the engine beneath it\n");
+      }
+      rq = core::ResourceQuery::adopt(
+          std::move((*eng)->graph), std::move((*eng)->policy),
+          std::move((*eng)->traverser), (*eng)->root, (*eng)->next_job_id);
+      rq->traverser().set_introspection(true);
+      dyn = std::make_unique<dynamic::DynamicResources>(rq->graph(),
+                                                        rq->traverser());
+      // Attempt records describe the replaced engine's jobs.
+      attempts.clear();
+      last_attempt_id = -1;
+      std::printf("loaded: %zu vertices, policy=%s, %zu jobs, epoch %llu\n",
+                  rq->graph().live_vertex_count(),
+                  (*eng)->policy_name.c_str(), rq->traverser().job_count(),
+                  static_cast<unsigned long long>(
+                      rq->traverser().mutation_epoch()));
+    } else if (cmd == "replica") {
+      return handle_replica(args);
     } else {
       std::printf("error: unknown command '%s' (try 'help')\n", cmd.c_str());
     }
